@@ -1,0 +1,23 @@
+"""Shared helpers for the paper-experiment benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md), prints the measured-vs-paper rows and
+times a representative kernel with pytest-benchmark.  The printing goes
+through :func:`report`, which bypasses pytest's output capture so the rows
+appear in the normal benchmark run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def report(capsys):
+    """Return a printer that is visible even under pytest output capture."""
+    def _report(*lines: str) -> None:
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+    return _report

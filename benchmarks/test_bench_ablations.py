@@ -1,0 +1,122 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper tables — they quantify the individual design decisions
+the paper's architectures rely on:
+
+* symmetry pruning of the reference table (Section V-A);
+* directivity/apodization masking of the worst steering errors (Section VI-A);
+* incremental PWL segment tracking instead of a search (Section IV-B);
+* keeping correction coefficients fixed through an insonification (Fig. 4);
+* integer-index echo addressing versus fractional-delay interpolation;
+* single-origin TABLESTEER versus the multi-table cost of synthetic aperture
+  (Section V / conclusions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ablation import (
+    correction_reuse_ablation,
+    directivity_filtering_ablation,
+    incremental_tracking_ablation,
+    interpolation_ablation,
+    symmetry_pruning_ablation,
+)
+from repro.config import paper_system, small_system, tiny_system
+from repro.core.multi_origin import synthetic_aperture_cost_comparison
+
+
+def test_bench_ablation_symmetry_pruning(benchmark, report):
+    result = benchmark(symmetry_pruning_ablation, tiny_system())
+    report(
+        "Ablation: reference-table symmetry pruning (Section V-A)",
+        f"  full table entries        : {result['full_entries']:.0f}",
+        f"  stored after pruning      : {result['pruned_entries']:.0f} "
+        f"({100 * result['storage_saving_fraction']:.0f}% saved; paper: 75%)",
+        f"  reconstruction error      : "
+        f"{result['max_reconstruction_error_samples']:.2e} samples (lossless)",
+        f"  further directivity pruning possible on "
+        f"{100 * result['additional_directivity_prunable_fraction']:.0f}% of entries",
+    )
+    assert result["max_reconstruction_error_samples"] == 0.0
+    assert result["storage_saving_fraction"] == pytest.approx(0.75, abs=0.05)
+
+
+def test_bench_ablation_directivity_filtering(benchmark, report):
+    result = benchmark.pedantic(directivity_filtering_ablation,
+                                args=(small_system(),),
+                                kwargs={"max_points": 300},
+                                rounds=3, iterations=1)
+    report(
+        "Ablation: directivity filtering of TABLESTEER errors (Section VI-A)",
+        f"  max |err| without filtering : "
+        f"{result['without_filtering']['max_abs']:.1f} samples",
+        f"  max |err| within directivity: "
+        f"{result['with_filtering']['max_abs']:.1f} samples "
+        f"({result['max_error_reduction_factor']:.1f}x smaller)",
+        f"  (point, element) pairs masked: {100 * result['masked_fraction']:.0f}%",
+    )
+    assert result["with_filtering"]["max_abs"] <= \
+        result["without_filtering"]["max_abs"]
+
+
+def test_bench_ablation_incremental_tracking(benchmark, report):
+    result = benchmark.pedantic(incremental_tracking_ablation,
+                                args=(small_system(),), rounds=3, iterations=1)
+    report(
+        "Ablation: incremental PWL segment tracking (Section IV-B)",
+        f"  segments                    : {result['segment_count']:.0f}",
+        f"  steps per point (scanline)  : mean {result['scanline_mean_steps']:.3f}, "
+        f"max {result['scanline_max_steps']:.0f}",
+        f"  steps per point (nappe)     : mean {result['nappe_mean_steps']:.3f}, "
+        f"max {result['nappe_max_steps']:.0f}",
+        f"  binary-search cost avoided  : "
+        f"~{result['search_cost_avoided_steps_per_point']:.1f} steps per point",
+    )
+    assert result["scanline_mean_steps"] < \
+        result["search_cost_avoided_steps_per_point"]
+
+
+def test_bench_ablation_interpolation(benchmark, report):
+    result = benchmark.pedantic(interpolation_ablation, args=(tiny_system(),),
+                                rounds=3, iterations=1)
+    report(
+        "Ablation: integer-index addressing vs fractional-delay interpolation",
+        f"  image NRMS (nearest vs linear) : {result['nrms_nearest_vs_linear']:.3f}",
+        f"  peak amplitude ratio           : {result['peak_ratio']:.3f}",
+        f"  buffer reads per focal point   : "
+        f"{result['cost_nearest']['buffer_reads']:.0f} (nearest) vs "
+        f"{result['cost_linear']['buffer_reads']:.0f} (linear)",
+    )
+    assert result["nrms_nearest_vs_linear"] < 0.5
+
+
+def test_bench_ablation_correction_reuse(benchmark, report):
+    result = benchmark(correction_reuse_ablation, paper_system())
+    report(
+        "Ablation: correction-coefficient reuse across an insonification (Fig. 4)",
+        f"  naive coefficient reloads per frame     : "
+        f"{result['coefficient_reloads_per_frame_naive']:.3e}",
+        f"  optimised reloads per frame             : "
+        f"{result['coefficient_reloads_per_frame_optimised']:.0f}",
+        f"  reload traffic reduction                : "
+        f"{result['reload_reduction_factor']:.0f}x",
+    )
+    assert result["reload_reduction_factor"] > 1e5
+
+
+def test_bench_ablation_synthetic_aperture_cost(benchmark, report):
+    rows = benchmark(synthetic_aperture_cost_comparison, paper_system(),
+                     (1, 2, 4, 8, 16))
+    lines = ["Ablation: synthetic-aperture origin count vs delay-table storage "
+             "(Section V / conclusions)",
+             f"  {'origins':>8s}  {'TABLESTEER Mb':>14s}  {'TABLEFREE Mb':>13s}"]
+    for row in rows:
+        lines.append(f"  {row['origins']:8.0f}  "
+                     f"{row['tablesteer_megabits_18b']:14.1f}  "
+                     f"{row['tablefree_megabits']:13.1f}")
+    report(*lines)
+    assert rows[0]["tablesteer_megabits_18b"] == pytest.approx(45.0)
+    assert rows[-1]["tablesteer_megabits_18b"] > 10 * rows[0]["tablesteer_megabits_18b"]
+    assert all(row["tablefree_megabits"] == 0.0 for row in rows)

@@ -1,0 +1,46 @@
+"""Benchmark E4: TABLEFREE delay accuracy (Section VI-A).
+
+Regenerates the selection-error statistics of the on-the-fly delay generator
+against the exact computation: the paper reports a mean absolute selection
+error of ~0.2489 samples and a maximum of 2 for the fixed-point
+implementation with delta = 0.25.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.accuracy import sample_volume_points
+from repro.config import small_system
+from repro.core.tablefree import TableFreeDelayGenerator
+from repro.experiments import e04_tablefree_accuracy
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e04_tablefree_accuracy.run(small_system(), max_points=400)
+
+
+def test_bench_tablefree_accuracy(benchmark, result, report):
+    system = small_system()
+    generator = TableFreeDelayGenerator.from_config(system)
+    points = sample_volume_points(system, max_points=200, seed=0)
+    benchmark(generator.delay_indices, points)
+
+    fixed = result["fixed_point"]["all_points"]
+    flt = result["float"]["all_points"]
+    reference = result["paper_reference"]
+    report(
+        "E4 (Section VI-A): TABLEFREE selection error (delta = 0.25)",
+        f"  float datapath      mean |err| {flt['mean_abs']:.4f}, "
+        f"max {flt['max_abs']:.1f} samples   (paper theory: 0.204 / 0.5)",
+        f"  fixed-point path    mean |err| {fixed['mean_abs']:.4f}, "
+        f"max {fixed['max_abs']:.1f} samples   (paper measured: "
+        f"{reference['measured_mean_abs']} / {reference['measured_max_abs']})",
+        "  delta sweep         "
+        + ", ".join(f"delta={d}: mean {entry['mean_abs']:.3f}"
+                    for d, entry in result["delta_sweep"].items()),
+    )
+
+    assert fixed["max_abs"] <= reference["measured_max_abs"]
+    assert fixed["mean_abs"] < 0.45

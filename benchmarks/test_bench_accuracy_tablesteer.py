@@ -1,0 +1,75 @@
+"""Benchmark E5: TABLESTEER steering accuracy (Section V-A / VI-A, Fig. 3).
+
+Regenerates the far-field approximation error analysis: a loose theoretical
+bound, a much smaller observed maximum located at the volume edges (where
+directivity/apodization suppress it), and a volume-average error of the
+order of one sample.  The absolute numbers scale with the aperture, so both
+the scaled-down measurement system and the paper-scale aperture values are
+reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.accuracy import sample_volume_points
+from repro.config import paper_system, small_system
+from repro.core.tablesteer import (
+    TableSteerConfig,
+    TableSteerDelayGenerator,
+    lagrange_error_bound_seconds,
+)
+from repro.experiments import e05_tablesteer_accuracy
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e05_tablesteer_accuracy.run(small_system(), max_points=400)
+
+
+def test_bench_tablesteer_accuracy(benchmark, result, report):
+    system = small_system()
+    generator = TableSteerDelayGenerator.from_config(
+        system, TableSteerConfig(total_bits=18))
+    points = sample_volume_points(system, max_points=100, seed=0)
+    benchmark(generator.delay_indices, points)
+
+    bounds = result["bounds"]
+    reference = result["paper_reference"]
+    paper_bound = lagrange_error_bound_seconds(paper_system())
+    report(
+        "E5 (Section V-A / VI-A, Fig. 3): TABLESTEER steering error",
+        f"  theoretical bound (small system)   "
+        f"{1e6 * bounds['lagrange_bound_seconds']:.2f} us "
+        f"({bounds['lagrange_bound_samples']:.0f} samples)",
+        f"  theoretical bound (paper aperture)  {1e6 * paper_bound:.2f} us "
+        f"({paper_bound * 32e6:.0f} samples)   paper quotes 6.7 us / 214",
+        f"  observed max |err| (all points)     "
+        f"{bounds['observed_max_samples_all']:.1f} samples",
+        f"  observed max |err| (within directivity) "
+        f"{bounds['observed_max_samples_within_directivity']:.1f} samples   "
+        f"(paper: {reference['observed_max_samples']})",
+        f"  observed mean |err|                 "
+        f"{bounds['observed_mean_samples']:.3f} samples   "
+        f"(paper: {reference['observed_mean_samples']})",
+        f"  fixed-point 18b mean |err|          "
+        f"{result['fixed_18b']['all_points']['mean_abs']:.3f} samples",
+    )
+
+    # Shape claims: the bound is loose, the worst errors are filtered by
+    # directivity, and the average is of the order of a sample.
+    assert bounds["lagrange_bound_samples"] >= \
+        bounds["observed_max_samples_all"] * 0.9
+    assert bounds["observed_max_samples_within_directivity"] <= \
+        bounds["observed_max_samples_all"]
+    assert bounds["observed_mean_samples"] < 5.0
+
+
+def test_bench_tablesteer_nappe_generation(benchmark):
+    """Throughput-style micro-benchmark: generate one full nappe of delays."""
+    system = small_system()
+    generator = TableSteerDelayGenerator.from_config(
+        system, TableSteerConfig(total_bits=18))
+    delays = benchmark(generator.nappe_delays_samples, 10)
+    assert delays.shape == (system.volume.n_theta, system.volume.n_phi,
+                            system.transducer.element_count)

@@ -1,0 +1,95 @@
+"""Extension benchmarks: design-space exploration and the recursive baseline.
+
+Not paper tables, but quantitative backing for the paper's scaling arguments
+(Section VI-B) and its related-work comparison (Section III):
+
+* TABLEFREE frame rate vs clock and supported aperture vs device size
+  (the UltraScale / next-node projection);
+* TABLESTEER frame rate vs replicated block count, including the smallest
+  design that reaches the 15 volumes/s target;
+* the recursive delay-calculation baseline [17] vs TABLEFREE at equal
+  per-point arithmetic effort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import paper_system, tiny_system
+from repro.core.exact import ExactDelayEngine
+from repro.core.recursive import RecursiveConfig, RecursiveDelayGenerator
+from repro.core.tablefree import TableFreeDelayGenerator
+from repro.hardware.scaling import (
+    find_minimum_design,
+    tablefree_device_sweep,
+    tablefree_frequency_sweep,
+    tablesteer_block_sweep,
+)
+
+
+def test_bench_design_space_sweeps(benchmark, report):
+    system = paper_system()
+    benchmark(tablesteer_block_sweep, system)
+
+    frequency = tablefree_frequency_sweep(system)
+    device = tablefree_device_sweep(system)
+    blocks = tablesteer_block_sweep(system)
+    minimum = find_minimum_design(system, target_frame_rate=15.0)
+
+    lines = ["Design space: scaling sweeps around the paper's design points",
+             "  TABLEFREE frame rate vs clock:"]
+    lines += [f"    {p.parameters['clock_mhz']:5.0f} MHz -> {p.frame_rate:5.1f} fps"
+              f"{'  (meets 15 fps)' if p.meets_target else ''}"
+              for p in frequency]
+    lines.append("  TABLEFREE supported aperture vs device LUT capacity:")
+    lines += [f"    {p.label:24s} -> {p.parameters['supported_side']:.0f}x"
+              f"{p.parameters['supported_side']:.0f}" for p in device]
+    lines.append("  TABLESTEER frame rate vs block count:")
+    lines += [f"    {p.parameters['blocks']:4.0f} blocks -> {p.frame_rate:5.1f} fps, "
+              f"LUT {100 * p.lut_fraction:5.1f}%" for p in blocks]
+    if minimum is not None:
+        lines.append(f"  smallest 15 fps TABLESTEER design: "
+                     f"{minimum.parameters['blocks']:.0f} blocks "
+                     f"({100 * minimum.lut_fraction:.0f}% LUTs)")
+    report(*lines)
+
+    by_clock = {p.parameters["clock_mhz"]: p for p in frequency}
+    assert by_clock[167.0].frame_rate == pytest.approx(7.8, abs=0.4)
+    by_scale = {p.parameters["lut_scaling"]: p for p in device}
+    assert by_scale[1.0].parameters["supported_side"] == 42
+    by_blocks = {int(p.parameters["blocks"]): p for p in blocks}
+    assert by_blocks[128].meets_target
+    assert minimum is not None and minimum.parameters["blocks"] <= 128
+
+
+def test_bench_recursive_baseline(benchmark, report):
+    """Recursive delay unit [17] vs TABLEFREE on the same scanline."""
+    system = tiny_system()
+    exact = ExactDelayEngine.from_config(system)
+    recursive = RecursiveDelayGenerator.from_config(
+        system, RecursiveConfig(newton_iterations=1))
+    benchmark(recursive.scanline_delays_samples, 6, 6)
+
+    truth = exact.delays_samples(exact.grid.scanline_points(6, 6))
+    tablefree = TableFreeDelayGenerator.from_config(system)
+    recursive_error = np.abs(recursive.scanline_delays_samples(6, 6) - truth)
+    converged_error = np.abs(RecursiveDelayGenerator.from_config(
+        system, RecursiveConfig(newton_iterations=6)
+    ).scanline_delays_samples(6, 6) - truth)
+    tablefree_error = np.abs(
+        tablefree.delays_samples(exact.grid.scanline_points(6, 6)) - truth)
+
+    report(
+        "Baseline: recursive delay unit (Nikolov et al. [17]) vs TABLEFREE",
+        f"  recursive, 1 Newton step : mean |err| {recursive_error.mean():.3f}, "
+        f"max {recursive_error.max():.1f} samples "
+        f"(cost: {recursive.arithmetic_cost_per_point()})",
+        f"  recursive, 6 Newton steps: mean |err| {converged_error.mean():.4f}, "
+        f"max {converged_error.max():.3f} samples",
+        f"  TABLEFREE (delta = 0.25) : mean |err| {tablefree_error.mean():.3f}, "
+        f"max {tablefree_error.max():.1f} samples (no divider needed)",
+    )
+
+    assert tablefree_error.mean() < recursive_error.mean()
+    assert converged_error.max() < recursive_error.max() + 1e-9

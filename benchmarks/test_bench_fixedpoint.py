@@ -1,0 +1,45 @@
+"""Benchmark E6: fixed-point representation impact (Section VI-A).
+
+Regenerates the Monte-Carlo the paper ran in Matlab over 10e6 random inputs:
+~33 % of echo-sample selections shift by one when delays are stored as
+13-bit integers, < 2 % with the 18-bit (13.5) representation, and the shift
+never exceeds one sample.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fixedpoint_impact import fixed_point_impact
+from repro.experiments import e06_fixedpoint
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e06_fixedpoint.run(n_samples=1_000_000)
+
+
+def test_bench_fixedpoint_impact(benchmark, result, report):
+    benchmark(fixed_point_impact, 18, 200_000)
+
+    r13 = result["bits_13"]
+    r18 = result["bits_18"]
+    reference = result["paper_reference"]
+    sweep = ", ".join(f"{entry['total_bits']:.0f}b: "
+                      f"{100 * entry['affected_fraction']:.2f}%"
+                      for entry in result["sweep"])
+    report(
+        "E6 (Section VI-A): fixed-point impact on echo-sample selection",
+        f"  13-bit integers   measured {100 * r13['affected_fraction']:.1f}% affected, "
+        f"max shift {r13['max_index_error']:.0f}   "
+        f"(paper ~{100 * reference['affected_fraction_13b']:.0f}%, max 1)",
+        f"  18-bit (13.5)     measured {100 * r18['affected_fraction']:.1f}% affected, "
+        f"max shift {r18['max_index_error']:.0f}   "
+        f"(paper <{100 * reference['affected_fraction_18b']:.0f}%, max 1)",
+        f"  width sweep       {sweep}",
+    )
+
+    assert r13["affected_fraction"] == pytest.approx(0.33, abs=0.03)
+    assert r18["affected_fraction"] < 0.03
+    assert r13["max_index_error"] <= 1
+    assert r18["max_index_error"] <= 1

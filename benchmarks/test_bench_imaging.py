@@ -1,0 +1,57 @@
+"""Benchmark E10: end-to-end imaging with the three delay generators.
+
+Regenerates the implicit image-quality claim of the paper: a beamformer fed
+by TABLEFREE or TABLESTEER delays produces essentially the same image as one
+fed by exact delays, with the TABLESTEER degradation confined to steered /
+edge regions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acoustics.echo import EchoSimulator
+from repro.acoustics.phantom import point_target
+from repro.beamformer.das import DelayAndSumBeamformer
+from repro.beamformer.drivers import reconstruct_plane
+from repro.config import tiny_system
+from repro.core.exact import ExactDelayEngine
+from repro.experiments import e10_imaging
+
+
+@pytest.fixture(scope="module")
+def on_axis():
+    return e10_imaging.run(tiny_system())
+
+
+@pytest.fixture(scope="module")
+def off_axis():
+    return e10_imaging.run(tiny_system(), target_theta_fraction=0.8)
+
+
+def test_bench_imaging_comparison(benchmark, on_axis, off_axis, report):
+    system = tiny_system()
+    exact = ExactDelayEngine.from_config(system)
+    depth = float(exact.grid.depths[len(exact.grid.depths) // 2])
+    data = EchoSimulator.from_config(system).simulate(point_target(depth=depth))
+    beamformer = DelayAndSumBeamformer(system, exact)
+    benchmark(reconstruct_plane, beamformer, data)
+
+    lines = ["E10: point-target imaging, approximate vs exact delays"]
+    for label, result in (("on-axis target", on_axis), ("off-axis target", off_axis)):
+        lines.append(f"  {label}:")
+        for name, comparison in result["comparisons"].items():
+            lines.append(
+                f"    {name:15s} NRMS vs exact {comparison['nrms_vs_exact']:.3f}, "
+                f"peak shift ({comparison['peak_shift_theta']}, "
+                f"{comparison['peak_shift_depth']}) pixels")
+    report(*lines)
+
+    for result in (on_axis, off_axis):
+        for comparison in result["comparisons"].values():
+            assert comparison["peak_shift_depth"] <= 1
+            assert comparison["peak_shift_theta"] <= 2
+            assert comparison["nrms_vs_exact"] < 0.5
+    # TABLESTEER's steering approximation hurts more off axis than on axis.
+    assert off_axis["comparisons"]["tablesteer_18b"]["nrms_vs_exact"] >= \
+        on_axis["comparisons"]["tablesteer_18b"]["nrms_vs_exact"] - 0.05

@@ -1,0 +1,49 @@
+"""Benchmark E3: piecewise-linear square root (Section IV-B / Fig. 2).
+
+Regenerates the segmentation the TABLEFREE datapath relies on: ~70 segments
+for delta = 0.25 samples over the paper's argument range, with incremental
+segment tracking needing well under one step per focal point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.piecewise import PiecewiseSqrt
+from repro.experiments import e03_piecewise
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e03_piecewise.run()
+
+
+def test_bench_piecewise_build(benchmark, result, report):
+    x_max = 4800.0 ** 2
+    benchmark(PiecewiseSqrt.build, 0.0, x_max, 0.25)
+
+    tracking = result["segment_tracking"]
+    report(
+        "E3 (Fig. 2): piecewise-linear sqrt for delta = 0.25 samples",
+        f"  segments needed          measured {result['segment_count']}"
+        f"   paper {result['paper_reference']['segment_count']}",
+        f"  max |approx error|       measured "
+        f"{result['max_abs_error_samples']:.4f} samples   bound 0.25",
+        f"  segment steps per point  mean {tracking['mean_steps']:.4f}, "
+        f"max {tracking['max_steps']:.0f} (incremental tracking, no search)",
+        "  segments vs delta        "
+        + ", ".join(f"delta={d} -> {n}"
+                    for d, n in result["segments_vs_delta"].items()),
+    )
+
+    assert 55 <= result["segment_count"] <= 85
+    assert result["max_abs_error_samples"] <= 0.2501
+    assert tracking["mean_steps"] < 1.0
+
+
+def test_bench_piecewise_evaluate(benchmark, result):
+    pwl = PiecewiseSqrt.build(0.0, 4800.0 ** 2, 0.25)
+    xs = np.random.default_rng(0).uniform(0, pwl.x_max, 100_000)
+    values = benchmark(pwl.evaluate, xs)
+    assert np.max(np.abs(values - np.sqrt(xs))) <= 0.2501

@@ -1,0 +1,47 @@
+"""Benchmark E1: delay-table scale of the naive approach (Section II-B/II-C).
+
+Regenerates the headline figures the paper opens with: ~164e9 coefficients,
+~2.5e12 delay values/s at 15 volumes/s, and the TABLESTEER table/correction
+sizes that replace them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import paper_system
+from repro.experiments import e01_requirements
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e01_requirements.run()
+
+
+def test_bench_requirements_report(benchmark, result, report):
+    system = paper_system()
+    benchmark(e01_requirements.run, system)
+
+    requirements = result["requirements"]
+    reference = result["paper_reference"]
+    report(
+        "E1 (Section II-B/II-C): naive delay-table requirements",
+        f"  naive coefficients    measured {requirements['naive_coefficients']:.3e}"
+        f"   paper {reference['naive_coefficients']:.3e}",
+        f"  delay rate needed     measured "
+        f"{requirements['required_delay_rate_per_second']:.3e} /s"
+        f"   paper {reference['required_delay_rate_per_second']:.1e} /s",
+        f"  reference table       measured {requirements['symmetric_table_entries']:.2e}"
+        f" entries   paper {reference['symmetric_table_entries']:.1e}",
+        f"  reference storage     measured "
+        f"{requirements['symmetric_table_megabits_18b']:.1f} Mb   paper "
+        f"{reference['symmetric_table_megabits_18b']:.1f} Mb",
+        f"  corrections           measured {requirements['correction_values']:.2e}"
+        f"   paper {reference['correction_values']:.1e}",
+    )
+
+    assert requirements["naive_coefficients"] == pytest.approx(1.64e11, rel=0.01)
+    assert requirements["required_delay_rate_per_second"] == pytest.approx(
+        2.46e12, rel=0.01)
+    assert requirements["symmetric_table_entries"] == pytest.approx(2.5e6)
+    assert requirements["correction_values"] == pytest.approx(832e3)

@@ -1,0 +1,58 @@
+"""Benchmark E7: TABLESTEER storage and streaming bandwidth (Section V-B).
+
+Regenerates the sizing of the reference delay table (2.5e6 entries / 45 Mb at
+18 bit), the correction store (832e3 values / ~15 Mb), the streamed on-chip
+footprint (128 x 1k x 18 bit ~ 2.3 Mb) and the DRAM bandwidth of the
+table-streaming scheme (5.3-5.4 GB/s at 18 bit, ~4.2 GB/s at 14 bit).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import small_system
+from repro.core.reference_table import ReferenceDelayTable
+from repro.experiments import e07_storage
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e07_storage.run()
+
+
+def test_bench_storage_and_bandwidth(benchmark, result, report):
+    benchmark(ReferenceDelayTable.build, small_system())
+
+    reference = result["paper_reference"]
+    w18 = result["per_width"][18]
+    w14 = result["per_width"][14]
+    buffer_stats = result["circular_buffer"]
+    report(
+        "E7 (Section V-B): TABLESTEER storage and DRAM bandwidth (paper system)",
+        f"  reference table entries   measured "
+        f"{result['analytical']['reference_entries']:.2e}   paper "
+        f"{reference['reference_entries']:.1e}",
+        f"  reference storage (18b)   measured {w18['reference_megabits']:.1f} Mb"
+        f"   paper {reference['reference_megabits_18b']:.0f} Mb",
+        f"  correction values         measured "
+        f"{result['analytical']['correction_values']:.2e}   paper "
+        f"{reference['correction_values']:.1e}",
+        f"  streaming on-chip (18b)   measured "
+        f"{w18['streaming_onchip_megabits']:.2f} Mb   paper "
+        f"{reference['streaming_onchip_megabits']} Mb",
+        f"  DRAM bandwidth 18b / 14b  measured {w18['dram_bandwidth_gb_per_s']:.2f} / "
+        f"{w14['dram_bandwidth_gb_per_s']:.2f} GB/s   paper "
+        f"{reference['dram_bandwidth_gb_per_s_18b']} / "
+        f"{reference['dram_bandwidth_gb_per_s_14b']} GB/s",
+        f"  circular buffer           {buffer_stats['stall_cycles']:.0f} stalls, "
+        f"min fill {buffer_stats['min_fill_words']:.0f}/1024 words with 1k-cycle latency",
+        f"  bank conflicts            {result['bank_conflicts_window_128']} "
+        f"(128 staggered banks)",
+    )
+
+    assert result["analytical"]["reference_entries"] == pytest.approx(2.5e6)
+    assert w18["reference_megabits"] == pytest.approx(45.0)
+    assert w18["dram_bandwidth_gb_per_s"] == pytest.approx(5.4, abs=0.2)
+    assert w14["dram_bandwidth_gb_per_s"] == pytest.approx(4.2, abs=0.2)
+    assert buffer_stats["stall_cycles"] == 0
+    assert result["bank_conflicts_window_128"] == 0

@@ -1,0 +1,54 @@
+"""Benchmark E8: Table II — architecture comparison on the Virtex-7.
+
+Regenerates every column of Table II with the analytical hardware model:
+resource utilisation, clock, off-chip DRAM bandwidth, throughput, achievable
+volume rate and supported channel count for TABLEFREE, TABLESTEER-14b and
+TABLESTEER-18b.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import paper_system
+from repro.experiments import e08_table2
+from repro.hardware.report import table2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e08_table2.run()
+
+
+def test_bench_table2(benchmark, result, report):
+    system = paper_system()
+    benchmark(table2, system)
+
+    lines = ["E8 (Table II): Virtex-7 XC7VX1140T architecture comparison",
+             "  measured (analytical hardware model):"]
+    lines += ["    " + line for line in result["formatted"].splitlines()]
+    lines.append("  paper reference:")
+    for name, row in result["paper_reference"].items():
+        lines.append(
+            f"    {name:15s} LUT {row['luts_pct']:3d}%  Reg {row['registers_pct']:3d}%  "
+            f"BRAM {row['bram_pct']:3d}%  {row['clock_mhz']} MHz  "
+            f"{row['dram_gb_per_s']} GB/s  {row['throughput_tdelays_per_s']} Td/s  "
+            f"{row['frame_rate_fps']} fps  {row['channels']}")
+    projection = result["ultrascale_projection"]
+    lines.append(f"  UltraScale projection: TABLEFREE supports "
+                 f"{projection['channels']} channels")
+    report(*lines)
+
+    rows = {row["architecture"]: row for row in result["rows"]}
+    reference = result["paper_reference"]
+    for name, row in rows.items():
+        expected = reference[name]
+        assert row["luts_pct"] == pytest.approx(expected["luts_pct"], abs=5)
+        assert row["registers_pct"] == pytest.approx(expected["registers_pct"], abs=5)
+        assert row["bram_pct"] == pytest.approx(expected["bram_pct"], abs=5)
+        assert row["clock_mhz"] == pytest.approx(expected["clock_mhz"], abs=1)
+        assert row["dram_gb_per_s"] == pytest.approx(expected["dram_gb_per_s"],
+                                                     abs=0.3)
+        assert row["frame_rate_fps"] == pytest.approx(expected["frame_rate_fps"],
+                                                      abs=1.0)
+        assert row["channels"] == expected["channels"]

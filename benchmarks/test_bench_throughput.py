@@ -1,0 +1,75 @@
+"""Benchmark E9: delay-generation throughput (Section II-C / V-B, Fig. 4).
+
+Regenerates the throughput arithmetic: the required ~2.5e12 delays/s, the
+Fig. 4 block producing 128 steered delays per cycle with 136 adders, the
+128-block array peaking at ~3.3 Tdelays/s at 200 MHz (just under 20
+volumes/s) and the TABLEFREE "1 fps per 20 MHz" rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_system
+from repro.experiments import e09_throughput
+from repro.hardware.architecture import BlockGeometry, DelayComputeBlock
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e09_throughput.run()
+
+
+def test_bench_throughput_model(benchmark, result, report):
+    benchmark(e09_throughput.run)
+
+    block = result["block"]
+    array = result["array"]
+    steer = result["tablesteer_throughput"]
+    free = result["tablefree_throughput"]
+    reference = result["paper_reference"]
+    report(
+        "E9 (Section II-C / V-B, Fig. 4): delay-generation throughput",
+        f"  required delay rate     measured {result['required_delay_rate']:.3e} /s"
+        f"   paper {reference['required_delay_rate']:.1e} /s",
+        f"  Fig. 4 block            {block['adders']} adders, "
+        f"{block['delays_per_cycle']} delays/cycle   paper "
+        f"{reference['block_adders']} / {reference['block_delays_per_cycle']}",
+        f"  128-block peak rate     measured {array['peak_rate_at_200mhz']:.3e} /s"
+        f"   paper {reference['peak_rate']:.1e} /s",
+        f"  TABLESTEER volume rate  measured {steer['frame_rate']:.1f} fps"
+        f"   paper {reference['tablesteer_frame_rate']} fps",
+        f"  TABLEFREE volume rate   measured {free['frame_rate']:.1f} fps at 167 MHz"
+        f"   paper {reference['tablefree_frame_rate']} fps",
+        f"  TABLEFREE fps per 20MHz measured {20 * free['fps_per_mhz']:.2f}"
+        f"   paper ~{reference['fps_per_20mhz']:.0f}",
+    )
+
+    assert block["adders"] == 136
+    assert block["delays_per_cycle"] == 128
+    assert block["dataflow_matches_direct_sum"]
+    assert array["peak_rate_at_200mhz"] == pytest.approx(3.28e12, rel=0.01)
+    assert steer["frame_rate"] == pytest.approx(20.0, abs=0.5)
+    assert free["frame_rate"] == pytest.approx(7.8, abs=0.5)
+    assert steer["meets_target"] and not free["meets_target"]
+
+
+def test_bench_block_dataflow(benchmark):
+    """Micro-benchmark of the functional Fig. 4 block processing a stream."""
+    block = DelayComputeBlock(geometry=BlockGeometry())
+    rng = np.random.default_rng(1)
+    references = rng.uniform(0, 8000, 256)
+    x_corr = rng.uniform(-100, 100, 8)
+    y_corr = rng.uniform(-100, 100, 16)
+    stream = benchmark(block.process_sequence, references, x_corr, y_corr)
+    assert stream.shape == (256, 8, 16)
+
+
+def test_bench_real_table_dataflow(result, report):
+    """The Fig. 4 dataflow run on real reference/correction values matches the
+    direct TABLESTEER computation bit for bit."""
+    outcome = e09_throughput.run_with_real_tables(tiny_system())
+    report("E9 (cont.): Fig. 4 block on real table values -> "
+           f"matches direct computation: {outcome['matches_direct']}")
+    assert outcome["matches_direct"]

@@ -1,0 +1,41 @@
+"""Benchmark E2: beamforming traversal orders (Algorithm 1 / Fig. 1).
+
+Regenerates the comparison between the scanline-by-scanline and
+nappe-by-nappe loop nests: identical focal-point coverage, very different
+delay-table slice reuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import small_system
+from repro.experiments import e02_traversal
+from repro.geometry.traversal import nappe_order_indices
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e02_traversal.run(small_system())
+
+
+def test_bench_traversal_orders(benchmark, result, report):
+    system = small_system()
+    benchmark(nappe_order_indices, system)
+
+    nappe = result["nappe"]
+    scanline = result["scanline"]
+    projection = result["paper_scale_projection"]
+    report(
+        "E2 (Algorithm 1 / Fig. 1): traversal order comparison",
+        f"  same focal points visited    : {result['orders_visit_same_points']}",
+        f"  scanline slice reuse         : {scanline['slice_reuse_factor']:.1f} "
+        f"points per delay-table slice",
+        f"  nappe slice reuse            : {nappe['slice_reuse_factor']:.1f} "
+        f"points per delay-table slice",
+        f"  paper-scale nappe reuse      : {projection['nappe_slice_reuse']:.0f}x "
+        f"(vs 1x for scanline order)",
+    )
+
+    assert result["orders_visit_same_points"]
+    assert nappe["slice_reuse_factor"] > scanline["slice_reuse_factor"]

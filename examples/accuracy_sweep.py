@@ -1,0 +1,93 @@
+"""Accuracy / resource trade-off sweeps for both delay architectures.
+
+The paper points out that both schemes expose accuracy knobs:
+
+* TABLEFREE — the PWL error bound ``delta`` (fewer segments and less LUT
+  area for a larger delta) and the fixed-point precision;
+* TABLESTEER — the total fixed-point width (13 / 14 / 18 bits), which trades
+  BRAM bits and DRAM bandwidth against the fraction of echo samples selected
+  one sample off.
+
+This example sweeps both knobs on the scaled-down ``small`` system and prints
+the resulting accuracy alongside the storage / LUT cost, reproducing the
+trade-off curves behind Table II's "Inaccuracy" column.
+
+Usage::
+
+    python examples/accuracy_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import paper_system, small_system
+from repro.analysis import evaluate_provider, fixed_point_impact, sample_volume_points
+from repro.core import (
+    TableFreeConfig,
+    TableFreeDelayGenerator,
+    TableSteerConfig,
+    TableSteerDelayGenerator,
+)
+from repro.fixedpoint import tablesteer_formats
+from repro.hardware import TableSteerCostModel, virtex7_xc7vx1140t
+
+
+def tablefree_sweep(system, points) -> None:
+    print("TABLEFREE: PWL error bound (delta) sweep")
+    print(f"  {'delta':>8s}  {'segments':>8s}  {'mean |err|':>10s}  "
+          f"{'max |err|':>9s}")
+    for delta in (1.0, 0.5, 0.25, 0.125, 0.0625):
+        generator = TableFreeDelayGenerator.from_config(
+            system, TableFreeConfig(delta=delta))
+        report = evaluate_provider(generator, system, f"delta={delta}",
+                                   points=points)
+        stats = report.all_points
+        print(f"  {delta:8.4f}  {generator.segment_count:8d}  "
+              f"{stats.mean_abs:10.4f}  {stats.max_abs:9.1f}")
+    print()
+
+
+def tablesteer_sweep(system, points) -> None:
+    print("TABLESTEER: fixed-point width sweep")
+    device = virtex7_xc7vx1140t()
+    cost_model = TableSteerCostModel()
+    paper = paper_system()
+    quadrant_entries = ((paper.transducer.elements_x // 2)
+                        * (paper.transducer.elements_y // 2)
+                        * paper.volume.n_depth)
+    print(f"  {'bits':>5s}  {'mean |err|':>10s}  {'max |err|':>9s}  "
+          f"{'affected %':>10s}  {'table Mb':>8s}  {'LUT %':>6s}")
+    for bits in (13, 14, 16, 18, 20):
+        generator = TableSteerDelayGenerator.from_config(
+            system, TableSteerConfig(total_bits=bits))
+        report = evaluate_provider(generator, system, f"{bits}b", points=points)
+        impact = fixed_point_impact(bits, n_samples=200_000)
+        ref_fmt, _ = tablesteer_formats(bits)
+        table_megabits = quadrant_entries * ref_fmt.total_bits / 1e6
+        demand = cost_model.demand(bits, 128, 8, 16, correction_storage_bits=0)
+        stats = report.all_points
+        print(f"  {bits:5d}  {stats.mean_abs:10.4f}  {stats.max_abs:9.1f}  "
+              f"{100 * impact.affected_fraction:10.2f}  {table_megabits:8.1f}  "
+              f"{100 * demand.luts / device.luts:6.1f}")
+    print()
+
+
+def main() -> None:
+    system = small_system()
+    points = sample_volume_points(system, max_points=400, seed=17)
+    print(f"Accuracy sweeps on the '{system.name}' system "
+          f"({len(points)} sampled focal points x "
+          f"{system.transducer.element_count} elements)\n")
+    tablefree_sweep(system, points)
+    tablesteer_sweep(system, points)
+    print("Notes:")
+    print("  * 'affected %' is the fraction of echo-sample selections changed by")
+    print("    fixed-point storage (paper: ~33% at 13 bits, <2% at 18 bits).")
+    print("  * 'table Mb' is the paper-scale reference-table footprint at that width.")
+    print("  * 'LUT %' is the paper-scale TABLESTEER adder-array cost on the")
+    print("    Virtex-7 XC7VX1140T from the analytical resource model.")
+
+
+if __name__ == "__main__":
+    main()

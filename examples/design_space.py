@@ -1,0 +1,104 @@
+"""Design-space exploration and hardware-artifact export.
+
+Goes beyond the single design points of Table II:
+
+1. sweeps the TABLEFREE clock and device size, and the TABLESTEER block
+   count, to show where each architecture reaches the 15 volumes/s target;
+2. sizes the smallest TABLESTEER design for several target volume rates;
+3. shows how both architectures scale with the probe aperture;
+4. exports the TABLESTEER tables of the scaled-down system as a packed
+   ``.npz`` archive plus per-BRAM-bank initialisation images — the artifacts
+   a hardware team would consume.
+
+Usage::
+
+    python examples/design_space.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import paper_system, small_system
+from repro.hardware import (
+    aperture_sweep,
+    find_minimum_design,
+    tablefree_device_sweep,
+    tablefree_frequency_sweep,
+    tablesteer_block_sweep,
+)
+from repro.io import export_bram_initialisation, export_tablesteer_tables
+
+
+def sweeps() -> None:
+    system = paper_system()
+    print("1. TABLEFREE frame rate vs clock (one delay unit per element)")
+    for point in tablefree_frequency_sweep(system):
+        marker = " <- meets 15 fps" if point.meets_target else ""
+        print(f"   {point.parameters['clock_mhz']:5.0f} MHz : "
+              f"{point.frame_rate:5.1f} volumes/s{marker}")
+
+    print("\n2. TABLEFREE supported aperture vs device size")
+    for point in tablefree_device_sweep(system):
+        side = point.parameters["supported_side"]
+        print(f"   {point.label:26s}: {side:.0f} x {side:.0f} elements "
+              f"({100 * point.lut_fraction:.0f}% of the scaled LUT budget)")
+
+    print("\n3. TABLESTEER frame rate vs number of Fig. 4 blocks (18-bit)")
+    for point in tablesteer_block_sweep(system):
+        marker = " <- meets 15 fps" if point.meets_target else ""
+        print(f"   {point.parameters['blocks']:4.0f} blocks : "
+              f"{point.frame_rate:5.1f} volumes/s, "
+              f"LUT {100 * point.lut_fraction:5.1f}%, "
+              f"BRAM {100 * point.bram_fraction:4.1f}%{marker}")
+
+    print("\n4. Smallest TABLESTEER design per target volume rate")
+    for target in (10.0, 15.0, 20.0, 30.0):
+        design = find_minimum_design(system, target_frame_rate=target)
+        if design is None:
+            print(f"   {target:4.0f} volumes/s : not reachable")
+        else:
+            print(f"   {target:4.0f} volumes/s : {design.parameters['blocks']:.0f} "
+                  f"blocks ({100 * design.lut_fraction:.0f}% LUTs, "
+                  f"{design.frame_rate:.1f} fps delivered)")
+
+    print("\n5. Scaling with probe aperture")
+    print(f"   {'side':>6s}  {'TABLEFREE LUTs':>14s}  {'fits?':>5s}  "
+          f"{'TABLESTEER table':>16s}  {'fits BRAM?':>10s}")
+    for row in aperture_sweep(system):
+        print(f"   {row['side']:6.0f}  {100 * row['tablefree_lut_fraction']:13.0f}%  "
+              f"{'yes' if row['tablefree_fits'] else 'no':>5s}  "
+              f"{row['tablesteer_table_megabits_18b']:13.1f} Mb  "
+              f"{'yes' if row['tablesteer_table_fits_bram'] else 'no':>10s}")
+
+
+def export_artifacts(output_dir: Path) -> None:
+    system = small_system()
+    output_dir.mkdir(parents=True, exist_ok=True)
+    archive_path = output_dir / "tablesteer_small_18b.npz"
+    exported = export_tablesteer_tables(system, archive_path, total_bits=18)
+    banks = export_bram_initialisation(exported, n_banks=16, bank_words=256)
+    print("\n6. Hardware artifact export (small system, 18-bit)")
+    print(f"   archive                : {archive_path}")
+    print(f"   reference codes        : {exported.reference_raw.size} x "
+          f"{exported.reference_format.describe()}")
+    print(f"   correction codes       : "
+          f"{exported.x_terms_raw.size + exported.y_terms_raw.size} x "
+          f"{exported.correction_format.describe()}")
+    print(f"   payload                : {exported.storage_bits() / 1e6:.2f} Mb")
+    print(f"   BRAM init images       : {len(banks)} banks x {banks[0].size} words")
+
+
+def main() -> None:
+    sweeps()
+    if len(sys.argv) > 1:
+        export_artifacts(Path(sys.argv[1]))
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            export_artifacts(Path(tmp))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""FPGA feasibility study: reproduce the paper's Table II and Section V-B sizing.
+
+Prints, for the full paper-scale system (100 x 100 elements, 128 x 128 x 1000
+focal points, 15 volumes/s target):
+
+* the scale of the naive precomputed-table approach (Section II);
+* the storage and DRAM-bandwidth budget of TABLESTEER (Section V-B);
+* the Table II comparison of TABLEFREE vs TABLESTEER-14b/-18b on a Virtex-7
+  XC7VX1140T, using the analytical resource model;
+* the UltraScale projection of Section VI-B.
+
+Usage::
+
+    python examples/fpga_feasibility.py
+"""
+
+from __future__ import annotations
+
+from repro import paper_system
+from repro.experiments import e01_requirements, e07_storage, e08_table2
+from repro.hardware import (
+    paper_block_array,
+    required_delay_rate,
+    tablefree_throughput,
+    virtex_ultrascale_projection,
+)
+from repro.hardware.report import tablefree_row
+
+
+def main() -> None:
+    system = paper_system()
+
+    print("=" * 72)
+    print("1. The problem: naive delay tables (Section II)")
+    print("=" * 72)
+    e01_requirements.main()
+
+    print()
+    print("=" * 72)
+    print("2. TABLESTEER storage and bandwidth budget (Section V-B)")
+    print("=" * 72)
+    e07_storage.main()
+
+    print()
+    print("=" * 72)
+    print("3. Table II: architecture comparison on the Virtex-7 XC7VX1140T")
+    print("=" * 72)
+    result = e08_table2.run(system)
+    print(result["formatted"])
+
+    print()
+    print("=" * 72)
+    print("4. Throughput headroom and technology projection")
+    print("=" * 72)
+    array = paper_block_array()
+    required = required_delay_rate(system)
+    print(f"  required delay rate        : {required:.2e} delays/s")
+    print(f"  TABLESTEER peak at 200 MHz : "
+          f"{array.peak_delay_rate(200e6):.2e} delays/s "
+          f"({array.peak_delay_rate(200e6) / required:.2f}x headroom)")
+    for clock in (167e6, 200e6, 250e6, 330e6):
+        report = tablefree_throughput(system, n_units=10_000, clock_hz=clock)
+        print(f"  TABLEFREE at {clock / 1e6:5.0f} MHz      : "
+              f"{report.achievable_frame_rate:5.1f} volumes/s "
+              f"({'meets' if report.meets_target else 'misses'} the 15 fps target)")
+    ultrascale = tablefree_row(system, device=virtex_ultrascale_projection())
+    print(f"  UltraScale projection       : TABLEFREE fits "
+          f"{ultrascale.supported_channels[0]}x{ultrascale.supported_channels[1]} "
+          f"channels in one device")
+
+
+if __name__ == "__main__":
+    main()

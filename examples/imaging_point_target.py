@@ -1,0 +1,105 @@
+"""End-to-end imaging example: phantom -> echoes -> beamforming -> image.
+
+Simulates a point-target phantom, beamforms it with exact, TABLEFREE and
+TABLESTEER delays, and prints an ASCII B-mode-style image plus quantitative
+comparisons (peak location, axial/lateral resolution, normalised RMS
+difference) — the end-to-end counterpart of the paper's accuracy analysis.
+
+Usage::
+
+    python examples/imaging_point_target.py [--off-axis]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import small_system
+from repro.acoustics import EchoSimulator, point_target
+from repro.beamformer import (
+    DelayAndSumBeamformer,
+    envelope,
+    log_compress,
+    normalized_rms_difference,
+    point_spread_metrics,
+    reconstruct_plane,
+)
+from repro.core import (
+    ExactDelayEngine,
+    TableFreeDelayGenerator,
+    TableSteerConfig,
+    TableSteerDelayGenerator,
+)
+
+ASCII_SHADES = " .:-=+*#%@"
+
+
+def ascii_image(db_image: np.ndarray, dynamic_range: float = 40.0) -> str:
+    """Render a log-compressed image as ASCII art (theta across, depth down)."""
+    normalised = (db_image + dynamic_range) / dynamic_range
+    normalised = np.clip(normalised, 0.0, 1.0)
+    levels = (normalised * (len(ASCII_SHADES) - 1)).astype(int)
+    rows = []
+    for depth_row in levels.T:          # depth down the page
+        rows.append("".join(ASCII_SHADES[level] for level in depth_row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--off-axis", action="store_true",
+                        help="place the target off axis (steered), where the "
+                             "TABLESTEER approximation error is largest")
+    args = parser.parse_args()
+
+    system = small_system()
+    exact = ExactDelayEngine.from_config(system)
+    grid = exact.grid
+
+    # Put the target on a grid node so the comparison is purely about delays.
+    i_depth = int(0.6 * len(grid.depths))
+    i_theta = len(grid.thetas) - 2 if args.off_axis else len(grid.thetas) // 2
+    depth = float(grid.depths[i_depth])
+    theta = float(grid.thetas[i_theta])
+    print(f"Point target at depth {1e3 * depth:.1f} mm, "
+          f"theta {np.degrees(theta):.1f} deg")
+
+    phantom = point_target(depth=depth, theta=theta)
+    channel_data = EchoSimulator.from_config(system).simulate(phantom)
+    print(f"Simulated {channel_data.element_count} channels x "
+          f"{channel_data.sample_count} samples of RF data\n")
+
+    providers = {
+        "exact": exact,
+        "TABLEFREE": TableFreeDelayGenerator.from_config(system),
+        "TABLESTEER-18b": TableSteerDelayGenerator.from_config(
+            system, TableSteerConfig(total_bits=18)),
+    }
+
+    images = {}
+    for name, provider in providers.items():
+        beamformer = DelayAndSumBeamformer(system, provider)
+        rf = reconstruct_plane(beamformer, channel_data)
+        images[name] = envelope(rf, axis=1)
+
+    reference = images["exact"]
+    for name, image in images.items():
+        peak_theta, peak_depth = np.unravel_index(np.argmax(image), image.shape)
+        axial = point_spread_metrics(image[peak_theta, :])
+        lateral = point_spread_metrics(image[:, peak_depth])
+        line = (f"{name:15s} peak at (theta {peak_theta:2d}, depth {peak_depth:3d}), "
+                f"axial FWHM {axial.fwhm_samples:5.1f} px, "
+                f"lateral FWHM {lateral.fwhm_samples:4.1f} px")
+        if name != "exact":
+            nrms = normalized_rms_difference(reference, image)
+            line += f", NRMS vs exact {nrms:.3f}"
+        print(line)
+
+    print("\nExact-delay image (theta across, depth down, 40 dB range):\n")
+    print(ascii_image(log_compress(reference, 40.0)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists only so
+the package can be installed editable (``pip install -e . --no-use-pep517``)
+in offline environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro: delay generation for realtime 3D ultrasound beamforming.
+
+A from-scratch Python reproduction of
+
+    A. Ibrahim et al., "Tackling the Bottleneck of Delay Tables in 3D
+    Ultrasound Imaging", DATE 2015.
+
+The package provides:
+
+* the two delay-generation architectures the paper proposes — TABLEFREE
+  (:class:`repro.core.TableFreeDelayGenerator`) and TABLESTEER
+  (:class:`repro.core.TableSteerDelayGenerator`) — plus the exact reference
+  engine they are compared against;
+* the substrates they need: system configuration (Table I presets),
+  fixed-point arithmetic, transducer/volume geometry, synthetic acoustics
+  and a delay-and-sum beamformer;
+* an analytical FPGA hardware model reproducing the resource, bandwidth and
+  throughput analysis of Table II;
+* an experiment harness (:mod:`repro.experiments`) with one entry point per
+  paper table and figure.
+
+Quick start::
+
+    from repro import small_system
+    from repro.core import ExactDelayEngine, TableSteerDelayGenerator
+
+    system = small_system()
+    exact = ExactDelayEngine.from_config(system)
+    steer = TableSteerDelayGenerator.from_config(system)
+    points = exact.grid.scanline_points(4, 4)
+    error = steer.delay_indices(points) - exact.delay_indices(points)
+"""
+
+from .config import (
+    AcousticConfig,
+    BeamformerConfig,
+    SystemConfig,
+    TransducerConfig,
+    VolumeConfig,
+    paper_system,
+    small_system,
+    tiny_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SystemConfig",
+    "AcousticConfig",
+    "TransducerConfig",
+    "VolumeConfig",
+    "BeamformerConfig",
+    "paper_system",
+    "small_system",
+    "tiny_system",
+]

@@ -1,0 +1,16 @@
+"""Acoustic substrate: transmit pulse, phantoms and synthetic echo generation."""
+
+from .echo import ChannelData, EchoSimulator
+from .phantom import Phantom, cyst_phantom, point_grid, point_target, speckle_phantom
+from .pulse import GaussianPulse
+
+__all__ = [
+    "GaussianPulse",
+    "Phantom",
+    "point_target",
+    "point_grid",
+    "speckle_phantom",
+    "cyst_phantom",
+    "EchoSimulator",
+    "ChannelData",
+]

@@ -1,0 +1,56 @@
+"""Accuracy, requirements and fixed-point impact analysis."""
+
+from .ablation import (
+    correction_reuse_ablation,
+    directivity_filtering_ablation,
+    incremental_tracking_ablation,
+    interpolation_ablation,
+    symmetry_pruning_ablation,
+)
+from .accuracy import (
+    AccuracyReport,
+    ErrorStats,
+    delay_errors_samples,
+    directivity_mask,
+    error_map_by_region,
+    evaluate_provider,
+    sample_volume_points,
+    selection_errors,
+)
+from .image_quality import (
+    cyst_contrast_study,
+    delay_error_to_image_error,
+    resolution_vs_depth_study,
+)
+from .fixedpoint_impact import (
+    FixedPointImpactResult,
+    fixed_point_impact,
+    fixed_point_sweep,
+    impact_for_system,
+)
+from .requirements import RequirementsReport, requirements_report
+
+__all__ = [
+    "ErrorStats",
+    "AccuracyReport",
+    "selection_errors",
+    "delay_errors_samples",
+    "directivity_mask",
+    "evaluate_provider",
+    "sample_volume_points",
+    "error_map_by_region",
+    "FixedPointImpactResult",
+    "fixed_point_impact",
+    "fixed_point_sweep",
+    "impact_for_system",
+    "RequirementsReport",
+    "requirements_report",
+    "cyst_contrast_study",
+    "resolution_vs_depth_study",
+    "delay_error_to_image_error",
+    "directivity_filtering_ablation",
+    "symmetry_pruning_ablation",
+    "incremental_tracking_ablation",
+    "interpolation_ablation",
+    "correction_reuse_ablation",
+]

@@ -1,0 +1,79 @@
+"""Delay-table scale analysis (Section II-B / II-C, experiment E1).
+
+Quantifies the problem the paper sets out to solve: how many delay
+coefficients a naive precomputed table needs, how much storage that is, and
+what access bandwidth realtime 3D imaging implies — the "164 x 10^9
+coefficients" and "2.5 x 10^12 delay values/s" figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..hardware.resources import FullTableBaseline
+
+
+@dataclass(frozen=True)
+class RequirementsReport:
+    """Storage/bandwidth requirements of naive and optimised delay schemes."""
+
+    system_name: str
+    focal_points: int
+    elements: int
+    naive_coefficients: int
+    naive_storage_gigabytes: float
+    naive_bandwidth_terabytes_per_second: float
+    required_delay_rate_per_second: float
+    symmetric_table_entries: int
+    symmetric_table_megabits_18b: float
+    correction_values: int
+    correction_megabits_18b: float
+
+    def as_dict(self) -> dict[str, float | str]:
+        """Report as a plain dictionary."""
+        return {
+            "system": self.system_name,
+            "focal_points": float(self.focal_points),
+            "elements": float(self.elements),
+            "naive_coefficients": float(self.naive_coefficients),
+            "naive_storage_gigabytes": self.naive_storage_gigabytes,
+            "naive_bandwidth_terabytes_per_second":
+                self.naive_bandwidth_terabytes_per_second,
+            "required_delay_rate_per_second": self.required_delay_rate_per_second,
+            "symmetric_table_entries": float(self.symmetric_table_entries),
+            "symmetric_table_megabits_18b": self.symmetric_table_megabits_18b,
+            "correction_values": float(self.correction_values),
+            "correction_megabits_18b": self.correction_megabits_18b,
+        }
+
+
+def requirements_report(system: SystemConfig,
+                        bits_per_coefficient: int = 13) -> RequirementsReport:
+    """Compute the requirements report for a system configuration.
+
+    The "symmetric table" and "correction" entries quantify how far the
+    TABLESTEER decomposition shrinks the problem (2.5e6 entries / 45 Mb and
+    832e3 values / 14.3 Mb for the paper system) without building the actual
+    tables, so the report is cheap even at paper scale.
+    """
+    baseline = FullTableBaseline(bits_per_coefficient=bits_per_coefficient)
+    ex = system.transducer.elements_x
+    ey = system.transducer.elements_y
+    quadrant_entries = ((ex + 1) // 2) * ((ey + 1) // 2) * system.volume.n_depth
+    correction_values = (ex * system.volume.n_theta * ((system.volume.n_phi + 1) // 2)
+                         + ey * system.volume.n_phi)
+    return RequirementsReport(
+        system_name=system.name,
+        focal_points=system.volume.focal_point_count,
+        elements=system.transducer.element_count,
+        naive_coefficients=baseline.coefficient_count(system),
+        naive_storage_gigabytes=baseline.storage_bytes(system) / 1e9,
+        naive_bandwidth_terabytes_per_second=
+            baseline.access_bandwidth_bytes_per_second(system) / 1e12,
+        required_delay_rate_per_second=baseline.delay_rate_per_second(system),
+        symmetric_table_entries=quadrant_entries,
+        symmetric_table_megabits_18b=quadrant_entries * 18 / 1e6,
+        correction_values=correction_values,
+        correction_megabits_18b=correction_values * 18 / 1e6,
+    )

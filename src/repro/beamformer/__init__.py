@@ -1,0 +1,45 @@
+"""Receive beamforming substrate: delay-and-sum core, drivers and image formation."""
+
+from .das import ApodizationSettings, DelayAndSumBeamformer, DelayProvider
+from .drivers import (
+    BeamformedVolume,
+    reconstruct_nappe_order,
+    reconstruct_plane,
+    reconstruct_scanline_order,
+)
+from .interpolation import (
+    InterpolationKind,
+    fetch_linear,
+    fetch_nearest,
+    fetch_samples,
+    interpolation_cost_model,
+)
+from .image import (
+    PointSpreadMetrics,
+    contrast_ratio_db,
+    envelope,
+    log_compress,
+    normalized_rms_difference,
+    point_spread_metrics,
+)
+
+__all__ = [
+    "DelayProvider",
+    "ApodizationSettings",
+    "DelayAndSumBeamformer",
+    "BeamformedVolume",
+    "reconstruct_scanline_order",
+    "reconstruct_nappe_order",
+    "reconstruct_plane",
+    "InterpolationKind",
+    "fetch_samples",
+    "fetch_nearest",
+    "fetch_linear",
+    "interpolation_cost_model",
+    "envelope",
+    "log_compress",
+    "point_spread_metrics",
+    "PointSpreadMetrics",
+    "contrast_ratio_db",
+    "normalized_rms_difference",
+]

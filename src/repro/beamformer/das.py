@@ -1,0 +1,138 @@
+"""Delay-and-sum receive beamformer core.
+
+Implements Eq. (1) of the paper: for every focal point ``S`` the echo samples
+of all elements, fetched at the per-element delay ``tp(O, S, D)``, are
+weighted and summed.  The beamformer is agnostic to *how* the delays are
+produced — any object following :class:`DelayProvider` works — which is
+exactly the property the paper relies on when it argues that image quality
+depends only on delay accuracy, not on the generation architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..acoustics.echo import ChannelData
+from ..config import SystemConfig
+from ..geometry.apodization import WindowType, aperture_apodization, directivity_weights
+from ..geometry.coordinates import off_axis_angle
+from ..geometry.transducer import MatrixTransducer
+from ..geometry.volume import FocalGrid
+from .interpolation import InterpolationKind, fetch_samples
+
+
+@runtime_checkable
+class DelayProvider(Protocol):
+    """Anything that can produce per-element delays for focal points.
+
+    All three delay engines of :mod:`repro.core` (exact, TABLEFREE,
+    TABLESTEER) satisfy this protocol.
+    """
+
+    def delays_samples(self, points: np.ndarray) -> np.ndarray:
+        """Delays in fractional sample units, shape ``(n_points, n_elements)``."""
+        ...  # pragma: no cover - protocol definition
+
+    def scanline_delays_samples(self, i_theta: int, i_phi: int) -> np.ndarray:
+        """Delays for a grid scanline, shape ``(n_depth, n_elements)``."""
+        ...  # pragma: no cover - protocol definition
+
+    def nappe_delays_samples(self, i_depth: int) -> np.ndarray:
+        """Delays for a grid nappe, shape ``(n_theta, n_phi, n_elements)``."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class ApodizationSettings:
+    """Receive apodization configuration."""
+
+    window: WindowType = WindowType.HANN
+    use_directivity: bool = True
+    directivity_rolloff: float = 0.1
+
+
+class DelayAndSumBeamformer:
+    """Weighted delay-and-sum beamformer over a focal grid.
+
+    Parameters
+    ----------
+    system:
+        System configuration (defines the focal grid and sampling rate).
+    delays:
+        Delay provider used to address the echo buffers.
+    apodization:
+        Receive apodization settings; directivity weighting suppresses the
+        contribution of elements that physically cannot see the focal point,
+        which is also what masks the worst TABLESTEER errors in the paper.
+    interpolation:
+        Echo-sample interpolation strategy.  ``NEAREST`` (default) models the
+        integer-index hardware addressing of the paper; ``LINEAR`` performs
+        fractional-delay interpolation and is used by the ablation study.
+    """
+
+    def __init__(self, system: SystemConfig, delays: DelayProvider,
+                 apodization: ApodizationSettings | None = None,
+                 interpolation: InterpolationKind = InterpolationKind.NEAREST) -> None:
+        self.system = system
+        self.delays = delays
+        self.apodization = apodization or ApodizationSettings()
+        self.interpolation = interpolation
+        self.transducer = MatrixTransducer.from_config(system)
+        self.grid = FocalGrid.from_config(system)
+        self._aperture_weights = aperture_apodization(
+            self.transducer, self.apodization.window).ravel()
+
+    # ------------------------------------------------------------- weights
+    def weights_for_points(self, points: np.ndarray) -> np.ndarray:
+        """Receive weights ``w(S)`` for each (point, element) pair."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        weights = np.broadcast_to(self._aperture_weights,
+                                  (points.shape[0], self.transducer.element_count)).copy()
+        if self.apodization.use_directivity:
+            angles = off_axis_angle(points, self.transducer.positions)
+            weights *= directivity_weights(
+                angles,
+                self.transducer.config.directivity_max_angle,
+                self.apodization.directivity_rolloff)
+        return weights
+
+    # ---------------------------------------------------------------- core
+    def beamform_points(self, channel_data: ChannelData,
+                        points: np.ndarray) -> np.ndarray:
+        """Beamformed (RF) samples for arbitrary focal points, shape ``(n_points,)``."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        delays = self.delays.delays_samples(points)
+        return self._sum_with_delays(channel_data, delays,
+                                     self.weights_for_points(points))
+
+    def beamform_scanline(self, channel_data: ChannelData,
+                          i_theta: int, i_phi: int) -> np.ndarray:
+        """Beamformed samples along one grid scanline, shape ``(n_depth,)``."""
+        delays = self.delays.scanline_delays_samples(i_theta, i_phi)
+        points = self.grid.scanline_points(i_theta, i_phi)
+        return self._sum_with_delays(channel_data, delays,
+                                     self.weights_for_points(points))
+
+    def beamform_nappe(self, channel_data: ChannelData,
+                       i_depth: int) -> np.ndarray:
+        """Beamformed samples of one nappe, shape ``(n_theta, n_phi)``."""
+        delays = self.delays.nappe_delays_samples(i_depth)
+        n_theta, n_phi, n_elements = delays.shape
+        points = self.grid.nappe_points(i_depth).reshape(-1, 3)
+        flat = self._sum_with_delays(channel_data,
+                                     delays.reshape(-1, n_elements),
+                                     self.weights_for_points(points))
+        return flat.reshape(n_theta, n_phi)
+
+    def _sum_with_delays(self, channel_data: ChannelData,
+                         delays_samples: np.ndarray,
+                         weights: np.ndarray) -> np.ndarray:
+        n_points, n_elements = delays_samples.shape
+        element_indices = np.broadcast_to(np.arange(n_elements),
+                                          delays_samples.shape)
+        samples = fetch_samples(channel_data, element_indices, delays_samples,
+                                kind=self.interpolation)
+        return np.sum(weights * samples, axis=1)

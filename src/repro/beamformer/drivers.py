@@ -1,0 +1,82 @@
+"""Volume reconstruction drivers: scanline-by-scanline and nappe-by-nappe.
+
+Algorithm 1 of the paper gives two equivalent loop nests for reconstructing
+the volume.  Both drivers here produce the identical beamformed volume array
+of shape ``(n_theta, n_phi, n_depth)``; they differ only in traversal order,
+which matters for how the delay generator's internal state (table slices,
+PWL segment trackers) is exercised — exactly the co-design point Section II-A
+makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..acoustics.echo import ChannelData
+from .das import DelayAndSumBeamformer
+
+
+@dataclass(frozen=True)
+class BeamformedVolume:
+    """A reconstructed volume of beamformed RF values.
+
+    Attributes
+    ----------
+    rf:
+        Beamformed (pre-envelope) values, shape ``(n_theta, n_phi, n_depth)``.
+    order:
+        Traversal order used to produce the volume ("scanline" or "nappe").
+    """
+
+    rf: np.ndarray
+    order: str
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Volume grid shape ``(n_theta, n_phi, n_depth)``."""
+        return self.rf.shape
+
+
+def reconstruct_scanline_order(beamformer: DelayAndSumBeamformer,
+                               channel_data: ChannelData) -> BeamformedVolume:
+    """Reconstruct the whole volume scanline-by-scanline (depth innermost)."""
+    grid = beamformer.grid
+    n_theta, n_phi, n_depth = grid.shape
+    rf = np.zeros((n_theta, n_phi, n_depth))
+    for i_theta in range(n_theta):
+        for i_phi in range(n_phi):
+            rf[i_theta, i_phi, :] = beamformer.beamform_scanline(
+                channel_data, i_theta, i_phi)
+    return BeamformedVolume(rf=rf, order="scanline")
+
+
+def reconstruct_nappe_order(beamformer: DelayAndSumBeamformer,
+                            channel_data: ChannelData) -> BeamformedVolume:
+    """Reconstruct the whole volume nappe-by-nappe (depth outermost)."""
+    grid = beamformer.grid
+    n_theta, n_phi, n_depth = grid.shape
+    rf = np.zeros((n_theta, n_phi, n_depth))
+    for i_depth in range(n_depth):
+        rf[:, :, i_depth] = beamformer.beamform_nappe(channel_data, i_depth)
+    return BeamformedVolume(rf=rf, order="nappe")
+
+
+def reconstruct_plane(beamformer: DelayAndSumBeamformer,
+                      channel_data: ChannelData,
+                      i_phi: int | None = None) -> np.ndarray:
+    """Reconstruct a single (theta, depth) image plane at fixed elevation.
+
+    A cheap alternative to the full volume for examples and tests: the
+    returned array has shape ``(n_theta, n_depth)``.
+    """
+    grid = beamformer.grid
+    n_theta, n_phi, n_depth = grid.shape
+    if i_phi is None:
+        i_phi = n_phi // 2
+    image = np.zeros((n_theta, n_depth))
+    for i_theta in range(n_theta):
+        image[i_theta, :] = beamformer.beamform_scanline(channel_data,
+                                                         i_theta, i_phi)
+    return image

@@ -1,0 +1,148 @@
+"""Command-line interface for running the paper experiments.
+
+Usage::
+
+    python -m repro.cli list                 # list available experiments
+    python -m repro.cli run E3               # run one experiment
+    python -m repro.cli run all              # run every experiment
+    python -m repro.cli table2               # print the Table II comparison
+    python -m repro.cli specs                # print the Table I system spec
+
+Each experiment prints measured figures next to the values reported in the
+paper (see EXPERIMENTS.md for the recorded comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .config import paper_system, small_system, tiny_system
+from .experiments import ALL_EXPERIMENTS
+
+_SYSTEM_PRESETS = {
+    "paper": paper_system,
+    "small": small_system,
+    "tiny": tiny_system,
+}
+
+_EXPERIMENT_TITLES = {
+    "E1": "Delay-table requirements (Section II-B/II-C)",
+    "E2": "Traversal orders (Algorithm 1 / Fig. 1)",
+    "E3": "Piecewise-linear square root (Fig. 2)",
+    "E4": "TABLEFREE accuracy (Section VI-A)",
+    "E5": "TABLESTEER steering accuracy (Section V-A / VI-A, Fig. 3)",
+    "E6": "Fixed-point impact (Section VI-A)",
+    "E7": "Storage and streaming bandwidth (Section V-B)",
+    "E8": "Table II comparison",
+    "E9": "Throughput (Section II-C / V-B, Fig. 4)",
+    "E10": "End-to-end imaging comparison",
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Available experiments:")
+    for key in sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])):
+        print(f"  {key:4s} {_EXPERIMENT_TITLES.get(key, '')}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    requested = args.experiment.upper()
+    if requested == "ALL":
+        keys = sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    elif requested in ALL_EXPERIMENTS:
+        keys = [requested]
+    else:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"use 'list' to see the available ones", file=sys.stderr)
+        return 2
+    for key in keys:
+        module = ALL_EXPERIMENTS[key]
+        print("=" * 72)
+        print(f"{key}: {_EXPERIMENT_TITLES.get(key, '')}")
+        print("=" * 72)
+        start = time.perf_counter()
+        module.main()
+        elapsed = time.perf_counter() - start
+        print(f"[{key} finished in {elapsed:.1f} s]")
+        print()
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments import e08_table2
+    system = _SYSTEM_PRESETS[args.system]()
+    result = e08_table2.run(system)
+    print(result["formatted"])
+    return 0
+
+
+def _cmd_specs(args: argparse.Namespace) -> int:
+    system = _SYSTEM_PRESETS[args.system]()
+    acoustic = system.acoustic
+    transducer = system.transducer
+    volume = system.volume
+    print(f"System preset: {system.name}")
+    print("  Physical")
+    print(f"    speed of sound           : {acoustic.speed_of_sound:.0f} m/s")
+    print("  Transducer head")
+    print(f"    center frequency         : {acoustic.center_frequency / 1e6:.1f} MHz")
+    print(f"    bandwidth                : {acoustic.bandwidth / 1e6:.1f} MHz")
+    print(f"    matrix size              : {transducer.elements_x} x "
+          f"{transducer.elements_y}")
+    print(f"    wavelength               : {acoustic.wavelength * 1e3:.3f} mm")
+    print(f"    pitch                    : {transducer.pitch * 1e3:.4f} mm")
+    print(f"    aperture                 : {transducer.aperture_x * 1e3:.2f} x "
+          f"{transducer.aperture_y * 1e3:.2f} mm")
+    print("  Beamformer")
+    print(f"    imaging volume           : "
+          f"{2 * volume.theta_max * 180 / 3.141592653589793:.0f} deg x "
+          f"{2 * volume.phi_max * 180 / 3.141592653589793:.0f} deg x "
+          f"{volume.depth_max / acoustic.wavelength:.0f} lambda")
+    print(f"    sampling frequency       : {acoustic.sampling_frequency / 1e6:.0f} MHz")
+    print(f"    focal points             : {volume.n_theta} x {volume.n_phi} x "
+          f"{volume.n_depth}")
+    print(f"    echo buffer              : {system.echo_buffer_samples} samples")
+    print(f"    target volume rate       : {system.beamformer.frame_rate:.0f} /s")
+    print(f"    delay values per volume  : {system.theoretical_delay_count:.3e}")
+    print(f"    delay values per second  : {system.delay_throughput_required:.3e}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DATE 2015 delay-table reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment or 'all'")
+    run_parser.add_argument("experiment", help="experiment id (E1..E10) or 'all'")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    table_parser = subparsers.add_parser("table2", help="print the Table II model")
+    table_parser.add_argument("--system", choices=sorted(_SYSTEM_PRESETS),
+                              default="paper")
+    table_parser.set_defaults(handler=_cmd_table2)
+
+    specs_parser = subparsers.add_parser("specs", help="print the system spec (Table I)")
+    specs_parser.add_argument("--system", choices=sorted(_SYSTEM_PRESETS),
+                              default="paper")
+    specs_parser.set_defaults(handler=_cmd_specs)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Exact (double-precision) propagation-delay computation.
+
+This is the reference implementation of Eq. (2)/(3) of the paper:
+
+    tp(O, S, D) = (|S - O| + |S - D|) / c
+
+It is the ground truth against which both hardware-friendly delay generators
+(TABLEFREE and TABLESTEER) are compared in the accuracy experiments of
+Section VI-A.  Delays can be returned in seconds or in units of the echo
+sampling period (32 MHz for the paper system), optionally quantised to the
+integer sample index used to address the echo buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..geometry.coordinates import spherical_to_cartesian
+from ..geometry.transducer import MatrixTransducer
+from ..geometry.volume import FocalGrid
+
+
+def propagation_delay(origin: np.ndarray,
+                      points: np.ndarray,
+                      elements: np.ndarray,
+                      speed_of_sound: float) -> np.ndarray:
+    """Two-way propagation delay from ``origin`` to ``points`` to ``elements``.
+
+    Parameters
+    ----------
+    origin:
+        Sound (transmit) origin, shape ``(3,)`` [m].
+    points:
+        Focal points, shape ``(n_points, 3)`` [m].
+    elements:
+        Receive element positions, shape ``(n_elements, 3)`` [m].
+    speed_of_sound:
+        Speed of sound ``c`` [m/s].
+
+    Returns
+    -------
+    numpy.ndarray
+        Delays in seconds, shape ``(n_points, n_elements)``.
+    """
+    origin = np.asarray(origin, dtype=np.float64).reshape(3)
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    elements = np.atleast_2d(np.asarray(elements, dtype=np.float64))
+    if points.shape[-1] != 3 or elements.shape[-1] != 3:
+        raise ValueError("points and elements must have a trailing dimension of 3")
+    transmit = np.linalg.norm(points - origin[None, :], axis=-1)
+    receive = np.linalg.norm(points[:, None, :] - elements[None, :, :], axis=-1)
+    return (transmit[:, None] + receive) / speed_of_sound
+
+
+def transmit_delay(origin: np.ndarray, points: np.ndarray,
+                   speed_of_sound: float) -> np.ndarray:
+    """One-way delay from the sound origin to each focal point [s]."""
+    origin = np.asarray(origin, dtype=np.float64).reshape(3)
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    return np.linalg.norm(points - origin[None, :], axis=-1) / speed_of_sound
+
+
+def receive_delay(points: np.ndarray, elements: np.ndarray,
+                  speed_of_sound: float) -> np.ndarray:
+    """One-way delay from each focal point back to each element [s]."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    elements = np.atleast_2d(np.asarray(elements, dtype=np.float64))
+    dist = np.linalg.norm(points[:, None, :] - elements[None, :, :], axis=-1)
+    return dist / speed_of_sound
+
+
+@dataclass(frozen=True)
+class ExactDelayEngine:
+    """Reference delay generator bound to a system configuration.
+
+    The engine fixes the transducer element positions, the focal grid and the
+    sound origin, and exposes the delay computations in the units the rest of
+    the library needs (seconds, fractional samples or integer sample
+    indices).
+    """
+
+    config: SystemConfig
+    transducer: MatrixTransducer
+    grid: FocalGrid
+    origin: np.ndarray
+
+    @classmethod
+    def from_config(cls, config: SystemConfig,
+                    origin: np.ndarray | None = None) -> "ExactDelayEngine":
+        """Build an engine for ``config`` with the origin at the probe centre."""
+        transducer = MatrixTransducer.from_config(config)
+        grid = FocalGrid.from_config(config)
+        if origin is None:
+            origin = np.zeros(3)
+        return cls(config=config, transducer=transducer, grid=grid,
+                   origin=np.asarray(origin, dtype=np.float64))
+
+    def delays_seconds(self, points: np.ndarray) -> np.ndarray:
+        """Exact delays in seconds for arbitrary focal ``points`` ((n, 3))."""
+        return propagation_delay(self.origin, points,
+                                 self.transducer.positions,
+                                 self.config.acoustic.speed_of_sound)
+
+    def delays_samples(self, points: np.ndarray) -> np.ndarray:
+        """Exact delays in fractional sample units (at ``fs``)."""
+        return self.delays_seconds(points) * self.config.acoustic.sampling_frequency
+
+    def delay_indices(self, points: np.ndarray) -> np.ndarray:
+        """Exact delays quantised to integer echo-buffer indices.
+
+        Rounding is half-away-from-zero, matching the hardware rounding stage
+        modelled by :mod:`repro.fixedpoint`.
+        """
+        samples = self.delays_samples(points)
+        return np.floor(samples + 0.5).astype(np.int64)
+
+    def scanline_delays_samples(self, i_theta: int, i_phi: int) -> np.ndarray:
+        """Delays (fractional samples) for one scanline, shape ``(n_depth, n_elements)``."""
+        points = self.grid.scanline_points(i_theta, i_phi)
+        return self.delays_samples(points)
+
+    def nappe_delays_samples(self, i_depth: int) -> np.ndarray:
+        """Delays (fractional samples) for one nappe, shape ``(n_theta, n_phi, n_elements)``."""
+        points = self.grid.nappe_points(i_depth)
+        shape = points.shape[:-1]
+        flat = points.reshape(-1, 3)
+        delays = self.delays_samples(flat)
+        return delays.reshape(*shape, -1)
+
+    def scanline_points(self, theta: float, phi: float,
+                        depths: np.ndarray | None = None) -> np.ndarray:
+        """Cartesian focal points of an arbitrary (non-grid) scanline."""
+        if depths is None:
+            depths = self.grid.depths
+        return spherical_to_cartesian(theta, phi, np.asarray(depths))
+
+    def max_delay_samples(self) -> float:
+        """Upper bound on any delay in sample units (sizes the echo buffer).
+
+        The farthest focal point sits at maximum depth and maximum steering;
+        the receive leg is maximised by the aperture corner on the opposite
+        side of the steering direction, so all four corners are checked.
+        """
+        x_max = float(np.max(np.abs(self.transducer.x))) if len(self.transducer.x) else 0.0
+        y_max = float(np.max(np.abs(self.transducer.y))) if len(self.transducer.y) else 0.0
+        corners = np.array([[sx * x_max, sy * y_max, 0.0]
+                            for sx in (-1.0, 1.0) for sy in (-1.0, 1.0)])
+        theta = self.grid.thetas[-1]
+        phi = self.grid.phis[-1]
+        depth = self.grid.depths[-1]
+        point = spherical_to_cartesian(theta, phi, depth).reshape(3)
+        tx = np.linalg.norm(point - self.origin)
+        rx = float(np.max(np.linalg.norm(corners - point[None, :], axis=1)))
+        seconds = (tx + rx) / self.config.acoustic.speed_of_sound
+        return float(seconds * self.config.acoustic.sampling_frequency)

@@ -1,0 +1,166 @@
+"""Reference (broadside) delay table for the TABLESTEER architecture.
+
+Section V-A: for the unsteered line of sight along the Z axis, the two-way
+delay from the origin ``O = (0, 0, 0)`` to the reference point
+``R = (0, 0, r)`` and back to element ``D = (xD, yD, 0)`` is
+
+    tp(O, R, D) = ( r + sqrt(xD^2 + yD^2 + r^2) ) / c
+
+Conceptually this is a 3-D matrix of ``ex x ey x n_depth`` entries
+(10 x 10^6 for the paper system).  Because it only depends on ``xD^2 + yD^2``
+and the element grid is symmetric about the origin, exactly three quarters of
+the matrix are redundant and only one quadrant (50 x 50 x 1000 = 2.5 x 10^6
+entries) needs to be stored.  Elements whose off-axis angle to a point
+exceeds their directivity never contribute and can additionally be pruned
+(Fig. 3a).
+
+This module builds the table, performs the symmetry/directivity pruning and
+accounts for the storage cost in bits for a given fixed-point format — the
+"45 Mb" figure of Section V-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..fixedpoint.format import QFormat, REFERENCE_DELAY_18B
+from ..fixedpoint.quantize import quantize
+from ..geometry.transducer import MatrixTransducer
+from ..geometry.volume import FocalGrid
+
+
+@dataclass(frozen=True)
+class ReferenceDelayTable:
+    """Broadside delay table in sample units.
+
+    Attributes
+    ----------
+    delays:
+        Full table, shape ``(ex, ey, n_depth)``, two-way delays in
+        (fractional) sample units at the system sampling frequency.
+    quadrant:
+        The stored quadrant (non-negative element coordinates), shape
+        ``(qx, qy, n_depth)``.
+    """
+
+    system: SystemConfig
+    transducer: MatrixTransducer
+    grid: FocalGrid
+    delays: np.ndarray
+    quadrant: np.ndarray
+    quadrant_x_index: np.ndarray
+    quadrant_y_index: np.ndarray
+
+    @classmethod
+    def build(cls, system: SystemConfig) -> "ReferenceDelayTable":
+        """Compute the reference table for a system configuration."""
+        transducer = MatrixTransducer.from_config(system)
+        grid = FocalGrid.from_config(system)
+        scale = system.acoustic.sampling_frequency / system.acoustic.speed_of_sound
+        x = transducer.x[:, None, None]
+        y = transducer.y[None, :, None]
+        r = grid.depths[None, None, :]
+        receive = np.sqrt(x * x + y * y + r * r)
+        delays = (r + receive) * scale
+
+        # Quadrant extraction: map every element column/row to the stored
+        # non-negative-coordinate entry with the same |x| (resp. |y|).
+        qx_index, qx_unique = _fold_axis(transducer.x)
+        qy_index, qy_unique = _fold_axis(transducer.y)
+        quadrant = delays[np.ix_(qx_unique, qy_unique,
+                                 np.arange(len(grid.depths)))]
+        return cls(system=system, transducer=transducer, grid=grid,
+                   delays=delays, quadrant=quadrant,
+                   quadrant_x_index=qx_index, quadrant_y_index=qy_index)
+
+    # ------------------------------------------------------------------ size
+    @property
+    def full_entry_count(self) -> int:
+        """Entries of the conceptual full table (``ex * ey * n_depth``)."""
+        return int(np.prod(self.delays.shape))
+
+    @property
+    def quadrant_entry_count(self) -> int:
+        """Entries actually stored after symmetry pruning (~one quarter)."""
+        return int(np.prod(self.quadrant.shape))
+
+    @property
+    def symmetry_savings(self) -> float:
+        """Fraction of the full table removed by symmetry pruning."""
+        return 1.0 - self.quadrant_entry_count / self.full_entry_count
+
+    def storage_bits(self, fmt: QFormat = REFERENCE_DELAY_18B) -> int:
+        """Storage of the pruned table in bits for a given delay format."""
+        return self.quadrant_entry_count * fmt.total_bits
+
+    def storage_megabits(self, fmt: QFormat = REFERENCE_DELAY_18B) -> float:
+        """Storage of the pruned table in Mb (the paper's 45 Mb figure)."""
+        return self.storage_bits(fmt) / 1e6
+
+    # ------------------------------------------------------------ directivity
+    def directivity_mask(self) -> np.ndarray:
+        """Mask of table entries within the elements' directivity cone.
+
+        ``True`` marks entries that are actually needed; entries where the
+        off-axis angle from the element to the on-axis point exceeds
+        ``directivity_max_angle`` can be pruned (Fig. 3a).
+        """
+        x = self.transducer.x[:, None, None]
+        y = self.transducer.y[None, :, None]
+        r = self.grid.depths[None, None, :]
+        lateral = np.sqrt(x * x + y * y)
+        angle = np.arctan2(lateral, r)
+        return angle <= self.transducer.config.directivity_max_angle
+
+    def prunable_fraction(self) -> float:
+        """Fraction of full-table entries removable by directivity pruning."""
+        mask = self.directivity_mask()
+        return 1.0 - float(np.count_nonzero(mask)) / mask.size
+
+    # --------------------------------------------------------------- lookups
+    def lookup(self, i_depth: int | np.ndarray) -> np.ndarray:
+        """Reference delays for one or more depth indices, shape ``(..., ex, ey)``.
+
+        The lookup reads the stored quadrant and expands it by symmetry,
+        mirroring what the hardware does when reading the pruned table.
+        """
+        i_depth = np.asarray(i_depth)
+        quadrant_slice = self.quadrant[:, :, i_depth]
+        expanded = quadrant_slice[self.quadrant_x_index][:, self.quadrant_y_index]
+        # Move the depth axis (currently last) to the front if vectorised.
+        if expanded.ndim == 3 and i_depth.ndim == 1:
+            expanded = np.moveaxis(expanded, -1, 0)
+        return expanded
+
+    def quantized_quadrant(self, fmt: QFormat = REFERENCE_DELAY_18B) -> np.ndarray:
+        """The stored quadrant quantised to the given fixed-point format."""
+        return quantize(self.quadrant, fmt)
+
+    def nappe_slice(self, i_depth: int) -> np.ndarray:
+        """Full-aperture reference delays at one depth, shape ``(ex, ey)``."""
+        return self.lookup(int(i_depth))
+
+
+def _fold_axis(coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fold a symmetric coordinate axis onto its non-negative half.
+
+    Returns ``(index_map, kept_indices)`` where ``kept_indices`` selects the
+    elements with non-negative coordinates (the stored half) and
+    ``index_map[i]`` gives, for every original element ``i``, the position
+    within the kept half that holds the value for ``|coords[i]|``.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    tol = 1e-12
+    kept = np.flatnonzero(coords >= -tol)
+    kept_values = coords[kept]
+    order = np.argsort(kept_values)
+    kept_sorted = kept[order]
+    sorted_values = coords[kept_sorted]
+    index_map = np.empty(len(coords), dtype=np.int64)
+    for i, value in enumerate(np.abs(coords)):
+        j = int(np.argmin(np.abs(sorted_values - value)))
+        index_map[i] = j
+    return index_map, kept_sorted

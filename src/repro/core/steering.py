@@ -1,0 +1,149 @@
+"""Steering-plane correction coefficients for the TABLESTEER architecture.
+
+Section V-A derives (Eq. 7) that, under the far-field (first-order Taylor)
+approximation, the delay for a point ``S`` on the steered line of sight
+``(theta, phi)`` at radius ``r`` equals the broadside reference delay at the
+same radius minus a correction that is *linear in the element coordinates*:
+
+    tp(O, S, D)  ~=  tp(O, R, D)  -  ( xD * cos(phi) * sin(theta) + yD * sin(phi) ) / c
+
+Geometrically the correction is a tilted plane over the aperture
+(Fig. 3c) whose inclination depends only on the steering angles — the delay
+table is "steered" by adding this plane.
+
+The correction is separable into an x-term ``-xD cos(phi) sin(theta) / c``
+(depends on xD, theta and phi) and a y-term ``-yD sin(phi) / c`` (depends on
+yD and phi only).  Exploiting the symmetry of ``cos(phi)`` about zero, the
+paper precomputes ``ex * n_theta * n_phi/2 + ey * n_phi`` values — the
+``832 x 10^3`` figure of Section V-B — instead of one full plane per
+scanline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..fixedpoint.format import CORRECTION_18B, QFormat
+from ..fixedpoint.quantize import quantize
+from ..geometry.transducer import MatrixTransducer
+from ..geometry.volume import FocalGrid
+
+
+def correction_plane(element_x: np.ndarray,
+                     element_y: np.ndarray,
+                     theta: float,
+                     phi: float,
+                     speed_of_sound: float,
+                     sampling_frequency: float | None = None) -> np.ndarray:
+    """The steering correction for every element, for one line of sight.
+
+    Parameters
+    ----------
+    element_x, element_y:
+        Element coordinate axes [m]; the result has shape
+        ``(len(element_x), len(element_y))``.
+    theta, phi:
+        Steering angles [rad].
+    speed_of_sound:
+        ``c`` [m/s].
+    sampling_frequency:
+        If given, the correction is returned in sample units instead of
+        seconds.
+
+    Returns
+    -------
+    numpy.ndarray
+        Correction values (to be *added* to the reference delay), i.e. the
+        ``- (xD cos(phi) sin(theta) + yD sin(phi)) / c`` term of Eq. (7).
+    """
+    x = np.asarray(element_x, dtype=np.float64)[:, None]
+    y = np.asarray(element_y, dtype=np.float64)[None, :]
+    seconds = -(x * np.cos(phi) * np.sin(theta) + y * np.sin(phi)) / speed_of_sound
+    if sampling_frequency is None:
+        return seconds
+    return seconds * sampling_frequency
+
+
+@dataclass(frozen=True)
+class SteeringCorrections:
+    """Precomputed steering corrections for every scanline of a focal grid.
+
+    Corrections are stored in the separable form the paper proposes:
+    ``x_terms[i_x, i_theta, i_phi]`` and ``y_terms[i_y, i_phi]`` (in sample
+    units), with the full per-scanline plane recovered as their broadcast
+    sum.  ``precomputed_value_count`` reports the number of distinct values a
+    hardware table would hold when additionally exploiting the symmetry of
+    ``cos(phi)`` about zero.
+    """
+
+    system: SystemConfig
+    transducer: MatrixTransducer
+    grid: FocalGrid
+    x_terms: np.ndarray
+    y_terms: np.ndarray
+
+    @classmethod
+    def build(cls, system: SystemConfig) -> "SteeringCorrections":
+        """Precompute the correction terms for every scanline of the system."""
+        transducer = MatrixTransducer.from_config(system)
+        grid = FocalGrid.from_config(system)
+        fs = system.acoustic.sampling_frequency
+        c = system.acoustic.speed_of_sound
+        x = transducer.x[:, None, None]
+        theta = grid.thetas[None, :, None]
+        phi = grid.phis[None, None, :]
+        x_terms = -(x * np.cos(phi) * np.sin(theta)) / c * fs
+        y = transducer.y[:, None]
+        phi_y = grid.phis[None, :]
+        y_terms = -(y * np.sin(phi_y)) / c * fs
+        return cls(system=system, transducer=transducer, grid=grid,
+                   x_terms=x_terms, y_terms=y_terms)
+
+    def plane(self, i_theta: int, i_phi: int) -> np.ndarray:
+        """Correction plane for scanline ``(i_theta, i_phi)``, shape ``(ex, ey)`` [samples]."""
+        return (self.x_terms[:, i_theta, i_phi][:, None]
+                + self.y_terms[:, i_phi][None, :])
+
+    def plane_seconds(self, i_theta: int, i_phi: int) -> np.ndarray:
+        """Correction plane in seconds rather than sample units."""
+        return self.plane(i_theta, i_phi) / self.system.acoustic.sampling_frequency
+
+    @property
+    def precomputed_value_count(self) -> int:
+        """Distinct correction values a hardware table needs to hold.
+
+        ``cos(phi)`` is symmetric about ``phi = 0`` so the x-term only needs
+        half of the phi axis; the y-term needs every ``(yD, phi)`` pair.  For
+        the paper system this is ``100 * 128 * 64 + 100 * 128 = 832e3``.
+        """
+        ex = self.transducer.config.elements_x
+        ey = self.transducer.config.elements_y
+        n_theta = len(self.grid.thetas)
+        n_phi = len(self.grid.phis)
+        half_phi = (n_phi + 1) // 2
+        return ex * n_theta * half_phi + ey * n_phi
+
+    def storage_bits(self, fmt: QFormat = CORRECTION_18B) -> int:
+        """Storage of the precomputed corrections in bits (paper: 14.3 Mb)."""
+        return self.precomputed_value_count * fmt.total_bits
+
+    def storage_megabits(self, fmt: QFormat = CORRECTION_18B) -> float:
+        """Storage of the precomputed corrections in Mb."""
+        return self.storage_bits(fmt) / 1e6
+
+    def quantized_plane(self, i_theta: int, i_phi: int,
+                        fmt: QFormat = CORRECTION_18B) -> np.ndarray:
+        """Correction plane quantised to the hardware fixed-point format."""
+        return quantize(self.plane(i_theta, i_phi), fmt)
+
+    def max_correction_samples(self) -> float:
+        """Largest correction magnitude over all scanlines and elements [samples].
+
+        Useful to size the integer part of the correction fixed-point format.
+        """
+        max_x = float(np.max(np.abs(self.x_terms)))
+        max_y = float(np.max(np.abs(self.y_terms)))
+        return max_x + max_y

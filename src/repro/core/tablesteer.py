@@ -1,0 +1,271 @@
+"""TABLESTEER: reference delay table plus steering corrections.
+
+This is the paper's second delay-generation scheme (Section V): keep the
+broadside reference table of :mod:`repro.core.reference_table` in (on-chip)
+memory and obtain the delay for any steered focal point by adding the
+per-scanline correction plane of :mod:`repro.core.steering`:
+
+    delay(theta, phi, r, D) = reference(r, D) + correction(theta, phi, D)
+
+The generator supports
+
+* a *float* mode, isolating the algorithmic (far-field Taylor) error, and
+* *fixed-point* modes parameterised by the total bit width (13, 14 or 18
+  bits as in the paper), where the reference delays are stored unsigned, the
+  corrections signed, the two are added with aligned binary points and the
+  result is rounded to an integer echo-buffer index — exactly the datapath of
+  Fig. 4.
+
+Like the other delay providers it exposes ``delays_samples`` /
+``delay_indices`` on arbitrary points (mapped to the nearest grid scanline
+and depth, since TABLESTEER is by construction a gridded generator) plus
+grid-native accessors (``scanline_delays_samples``, ``nappe_delays_samples``)
+used by the beamformer and the accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..fixedpoint.array import FixedPointArray
+from ..fixedpoint.format import QFormat, tablesteer_formats
+from ..geometry.coordinates import cartesian_to_spherical
+from ..geometry.transducer import MatrixTransducer
+from ..geometry.volume import FocalGrid
+from .reference_table import ReferenceDelayTable
+from .steering import SteeringCorrections
+
+
+@dataclass(frozen=True)
+class TableSteerConfig:
+    """Numerical design parameters of the TABLESTEER datapath."""
+
+    total_bits: int | None = 18
+    """Total fixed-point width (13, 14 or 18 in the paper).  ``None`` selects
+    the floating-point mode that isolates the algorithmic steering error."""
+
+    @property
+    def is_fixed_point(self) -> bool:
+        """Whether the generator quantises delays and corrections."""
+        return self.total_bits is not None
+
+    def formats(self) -> tuple[QFormat, QFormat]:
+        """Reference-delay and correction formats for the configured width."""
+        if self.total_bits is None:
+            raise ValueError("floating-point mode has no fixed-point formats")
+        return tablesteer_formats(self.total_bits)
+
+
+@dataclass
+class TableSteerDelayGenerator:
+    """Delay generator implementing the TABLESTEER scheme."""
+
+    system: SystemConfig
+    design: TableSteerConfig
+    reference: ReferenceDelayTable
+    corrections: SteeringCorrections
+    transducer: MatrixTransducer
+    grid: FocalGrid
+    _reference_fixed: np.ndarray | None = field(default=None, repr=False)
+
+    @classmethod
+    def from_config(cls, system: SystemConfig,
+                    design: TableSteerConfig | None = None) -> "TableSteerDelayGenerator":
+        """Build the generator: reference table plus precomputed corrections."""
+        design = design or TableSteerConfig()
+        reference = ReferenceDelayTable.build(system)
+        corrections = SteeringCorrections.build(system)
+        generator = cls(system=system, design=design, reference=reference,
+                        corrections=corrections,
+                        transducer=reference.transducer, grid=reference.grid)
+        if design.is_fixed_point:
+            ref_fmt, _corr_fmt = design.formats()
+            object.__setattr__(generator, "_reference_fixed",
+                               reference.quantized_quadrant(ref_fmt))
+        return generator
+
+    # ------------------------------------------------------------- grid API
+    def scanline_delays_samples(self, i_theta: int, i_phi: int) -> np.ndarray:
+        """Delays for one grid scanline, shape ``(n_depth, n_elements)`` [samples]."""
+        n_depth = len(self.grid.depths)
+        reference = self._reference_all_depths()          # (n_depth, ex, ey)
+        plane = self._correction_plane(i_theta, i_phi)     # (ex, ey)
+        total = reference + plane[None, :, :]
+        return total.reshape(n_depth, -1)
+
+    def nappe_delays_samples(self, i_depth: int) -> np.ndarray:
+        """Delays for one nappe, shape ``(n_theta, n_phi, n_elements)`` [samples]."""
+        reference = self._reference_at_depth(i_depth)      # (ex, ey)
+        n_theta = len(self.grid.thetas)
+        n_phi = len(self.grid.phis)
+        out = np.empty((n_theta, n_phi, reference.size))
+        for i_theta in range(n_theta):
+            for i_phi in range(n_phi):
+                plane = self._correction_plane(i_theta, i_phi)
+                out[i_theta, i_phi] = (reference + plane).ravel()
+        return out
+
+    def grid_delay_samples(self, i_theta: int, i_phi: int, i_depth: int) -> np.ndarray:
+        """Delays for a single focal point, shape ``(n_elements,)`` [samples]."""
+        reference = self._reference_at_depth(i_depth)
+        plane = self._correction_plane(i_theta, i_phi)
+        return (reference + plane).ravel()
+
+    # ----------------------------------------------------- point-based API
+    def delays_samples(self, points: np.ndarray) -> np.ndarray:
+        """Delays for arbitrary Cartesian points, shape ``(n_points, n_elements)``.
+
+        Each point is mapped to the nearest grid scanline and depth before the
+        table lookup; points far from any grid node therefore include a
+        gridding error on top of the steering approximation.  The accuracy
+        experiments always evaluate on grid points, where the gridding error
+        is zero.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        theta, phi, r = cartesian_to_spherical(points)
+        i_theta = _nearest_index(self.grid.thetas, theta)
+        i_phi = _nearest_index(self.grid.phis, phi)
+        i_depth = _nearest_index(self.grid.depths, r)
+        out = np.empty((points.shape[0], self.transducer.element_count))
+        for row in range(points.shape[0]):
+            out[row] = self.grid_delay_samples(int(i_theta[row]),
+                                               int(i_phi[row]),
+                                               int(i_depth[row]))
+        return out
+
+    def delay_indices(self, points: np.ndarray) -> np.ndarray:
+        """Delays rounded to integer echo-buffer indices."""
+        samples = self.delays_samples(points)
+        return np.floor(samples + 0.5).astype(np.int64)
+
+    # ------------------------------------------------------------ internals
+    def _correction_plane(self, i_theta: int, i_phi: int) -> np.ndarray:
+        if not self.design.is_fixed_point:
+            return self.corrections.plane(i_theta, i_phi)
+        # The hardware stores the separable x- and y-terms individually
+        # (Section V-B: the overall delay is a sum of three stored values),
+        # so each term is quantised on its own before the addition.
+        from ..fixedpoint.quantize import quantize
+        _ref_fmt, corr_fmt = self.design.formats()
+        x_term = quantize(self.corrections.x_terms[:, i_theta, i_phi], corr_fmt)
+        y_term = quantize(self.corrections.y_terms[:, i_phi], corr_fmt)
+        return x_term[:, None] + y_term[None, :]
+
+    def _reference_at_depth(self, i_depth: int) -> np.ndarray:
+        if not self.design.is_fixed_point:
+            return self.reference.lookup(int(i_depth))
+        quadrant = self._reference_fixed[:, :, int(i_depth)]
+        expanded = quadrant[self.reference.quadrant_x_index]
+        return expanded[:, self.reference.quadrant_y_index]
+
+    def _reference_all_depths(self) -> np.ndarray:
+        indices = np.arange(len(self.grid.depths))
+        if not self.design.is_fixed_point:
+            return self.reference.lookup(indices)
+        quadrant = self._reference_fixed[:, :, indices]
+        expanded = quadrant[self.reference.quadrant_x_index]
+        expanded = expanded[:, self.reference.quadrant_y_index]
+        return np.moveaxis(expanded, -1, 0)
+
+    # ----------------------------------------------------------- reporting
+    def fixed_point_datapath(self, i_theta: int, i_phi: int,
+                             i_depth: int) -> FixedPointArray:
+        """Bit-aligned fixed-point sum for one focal point (datapath model).
+
+        Returns the :class:`FixedPointArray` holding the reference + correction
+        sum before final rounding; used by tests that verify the rounding stage
+        against the float datapath.
+        """
+        if not self.design.is_fixed_point:
+            raise ValueError("datapath model requires a fixed-point design")
+        ref_fmt, corr_fmt = self.design.formats()
+        ex = self.transducer.config.elements_x
+        ey = self.transducer.config.elements_y
+        reference = FixedPointArray.from_float(
+            self._reference_at_depth(i_depth).ravel(), ref_fmt)
+        x_term = FixedPointArray.from_float(
+            np.repeat(self.corrections.x_terms[:, i_theta, i_phi], ey), corr_fmt)
+        y_term = FixedPointArray.from_float(
+            np.tile(self.corrections.y_terms[:, i_phi], ex), corr_fmt)
+        return reference.add(x_term).add(y_term)
+
+    def storage_summary(self) -> dict[str, float]:
+        """Storage cost summary in megabits (reference table + corrections)."""
+        if self.design.is_fixed_point:
+            ref_fmt, corr_fmt = self.design.formats()
+        else:
+            from ..fixedpoint.format import REFERENCE_DELAY_18B, CORRECTION_18B
+            ref_fmt, corr_fmt = REFERENCE_DELAY_18B, CORRECTION_18B
+        return {
+            "reference_entries": float(self.reference.quadrant_entry_count),
+            "reference_megabits": self.reference.storage_megabits(ref_fmt),
+            "correction_entries": float(self.corrections.precomputed_value_count),
+            "correction_megabits": self.corrections.storage_megabits(corr_fmt),
+            "total_megabits": (self.reference.storage_megabits(ref_fmt)
+                               + self.corrections.storage_megabits(corr_fmt)),
+        }
+
+
+def _nearest_index(grid_values: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Index of the nearest grid value for each element of ``values``."""
+    grid_values = np.asarray(grid_values, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    idx = np.searchsorted(grid_values, values)
+    idx = np.clip(idx, 1, len(grid_values) - 1)
+    left = grid_values[idx - 1]
+    right = grid_values[idx]
+    choose_left = np.abs(values - left) <= np.abs(right - values)
+    return np.where(choose_left, idx - 1, idx).astype(np.int64)
+
+
+# --------------------------------------------------------------------------
+# Error bounds of the far-field (first-order Taylor) approximation
+# --------------------------------------------------------------------------
+def farfield_error_seconds(theta: float, phi: float, r: float,
+                           element_x: np.ndarray, element_y: np.ndarray,
+                           speed_of_sound: float) -> np.ndarray:
+    """Exact error of the Eq. (7) approximation for one focal point.
+
+    Returns ``approx - exact`` (seconds) for every element, where ``approx``
+    is the reference-plus-plane delay and ``exact`` the true two-way delay of
+    Eq. (6).  Used to validate the theoretical Lagrange-type bound of
+    Section V-A and to map where in the volume the worst errors occur.
+    """
+    x = np.asarray(element_x, dtype=np.float64)[:, None]
+    y = np.asarray(element_y, dtype=np.float64)[None, :]
+    # Exact steered receive distance (law of cosines form of Eq. 6).
+    steer = x * np.cos(phi) * np.sin(theta) + y * np.sin(phi)
+    exact_rx = np.sqrt(r * r + x * x + y * y - 2.0 * r * steer)
+    reference_rx = np.sqrt(r * r + x * x + y * y)
+    approx_rx = reference_rx - steer
+    return (approx_rx - exact_rx) / speed_of_sound
+
+
+def lagrange_error_bound_seconds(system: SystemConfig) -> float:
+    """Conservative bound on the far-field approximation error [s].
+
+    The second-order remainder of the expansion of
+    ``sqrt(r^2 + d^2 - 2 r s) - sqrt(r^2 + d^2)`` in ``s`` (with
+    ``d^2 = xD^2 + yD^2`` and ``s`` the steering projection) is bounded by
+    ``s^2 / (2 * (r - |s|))`` for ``|s| < r``; evaluating it at the worst
+    corner of the aperture, the maximum steering angle and the shallowest
+    depth gives a loose bound comparable to the paper's 6.7 us figure.
+    """
+    transducer = MatrixTransducer.from_config(system)
+    grid = FocalGrid.from_config(system)
+    c = system.acoustic.speed_of_sound
+    x_max = float(np.max(np.abs(transducer.x))) if len(transducer.x) else 0.0
+    y_max = float(np.max(np.abs(transducer.y))) if len(transducer.y) else 0.0
+    theta_max = float(np.max(np.abs(grid.thetas)))
+    phi_max = float(np.max(np.abs(grid.phis)))
+    s_max = x_max * np.sin(theta_max) + y_max * np.sin(phi_max)
+    r_min = float(grid.depths[0])
+    # Only radii safely above the aperture projection admit a finite bound;
+    # clamp to the smallest such radius in the grid.
+    usable = grid.depths[grid.depths > 1.5 * s_max]
+    r_eff = float(usable[0]) if len(usable) else max(r_min, 2.0 * s_max)
+    bound = (s_max ** 2) / (2.0 * (r_eff - s_max))
+    return float(bound / c)

@@ -1,0 +1,65 @@
+"""Experiment E1: delay-table scale of the naive approach (Section II-B/II-C).
+
+Paper claims for the 100x100 / 128x128x1000 system:
+
+* ~164 x 10^9 delay coefficients without any optimisation;
+* ~2.5 x 10^12 delay values/s needed at 15 volumes/s;
+* storage/bandwidth far beyond any off-chip memory system;
+* TABLESTEER's decomposition shrinks storage to 2.5 x 10^6 table entries
+  (45 Mb at 18 bit) plus 832 x 10^3 correction values (14.3 Mb).
+"""
+
+from __future__ import annotations
+
+from ..analysis.requirements import requirements_report
+from ..config import SystemConfig, paper_system
+from ..hardware.report import full_table_row
+
+
+def run(system: SystemConfig | None = None) -> dict[str, object]:
+    """Run the requirements analysis and return the paper-comparable figures."""
+    system = system or paper_system()
+    report = requirements_report(system)
+    baseline = full_table_row(system)
+    return {
+        "system": system.name,
+        "requirements": report.as_dict(),
+        "full_table_baseline": baseline,
+        "paper_reference": {
+            "naive_coefficients": 164e9,
+            "required_delay_rate_per_second": 2.5e12,
+            "symmetric_table_entries": 2.5e6,
+            "symmetric_table_megabits_18b": 45.0,
+            "correction_values": 832e3,
+            "correction_megabits_18b": 14.3,
+        },
+    }
+
+
+def main() -> None:
+    """Print the requirements report for the paper system."""
+    result = run()
+    requirements = result["requirements"]
+    print("Experiment E1: delay-table requirements (paper system)")
+    print(f"  focal points                : {requirements['focal_points']:.3e}")
+    print(f"  receive elements            : {requirements['elements']:.0f}")
+    print(f"  naive coefficients          : {requirements['naive_coefficients']:.3e}"
+          f"   (paper ~1.64e11)")
+    print(f"  required delay rate         : "
+          f"{requirements['required_delay_rate_per_second']:.3e} /s (paper ~2.5e12)")
+    print(f"  naive storage               : "
+          f"{requirements['naive_storage_gigabytes']:.1f} GB")
+    print(f"  naive access bandwidth      : "
+          f"{requirements['naive_bandwidth_terabytes_per_second']:.2f} TB/s")
+    print(f"  TABLESTEER table entries    : "
+          f"{requirements['symmetric_table_entries']:.3e} (paper 2.5e6)")
+    print(f"  TABLESTEER table storage    : "
+          f"{requirements['symmetric_table_megabits_18b']:.1f} Mb (paper 45 Mb)")
+    print(f"  TABLESTEER corrections      : "
+          f"{requirements['correction_values']:.3e} (paper 832e3)")
+    print(f"  TABLESTEER correction bits  : "
+          f"{requirements['correction_megabits_18b']:.1f} Mb (paper 14.3 Mb)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Experiment E4: TABLEFREE delay accuracy (Section VI-A).
+
+Paper claims (delta = 0.25 samples, fixed-point implementation):
+
+* theoretical error of the two summed square-root approximations:
+  mean |error| ~ 0.204 samples, max 0.5 samples;
+* measured selection error against an exact computation: mean |error|
+  ~ 0.2489 samples, max 2 samples (the increase over theory is a
+  fixed-point effect);
+* the inaccuracy is tunable via delta and the fixed-point precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.accuracy import evaluate_provider, sample_volume_points
+from ..config import SystemConfig, small_system
+from ..core.tablefree import TableFreeConfig, TableFreeDelayGenerator
+
+
+def run(system: SystemConfig | None = None,
+        delta: float = 0.25,
+        max_points: int = 800,
+        seed: int = 4) -> dict[str, object]:
+    """Measure TABLEFREE selection error against the exact delay engine.
+
+    ``max_points`` focal points are sampled over the volume (corners always
+    included); each contributes one error per receive element, so the error
+    population is ``max_points * element_count``.
+    """
+    system = system or small_system()
+    points = sample_volume_points(system, max_points=max_points, seed=seed)
+
+    results: dict[str, object] = {"system": system.name, "delta": delta}
+
+    # Algorithmic error only (float coefficients, no fixed point).
+    float_generator = TableFreeDelayGenerator.from_config(
+        system, TableFreeConfig(delta=delta, quantize_coefficients=False,
+                                delay_fraction_bits=-1))
+    float_report = evaluate_provider(float_generator, system,
+                                     "TABLEFREE (float)", points=points)
+    # Fixed-point datapath (the hardware design point).
+    fixed_generator = TableFreeDelayGenerator.from_config(
+        system, TableFreeConfig(delta=delta))
+    fixed_report = evaluate_provider(fixed_generator, system,
+                                     "TABLEFREE (fixed point)", points=points)
+
+    results["float"] = float_report.as_dict()
+    results["fixed_point"] = fixed_report.as_dict()
+    results["segment_count"] = fixed_generator.segment_count
+    results["paper_reference"] = {
+        "theoretical_mean_abs": 0.204,
+        "theoretical_max_abs": 0.5,
+        "measured_mean_abs": 0.2489,
+        "measured_max_abs": 2.0,
+    }
+
+    # Delta sweep: accuracy is tunable by the segmentation error bound.
+    sweep = {}
+    for d in (0.5, 0.25, 0.125):
+        generator = TableFreeDelayGenerator.from_config(
+            system, TableFreeConfig(delta=d))
+        report = evaluate_provider(generator, system, f"delta={d}",
+                                   points=points[:max(1, len(points) // 4)])
+        sweep[d] = {
+            "mean_abs": report.all_points.mean_abs,
+            "max_abs": report.all_points.max_abs,
+            "segments": generator.segment_count,
+        }
+    results["delta_sweep"] = sweep
+    return results
+
+
+def main() -> None:
+    """Print the TABLEFREE accuracy results."""
+    result = run()
+    print("Experiment E4: TABLEFREE accuracy "
+          f"(system: {result['system']}, delta={result['delta']})")
+    fixed = result["fixed_point"]["all_points"]
+    flt = result["float"]["all_points"]
+    print(f"  float datapath   : mean |err| = {flt['mean_abs']:.4f}, "
+          f"max |err| = {flt['max_abs']:.1f} samples")
+    print(f"  fixed-point path : mean |err| = {fixed['mean_abs']:.4f}, "
+          f"max |err| = {fixed['max_abs']:.1f} samples")
+    ref = result["paper_reference"]
+    print(f"  paper            : mean |err| = {ref['measured_mean_abs']}, "
+          f"max |err| = {ref['measured_max_abs']} samples")
+    print("  delta sweep:")
+    for d, entry in result["delta_sweep"].items():
+        print(f"    delta={d:<6}: mean |err| = {entry['mean_abs']:.4f}, "
+              f"max |err| = {entry['max_abs']:.1f}, "
+              f"segments = {entry['segments']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Experiment E5: TABLESTEER steering accuracy (Section V-A / VI-A, Fig. 3).
+
+Paper claims:
+
+* the theoretical (Lagrange-type) bound on the far-field approximation error
+  is very loose: ~6.7 us, i.e. ~214 samples at 32 MHz;
+* the worst errors observed in practice are ~3.1 us (99 samples) and sit at
+  extreme steering angles / very short distances, where directivity and
+  apodization suppress the contribution anyway;
+* the volume-average absolute error of the algorithm is ~44.6 ns
+  (~1.43 samples);
+* the additional fixed-point error is at most +/-1 sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.accuracy import (
+    directivity_mask,
+    evaluate_provider,
+    sample_volume_points,
+    selection_errors,
+)
+from ..config import SystemConfig, small_system
+from ..core.exact import ExactDelayEngine
+from ..core.tablesteer import (
+    TableSteerConfig,
+    TableSteerDelayGenerator,
+    lagrange_error_bound_seconds,
+)
+
+
+def run(system: SystemConfig | None = None,
+        max_points: int = 600,
+        seed: int = 5) -> dict[str, object]:
+    """Measure TABLESTEER accuracy against the exact delay engine."""
+    system = system or small_system()
+    points = sample_volume_points(system, max_points=max_points, seed=seed)
+    exact = ExactDelayEngine.from_config(system)
+    fs = system.acoustic.sampling_frequency
+
+    results: dict[str, object] = {"system": system.name}
+
+    # Algorithmic (steering) error only: float table, float corrections.
+    float_generator = TableSteerDelayGenerator.from_config(
+        system, TableSteerConfig(total_bits=None))
+    float_report = evaluate_provider(float_generator, system,
+                                     "TABLESTEER (float)", points=points)
+    results["float"] = float_report.as_dict()
+
+    # Fixed-point design points.
+    for bits in (13, 14, 18):
+        generator = TableSteerDelayGenerator.from_config(
+            system, TableSteerConfig(total_bits=bits))
+        report = evaluate_provider(generator, system,
+                                   f"TABLESTEER-{bits}b", points=points)
+        results[f"fixed_{bits}b"] = report.as_dict()
+
+    # Theoretical bound vs observed maxima, in seconds and samples.
+    bound_seconds = lagrange_error_bound_seconds(system)
+    errors = selection_errors(float_generator, exact, points)
+    mask = directivity_mask(exact, points)
+    observed_max_all = float(np.max(np.abs(errors)))
+    observed_max_directivity = float(np.max(np.abs(errors[mask]))) \
+        if np.any(mask) else observed_max_all
+    results["bounds"] = {
+        "lagrange_bound_seconds": bound_seconds,
+        "lagrange_bound_samples": bound_seconds * fs,
+        "observed_max_samples_all": observed_max_all,
+        "observed_max_samples_within_directivity": observed_max_directivity,
+        "observed_mean_samples": float(np.mean(np.abs(errors))),
+        "observed_mean_seconds": float(np.mean(np.abs(errors))) / fs,
+    }
+    results["paper_reference"] = {
+        "lagrange_bound_seconds": 6.7e-6,
+        "lagrange_bound_samples": 214,
+        "observed_max_seconds": 3.1e-6,
+        "observed_max_samples": 99,
+        "observed_mean_seconds": 44.641e-9,
+        "observed_mean_samples": 1.4285,
+        "fixed_point_extra_error_samples": 1,
+    }
+    return results
+
+
+def main() -> None:
+    """Print the TABLESTEER accuracy results."""
+    result = run()
+    print(f"Experiment E5: TABLESTEER accuracy (system: {result['system']})")
+    bounds = result["bounds"]
+    print(f"  Lagrange-type bound        : {bounds['lagrange_bound_seconds'] * 1e6:.2f} us "
+          f"({bounds['lagrange_bound_samples']:.0f} samples)  [paper: 6.7 us / 214]")
+    print(f"  observed max |error|       : "
+          f"{bounds['observed_max_samples_all']:.1f} samples "
+          f"(within directivity: {bounds['observed_max_samples_within_directivity']:.1f})"
+          f"  [paper: 99]")
+    print(f"  observed mean |error|      : "
+          f"{bounds['observed_mean_samples']:.3f} samples  [paper: 1.43]")
+    for key in ("float", "fixed_13b", "fixed_14b", "fixed_18b"):
+        stats = result[key]["all_points"]
+        print(f"  {key:10s}: mean |err| = {stats['mean_abs']:.3f}, "
+              f"max |err| = {stats['max_abs']:.1f} samples")
+
+
+if __name__ == "__main__":
+    main()

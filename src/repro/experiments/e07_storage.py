@@ -1,0 +1,148 @@
+"""Experiment E7: TABLESTEER storage and streaming bandwidth (Section V-B).
+
+Paper claims for the 18-bit design on the paper system:
+
+* reference table: 2.5 x 10^6 entries -> 45 Mb on-chip if stored whole;
+* corrections: 832 x 10^3 values -> 14.3 Mb;
+* streaming alternative: 128 BRAM banks of 1k x 18 bit (2.3 Mb) fed from
+  DRAM at ~5.3 GB/s (4.1 GB/s for the 14-bit variant) with ample latency
+  margin, because the nappe-by-nappe beamformer consumes the table one
+  constant-depth slice at a time.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig, paper_system, small_system
+from ..core.reference_table import ReferenceDelayTable
+from ..core.steering import SteeringCorrections
+from ..fixedpoint.format import tablesteer_formats
+from ..hardware.bram import (
+    CircularBufferSimulator,
+    make_streaming_plan,
+    parallel_read_conflicts,
+    staggered_bank_assignment,
+)
+from ..hardware.timing import tablesteer_dram_bandwidth
+
+
+def _analytical_counts(system: SystemConfig) -> dict[str, float]:
+    """Closed-form table/correction sizes (exact, cheap at any scale)."""
+    ex, ey = system.transducer.elements_x, system.transducer.elements_y
+    quadrant_entries = ((ex + 1) // 2) * ((ey + 1) // 2) * system.volume.n_depth
+    correction_values = (ex * system.volume.n_theta
+                         * ((system.volume.n_phi + 1) // 2)
+                         + ey * system.volume.n_phi)
+    return {"reference_entries": float(quadrant_entries),
+            "correction_values": float(correction_values)}
+
+
+def run(system: SystemConfig | None = None,
+        build_tables: bool | None = None) -> dict[str, object]:
+    """Compute storage and bandwidth figures, optionally building the real tables.
+
+    ``build_tables`` defaults to True for scaled-down systems and False for
+    the paper system (whose full reference table is ~10^7 float64 entries —
+    buildable, but unnecessary since the counts are closed-form).
+    """
+    system = system or paper_system()
+    if build_tables is None:
+        build_tables = system.volume.focal_point_count <= 1_000_000
+
+    counts = _analytical_counts(system)
+    results: dict[str, object] = {"system": system.name, "analytical": counts}
+
+    per_width = {}
+    for bits in (14, 18):
+        ref_fmt, corr_fmt = tablesteer_formats(bits)
+        reference_bits = counts["reference_entries"] * ref_fmt.total_bits
+        correction_bits = counts["correction_values"] * corr_fmt.total_bits
+        bandwidth = tablesteer_dram_bandwidth(
+            system, table_entries=int(counts["reference_entries"]),
+            entry_bits=ref_fmt.total_bits)
+        plan = make_streaming_plan(
+            table_entries=int(counts["reference_entries"]),
+            entry_bits=ref_fmt.total_bits,
+            insonifications_per_second=(system.beamformer.frame_rate
+                                        * system.beamformer.insonifications_per_volume))
+        per_width[bits] = {
+            "reference_megabits": reference_bits / 1e6,
+            "correction_megabits": correction_bits / 1e6,
+            "streaming_onchip_megabits": plan.on_chip_bits / 1e6,
+            "dram_bandwidth_gb_per_s": bandwidth / 1e9,
+            "chunks_per_table": plan.chunks_per_table,
+        }
+    results["per_width"] = per_width
+
+    # Circular-buffer feasibility: each of the 128 banks holds 1k words and
+    # must stream its share of the reference table once per insonification.
+    # The per-bank consumption rate is well below one word per cycle, so a
+    # matched DRAM refill with 1k cycles of latency never starves the banks.
+    clock = system.beamformer.clock_frequency
+    insonification_rate = (system.beamformer.frame_rate
+                           * system.beamformer.insonifications_per_volume)
+    cycles_per_insonification = clock / insonification_rate
+    words_per_bank_per_insonification = counts["reference_entries"] / 128.0
+    consume_per_cycle = (words_per_bank_per_insonification
+                         / cycles_per_insonification)
+    simulator = CircularBufferSimulator(
+        capacity_words=1024,
+        consume_words_per_cycle=consume_per_cycle,
+        refill_words_per_cycle=consume_per_cycle,
+        initial_fill_words=1024)
+    results["circular_buffer"] = simulator.run(n_cycles=20_000,
+                                               refill_latency_cycles=1000)
+    results["circular_buffer"]["consume_words_per_cycle"] = consume_per_cycle
+
+    # Bank staggering: consecutive depths map to different banks.
+    assignment = staggered_bank_assignment(system.volume.n_depth, 128)
+    results["bank_conflicts_window_128"] = parallel_read_conflicts(
+        assignment, min(128, system.volume.n_depth))
+
+    if build_tables:
+        reference = ReferenceDelayTable.build(system)
+        corrections = SteeringCorrections.build(system)
+        results["built"] = {
+            "reference_entries": reference.quadrant_entry_count,
+            "reference_megabits_18b": reference.storage_megabits(),
+            "symmetry_savings": reference.symmetry_savings,
+            "directivity_prunable_fraction": reference.prunable_fraction(),
+            "correction_values": corrections.precomputed_value_count,
+            "correction_megabits_18b": corrections.storage_megabits(),
+            "max_correction_samples": corrections.max_correction_samples(),
+        }
+    results["paper_reference"] = {
+        "reference_entries": 2.5e6,
+        "reference_megabits_18b": 45.0,
+        "correction_values": 832e3,
+        "correction_megabits_18b": 14.3,
+        "streaming_onchip_megabits": 2.3,
+        "dram_bandwidth_gb_per_s_18b": 5.3,
+        "dram_bandwidth_gb_per_s_14b": 4.1,
+    }
+    return results
+
+
+def main() -> None:
+    """Print the storage / bandwidth analysis for the paper system."""
+    result = run()
+    print("Experiment E7: TABLESTEER storage and bandwidth (paper system)")
+    analytical = result["analytical"]
+    print(f"  reference table entries : {analytical['reference_entries']:.3e} "
+          f"(paper 2.5e6)")
+    print(f"  correction values       : {analytical['correction_values']:.3e} "
+          f"(paper 832e3)")
+    for bits, entry in result["per_width"].items():
+        print(f"  {bits}-bit design:")
+        print(f"    reference storage     : {entry['reference_megabits']:.1f} Mb")
+        print(f"    correction storage    : {entry['correction_megabits']:.1f} Mb")
+        print(f"    streaming on-chip     : {entry['streaming_onchip_megabits']:.2f} Mb")
+        print(f"    DRAM bandwidth        : {entry['dram_bandwidth_gb_per_s']:.2f} GB/s")
+    buffer_stats = result["circular_buffer"]
+    print(f"  circular buffer stalls  : {buffer_stats['stall_cycles']:.0f} "
+          f"(min fill {buffer_stats['min_fill_words']:.0f} words)")
+    print(f"  bank conflicts (128-deep window): "
+          f"{result['bank_conflicts_window_128']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Experiment E8: Table II — architecture comparison on the Virtex-7.
+
+Reproduces the resource / clock / bandwidth / throughput / frame-rate rows of
+Table II with the analytical hardware model and (optionally) attaches the
+measured accuracy numbers from experiments E4 and E5.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig, paper_system, small_system
+from ..hardware.device import virtex7_xc7vx1140t, virtex_ultrascale_projection
+from ..hardware.report import format_table2, table2, tablefree_row
+from . import e04_tablefree_accuracy, e05_tablesteer_accuracy
+
+PAPER_TABLE2 = {
+    "TABLEFREE": {
+        "luts_pct": 100, "registers_pct": 23, "bram_pct": 0,
+        "clock_mhz": 167, "dram_gb_per_s": 0.0,
+        "mean_abs_error": 0.25, "max_abs_error": 2,
+        "throughput_tdelays_per_s": 1.67, "frame_rate_fps": 7.8,
+        "channels": "42x42",
+    },
+    "TABLESTEER-14b": {
+        "luts_pct": 91, "registers_pct": 25, "bram_pct": 25,
+        "clock_mhz": 200, "dram_gb_per_s": 4.1,
+        "mean_abs_error": 1.55, "max_abs_error": 100,
+        "throughput_tdelays_per_s": 3.3, "frame_rate_fps": 19.7,
+        "channels": "100x100",
+    },
+    "TABLESTEER-18b": {
+        "luts_pct": 100, "registers_pct": 30, "bram_pct": 25,
+        "clock_mhz": 200, "dram_gb_per_s": 5.3,
+        "mean_abs_error": 1.44, "max_abs_error": 100,
+        "throughput_tdelays_per_s": 3.3, "frame_rate_fps": 19.7,
+        "channels": "100x100",
+    },
+}
+"""The rows of Table II exactly as printed in the paper, for comparison."""
+
+
+def run(system: SystemConfig | None = None,
+        include_accuracy: bool = False,
+        accuracy_system: SystemConfig | None = None) -> dict[str, object]:
+    """Generate the Table II rows for a system configuration.
+
+    ``include_accuracy`` additionally runs the (slower) accuracy experiments
+    on ``accuracy_system`` (default: the scaled-down system) and attaches
+    mean/max selection errors to the rows, completing the "Inaccuracy"
+    column.
+    """
+    system = system or paper_system()
+    device = virtex7_xc7vx1140t()
+    rows = table2(system, device=device)
+
+    if include_accuracy:
+        accuracy_system = accuracy_system or small_system()
+        tablefree = e04_tablefree_accuracy.run(accuracy_system)
+        tablesteer = e05_tablesteer_accuracy.run(accuracy_system)
+        for row in rows:
+            if row.name == "TABLEFREE":
+                stats = tablefree["fixed_point"]["all_points"]
+            elif row.name == "TABLESTEER-14b":
+                stats = tablesteer["fixed_14b"]["all_points"]
+            else:
+                stats = tablesteer["fixed_18b"]["all_points"]
+            row.mean_abs_error_samples = stats["mean_abs"]
+            row.max_abs_error_samples = stats["max_abs"]
+
+    ultrascale = tablefree_row(system, device=virtex_ultrascale_projection())
+    return {
+        "system": system.name,
+        "rows": [row.as_dict() for row in rows],
+        "formatted": format_table2(rows),
+        "ultrascale_projection": ultrascale.as_dict(),
+        "paper_reference": PAPER_TABLE2,
+    }
+
+
+def main() -> None:
+    """Print the reproduced Table II."""
+    result = run()
+    print("Experiment E8: Table II (Virtex-7 XC7VX1140T model)")
+    print(result["formatted"])
+    projection = result["ultrascale_projection"]
+    print(f"\nUltraScale projection (TABLEFREE): channels "
+          f"{projection['channels']}, frame rate "
+          f"{projection['frame_rate_fps']} fps")
+
+
+if __name__ == "__main__":
+    main()

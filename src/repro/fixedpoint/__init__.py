@@ -1,0 +1,49 @@
+"""Fixed-point arithmetic substrate.
+
+Models the Q-format number representations used by the paper's hardware
+datapaths: format description (:mod:`repro.fixedpoint.format`), quantisation
+(:mod:`repro.fixedpoint.quantize`) and an array wrapper with aligned addition
+and rounding (:mod:`repro.fixedpoint.array`).
+"""
+
+from .array import FixedPointArray
+from .format import (
+    CORRECTION_14B,
+    CORRECTION_18B,
+    DELAY_INDEX_13B,
+    QFormat,
+    REFERENCE_DELAY_14B,
+    REFERENCE_DELAY_18B,
+    signed,
+    tablesteer_formats,
+    unsigned,
+)
+from .quantize import (
+    OverflowMode,
+    RoundingMode,
+    from_raw,
+    quantization_error,
+    quantize,
+    representable,
+    to_raw,
+)
+
+__all__ = [
+    "FixedPointArray",
+    "QFormat",
+    "RoundingMode",
+    "OverflowMode",
+    "signed",
+    "unsigned",
+    "tablesteer_formats",
+    "quantize",
+    "quantization_error",
+    "representable",
+    "to_raw",
+    "from_raw",
+    "REFERENCE_DELAY_18B",
+    "CORRECTION_18B",
+    "REFERENCE_DELAY_14B",
+    "CORRECTION_14B",
+    "DELAY_INDEX_13B",
+]

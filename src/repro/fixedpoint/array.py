@@ -1,0 +1,104 @@
+"""A small fixed-point array wrapper used to model hardware datapaths.
+
+:class:`FixedPointArray` couples raw integer codes with a :class:`QFormat`.
+Arithmetic between arrays models what a hardware adder operating on aligned
+fixed-point operands does: the fractional points are aligned, the integer
+codes are added, and the result is expressed in the wider of the two formats
+(saturating at its range).  This is deliberately simple — it is a numerical
+model for accuracy analysis, not a bit-true RTL simulator — but it reproduces
+the rounding and saturation behaviour the paper's accuracy discussion relies
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .format import QFormat
+from .quantize import OverflowMode, RoundingMode, from_raw, to_raw
+
+
+@dataclass(frozen=True)
+class FixedPointArray:
+    """An array of fixed-point values: raw integer codes plus a format."""
+
+    raw: np.ndarray
+    fmt: QFormat
+
+    @classmethod
+    def from_float(cls,
+                   values: np.ndarray | float,
+                   fmt: QFormat,
+                   rounding: RoundingMode = RoundingMode.NEAREST,
+                   overflow: OverflowMode = OverflowMode.SATURATE) -> "FixedPointArray":
+        """Quantise floating-point values into a :class:`FixedPointArray`."""
+        return cls(to_raw(values, fmt, rounding=rounding, overflow=overflow), fmt)
+
+    def to_float(self) -> np.ndarray:
+        """Return the represented floating-point values."""
+        return from_raw(self.raw, self.fmt)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return np.asarray(self.raw).shape
+
+    def __len__(self) -> int:
+        return len(np.asarray(self.raw))
+
+    def _aligned_raw(self, target_fraction_bits: int) -> np.ndarray:
+        shift = target_fraction_bits - self.fmt.fraction_bits
+        raw = np.asarray(self.raw, dtype=np.int64)
+        if shift >= 0:
+            return raw << shift
+        # Right shift with round-to-nearest to model a hardware rounding stage.
+        half = 1 << (-shift - 1)
+        return (raw + half) >> (-shift)
+
+    def add(self, other: "FixedPointArray",
+            result_fmt: QFormat | None = None,
+            overflow: OverflowMode = OverflowMode.SATURATE) -> "FixedPointArray":
+        """Add two fixed-point arrays with fraction-point alignment.
+
+        The result format defaults to the format with more fractional bits,
+        widened to signed if either operand is signed.
+        """
+        if result_fmt is None:
+            frac = max(self.fmt.fraction_bits, other.fmt.fraction_bits)
+            integer = max(self.fmt.integer_bits, other.fmt.integer_bits) + 1
+            result_fmt = QFormat(integer, frac,
+                                 signed=self.fmt.signed or other.fmt.signed)
+        a = self._aligned_raw(result_fmt.fraction_bits)
+        b = other._aligned_raw(result_fmt.fraction_bits)
+        total = a + b
+        lo, hi = result_fmt.min_raw, result_fmt.max_raw
+        if overflow is OverflowMode.SATURATE:
+            total = np.clip(total, lo, hi)
+        elif overflow is OverflowMode.WRAP:
+            span = hi - lo + 1
+            total = ((total - lo) % span) + lo
+        elif overflow is OverflowMode.ERROR:
+            if np.any(total < lo) or np.any(total > hi):
+                raise OverflowError("fixed-point addition overflow")
+        return FixedPointArray(total.astype(np.int64), result_fmt)
+
+    def round_to_integer(self) -> np.ndarray:
+        """Round the represented values to integer indices (half away from zero).
+
+        This models the final rounding stage of the delay datapath, which
+        converts a fixed-point delay into an integer echo-buffer index.
+        """
+        raw = np.asarray(self.raw, dtype=np.int64)
+        frac = self.fmt.fraction_bits
+        if frac == 0:
+            return raw.copy()
+        half = 1 << (frac - 1)
+        positive = (raw + half) >> frac
+        negative = -((-raw + half) >> frac)
+        return np.where(raw >= 0, positive, negative).astype(np.int64)
+
+    def storage_bits(self) -> int:
+        """Total number of bits needed to store this array."""
+        return int(np.asarray(self.raw).size) * self.fmt.total_bits

@@ -1,0 +1,122 @@
+"""Q-format fixed-point number format descriptions.
+
+The hardware architectures in the paper store delays and correction
+coefficients in fixed point: unsigned ``13.5`` for reference delays (13
+integer bits, 5 fractional bits) and signed ``13.4`` for steering corrections
+(Section V-B).  This module provides a small, explicit description of such
+formats; the quantisation machinery lives in :mod:`repro.fixedpoint.quantize`
+and the array wrapper in :mod:`repro.fixedpoint.array`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A fixed-point format with ``integer_bits`` and ``fraction_bits``.
+
+    The represented value of a stored integer ``k`` is ``k * 2**-fraction_bits``.
+    For signed formats one additional sign bit is implied, mirroring the
+    convention used in the paper (e.g. "signed 13.4" occupies 18 bits total
+    with the sign bit).
+    """
+
+    integer_bits: int
+    fraction_bits: int
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0:
+            raise ValueError("integer_bits must be non-negative")
+        if self.fraction_bits < 0:
+            raise ValueError("fraction_bits must be non-negative")
+        if self.integer_bits + self.fraction_bits == 0:
+            raise ValueError("format must have at least one bit of magnitude")
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits (including the sign bit if signed)."""
+        return self.integer_bits + self.fraction_bits + (1 if self.signed else 0)
+
+    @property
+    def resolution(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** self.integer_bits) - self.resolution
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable value (0 for unsigned formats)."""
+        if self.signed:
+            return -float(2 ** self.integer_bits)
+        return 0.0
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw (integer) code."""
+        return (1 << (self.integer_bits + self.fraction_bits)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest representable raw (integer) code."""
+        if self.signed:
+            return -(1 << (self.integer_bits + self.fraction_bits))
+        return 0
+
+    def describe(self) -> str:
+        """Human-readable description, e.g. ``'U13.5 (18 bits)'``."""
+        prefix = "S" if self.signed else "U"
+        return (f"{prefix}{self.integer_bits}.{self.fraction_bits} "
+                f"({self.total_bits} bits)")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def unsigned(integer_bits: int, fraction_bits: int) -> QFormat:
+    """Create an unsigned Q-format."""
+    return QFormat(integer_bits, fraction_bits, signed=False)
+
+
+def signed(integer_bits: int, fraction_bits: int) -> QFormat:
+    """Create a signed Q-format (one extra sign bit of storage)."""
+    return QFormat(integer_bits, fraction_bits, signed=True)
+
+
+# Formats used by the TABLESTEER architecture (Section V-B).
+REFERENCE_DELAY_18B = unsigned(13, 5)
+"""Unsigned 13.5 format for reference delays in the 18-bit design."""
+
+CORRECTION_18B = signed(13, 4)
+"""Signed 13.4 format for steering corrections in the 18-bit design."""
+
+REFERENCE_DELAY_14B = unsigned(13, 1)
+"""Unsigned 13.1 format for reference delays in the 14-bit design."""
+
+CORRECTION_14B = signed(13, 0)
+"""Signed 13.0 format for steering corrections in the 14-bit design."""
+
+DELAY_INDEX_13B = unsigned(13, 0)
+"""Plain 13-bit integer delay index (the minimum to address ~8000 samples)."""
+
+
+def tablesteer_formats(total_bits: int) -> tuple[QFormat, QFormat]:
+    """Return ``(reference_format, correction_format)`` for a given width.
+
+    The paper evaluates 14-bit and 18-bit variants; this helper generalises
+    the rule it uses: 13 integer bits are always needed to index the echo
+    buffer, every additional bit is spent on fractional precision, and the
+    correction format gives up one fractional bit to hold the sign.
+    """
+    if total_bits < 13:
+        raise ValueError("at least 13 bits are needed to index the echo buffer")
+    fraction = total_bits - 13
+    reference = unsigned(13, fraction)
+    correction = signed(13, max(0, fraction - 1))
+    return reference, correction

@@ -1,0 +1,141 @@
+"""Quantisation of floating-point values into Q-format fixed point.
+
+The functions here operate on NumPy arrays (or scalars) and model the
+behaviour of the hardware datapaths described in the paper: values are scaled
+by ``2**fraction_bits``, rounded with a configurable rounding mode, and
+saturated or wrapped to the representable range.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .format import QFormat
+
+
+class RoundingMode(str, Enum):
+    """Rounding modes supported by the quantiser."""
+
+    NEAREST = "nearest"
+    """Round half away from zero (the behaviour of a hardware round unit)."""
+
+    NEAREST_EVEN = "nearest_even"
+    """Round half to even (IEEE default, ``numpy.rint``)."""
+
+    FLOOR = "floor"
+    """Truncate towards negative infinity (drop fractional bits)."""
+
+    CEIL = "ceil"
+    """Round towards positive infinity."""
+
+    TRUNCATE = "truncate"
+    """Truncate towards zero."""
+
+
+class OverflowMode(str, Enum):
+    """Behaviour when a value exceeds the representable range."""
+
+    SATURATE = "saturate"
+    """Clamp to the closest representable value."""
+
+    WRAP = "wrap"
+    """Two's-complement style wrap-around."""
+
+    ERROR = "error"
+    """Raise :class:`OverflowError`."""
+
+
+def _apply_rounding(scaled: np.ndarray, mode: RoundingMode) -> np.ndarray:
+    if mode is RoundingMode.NEAREST:
+        return _round_half_away(scaled)
+    if mode is RoundingMode.NEAREST_EVEN:
+        return np.rint(scaled)
+    if mode is RoundingMode.FLOOR:
+        return np.floor(scaled)
+    if mode is RoundingMode.CEIL:
+        return np.ceil(scaled)
+    if mode is RoundingMode.TRUNCATE:
+        return np.trunc(scaled)
+    raise ValueError(f"unknown rounding mode: {mode!r}")
+
+
+def _round_half_away(scaled: np.ndarray) -> np.ndarray:
+    """Round half away from zero, element-wise."""
+    return np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+
+
+def _apply_overflow(raw: np.ndarray, fmt: QFormat, mode: OverflowMode) -> np.ndarray:
+    lo, hi = fmt.min_raw, fmt.max_raw
+    if mode is OverflowMode.SATURATE:
+        return np.clip(raw, lo, hi)
+    if mode is OverflowMode.WRAP:
+        span = hi - lo + 1
+        return ((raw - lo) % span) + lo
+    if mode is OverflowMode.ERROR:
+        if np.any(raw < lo) or np.any(raw > hi):
+            raise OverflowError(
+                f"value out of range for format {fmt.describe()}")
+        return raw
+    raise ValueError(f"unknown overflow mode: {mode!r}")
+
+
+def to_raw(values: np.ndarray | float,
+           fmt: QFormat,
+           rounding: RoundingMode = RoundingMode.NEAREST,
+           overflow: OverflowMode = OverflowMode.SATURATE) -> np.ndarray:
+    """Quantise floating-point ``values`` to raw integer codes of ``fmt``.
+
+    Parameters
+    ----------
+    values:
+        Array (or scalar) of floating-point values to quantise.
+    fmt:
+        Target fixed-point format.
+    rounding:
+        How to round to the nearest representable code.
+    overflow:
+        What to do when values fall outside the representable range.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer codes; the represented value is ``code * fmt.resolution``.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    scaled = arr * (2 ** fmt.fraction_bits)
+    rounded = _apply_rounding(scaled, rounding)
+    raw = _apply_overflow(rounded, fmt, mode=overflow)
+    return raw.astype(np.int64)
+
+
+def from_raw(raw: np.ndarray | int, fmt: QFormat) -> np.ndarray:
+    """Convert raw integer codes back to floating-point values."""
+    return np.asarray(raw, dtype=np.float64) * fmt.resolution
+
+
+def quantize(values: np.ndarray | float,
+             fmt: QFormat,
+             rounding: RoundingMode = RoundingMode.NEAREST,
+             overflow: OverflowMode = OverflowMode.SATURATE) -> np.ndarray:
+    """Quantise ``values`` to ``fmt`` and return the represented floats.
+
+    This is the round-trip ``from_raw(to_raw(values))`` and is the most common
+    operation when modelling a fixed-point datapath numerically.
+    """
+    return from_raw(to_raw(values, fmt, rounding=rounding, overflow=overflow), fmt)
+
+
+def quantization_error(values: np.ndarray | float,
+                       fmt: QFormat,
+                       rounding: RoundingMode = RoundingMode.NEAREST) -> np.ndarray:
+    """Return the signed error introduced by quantising ``values`` to ``fmt``."""
+    arr = np.asarray(values, dtype=np.float64)
+    return quantize(arr, fmt, rounding=rounding) - arr
+
+
+def representable(values: np.ndarray | float, fmt: QFormat) -> np.ndarray:
+    """Boolean mask of values that fit ``fmt`` without saturation."""
+    arr = np.asarray(values, dtype=np.float64)
+    return (arr >= fmt.min_value) & (arr <= fmt.max_value)

@@ -1,0 +1,103 @@
+"""Coordinate conversions between the paper's steered-spherical grid and Cartesian space.
+
+The paper parameterises focal points by azimuth ``theta``, elevation ``phi``
+and radial distance ``r`` from the sound origin, with (Eq. 5):
+
+    S = (r cos(phi) sin(theta),  r sin(phi),  r cos(phi) cos(theta))
+
+``theta`` steers in the XZ plane and ``phi`` tilts towards the Y axis; the
+unsteered line of sight (``theta = phi = 0``) is the positive Z axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def spherical_to_cartesian(theta: np.ndarray | float,
+                           phi: np.ndarray | float,
+                           r: np.ndarray | float) -> np.ndarray:
+    """Convert steered-spherical coordinates to Cartesian points.
+
+    Parameters broadcast against each other; the result has shape
+    ``broadcast_shape + (3,)``.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    r = np.asarray(r, dtype=np.float64)
+    x = r * np.cos(phi) * np.sin(theta)
+    y = r * np.sin(phi)
+    z = r * np.cos(phi) * np.cos(theta)
+    return np.stack(np.broadcast_arrays(x, y, z), axis=-1)
+
+
+def cartesian_to_spherical(points: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convert Cartesian points (``(..., 3)``) back to ``(theta, phi, r)``.
+
+    Inverse of :func:`spherical_to_cartesian` for points with ``r > 0`` and
+    ``|phi| < pi/2``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    x, y, z = points[..., 0], points[..., 1], points[..., 2]
+    r = np.sqrt(x * x + y * y + z * z)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        phi = np.arcsin(np.clip(np.divide(y, r, out=np.zeros_like(y),
+                                          where=r > 0), -1.0, 1.0))
+        theta = np.arctan2(x, z)
+    return theta, phi, r
+
+
+def distances(points: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Euclidean distances between ``points`` (``(..., 3)``) and a single ``reference``."""
+    points = np.asarray(points, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    return np.linalg.norm(points - reference, axis=-1)
+
+
+def pairwise_distances(points_a: np.ndarray, points_b: np.ndarray) -> np.ndarray:
+    """Distance matrix between two point sets.
+
+    Parameters
+    ----------
+    points_a:
+        Array of shape ``(na, 3)``.
+    points_b:
+        Array of shape ``(nb, 3)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(na, nb)`` with Euclidean distances.
+    """
+    a = np.asarray(points_a, dtype=np.float64)[:, None, :]
+    b = np.asarray(points_b, dtype=np.float64)[None, :, :]
+    return np.linalg.norm(a - b, axis=-1)
+
+
+def off_axis_angle(points: np.ndarray, origins: np.ndarray) -> np.ndarray:
+    """Angle between the z axis and the vector from each origin to each point.
+
+    Used by the directivity model: an element cannot receive energy from
+    directions that are too far off its normal (the z axis for a planar
+    probe).
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(np_, 3)``.
+    origins:
+        Array of shape ``(no, 3)`` (typically element positions).
+
+    Returns
+    -------
+    numpy.ndarray
+        Angles in radians, shape ``(np_, no)``.
+    """
+    p = np.asarray(points, dtype=np.float64)[:, None, :]
+    o = np.asarray(origins, dtype=np.float64)[None, :, :]
+    delta = p - o
+    dz = delta[..., 2]
+    norm = np.linalg.norm(delta, axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cos_angle = np.divide(dz, norm, out=np.ones_like(dz), where=norm > 0)
+    return np.arccos(np.clip(cos_angle, -1.0, 1.0))

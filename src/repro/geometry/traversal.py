@@ -1,0 +1,141 @@
+"""Focal-point traversal orders (Algorithm 1 / Figure 1 of the paper).
+
+The beamformer can reconstruct the volume *scanline-by-scanline* (fix
+``theta, phi``, sweep depth) or *nappe-by-nappe* (fix depth, sweep
+``theta, phi``).  Both orders visit exactly the same set of focal points and
+therefore produce the same image, but they interact very differently with a
+delay table: the nappe order touches one constant-depth slice of the table
+intensively before moving on, which is what makes the TABLESTEER streaming /
+caching scheme of Section V-B work.
+
+This module provides explicit index generators for both orders plus metrics
+(delay-table slice reuse, working-set size) used by experiment E2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..config import SystemConfig, VolumeConfig
+
+
+@dataclass(frozen=True)
+class TraversalStep:
+    """One focal point visit: grid indices ``(i_theta, i_phi, i_depth)``."""
+
+    i_theta: int
+    i_phi: int
+    i_depth: int
+
+
+def scanline_order(config: VolumeConfig | SystemConfig) -> Iterator[TraversalStep]:
+    """Yield focal points scanline-by-scanline (depth innermost).
+
+    Mirrors the first loop nest of Algorithm 1: for each ``theta``, for each
+    ``phi``, sweep the whole depth range before moving to the next scanline.
+    """
+    if isinstance(config, SystemConfig):
+        config = config.volume
+    for i_theta in range(config.n_theta):
+        for i_phi in range(config.n_phi):
+            for i_depth in range(config.n_depth):
+                yield TraversalStep(i_theta, i_phi, i_depth)
+
+
+def nappe_order(config: VolumeConfig | SystemConfig) -> Iterator[TraversalStep]:
+    """Yield focal points nappe-by-nappe (depth outermost).
+
+    Mirrors the second loop nest of Algorithm 1: for each depth, visit every
+    ``(theta, phi)`` before moving deeper.
+    """
+    if isinstance(config, SystemConfig):
+        config = config.volume
+    for i_depth in range(config.n_depth):
+        for i_theta in range(config.n_theta):
+            for i_phi in range(config.n_phi):
+                yield TraversalStep(i_theta, i_phi, i_depth)
+
+
+def scanline_order_indices(config: VolumeConfig | SystemConfig) -> np.ndarray:
+    """Scanline-order traversal as an integer array of shape ``(n_points, 3)``."""
+    if isinstance(config, SystemConfig):
+        config = config.volume
+    grid = np.indices((config.n_theta, config.n_phi, config.n_depth))
+    return grid.reshape(3, -1).T
+
+
+def nappe_order_indices(config: VolumeConfig | SystemConfig) -> np.ndarray:
+    """Nappe-order traversal as an integer array of shape ``(n_points, 3)``."""
+    if isinstance(config, SystemConfig):
+        config = config.volume
+    grid = np.indices((config.n_depth, config.n_theta, config.n_phi))
+    ordered = grid.reshape(3, -1).T  # columns: depth, theta, phi
+    return ordered[:, [1, 2, 0]]
+
+
+@dataclass(frozen=True)
+class TraversalStats:
+    """Delay-table access statistics for one traversal order.
+
+    ``depth_switches`` counts how many times consecutive focal points change
+    depth index — each switch forces a nappe-organised delay table to move to
+    a new constant-depth slice.  ``max_consecutive_same_depth`` is the longest
+    run of visits that stay within one slice (the reuse the streaming BRAM
+    scheme exploits).
+    """
+
+    order: str
+    point_count: int
+    depth_switches: int
+    max_consecutive_same_depth: int
+
+    @property
+    def slice_reuse_factor(self) -> float:
+        """Average number of focal points processed per delay-table slice visit."""
+        visits = self.depth_switches + 1
+        return self.point_count / visits
+
+
+def analyze_traversal(indices: np.ndarray, order: str) -> TraversalStats:
+    """Compute :class:`TraversalStats` for a traversal given as an index array."""
+    indices = np.asarray(indices)
+    if indices.ndim != 2 or indices.shape[1] != 3:
+        raise ValueError("indices must have shape (n_points, 3)")
+    depths = indices[:, 2]
+    switches = int(np.count_nonzero(np.diff(depths) != 0))
+    # Longest run of identical consecutive depth indices.
+    change_points = np.flatnonzero(np.diff(depths) != 0)
+    run_boundaries = np.concatenate(([-1], change_points, [len(depths) - 1]))
+    run_lengths = np.diff(run_boundaries)
+    longest = int(run_lengths.max()) if len(run_lengths) else 0
+    return TraversalStats(order=order,
+                          point_count=int(indices.shape[0]),
+                          depth_switches=switches,
+                          max_consecutive_same_depth=longest)
+
+
+def compare_orders(config: VolumeConfig | SystemConfig) -> dict[str, TraversalStats]:
+    """Compare scanline and nappe traversal of the same volume (experiment E2)."""
+    if isinstance(config, SystemConfig):
+        config = config.volume
+    scan = analyze_traversal(scanline_order_indices(config), "scanline")
+    nappe = analyze_traversal(nappe_order_indices(config), "nappe")
+    return {"scanline": scan, "nappe": nappe}
+
+
+def orders_visit_same_points(config: VolumeConfig | SystemConfig) -> bool:
+    """True if both traversal orders visit exactly the same set of focal points.
+
+    This is the equivalence claim of Algorithm 1: the two loop nests are just
+    permutations of one another.
+    """
+    if isinstance(config, SystemConfig):
+        config = config.volume
+    scan = scanline_order_indices(config)
+    nappe = nappe_order_indices(config)
+    scan_sorted = scan[np.lexsort(scan.T[::-1])]
+    nappe_sorted = nappe[np.lexsort(nappe.T[::-1])]
+    return bool(np.array_equal(scan_sorted, nappe_sorted))

@@ -1,0 +1,82 @@
+"""FPGA hardware modelling: devices, resource/timing/bandwidth models, Table II."""
+
+from .architecture import BlockArray, BlockGeometry, DelayComputeBlock, paper_block_array
+from .bram import (
+    BramBankSpec,
+    CircularBufferSimulator,
+    StreamingPlan,
+    make_streaming_plan,
+    parallel_read_conflicts,
+    staggered_bank_assignment,
+)
+from .device import FpgaDevice, virtex7_xc7vx1140t, virtex_ultrascale_projection
+from .report import (
+    ArchitectureRow,
+    format_table2,
+    full_table_row,
+    table2,
+    tablefree_row,
+    tablesteer_row,
+)
+from .scaling import (
+    DesignPoint,
+    aperture_sweep,
+    find_minimum_design,
+    tablefree_device_sweep,
+    tablefree_frequency_sweep,
+    tablesteer_block_sweep,
+)
+from .resources import (
+    FullTableBaseline,
+    ResourceDemand,
+    TableFreeCostModel,
+    TableSteerCostModel,
+)
+from .timing import (
+    ThroughputReport,
+    delays_per_volume,
+    frames_per_second_per_mhz,
+    required_delay_rate,
+    tablefree_throughput,
+    tablesteer_dram_bandwidth,
+    tablesteer_throughput,
+)
+
+__all__ = [
+    "FpgaDevice",
+    "virtex7_xc7vx1140t",
+    "virtex_ultrascale_projection",
+    "ResourceDemand",
+    "TableFreeCostModel",
+    "TableSteerCostModel",
+    "FullTableBaseline",
+    "BramBankSpec",
+    "StreamingPlan",
+    "make_streaming_plan",
+    "CircularBufferSimulator",
+    "staggered_bank_assignment",
+    "parallel_read_conflicts",
+    "BlockGeometry",
+    "DelayComputeBlock",
+    "BlockArray",
+    "paper_block_array",
+    "ThroughputReport",
+    "required_delay_rate",
+    "delays_per_volume",
+    "tablefree_throughput",
+    "tablesteer_throughput",
+    "tablesteer_dram_bandwidth",
+    "frames_per_second_per_mhz",
+    "DesignPoint",
+    "tablefree_frequency_sweep",
+    "tablefree_device_sweep",
+    "tablesteer_block_sweep",
+    "aperture_sweep",
+    "find_minimum_design",
+    "ArchitectureRow",
+    "tablefree_row",
+    "tablesteer_row",
+    "full_table_row",
+    "table2",
+    "format_table2",
+]

@@ -1,0 +1,156 @@
+"""Structural model of the TABLESTEER delay computation block (Fig. 4).
+
+The block is memory-centric: one BRAM bank streams reference delay samples
+(one per cycle); a first rank of ``nx`` adders applies the x-direction
+steering corrections, a second rank of ``nx * ny`` adders applies the
+y-direction corrections and rounds, so each cycle the block emits the delays
+of ``nx * ny`` steered lines of sight for the depth sample it just read.
+Replicating the block ``n_blocks`` times (128 in the paper) and staggering
+depth samples across the banks yields the aggregate throughput.
+
+The :class:`DelayComputeBlock` here is a *functional* model: it reproduces the
+exact dataflow (BRAM word -> x-adders -> y-adders -> rounding) in NumPy so
+that tests can verify the hardware ordering produces bit-identical results to
+the direct TABLESTEER computation, and so the structural counts (adders,
+BRAM words, delays per cycle) used by the resource/throughput models are
+derived from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fixedpoint.format import QFormat
+from ..fixedpoint.quantize import quantize
+
+
+@dataclass(frozen=True)
+class BlockGeometry:
+    """Structural parameters of one delay computation block."""
+
+    nx: int = 8
+    """Number of x-direction correction permutations applied per cycle."""
+
+    ny: int = 16
+    """Number of y-direction correction permutations applied per cycle."""
+
+    bram_words: int = 1024
+    """Depth samples held in the block's BRAM bank."""
+
+    word_bits: int = 18
+    """Width of the BRAM words (and of the adder datapath)."""
+
+    @property
+    def adder_count(self) -> int:
+        """Adders in the block: ``nx`` x-stage plus ``nx * ny`` y-stage (136 in the paper)."""
+        return self.nx + self.nx * self.ny
+
+    @property
+    def rounding_adder_count(self) -> int:
+        """Adders that also round to an integer index (the ``nx * ny`` outputs)."""
+        return self.nx * self.ny
+
+    @property
+    def delays_per_cycle(self) -> int:
+        """Steered delay samples the block emits per clock."""
+        return self.nx * self.ny
+
+    @property
+    def bram_bits(self) -> int:
+        """BRAM capacity of the block."""
+        return self.bram_words * self.word_bits
+
+
+@dataclass
+class DelayComputeBlock:
+    """Functional model of one Fig. 4 block.
+
+    Parameters
+    ----------
+    geometry:
+        Structural parameters (``nx`` x ``ny`` corrections, BRAM size).
+    reference_format, correction_format:
+        Fixed-point formats of the BRAM contents and the correction
+        coefficients; pass ``None`` for an un-quantised functional model.
+    """
+
+    geometry: BlockGeometry
+    reference_format: QFormat | None = None
+    correction_format: QFormat | None = None
+
+    def process_cycle(self, reference_sample: float,
+                      x_corrections: np.ndarray,
+                      y_corrections: np.ndarray) -> np.ndarray:
+        """Emit the ``nx * ny`` steered delays for one reference sample.
+
+        ``x_corrections`` must have length ``nx`` and ``y_corrections`` length
+        ``ny``; the output is an integer-index array of shape ``(nx, ny)``.
+        """
+        nx, ny = self.geometry.nx, self.geometry.ny
+        x_corrections = np.asarray(x_corrections, dtype=np.float64)
+        y_corrections = np.asarray(y_corrections, dtype=np.float64)
+        if x_corrections.shape != (nx,):
+            raise ValueError(f"expected {nx} x-corrections")
+        if y_corrections.shape != (ny,):
+            raise ValueError(f"expected {ny} y-corrections")
+        reference = float(reference_sample)
+        if self.reference_format is not None:
+            reference = float(quantize(reference, self.reference_format))
+        if self.correction_format is not None:
+            x_corrections = quantize(x_corrections, self.correction_format)
+            y_corrections = quantize(y_corrections, self.correction_format)
+        # First adder rank: reference + x corrections.
+        stage_x = reference + x_corrections               # (nx,)
+        # Second adder rank: + y corrections, then round to an index.
+        total = stage_x[:, None] + y_corrections[None, :]  # (nx, ny)
+        return np.floor(total + 0.5).astype(np.int64)
+
+    def process_sequence(self, reference_samples: np.ndarray,
+                         x_corrections: np.ndarray,
+                         y_corrections: np.ndarray) -> np.ndarray:
+        """Process a stream of reference samples with fixed corrections.
+
+        Models the paper's timing optimisation of keeping the same correction
+        coefficients throughout an insonification; returns an array of shape
+        ``(n_samples, nx, ny)``.
+        """
+        reference_samples = np.asarray(reference_samples, dtype=np.float64)
+        out = np.empty((reference_samples.size, self.geometry.nx,
+                        self.geometry.ny), dtype=np.int64)
+        for i, sample in enumerate(reference_samples):
+            out[i] = self.process_cycle(sample, x_corrections, y_corrections)
+        return out
+
+
+@dataclass(frozen=True)
+class BlockArray:
+    """An array of identical delay computation blocks (128 in the paper)."""
+
+    n_blocks: int
+    geometry: BlockGeometry
+
+    @property
+    def total_adders(self) -> int:
+        """Total adders across all blocks (128 x 136 = 17408 in the paper)."""
+        return self.n_blocks * self.geometry.adder_count
+
+    @property
+    def delays_per_cycle(self) -> int:
+        """Aggregate steered delays produced per clock."""
+        return self.n_blocks * self.geometry.delays_per_cycle
+
+    @property
+    def total_bram_bits(self) -> int:
+        """Aggregate BRAM capacity of the block array (the 2.3 Mb figure)."""
+        return self.n_blocks * self.geometry.bram_bits
+
+    def peak_delay_rate(self, clock_hz: float) -> float:
+        """Peak delay throughput at a given clock (3.3 Tdelays/s at 200 MHz)."""
+        return float(self.delays_per_cycle) * clock_hz
+
+
+def paper_block_array() -> BlockArray:
+    """The design point of Section V-B: 128 blocks of 8 x 16 corrections."""
+    return BlockArray(n_blocks=128, geometry=BlockGeometry())

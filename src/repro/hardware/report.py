@@ -1,0 +1,233 @@
+"""Table II generation: architecture comparison on a single FPGA.
+
+Combines the device description, the resource cost models, the structural
+block model and the throughput/bandwidth models into per-architecture rows
+matching the columns of Table II of the paper:
+
+    LUTs | Registers | BRAM | Clock | Off-chip DRAM BW | Inaccuracy |
+    Throughput | Frame rate | Supported channels
+
+Accuracy figures come from :mod:`repro.analysis` (they are properties of the
+algorithms, not of the hardware) and can be attached to the rows by the
+experiment harness; the hardware-only part of the row is computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SystemConfig
+from ..fixedpoint.format import tablesteer_formats
+from .architecture import BlockArray, BlockGeometry
+from .device import FpgaDevice, virtex7_xc7vx1140t
+from .resources import (
+    FullTableBaseline,
+    ResourceDemand,
+    TableFreeCostModel,
+    TableSteerCostModel,
+)
+from .timing import (
+    tablefree_throughput,
+    tablesteer_dram_bandwidth,
+    tablesteer_throughput,
+)
+
+
+@dataclass
+class ArchitectureRow:
+    """One row of the Table II comparison."""
+
+    name: str
+    lut_utilization: float
+    register_utilization: float
+    bram_utilization: float
+    clock_hz: float
+    offchip_bandwidth_bytes_per_second: float
+    delay_rate: float
+    frame_rate: float
+    supported_channels: tuple[int, int]
+    mean_abs_error_samples: float | None = None
+    max_abs_error_samples: float | None = None
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """Row as a plain dictionary (used by benchmarks and examples)."""
+        return {
+            "architecture": self.name,
+            "luts_pct": round(100 * self.lut_utilization, 1),
+            "registers_pct": round(100 * self.register_utilization, 1),
+            "bram_pct": round(100 * self.bram_utilization, 1),
+            "clock_mhz": round(self.clock_hz / 1e6, 1),
+            "dram_gb_per_s": round(self.offchip_bandwidth_bytes_per_second / 1e9, 2),
+            "throughput_tdelays_per_s": round(self.delay_rate / 1e12, 2),
+            "frame_rate_fps": round(self.frame_rate, 1),
+            "channels": f"{self.supported_channels[0]}x{self.supported_channels[1]}",
+            "mean_abs_error_samples": self.mean_abs_error_samples,
+            "max_abs_error_samples": self.max_abs_error_samples,
+        }
+
+
+def _utilization(device: FpgaDevice, demand: ResourceDemand) -> dict[str, float]:
+    return device.utilization(luts=demand.luts, registers=demand.registers,
+                              bram_bits=demand.bram_bits,
+                              dsp_slices=demand.dsp_slices)
+
+
+def tablefree_row(system: SystemConfig,
+                  device: FpgaDevice | None = None,
+                  cost_model: TableFreeCostModel | None = None,
+                  fit_to_device: bool = True) -> ArchitectureRow:
+    """Table II row for the TABLEFREE architecture.
+
+    With ``fit_to_device=True`` (the paper's normalisation) the number of
+    delay units is the largest that fits the device, which determines the
+    supported channel count; the frame rate follows from the clock alone.
+    """
+    device = device or virtex7_xc7vx1140t()
+    cost_model = cost_model or TableFreeCostModel()
+    if fit_to_device:
+        side = cost_model.max_square_aperture(device.luts)
+        n_units = side * side
+    else:
+        side = system.transducer.elements_x
+        n_units = system.transducer.element_count
+    demand = cost_model.demand(n_units)
+    utilization = _utilization(device, demand)
+    throughput = tablefree_throughput(
+        system, n_units=system.transducer.element_count,
+        clock_hz=cost_model.achievable_clock_hz)
+    return ArchitectureRow(
+        name="TABLEFREE",
+        lut_utilization=min(utilization["luts"], 1.0),
+        register_utilization=utilization["registers"],
+        bram_utilization=utilization["bram"],
+        clock_hz=cost_model.achievable_clock_hz,
+        offchip_bandwidth_bytes_per_second=0.0,
+        delay_rate=throughput.delay_rate,
+        frame_rate=throughput.achievable_frame_rate,
+        supported_channels=(side, side),
+        notes={"n_units_fitted": float(n_units),
+               "luts_demanded": demand.luts},
+    )
+
+
+def tablesteer_row(system: SystemConfig, total_bits: int,
+                   device: FpgaDevice | None = None,
+                   cost_model: TableSteerCostModel | None = None,
+                   n_blocks: int = 128,
+                   geometry: BlockGeometry | None = None,
+                   reference_table_entries: int | None = None,
+                   correction_value_count: int | None = None) -> ArchitectureRow:
+    """Table II row for a TABLESTEER design point of the given bit width."""
+    device = device or virtex7_xc7vx1140t()
+    cost_model = cost_model or TableSteerCostModel()
+    geometry = geometry or BlockGeometry(word_bits=total_bits)
+    ref_fmt, corr_fmt = tablesteer_formats(total_bits)
+
+    if reference_table_entries is None:
+        # One quadrant of the element grid, all depths (2.5e6 for the paper).
+        ex = system.transducer.elements_x
+        ey = system.transducer.elements_y
+        reference_table_entries = ((ex + 1) // 2) * ((ey + 1) // 2) * system.volume.n_depth
+    if correction_value_count is None:
+        # Separable corrections with cos(phi) symmetry (832e3 for the paper).
+        correction_value_count = (system.transducer.elements_x
+                                  * system.volume.n_theta
+                                  * ((system.volume.n_phi + 1) // 2)
+                                  + system.transducer.elements_y
+                                  * system.volume.n_phi)
+
+    correction_bits = correction_value_count * corr_fmt.total_bits
+    # On-chip BRAM allocation: the correction memories are read through the
+    # BRAMs' native 18-bit-wide ports regardless of the stored precision, so
+    # the occupied block capacity is counted at 18 bits per value.  This is
+    # why the paper reports the same 25 % BRAM figure for both the 14-bit and
+    # the 18-bit design points.
+    correction_bram_bits = correction_value_count * 18
+    demand = cost_model.demand(bits=total_bits, n_blocks=n_blocks,
+                               nx=geometry.nx, ny=geometry.ny,
+                               correction_storage_bits=correction_bram_bits)
+    utilization = _utilization(device, demand)
+    array = BlockArray(n_blocks=n_blocks, geometry=geometry)
+    throughput = tablesteer_throughput(
+        system, n_blocks=n_blocks,
+        delays_per_block_per_cycle=geometry.delays_per_cycle,
+        clock_hz=cost_model.achievable_clock_hz)
+    bandwidth = tablesteer_dram_bandwidth(
+        system, table_entries=reference_table_entries,
+        entry_bits=ref_fmt.total_bits)
+    return ArchitectureRow(
+        name=f"TABLESTEER-{total_bits}b",
+        lut_utilization=min(utilization["luts"], 1.0),
+        register_utilization=utilization["registers"],
+        bram_utilization=utilization["bram"],
+        clock_hz=cost_model.achievable_clock_hz,
+        offchip_bandwidth_bytes_per_second=bandwidth,
+        delay_rate=throughput.delay_rate,
+        frame_rate=throughput.achievable_frame_rate,
+        supported_channels=(system.transducer.elements_x,
+                            system.transducer.elements_y),
+        notes={
+            "reference_table_entries": float(reference_table_entries),
+            "correction_values": float(correction_value_count),
+            "streaming_bram_bits": float(array.total_bram_bits),
+            "correction_bram_bits": float(correction_bits),
+            "luts_demanded": demand.luts,
+        },
+    )
+
+
+def full_table_row(system: SystemConfig,
+                   baseline: FullTableBaseline | None = None) -> dict[str, float]:
+    """The naive precomputed-table strawman of Section II (not in Table II).
+
+    Returned as a plain dictionary because it has no meaningful FPGA
+    utilisation — the point is that its storage and bandwidth are absurd.
+    """
+    baseline = baseline or FullTableBaseline()
+    return {
+        "coefficients": float(baseline.coefficient_count(system)),
+        "storage_gigabytes": baseline.storage_bytes(system) / 1e9,
+        "bandwidth_terabytes_per_second":
+            baseline.access_bandwidth_bytes_per_second(system) / 1e12,
+        "delay_rate_per_second": baseline.delay_rate_per_second(system),
+    }
+
+
+def table2(system: SystemConfig,
+           device: FpgaDevice | None = None) -> list[ArchitectureRow]:
+    """All rows of Table II for a system configuration."""
+    device = device or virtex7_xc7vx1140t()
+    return [
+        tablefree_row(system, device=device),
+        tablesteer_row(system, total_bits=14, device=device),
+        tablesteer_row(system, total_bits=18, device=device),
+    ]
+
+
+def format_table2(rows: list[ArchitectureRow]) -> str:
+    """Render Table II rows as an aligned text table for examples/benchmarks."""
+    headers = ["Architecture", "LUTs", "Regs", "BRAM", "Clock",
+               "DRAM BW", "Throughput", "Frame rate", "Channels"]
+    lines = []
+    data = []
+    for row in rows:
+        d = row.as_dict()
+        data.append([
+            d["architecture"],
+            f"{d['luts_pct']:.0f}%",
+            f"{d['registers_pct']:.0f}%",
+            f"{d['bram_pct']:.0f}%",
+            f"{d['clock_mhz']:.0f} MHz",
+            "none" if d["dram_gb_per_s"] == 0 else f"{d['dram_gb_per_s']:.1f} GB/s",
+            f"{d['throughput_tdelays_per_s']:.2f} Tdelays/s",
+            f"{d['frame_rate_fps']:.1f} fps",
+            d["channels"],
+        ])
+    widths = [max(len(headers[i]), max(len(row[i]) for row in data))
+              for i in range(len(headers))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in data:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Analytical resource-cost models for the two delay architectures.
+
+These models replace the Vivado synthesis runs of Section VI-B: each
+architecture's demand for LUTs, registers, BRAM bits and off-chip bandwidth
+is expressed as a function of its structural parameters (number of delay
+units, adder width, BRAM banks, table sizes).  The per-primitive coefficients
+are calibrated once against the utilisation percentages the paper reports for
+the XC7VX1140T and then reused for every what-if experiment (smaller probes,
+different bit widths, UltraScale projection), which is exactly how the
+authors use their synthesis numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+
+
+@dataclass(frozen=True)
+class ResourceDemand:
+    """Resource demand of one design point."""
+
+    luts: float
+    registers: float
+    bram_bits: float
+    dsp_slices: float = 0.0
+
+    def scaled(self, factor: float) -> "ResourceDemand":
+        """Demand multiplied by a replication factor."""
+        return ResourceDemand(luts=self.luts * factor,
+                              registers=self.registers * factor,
+                              bram_bits=self.bram_bits * factor,
+                              dsp_slices=self.dsp_slices * factor)
+
+    def plus(self, other: "ResourceDemand") -> "ResourceDemand":
+        """Sum of two demands."""
+        return ResourceDemand(luts=self.luts + other.luts,
+                              registers=self.registers + other.registers,
+                              bram_bits=self.bram_bits + other.bram_bits,
+                              dsp_slices=self.dsp_slices + other.dsp_slices)
+
+
+# ---------------------------------------------------------------------------
+# TABLEFREE
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableFreeCostModel:
+    """Per-delay-unit cost of the TABLEFREE datapath.
+
+    One unit serves one transducer element and produces one delay per clock.
+    The unit contains the incremental argument-update adders, the PWL
+    multiply-add (mapped to LUT fabric, which is what limits the clock to
+    ~167 MHz on Virtex-7) and the small c1/c0 segment LUTs.
+
+    Default coefficients are calibrated so that the largest single-chip
+    design point on the XC7VX1140T supports a 42 x 42 aperture at 100 % LUT /
+    23 % register utilisation, matching Table II.
+    """
+
+    luts_per_unit: float = 400.0
+    registers_per_unit: float = 186.0
+    dsp_per_unit: float = 0.0
+    segment_lut_bits_per_unit: float = 70.0 * (30.0 + 21.0 + 24.0)
+    """c1 (30 b), c0 (21 b) and breakpoint (24 b) storage for 70 segments;
+    implemented in distributed RAM, hence no BRAM demand."""
+
+    achievable_clock_hz: float = 167.0e6
+    """Post-place clock on Virtex-7 (limited by the LUT-fabric multiplier)."""
+
+    control_overhead_luts: float = 5000.0
+    """Shared sequencing/control logic independent of the unit count."""
+
+    def unit_demand(self) -> ResourceDemand:
+        """Resource demand of a single delay unit."""
+        return ResourceDemand(luts=self.luts_per_unit,
+                              registers=self.registers_per_unit,
+                              bram_bits=0.0,
+                              dsp_slices=self.dsp_per_unit)
+
+    def demand(self, n_units: int) -> ResourceDemand:
+        """Total demand of ``n_units`` delay units plus shared control."""
+        total = self.unit_demand().scaled(n_units)
+        return total.plus(ResourceDemand(luts=self.control_overhead_luts,
+                                         registers=0.0, bram_bits=0.0))
+
+    def max_units(self, available_luts: float) -> int:
+        """Largest number of delay units that fits a LUT budget."""
+        usable = max(0.0, available_luts - self.control_overhead_luts)
+        return int(usable // self.luts_per_unit)
+
+    def max_square_aperture(self, available_luts: float) -> int:
+        """Largest ``n`` such that an ``n x n`` aperture fits the LUT budget.
+
+        Table II reports 42 x 42 for the XC7VX1140T.
+        """
+        units = self.max_units(available_luts)
+        n = int(units ** 0.5)
+        return n
+
+
+# ---------------------------------------------------------------------------
+# TABLESTEER
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableSteerCostModel:
+    """Per-block cost of the TABLESTEER memory-centric architecture (Fig. 4).
+
+    Each block is built around one BRAM bank holding a slice of the reference
+    delay table and applies all permutations of ``nx`` x-corrections and
+    ``ny`` y-corrections to the delay sample it reads each cycle, producing
+    ``nx * ny`` steered delays per clock.  That requires
+    ``nx + ny * nx`` adders (8 + 16*8 = 136 in the paper), of which
+    ``nx * ny`` also perform the final rounding.
+
+    Adder cost is affine in the operand width; the default coefficients are
+    calibrated to reproduce the 91 % / 100 % LUT and 25 % / 30 % register
+    utilisation of the 14-bit / 18-bit design points in Table II.
+    """
+
+    adder_luts_base: float = 23.4
+    adder_luts_per_bit: float = 0.925
+    adder_registers_base: float = 5.5
+    adder_registers_per_bit: float = 1.02
+    control_luts_per_block: float = 120.0
+    control_registers_per_block: float = 80.0
+    bram_lines_per_block: int = 1024
+    achievable_clock_hz: float = 200.0e6
+
+    def adder_luts(self, bits: int) -> float:
+        """LUTs per adder at the given operand width."""
+        return self.adder_luts_base + self.adder_luts_per_bit * bits
+
+    def adder_registers(self, bits: int) -> float:
+        """Flip-flops per adder at the given operand width."""
+        return self.adder_registers_base + self.adder_registers_per_bit * bits
+
+    def adders_per_block(self, nx: int, ny: int) -> int:
+        """Adder count per block: ``nx`` x-stage adders plus ``nx * ny`` outputs."""
+        return nx + nx * ny
+
+    def block_demand(self, bits: int, nx: int, ny: int) -> ResourceDemand:
+        """Resource demand of one delay computation block."""
+        n_adders = self.adders_per_block(nx, ny)
+        luts = n_adders * self.adder_luts(bits) + self.control_luts_per_block
+        registers = (n_adders * self.adder_registers(bits)
+                     + self.control_registers_per_block)
+        bram_bits = self.bram_lines_per_block * bits
+        return ResourceDemand(luts=luts, registers=registers, bram_bits=bram_bits)
+
+    def demand(self, bits: int, n_blocks: int, nx: int, ny: int,
+               correction_storage_bits: float) -> ResourceDemand:
+        """Total demand: replicated blocks plus on-chip correction storage."""
+        blocks = self.block_demand(bits, nx, ny).scaled(n_blocks)
+        corrections = ResourceDemand(luts=0.0, registers=0.0,
+                                     bram_bits=correction_storage_bits)
+        return blocks.plus(corrections)
+
+    def delays_per_cycle(self, n_blocks: int, nx: int, ny: int) -> int:
+        """Steered delay samples produced per clock by ``n_blocks`` blocks."""
+        return n_blocks * nx * ny
+
+
+# ---------------------------------------------------------------------------
+# Naive full-table baseline (Section II-B / II-C)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FullTableBaseline:
+    """The strawman the paper argues against: precompute every delay.
+
+    Storage is one coefficient per (focal point, element) pair; the access
+    bandwidth is that same count per frame, times the frame rate.  The point
+    of experiment E1 is that both numbers are orders of magnitude beyond any
+    realistic memory system (hundreds of gigabytes, terabytes per second).
+    """
+
+    bits_per_coefficient: int = 13
+
+    def coefficient_count(self, system: SystemConfig) -> int:
+        """Number of coefficients without any optimisation (~164e9)."""
+        return system.theoretical_delay_count
+
+    def storage_bytes(self, system: SystemConfig) -> float:
+        """Storage requirement in bytes."""
+        return self.coefficient_count(system) * self.bits_per_coefficient / 8.0
+
+    def access_bandwidth_bytes_per_second(self, system: SystemConfig) -> float:
+        """Sustained coefficient-fetch bandwidth for realtime imaging [B/s]."""
+        coefficients_per_second = (self.coefficient_count(system)
+                                   * system.beamformer.frame_rate)
+        return coefficients_per_second * self.bits_per_coefficient / 8.0
+
+    def delay_rate_per_second(self, system: SystemConfig) -> float:
+        """Delay coefficients consumed per second (~2.5e12 for the paper)."""
+        return float(self.coefficient_count(system) * system.beamformer.frame_rate)

@@ -1,0 +1,194 @@
+"""Design-space exploration around the paper's two architectures.
+
+The paper evaluates one design point per architecture on one device and then
+argues informally about scaling ("twice the LUT count", "10-15 fps should be
+possible in the upcoming 16-nm family", "1 fps per 20 MHz").  This module
+turns those arguments into explicit sweeps:
+
+* :func:`tablefree_frequency_sweep` — frame rate and target feasibility as a
+  function of the achievable clock;
+* :func:`tablefree_device_sweep` — supported aperture as a function of the
+  device LUT capacity (Virtex-7, UltraScale, and hypothetical scaling);
+* :func:`tablesteer_block_sweep` — frame rate and resource cost as a function
+  of the number of replicated Fig. 4 blocks;
+* :func:`aperture_sweep` — how both architectures' costs scale when the
+  probe grows from 32x32 to 128x128 elements;
+* :func:`find_minimum_design` — smallest TABLESTEER block count (and the
+  implied resources) that reaches a requested volume rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from .device import FpgaDevice, virtex7_xc7vx1140t
+from .resources import TableFreeCostModel, TableSteerCostModel
+from .timing import tablefree_throughput, tablesteer_throughput
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration of an architecture sweep."""
+
+    label: str
+    frame_rate: float
+    meets_target: bool
+    lut_fraction: float
+    register_fraction: float
+    bram_fraction: float
+    parameters: dict[str, float]
+
+    def as_dict(self) -> dict[str, object]:
+        """Design point as a plain dictionary."""
+        return {
+            "label": self.label,
+            "frame_rate": self.frame_rate,
+            "meets_target": self.meets_target,
+            "lut_fraction": self.lut_fraction,
+            "register_fraction": self.register_fraction,
+            "bram_fraction": self.bram_fraction,
+            **self.parameters,
+        }
+
+
+def tablefree_frequency_sweep(system: SystemConfig,
+                              clocks_hz: tuple[float, ...] = (
+                                  100e6, 125e6, 167e6, 200e6, 250e6, 330e6, 400e6),
+                              ) -> list[DesignPoint]:
+    """TABLEFREE volume rate versus clock frequency (the "1 fps / 20 MHz" rule)."""
+    model = TableFreeCostModel()
+    device = virtex7_xc7vx1140t()
+    demand = model.demand(system.transducer.element_count)
+    points = []
+    for clock in clocks_hz:
+        report = tablefree_throughput(system,
+                                      n_units=system.transducer.element_count,
+                                      clock_hz=clock)
+        points.append(DesignPoint(
+            label=f"TABLEFREE@{clock / 1e6:.0f}MHz",
+            frame_rate=report.achievable_frame_rate,
+            meets_target=report.meets_target,
+            lut_fraction=demand.luts / device.luts,
+            register_fraction=demand.registers / device.registers,
+            bram_fraction=0.0,
+            parameters={"clock_mhz": clock / 1e6,
+                        "units": float(system.transducer.element_count)},
+        ))
+    return points
+
+
+def tablefree_device_sweep(system: SystemConfig,
+                           lut_scaling: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0),
+                           base_device: FpgaDevice | None = None) -> list[DesignPoint]:
+    """Supported aperture versus device size (process-node scaling argument)."""
+    base_device = base_device or virtex7_xc7vx1140t()
+    model = TableFreeCostModel()
+    points = []
+    for factor in lut_scaling:
+        luts = base_device.luts * factor
+        side = model.max_square_aperture(luts)
+        demand = model.demand(side * side)
+        report = tablefree_throughput(system, n_units=side * side,
+                                      clock_hz=model.achievable_clock_hz)
+        points.append(DesignPoint(
+            label=f"{factor:.1f}x {base_device.name}",
+            frame_rate=report.achievable_frame_rate,
+            meets_target=(side >= system.transducer.elements_x
+                          and report.meets_target),
+            lut_fraction=demand.luts / luts,
+            register_fraction=demand.registers / (base_device.registers * factor),
+            bram_fraction=0.0,
+            parameters={"lut_scaling": factor, "supported_side": float(side)},
+        ))
+    return points
+
+
+def tablesteer_block_sweep(system: SystemConfig,
+                           block_counts: tuple[int, ...] = (16, 32, 64, 96, 128, 192, 256),
+                           total_bits: int = 18,
+                           device: FpgaDevice | None = None) -> list[DesignPoint]:
+    """TABLESTEER volume rate and resources versus the number of Fig. 4 blocks."""
+    device = device or virtex7_xc7vx1140t()
+    model = TableSteerCostModel()
+    correction_values = (system.transducer.elements_x * system.volume.n_theta
+                         * ((system.volume.n_phi + 1) // 2)
+                         + system.transducer.elements_y * system.volume.n_phi)
+    points = []
+    for n_blocks in block_counts:
+        demand = model.demand(total_bits, n_blocks, 8, 16,
+                              correction_storage_bits=correction_values * 18)
+        report = tablesteer_throughput(system, n_blocks=n_blocks,
+                                       delays_per_block_per_cycle=128,
+                                       clock_hz=model.achievable_clock_hz)
+        points.append(DesignPoint(
+            label=f"TABLESTEER-{total_bits}b x{n_blocks}",
+            frame_rate=report.achievable_frame_rate,
+            meets_target=report.meets_target,
+            lut_fraction=demand.luts / device.luts,
+            register_fraction=demand.registers / device.registers,
+            bram_fraction=demand.bram_bits / device.bram_bits,
+            parameters={"blocks": float(n_blocks), "bits": float(total_bits)},
+        ))
+    return points
+
+
+def aperture_sweep(system: SystemConfig,
+                   sides: tuple[int, ...] = (32, 48, 64, 80, 100, 128),
+                   device: FpgaDevice | None = None) -> list[dict[str, float]]:
+    """Cost of both architectures as the probe aperture grows.
+
+    Returns one row per aperture side with the TABLEFREE LUT demand (one unit
+    per element) and the TABLESTEER reference-table size (which scales with
+    the element count but not with the delay-unit count).
+    """
+    device = device or virtex7_xc7vx1140t()
+    free_model = TableFreeCostModel()
+    rows = []
+    for side in sides:
+        scaled = system.with_transducer(elements_x=side, elements_y=side)
+        free_demand = free_model.demand(side * side)
+        table_entries = ((side + 1) // 2) ** 2 * scaled.volume.n_depth
+        rows.append({
+            "side": float(side),
+            "tablefree_lut_fraction": free_demand.luts / device.luts,
+            "tablefree_fits": float(free_demand.luts <= device.luts),
+            "tablesteer_table_megabits_18b": table_entries * 18 / 1e6,
+            "tablesteer_table_fits_bram": float(
+                table_entries * 18 <= device.bram_bits),
+            "delay_rate_required": scaled.delay_throughput_required,
+        })
+    return rows
+
+
+def find_minimum_design(system: SystemConfig, target_frame_rate: float,
+                        total_bits: int = 18,
+                        max_blocks: int = 1024) -> DesignPoint | None:
+    """Smallest TABLESTEER block count reaching a requested volume rate.
+
+    Returns ``None`` if no block count up to ``max_blocks`` reaches the target
+    (e.g. unrealistically high rates).
+    """
+    model = TableSteerCostModel()
+    device = virtex7_xc7vx1140t()
+    target_system = system.with_beamformer(frame_rate=target_frame_rate)
+    for n_blocks in range(1, max_blocks + 1):
+        report = tablesteer_throughput(target_system, n_blocks=n_blocks,
+                                       delays_per_block_per_cycle=128,
+                                       clock_hz=model.achievable_clock_hz)
+        if report.meets_target:
+            demand = model.demand(total_bits, n_blocks, 8, 16,
+                                  correction_storage_bits=0)
+            return DesignPoint(
+                label=f"TABLESTEER-{total_bits}b x{n_blocks}",
+                frame_rate=report.achievable_frame_rate,
+                meets_target=True,
+                lut_fraction=demand.luts / device.luts,
+                register_fraction=demand.registers / device.registers,
+                bram_fraction=demand.bram_bits / device.bram_bits,
+                parameters={"blocks": float(n_blocks),
+                            "target_frame_rate": target_frame_rate},
+            )
+    return None

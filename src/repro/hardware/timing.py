@@ -1,0 +1,124 @@
+"""Throughput, frame-rate and bandwidth models.
+
+The end goal of both architectures is to sustain the delay-value throughput
+realtime 3D imaging needs (~2.5e12 delays/s for 15 volumes/s, Section II-C).
+This module converts structural parameters (units/blocks, delays per cycle,
+clock) into delay throughput and achievable volume rate, and estimates the
+off-chip traffic of the TABLESTEER streaming scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+
+
+def required_delay_rate(system: SystemConfig) -> float:
+    """Delay values per second needed for realtime imaging (Section II-C)."""
+    return float(system.theoretical_delay_count * system.beamformer.frame_rate)
+
+
+def delays_per_volume(system: SystemConfig) -> float:
+    """Delay values needed to reconstruct a single volume."""
+    return float(system.theoretical_delay_count)
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Throughput and volume-rate figures for one architecture design point."""
+
+    architecture: str
+    clock_hz: float
+    delays_per_cycle: float
+    delay_rate: float
+    required_rate: float
+    achievable_frame_rate: float
+    target_frame_rate: float
+
+    @property
+    def meets_target(self) -> bool:
+        """True if the design sustains the target volume rate."""
+        return self.achievable_frame_rate >= self.target_frame_rate - 1e-9
+
+    @property
+    def headroom(self) -> float:
+        """Ratio of delivered to required delay rate."""
+        if self.required_rate == 0:
+            return float("inf")
+        return self.delay_rate / self.required_rate
+
+
+def tablefree_throughput(system: SystemConfig, n_units: int,
+                         clock_hz: float,
+                         cycles_per_point_overhead: float = 1.3) -> ThroughputReport:
+    """Throughput of a TABLEFREE array with one delay unit per channel.
+
+    All units operate in lock-step on the same focal point, so a frame takes
+    ``focal_points * overhead`` cycles regardless of the unit count; the
+    delay rate scales with the number of instantiated units.  The default
+    overhead factor (pipeline fill, nappe turnaround) is calibrated to the
+    paper's "about 1 fps per 20 MHz" rule, which gives 7.8 fps at 167 MHz.
+    """
+    points = system.volume.focal_point_count
+    cycles_per_frame = points * cycles_per_point_overhead
+    frame_rate = clock_hz / cycles_per_frame
+    delay_rate = n_units * clock_hz
+    return ThroughputReport(
+        architecture="TABLEFREE",
+        clock_hz=clock_hz,
+        delays_per_cycle=float(n_units),
+        delay_rate=float(delay_rate),
+        required_rate=required_delay_rate(system),
+        achievable_frame_rate=float(frame_rate),
+        target_frame_rate=system.beamformer.frame_rate,
+    )
+
+
+def tablesteer_throughput(system: SystemConfig, n_blocks: int,
+                          delays_per_block_per_cycle: int,
+                          clock_hz: float) -> ThroughputReport:
+    """Throughput of the TABLESTEER block array (Fig. 4).
+
+    Each block produces ``delays_per_block_per_cycle`` steered delays per
+    clock (128 in the paper: 8 x 16 correction permutations); the volume rate
+    follows from dividing the aggregate delay rate by the delays needed per
+    volume.
+    """
+    delays_per_cycle = n_blocks * delays_per_block_per_cycle
+    delay_rate = delays_per_cycle * clock_hz
+    frame_rate = delay_rate / delays_per_volume(system)
+    return ThroughputReport(
+        architecture="TABLESTEER",
+        clock_hz=clock_hz,
+        delays_per_cycle=float(delays_per_cycle),
+        delay_rate=float(delay_rate),
+        required_rate=required_delay_rate(system),
+        achievable_frame_rate=float(frame_rate),
+        target_frame_rate=system.beamformer.frame_rate,
+    )
+
+
+def tablesteer_dram_bandwidth(system: SystemConfig, table_entries: int,
+                              entry_bits: int,
+                              target_frame_rate: float | None = None) -> float:
+    """Unidirectional DRAM bandwidth of the table-streaming scheme [B/s].
+
+    The full (pruned) reference table is re-fetched once per insonification;
+    at 64 insonifications per volume and 15 volumes/s that is 960 fetches/s,
+    which for the 45 Mb 18-bit table gives ~5.4 GB/s (the paper quotes
+    5.3 GB/s).
+    """
+    if target_frame_rate is None:
+        target_frame_rate = system.beamformer.frame_rate
+    insonifications_per_second = (target_frame_rate
+                                  * system.beamformer.insonifications_per_volume)
+    table_bytes = table_entries * entry_bits / 8.0
+    return float(table_bytes * insonifications_per_second)
+
+
+def frames_per_second_per_mhz(system: SystemConfig,
+                              cycles_per_point_overhead: float = 1.3) -> float:
+    """TABLEFREE volume rate per MHz of clock (the paper's "1 fps per 20 MHz")."""
+    points = system.volume.focal_point_count
+    return 1.0e6 / (points * cycles_per_point_overhead)

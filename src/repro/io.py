@@ -1,0 +1,180 @@
+"""Export and import of delay tables and correction coefficients.
+
+A hardware team consuming this library needs the TABLESTEER data structures
+as packed binary images (the BRAM initialisation contents / the DRAM table
+the streaming scheme fetches).  This module serialises:
+
+* the pruned reference delay table, quantised to its fixed-point format and
+  packed into the smallest unsigned integer dtype that holds it;
+* the separable steering-correction terms, quantised and stored as signed
+  integers (raw two's-complement codes);
+* the metadata needed to interpret them (Q formats, grid dimensions, system
+  parameters),
+
+into a single ``.npz`` archive, and loads them back into NumPy arrays with
+the represented floating-point values reconstructed.  Round-tripping through
+the archive is exact by construction (the stored codes are the ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .config import SystemConfig
+from .core.reference_table import ReferenceDelayTable
+from .core.steering import SteeringCorrections
+from .fixedpoint.format import QFormat, tablesteer_formats
+from .fixedpoint.quantize import from_raw, to_raw
+
+_FORMAT_VERSION = 1
+
+
+def _uint_dtype_for(bits: int) -> np.dtype:
+    if bits <= 8:
+        return np.dtype(np.uint8)
+    if bits <= 16:
+        return np.dtype(np.uint16)
+    if bits <= 32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+def _int_dtype_for(bits: int) -> np.dtype:
+    if bits <= 8:
+        return np.dtype(np.int8)
+    if bits <= 16:
+        return np.dtype(np.int16)
+    if bits <= 32:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+@dataclass(frozen=True)
+class ExportedTables:
+    """In-memory view of an exported (or re-loaded) table archive."""
+
+    reference_raw: np.ndarray
+    reference_format: QFormat
+    x_terms_raw: np.ndarray
+    y_terms_raw: np.ndarray
+    correction_format: QFormat
+    total_bits: int
+    system_name: str
+    grid_shape: tuple[int, int, int]
+
+    @property
+    def reference_samples(self) -> np.ndarray:
+        """Reference delays as represented floating-point sample values."""
+        return from_raw(self.reference_raw.astype(np.int64), self.reference_format)
+
+    @property
+    def x_terms_samples(self) -> np.ndarray:
+        """X-direction correction terms as floating-point sample values."""
+        return from_raw(self.x_terms_raw.astype(np.int64), self.correction_format)
+
+    @property
+    def y_terms_samples(self) -> np.ndarray:
+        """Y-direction correction terms as floating-point sample values."""
+        return from_raw(self.y_terms_raw.astype(np.int64), self.correction_format)
+
+    def storage_bits(self) -> int:
+        """Total payload size in bits at the nominal fixed-point widths."""
+        return (self.reference_raw.size * self.reference_format.total_bits
+                + (self.x_terms_raw.size + self.y_terms_raw.size)
+                * self.correction_format.total_bits)
+
+
+def export_tablesteer_tables(system: SystemConfig, path: str | Path,
+                             total_bits: int = 18) -> ExportedTables:
+    """Build, quantise and write the TABLESTEER tables for ``system``.
+
+    Returns the in-memory :class:`ExportedTables` that was written, so callers
+    can inspect what landed on disk without re-reading it.
+    """
+    path = Path(path)
+    ref_fmt, corr_fmt = tablesteer_formats(total_bits)
+    reference = ReferenceDelayTable.build(system)
+    corrections = SteeringCorrections.build(system)
+
+    reference_raw = to_raw(reference.quadrant, ref_fmt)
+    x_raw = to_raw(corrections.x_terms, corr_fmt)
+    y_raw = to_raw(corrections.y_terms, corr_fmt)
+
+    exported = ExportedTables(
+        reference_raw=reference_raw.astype(_uint_dtype_for(ref_fmt.total_bits)),
+        reference_format=ref_fmt,
+        x_terms_raw=x_raw.astype(_int_dtype_for(corr_fmt.total_bits)),
+        y_terms_raw=y_raw.astype(_int_dtype_for(corr_fmt.total_bits)),
+        correction_format=corr_fmt,
+        total_bits=total_bits,
+        system_name=system.name,
+        grid_shape=(system.volume.n_theta, system.volume.n_phi,
+                    system.volume.n_depth),
+    )
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        total_bits=np.int64(total_bits),
+        system_name=np.bytes_(system.name.encode()),
+        grid_shape=np.array(exported.grid_shape, dtype=np.int64),
+        reference_raw=exported.reference_raw,
+        reference_integer_bits=np.int64(ref_fmt.integer_bits),
+        reference_fraction_bits=np.int64(ref_fmt.fraction_bits),
+        x_terms_raw=exported.x_terms_raw,
+        y_terms_raw=exported.y_terms_raw,
+        correction_integer_bits=np.int64(corr_fmt.integer_bits),
+        correction_fraction_bits=np.int64(corr_fmt.fraction_bits),
+    )
+    return exported
+
+
+def load_tablesteer_tables(path: str | Path) -> ExportedTables:
+    """Load a table archive written by :func:`export_tablesteer_tables`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported table archive version {version}")
+        ref_fmt = QFormat(int(archive["reference_integer_bits"]),
+                          int(archive["reference_fraction_bits"]), signed=False)
+        corr_fmt = QFormat(int(archive["correction_integer_bits"]),
+                           int(archive["correction_fraction_bits"]), signed=True)
+        grid_shape = tuple(int(x) for x in archive["grid_shape"])
+        return ExportedTables(
+            reference_raw=archive["reference_raw"],
+            reference_format=ref_fmt,
+            x_terms_raw=archive["x_terms_raw"],
+            y_terms_raw=archive["y_terms_raw"],
+            correction_format=corr_fmt,
+            total_bits=int(archive["total_bits"]),
+            system_name=bytes(archive["system_name"]).decode(),
+            grid_shape=grid_shape,  # type: ignore[arg-type]
+        )
+
+
+def export_bram_initialisation(exported: ExportedTables, n_banks: int = 128,
+                               bank_words: int = 1024) -> list[np.ndarray]:
+    """Split the reference table into per-BRAM-bank initialisation images.
+
+    Depth slices are staggered across the banks (Section V-B) and each bank's
+    words are returned as raw integer codes, padded with zeros to the bank
+    size; the list has one array of ``bank_words`` codes per bank chunk.
+    Only the first ``n_banks * bank_words`` words of the flattened table are
+    covered per chunk — the streaming controller cycles through chunks at
+    runtime.
+    """
+    if n_banks < 1 or bank_words < 1:
+        raise ValueError("bank geometry must be positive")
+    flat = exported.reference_raw.reshape(-1)
+    words_per_chunk = n_banks * bank_words
+    banks = []
+    chunk = flat[:words_per_chunk]
+    for bank in range(n_banks):
+        words = chunk[bank::n_banks][:bank_words]
+        padded = np.zeros(bank_words, dtype=flat.dtype)
+        padded[:len(words)] = words
+        banks.append(padded)
+    return banks

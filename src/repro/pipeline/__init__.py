@@ -1,0 +1,19 @@
+"""High-level imaging pipeline and multi-insonification acquisition."""
+
+from .compounding import InsonificationPlan, acquisition_summary, compound_volume
+from .imaging import (
+    DelayArchitecture,
+    ImagingPipeline,
+    compare_architectures,
+    make_delay_provider,
+)
+
+__all__ = [
+    "DelayArchitecture",
+    "ImagingPipeline",
+    "make_delay_provider",
+    "compare_architectures",
+    "InsonificationPlan",
+    "compound_volume",
+    "acquisition_summary",
+]

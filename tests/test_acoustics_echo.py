@@ -1,0 +1,101 @@
+"""Tests for repro.acoustics.echo: synthetic channel-data generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.echo import ChannelData, EchoSimulator
+from repro.acoustics.phantom import Phantom, point_target
+from repro.core.exact import ExactDelayEngine
+
+
+class TestChannelData:
+    def test_shape_properties(self):
+        data = ChannelData(samples=np.zeros((4, 100)), sampling_frequency=32e6)
+        assert data.element_count == 4
+        assert data.sample_count == 100
+
+    def test_sample_at_basic_lookup(self):
+        samples = np.arange(12, dtype=float).reshape(3, 4)
+        data = ChannelData(samples=samples, sampling_frequency=32e6)
+        values = data.sample_at(np.array([0, 1, 2]), np.array([1, 2, 3]))
+        np.testing.assert_allclose(values, [1.0, 6.0, 11.0])
+
+    def test_sample_at_out_of_range_returns_zero(self):
+        data = ChannelData(samples=np.ones((2, 10)), sampling_frequency=32e6)
+        values = data.sample_at(np.array([0, 0, 1]), np.array([-1, 10, 5]))
+        np.testing.assert_allclose(values, [0.0, 0.0, 1.0])
+
+    def test_sample_at_preserves_shape(self):
+        data = ChannelData(samples=np.ones((4, 10)), sampling_frequency=32e6)
+        elements = np.zeros((3, 4), dtype=int)
+        delays = np.full((3, 4), 5)
+        assert data.sample_at(elements, delays).shape == (3, 4)
+
+
+class TestEchoSimulator:
+    def test_trace_dimensions(self, tiny, tiny_channel_data):
+        assert tiny_channel_data.element_count == tiny.transducer.element_count
+        assert tiny_channel_data.sample_count == tiny.echo_buffer_samples
+
+    def test_empty_phantom_gives_silence(self, tiny):
+        simulator = EchoSimulator.from_config(tiny)
+        phantom = Phantom(positions=np.zeros((0, 3)), amplitudes=np.zeros(0))
+        data = simulator.simulate(phantom)
+        assert np.all(data.samples == 0)
+
+    def test_echo_arrives_at_exact_delay(self, tiny):
+        """The peak of each element's trace sits at the exact two-way delay."""
+        grid_depth = 0.01
+        simulator = EchoSimulator.from_config(tiny)
+        data = simulator.simulate(point_target(depth=grid_depth))
+        exact = ExactDelayEngine.from_config(tiny)
+        expected_indices = exact.delay_indices(np.array([[0.0, 0.0, grid_depth]]))[0]
+        for element in range(0, tiny.transducer.element_count, 13):
+            trace = np.abs(data.samples[element])
+            if trace.max() == 0:
+                continue
+            peak = int(np.argmax(trace))
+            assert abs(peak - expected_indices[element]) <= 2
+
+    def test_amplitude_scales_linearly(self, tiny):
+        simulator = EchoSimulator.from_config(tiny)
+        weak = simulator.simulate(point_target(depth=0.01, amplitude=1.0))
+        strong = simulator.simulate(point_target(depth=0.01, amplitude=2.0))
+        np.testing.assert_allclose(strong.samples, 2.0 * weak.samples, atol=1e-12)
+
+    def test_superposition_of_scatterers(self, tiny):
+        simulator = EchoSimulator.from_config(tiny)
+        a = point_target(depth=0.008)
+        b = point_target(depth=0.012)
+        combined = simulator.simulate(a.merged_with(b))
+        separate = simulator.simulate(a).samples + simulator.simulate(b).samples
+        np.testing.assert_allclose(combined.samples, separate, atol=1e-12)
+
+    def test_noise_is_reproducible_and_additive(self, tiny):
+        simulator = EchoSimulator.from_config(tiny)
+        phantom = point_target(depth=0.01)
+        clean = simulator.simulate(phantom, noise_std=0.0)
+        noisy_a = simulator.simulate(phantom, noise_std=0.1, seed=42)
+        noisy_b = simulator.simulate(phantom, noise_std=0.1, seed=42)
+        np.testing.assert_allclose(noisy_a.samples, noisy_b.samples)
+        assert not np.allclose(noisy_a.samples, clean.samples)
+        residual = noisy_a.samples - clean.samples
+        assert abs(np.std(residual) - 0.1) < 0.01
+
+    def test_far_target_arrives_later(self, tiny):
+        simulator = EchoSimulator.from_config(tiny)
+        near = simulator.simulate(point_target(depth=0.005))
+        far = simulator.simulate(point_target(depth=0.012))
+        element = tiny.transducer.element_count // 2
+        near_peak = int(np.argmax(np.abs(near.samples[element])))
+        far_peak = int(np.argmax(np.abs(far.samples[element])))
+        assert far_peak > near_peak
+
+    def test_out_of_range_scatterer_contributes_nothing(self, tiny):
+        simulator = EchoSimulator.from_config(tiny)
+        # A scatterer much deeper than the echo buffer records.
+        deep = point_target(depth=10.0)
+        data = simulator.simulate(deep)
+        assert np.all(data.samples == 0)

@@ -1,0 +1,121 @@
+"""Tests for repro.acoustics.phantom: scatterer collections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.phantom import (
+    Phantom,
+    cyst_phantom,
+    point_grid,
+    point_target,
+    speckle_phantom,
+)
+from repro.geometry.coordinates import cartesian_to_spherical
+
+
+class TestPhantomBasics:
+    def test_counts_must_match(self):
+        with pytest.raises(ValueError):
+            Phantom(positions=np.zeros((3, 3)), amplitudes=np.ones(2))
+
+    def test_positions_must_be_3d(self):
+        with pytest.raises(ValueError):
+            Phantom(positions=np.zeros((3, 2)), amplitudes=np.ones(3))
+
+    def test_scatterer_count(self):
+        phantom = Phantom(positions=np.zeros((5, 3)), amplitudes=np.ones(5))
+        assert phantom.scatterer_count == 5
+
+    def test_single_scatterer_shapes_normalised(self):
+        phantom = Phantom(positions=np.array([1.0, 2.0, 3.0]),
+                          amplitudes=np.array(2.0))
+        assert phantom.positions.shape == (1, 3)
+        assert phantom.amplitudes.shape == (1,)
+
+    def test_merged_with(self):
+        a = point_target(depth=0.01)
+        b = point_target(depth=0.02, amplitude=3.0)
+        merged = a.merged_with(b, name="pair")
+        assert merged.scatterer_count == 2
+        assert merged.name == "pair"
+        np.testing.assert_allclose(merged.amplitudes, [1.0, 3.0])
+
+
+class TestPointTarget:
+    def test_on_axis_position(self):
+        phantom = point_target(depth=0.05)
+        np.testing.assert_allclose(phantom.positions[0], [0, 0, 0.05], atol=1e-12)
+
+    def test_steered_position_radius(self):
+        phantom = point_target(depth=0.03, theta=0.3, phi=-0.2)
+        assert np.linalg.norm(phantom.positions[0]) == pytest.approx(0.03)
+
+    def test_amplitude(self):
+        phantom = point_target(depth=0.05, amplitude=2.5)
+        assert phantom.amplitudes[0] == 2.5
+
+
+class TestPointGrid:
+    def test_default_has_27_targets(self, small):
+        phantom = point_grid(small)
+        assert phantom.scatterer_count == 27
+
+    def test_custom_axes(self, small):
+        phantom = point_grid(small, depths=np.array([0.01, 0.02]),
+                             thetas=np.array([0.0]), phis=np.array([0.0, 0.1, 0.2]))
+        assert phantom.scatterer_count == 6
+
+    def test_all_targets_inside_volume(self, small):
+        phantom = point_grid(small)
+        theta, phi, r = cartesian_to_spherical(phantom.positions)
+        assert np.all(np.abs(theta) <= small.volume.theta_max + 1e-9)
+        assert np.all(np.abs(phi) <= small.volume.phi_max + 1e-9)
+        assert np.all(r <= small.volume.depth_max + 1e-9)
+        assert np.all(r >= small.volume.depth_min - 1e-9)
+
+
+class TestSpecklePhantom:
+    def test_count_and_determinism(self, small):
+        a = speckle_phantom(small, n_scatterers=500, seed=3)
+        b = speckle_phantom(small, n_scatterers=500, seed=3)
+        assert a.scatterer_count == 500
+        np.testing.assert_allclose(a.positions, b.positions)
+        np.testing.assert_allclose(a.amplitudes, b.amplitudes)
+
+    def test_different_seed_differs(self, small):
+        a = speckle_phantom(small, n_scatterers=100, seed=1)
+        b = speckle_phantom(small, n_scatterers=100, seed=2)
+        assert not np.allclose(a.positions, b.positions)
+
+    def test_scatterers_inside_volume(self, small):
+        phantom = speckle_phantom(small, n_scatterers=300, seed=4)
+        theta, phi, r = cartesian_to_spherical(phantom.positions)
+        assert np.all(np.abs(theta) <= small.volume.theta_max + 1e-9)
+        assert np.all(r <= small.volume.depth_max + 1e-9)
+
+    def test_amplitudes_zero_mean_ish(self, small):
+        phantom = speckle_phantom(small, n_scatterers=5000, seed=5)
+        assert abs(np.mean(phantom.amplitudes)) < 0.1
+
+
+class TestCystPhantom:
+    def test_cyst_region_is_empty(self, small):
+        depth = small.volume.depth_min + 0.5 * small.volume.depth_span
+        radius = 0.1 * small.volume.depth_span
+        phantom = cyst_phantom(small, cyst_depth=depth, cyst_radius=radius,
+                               n_scatterers=2000, seed=6)
+        center = np.array([0.0, 0.0, depth])
+        distances = np.linalg.norm(phantom.positions - center, axis=1)
+        assert np.all(distances > radius)
+
+    def test_cyst_removes_some_scatterers(self, small):
+        background = speckle_phantom(small, n_scatterers=2000, seed=99)
+        cyst = cyst_phantom(small, n_scatterers=2000, seed=99)
+        assert cyst.scatterer_count < background.scatterer_count
+
+    def test_default_parameters_work(self, small):
+        phantom = cyst_phantom(small)
+        assert phantom.scatterer_count > 0
+        assert phantom.name == "cyst"

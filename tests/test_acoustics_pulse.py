@@ -1,0 +1,78 @@
+"""Tests for repro.acoustics.pulse: the Gaussian transmit pulse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.pulse import GaussianPulse
+from repro.config import AcousticConfig
+
+
+@pytest.fixture(scope="module")
+def pulse():
+    return GaussianPulse.from_config(AcousticConfig())
+
+
+class TestPulseShape:
+    def test_from_config_carries_frequencies(self, pulse):
+        assert pulse.center_frequency == 4.0e6
+        assert pulse.sampling_frequency == 32.0e6
+        assert pulse.fractional_bandwidth == pytest.approx(1.0)
+
+    def test_peak_at_time_zero(self, pulse):
+        assert pulse.evaluate(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_envelope_symmetric(self, pulse):
+        t = np.linspace(-1e-6, 1e-6, 201)
+        envelope = pulse.envelope(t)
+        np.testing.assert_allclose(envelope, envelope[::-1])
+
+    def test_envelope_decays(self, pulse):
+        assert pulse.envelope(np.array([4 * pulse.sigma_t]))[0] < 1e-3
+
+    def test_amplitude_bounded_by_envelope(self, pulse):
+        t = np.linspace(-2e-6, 2e-6, 1001)
+        assert np.all(np.abs(pulse.evaluate(t)) <= pulse.envelope(t) + 1e-12)
+
+    def test_oscillates_at_center_frequency(self, pulse):
+        # Zero crossings of the carrier occur every half period.
+        half_period = 1.0 / (2 * pulse.center_frequency)
+        t = np.array([half_period / 2, 3 * half_period / 2])
+        values = pulse.evaluate(t)
+        assert abs(values[0]) < 1e-6
+        assert abs(values[1]) < 1e-6
+
+    def test_sigma_positive_and_reasonable(self, pulse):
+        # 100 % fractional bandwidth at 4 MHz: sigma_t in the ~tens of ns.
+        assert 1e-9 < pulse.sigma_t < 1e-6
+
+    def test_duration_is_eight_sigma(self, pulse):
+        assert pulse.duration == pytest.approx(8 * pulse.sigma_t)
+
+
+class TestWaveform:
+    def test_waveform_length_matches_support(self, pulse):
+        t, amplitude = pulse.waveform()
+        assert len(t) == len(amplitude)
+        assert len(t) >= pulse.sample_support()
+
+    def test_waveform_centred(self, pulse):
+        t, amplitude = pulse.waveform()
+        assert t[0] == pytest.approx(-t[-1])
+        assert np.argmax(np.abs(amplitude)) == pytest.approx(len(t) // 2, abs=1)
+
+    def test_sample_support_scales_with_bandwidth(self):
+        wide = GaussianPulse(4e6, 1.0, 32e6)
+        narrow = GaussianPulse(4e6, 0.3, 32e6)
+        assert narrow.sample_support() > wide.sample_support()
+
+    def test_narrowband_pulse_has_more_cycles(self):
+        narrow = GaussianPulse(4e6, 0.2, 64e6)
+        t, amplitude = narrow.waveform()
+        # Count sign changes as a proxy for carrier cycles under the envelope.
+        sign_changes = np.count_nonzero(np.diff(np.sign(amplitude)) != 0)
+        wide = GaussianPulse(4e6, 1.0, 64e6)
+        _, wide_amplitude = wide.waveform()
+        wide_changes = np.count_nonzero(np.diff(np.sign(wide_amplitude)) != 0)
+        assert sign_changes > wide_changes

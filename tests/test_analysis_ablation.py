@@ -1,0 +1,97 @@
+"""Tests for repro.analysis.ablation: design-choice ablation studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ablation import (
+    correction_reuse_ablation,
+    directivity_filtering_ablation,
+    incremental_tracking_ablation,
+    interpolation_ablation,
+    symmetry_pruning_ablation,
+)
+from repro.config import paper_system
+
+
+class TestDirectivityAblation:
+    @pytest.fixture(scope="class")
+    def result(self, small):
+        return directivity_filtering_ablation(small, max_points=200)
+
+    def test_filtering_does_not_increase_worst_error(self, result):
+        assert result["with_filtering"]["max_abs"] <= \
+            result["without_filtering"]["max_abs"]
+
+    def test_reduction_factor_at_least_one(self, result):
+        assert result["max_error_reduction_factor"] >= 1.0
+
+    def test_some_pairs_masked(self, result):
+        assert 0.0 < result["masked_fraction"] < 1.0
+
+
+class TestSymmetryAblation:
+    def test_pruning_is_lossless(self, tiny):
+        result = symmetry_pruning_ablation(tiny)
+        assert result["max_reconstruction_error_samples"] == 0.0
+
+    def test_storage_saving_about_three_quarters(self, tiny):
+        result = symmetry_pruning_ablation(tiny)
+        assert result["storage_saving_fraction"] == pytest.approx(0.75, abs=0.05)
+
+    def test_directivity_offers_additional_pruning(self, tiny):
+        result = symmetry_pruning_ablation(tiny)
+        assert 0.0 <= result["additional_directivity_prunable_fraction"] < 1.0
+
+
+class TestTrackingAblation:
+    @pytest.fixture(scope="class")
+    def result(self, small):
+        return incremental_tracking_ablation(small)
+
+    def test_mean_steps_well_below_search_cost(self, result):
+        """Incremental tracking needs far fewer steps than a log2(segments)
+        binary search would."""
+        assert result["scanline_mean_steps"] < \
+            result["search_cost_avoided_steps_per_point"]
+        assert result["nappe_mean_steps"] < \
+            result["search_cost_avoided_steps_per_point"]
+
+    def test_nappe_order_at_most_as_expensive_as_scanline(self, result):
+        """Within a nappe the argument changes even less than along a
+        scanline, so tracking is at least as cheap."""
+        assert result["nappe_mean_steps"] <= result["scanline_mean_steps"] + 0.5
+
+    def test_bounded_worst_case(self, result):
+        assert result["scanline_max_steps"] <= 5
+        assert result["nappe_max_steps"] <= 5
+
+
+class TestInterpolationAblation:
+    @pytest.fixture(scope="class")
+    def result(self, tiny):
+        return interpolation_ablation(tiny)
+
+    def test_images_differ_but_modestly(self, result):
+        assert 0.0 < result["nrms_nearest_vs_linear"] < 0.5
+
+    def test_peak_amplitude_comparable(self, result):
+        assert result["peak_ratio"] == pytest.approx(1.0, abs=0.2)
+
+    def test_cost_model_attached(self, result):
+        assert result["cost_linear"]["buffer_reads"] == \
+            2 * result["cost_nearest"]["buffer_reads"]
+
+
+class TestCorrectionReuseAblation:
+    def test_paper_scale_reuse_factor(self):
+        result = correction_reuse_ablation(paper_system())
+        # 16.4e6 focal points vs 64 insonifications per frame.
+        assert result["reload_reduction_factor"] == pytest.approx(
+            128 * 128 * 1000 / 64)
+        assert result["scanlines_per_insonification"] == 256
+
+    def test_optimised_reload_count_equals_insonifications(self, small):
+        result = correction_reuse_ablation(small)
+        assert result["coefficient_reloads_per_frame_optimised"] == \
+            small.beamformer.insonifications_per_volume

@@ -1,0 +1,155 @@
+"""Tests for repro.analysis.accuracy: selection-error statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    ErrorStats,
+    delay_errors_samples,
+    directivity_mask,
+    error_map_by_region,
+    evaluate_provider,
+    sample_volume_points,
+    selection_errors,
+)
+from repro.geometry.coordinates import cartesian_to_spherical
+
+
+class TestErrorStats:
+    def test_basic_statistics(self):
+        stats = ErrorStats.from_errors(np.array([0.0, 1.0, -1.0, 2.0]))
+        assert stats.count == 4
+        assert stats.mean_abs == pytest.approx(1.0)
+        assert stats.max_abs == pytest.approx(2.0)
+        assert stats.rms == pytest.approx(np.sqrt(6 / 4))
+        assert stats.fraction_nonzero == pytest.approx(0.75)
+        assert stats.fraction_above_one == pytest.approx(0.25)
+
+    def test_all_zero_errors(self):
+        stats = ErrorStats.from_errors(np.zeros(10))
+        assert stats.mean_abs == 0.0
+        assert stats.fraction_nonzero == 0.0
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorStats.from_errors(np.array([]))
+
+    def test_as_dict_roundtrip(self):
+        stats = ErrorStats.from_errors(np.array([1.0, -2.0]))
+        d = stats.as_dict()
+        assert d["max_abs"] == 2.0
+        assert d["count"] == 2.0
+
+    def test_percentiles_ordered(self, rng):
+        stats = ErrorStats.from_errors(rng.normal(size=1000))
+        assert stats.p95_abs <= stats.p99_abs <= stats.max_abs
+
+
+class TestSampling:
+    def test_sample_points_inside_volume(self, small):
+        points = sample_volume_points(small, max_points=200, seed=1)
+        theta, phi, r = cartesian_to_spherical(points)
+        assert np.all(np.abs(theta) <= small.volume.theta_max + 1e-9)
+        assert np.all(np.abs(phi) <= small.volume.phi_max + 1e-9)
+        assert np.all(r <= small.volume.depth_max + 1e-9)
+        assert np.all(r >= small.volume.depth_min - 1e-9)
+
+    def test_sample_is_deterministic(self, small):
+        a = sample_volume_points(small, max_points=50, seed=7)
+        b = sample_volume_points(small, max_points=50, seed=7)
+        np.testing.assert_allclose(a, b)
+
+    def test_extremes_included(self, small):
+        points = sample_volume_points(small, max_points=10, seed=7,
+                                      include_extremes=True)
+        _theta, _phi, r = cartesian_to_spherical(points)
+        assert np.any(np.isclose(r, small.volume.depth_max, rtol=1e-9))
+        assert np.any(np.isclose(r, small.volume.depth_min, rtol=1e-9))
+
+    def test_extremes_can_be_excluded(self, small):
+        points = sample_volume_points(small, max_points=10, seed=7,
+                                      include_extremes=False)
+        assert len(points) == 10
+
+
+class TestSelectionErrors:
+    def test_exact_vs_itself_is_zero(self, small, small_exact):
+        points = sample_volume_points(small, max_points=30, seed=2)
+        errors = selection_errors(small_exact, small_exact, points)
+        np.testing.assert_allclose(errors, 0.0)
+
+    def test_shape(self, small, small_exact, small_tablefree):
+        points = sample_volume_points(small, max_points=25, seed=3)
+        errors = selection_errors(small_tablefree, small_exact, points)
+        assert errors.shape == (len(points), small.transducer.element_count)
+
+    def test_delay_errors_close_to_selection_errors(self, small, small_exact,
+                                                    small_tablefree):
+        points = sample_volume_points(small, max_points=25, seed=4)
+        continuous = delay_errors_samples(small_tablefree, small_exact, points)
+        discrete = selection_errors(small_tablefree, small_exact, points)
+        # Rounding can change each error by at most 1 sample.
+        assert np.max(np.abs(continuous - discrete)) <= 1.0 + 1e-9
+
+
+class TestDirectivityMask:
+    def test_mask_shape_and_type(self, small, small_exact):
+        points = sample_volume_points(small, max_points=20, seed=5)
+        mask = directivity_mask(small_exact, points)
+        assert mask.shape == (len(points), small.transducer.element_count)
+        assert mask.dtype == bool
+
+    def test_on_axis_point_visible_to_all(self, small_exact):
+        point = np.array([[0.0, 0.0, 0.02]])
+        mask = directivity_mask(small_exact, point)
+        assert np.all(mask)
+
+    def test_steep_point_masked_for_far_elements(self, small_exact):
+        # Point essentially beside the aperture: outside every element's cone.
+        point = np.array([[0.5, 0.0, 1e-4]])
+        mask = directivity_mask(small_exact, point)
+        assert not np.any(mask)
+
+
+class TestEvaluateProvider:
+    def test_report_structure(self, small, small_tablefree):
+        report = evaluate_provider(small_tablefree, small, "TABLEFREE",
+                                   max_points=60)
+        assert isinstance(report, AccuracyReport)
+        assert report.architecture == "TABLEFREE"
+        d = report.as_dict()
+        assert "all_points" in d and "within_directivity" in d
+
+    def test_directivity_subset_not_worse_for_tablesteer(self, small,
+                                                         small_tablesteer_float):
+        """Masking to the directivity cone cannot increase the maximum error
+        (the paper's argument for why the worst errors are harmless)."""
+        report = evaluate_provider(small_tablesteer_float, small,
+                                   "TABLESTEER", max_points=200, seed=11)
+        assert report.within_directivity.max_abs <= report.all_points.max_abs
+
+    def test_seconds_and_samples_consistent(self, small, small_tablefree):
+        report = evaluate_provider(small_tablefree, small, "x", max_points=40)
+        fs = small.acoustic.sampling_frequency
+        assert report.delay_error_seconds_max * fs >= \
+            report.delay_error_seconds_mean * fs
+
+
+class TestErrorMap:
+    def test_map_shape_and_monotonicity(self, small, small_tablesteer_float):
+        result = error_map_by_region(small_tablesteer_float, small,
+                                     n_theta_bins=5, n_depth_bins=4)
+        error = result["mean_abs_error"]
+        assert error.shape == (5, 4)
+        # Errors at the steering extremes exceed errors at broadside.
+        broadside = error[2, :].mean()
+        edge = error[[0, -1], :].mean()
+        assert edge >= broadside
+
+    def test_exact_provider_gives_zero_map(self, small, small_exact):
+        result = error_map_by_region(small_exact, small, n_theta_bins=3,
+                                     n_depth_bins=3)
+        np.testing.assert_allclose(result["mean_abs_error"], 0.0)

@@ -1,0 +1,88 @@
+"""Tests for repro.analysis.image_quality: contrast and resolution studies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.image_quality import (
+    cyst_contrast_study,
+    delay_error_to_image_error,
+    resolution_vs_depth_study,
+)
+
+
+class TestCystContrast:
+    @pytest.fixture(scope="class")
+    def study(self, tiny):
+        return cyst_contrast_study(tiny, n_scatterers=500, seed=11)
+
+    def test_all_architectures_reported(self, study):
+        assert set(study) == {"exact", "tablefree", "tablesteer"}
+
+    def test_cyst_is_darker_than_background(self, study):
+        """The anechoic cyst produces positive contrast for every provider."""
+        for name, metrics in study.items():
+            assert metrics["contrast_db"] > 0, name
+            assert metrics["cnr"] > 0, name
+
+    def test_exact_reference_nrms_zero(self, study):
+        assert study["exact"]["nrms_vs_exact"] == 0.0
+
+    def test_approximate_providers_close_to_exact(self, study):
+        for name in ("tablefree", "tablesteer"):
+            assert study[name]["nrms_vs_exact"] < 0.5
+            # Contrast degrades by at most ~2 dB on this small system.
+            assert study[name]["contrast_db"] > \
+                study["exact"]["contrast_db"] - 2.0
+
+    def test_deterministic(self, tiny):
+        a = cyst_contrast_study(tiny, n_scatterers=300, seed=5)
+        b = cyst_contrast_study(tiny, n_scatterers=300, seed=5)
+        assert a == b
+
+
+class TestResolutionVsDepth:
+    @pytest.fixture(scope="class")
+    def study(self, tiny):
+        return resolution_vs_depth_study(tiny, depth_fractions=(0.4, 0.8))
+
+    def test_structure(self, study, tiny):
+        for name, rows in study.items():
+            assert len(rows) == 2
+            for row in rows:
+                assert row["axial_fwhm"] > 0
+                assert row["lateral_fwhm"] > 0
+
+    def test_targets_found_at_increasing_depths(self, study):
+        for rows in study.values():
+            assert rows[1]["peak_depth_index"] > rows[0]["peak_depth_index"]
+
+    def test_approximate_delays_do_not_blow_up_psf(self, study):
+        """Approximate delay generation broadens the PSF by at most ~50 %."""
+        for depth_index in range(2):
+            exact_axial = study["exact"][depth_index]["axial_fwhm"]
+            for name in ("tablefree", "tablesteer"):
+                assert study[name][depth_index]["axial_fwhm"] <= \
+                    1.5 * exact_axial + 1.0
+
+
+class TestDelayErrorToImageError:
+    @pytest.fixture(scope="class")
+    def sweep(self, tiny):
+        return delay_error_to_image_error(tiny, deltas=(0.125, 0.5, 2.0))
+
+    def test_delay_error_grows_with_delta(self, sweep):
+        errors = [row["mean_delay_error_samples"] for row in sweep]
+        assert errors == sorted(errors)
+
+    def test_image_error_grows_with_delay_error(self, sweep):
+        image_errors = [row["image_nrms_vs_exact"] for row in sweep]
+        assert image_errors[-1] >= image_errors[0]
+
+    def test_segment_count_shrinks_with_delta(self, sweep):
+        segments = [row["segments"] for row in sweep]
+        assert segments == sorted(segments, reverse=True)
+
+    def test_tight_delta_keeps_image_error_small(self, sweep):
+        assert sweep[0]["image_nrms_vs_exact"] < 0.15

@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.requirements and repro.analysis.fixedpoint_impact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fixedpoint_impact import (
+    fixed_point_impact,
+    fixed_point_sweep,
+    impact_for_system,
+)
+from repro.analysis.requirements import requirements_report
+from repro.config import paper_system, small_system
+
+
+class TestRequirementsReport:
+    def test_paper_headline_numbers(self):
+        report = requirements_report(paper_system())
+        assert report.naive_coefficients == pytest.approx(1.64e11, rel=0.01)
+        assert report.required_delay_rate_per_second == pytest.approx(2.46e12,
+                                                                      rel=0.01)
+        assert report.symmetric_table_entries == 2_500_000
+        assert report.symmetric_table_megabits_18b == pytest.approx(45.0)
+        assert report.correction_values == 832_000
+        assert report.correction_megabits_18b == pytest.approx(15.0, abs=0.1)
+
+    def test_naive_storage_and_bandwidth_absurd(self):
+        report = requirements_report(paper_system())
+        assert report.naive_storage_gigabytes > 100
+        assert report.naive_bandwidth_terabytes_per_second > 1
+
+    def test_small_system_proportionally_smaller(self):
+        small = requirements_report(small_system())
+        paper = requirements_report(paper_system())
+        assert small.naive_coefficients < paper.naive_coefficients
+        assert small.symmetric_table_entries < paper.symmetric_table_entries
+
+    def test_as_dict_contains_system_name(self):
+        d = requirements_report(small_system()).as_dict()
+        assert d["system"] == "small"
+
+    def test_bits_per_coefficient_scales_storage(self):
+        narrow = requirements_report(paper_system(), bits_per_coefficient=13)
+        wide = requirements_report(paper_system(), bits_per_coefficient=26)
+        assert wide.naive_storage_gigabytes == pytest.approx(
+            2 * narrow.naive_storage_gigabytes)
+
+
+class TestFixedPointImpact:
+    def test_13_bit_affects_about_a_third(self):
+        """Paper: ~33 % of echo samples shift by one with integer delays."""
+        result = fixed_point_impact(13, n_samples=200_000, seed=1)
+        assert result.affected_fraction == pytest.approx(0.33, abs=0.04)
+        assert result.max_index_error == 1
+
+    def test_18_bit_affects_under_three_percent(self):
+        """Paper: < 2 % affected with the 18-bit (13.5) representation."""
+        result = fixed_point_impact(18, n_samples=200_000, seed=1)
+        assert result.affected_fraction < 0.03
+        assert result.max_index_error <= 1
+
+    def test_monotone_improvement_beyond_14_bits(self):
+        sweep = fixed_point_sweep(bit_widths=(14, 16, 18, 20),
+                                  n_samples=100_000, seed=2)
+        fractions = [entry.affected_fraction for entry in sweep]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_determinism(self):
+        a = fixed_point_impact(18, n_samples=50_000, seed=42)
+        b = fixed_point_impact(18, n_samples=50_000, seed=42)
+        assert a.affected_fraction == b.affected_fraction
+
+    def test_mean_error_below_affected_fraction(self):
+        result = fixed_point_impact(13, n_samples=100_000, seed=3)
+        # Errors are at most 1, so the mean |error| equals the affected
+        # fraction when all errors are +/-1.
+        assert result.mean_abs_index_error <= result.affected_fraction + 1e-12
+
+    def test_impact_for_system_uses_its_ranges(self):
+        result = impact_for_system(paper_system(), 18, n_samples=50_000)
+        assert result.total_bits == 18
+        assert 0.0 <= result.affected_fraction < 0.05
+
+    def test_as_dict(self):
+        d = fixed_point_impact(14, n_samples=10_000).as_dict()
+        assert d["total_bits"] == 14.0
+        assert 0.0 <= d["affected_fraction"] <= 1.0

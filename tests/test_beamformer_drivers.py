@@ -1,0 +1,75 @@
+"""Tests for repro.beamformer.drivers: scanline vs nappe volume reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beamformer.das import DelayAndSumBeamformer
+from repro.beamformer.drivers import (
+    reconstruct_nappe_order,
+    reconstruct_plane,
+    reconstruct_scanline_order,
+)
+
+
+@pytest.fixture(scope="module")
+def beamformer_and_data():
+    from repro.config import tiny_system
+    from repro.core.exact import ExactDelayEngine
+    from repro.acoustics.echo import EchoSimulator
+    from repro.acoustics.phantom import point_target
+    system = tiny_system()
+    exact = ExactDelayEngine.from_config(system)
+    depth = float(exact.grid.depths[len(exact.grid.depths) // 2])
+    data = EchoSimulator.from_config(system).simulate(point_target(depth=depth))
+    return system, DelayAndSumBeamformer(system, exact), data
+
+
+class TestVolumeReconstruction:
+    def test_scanline_volume_shape(self, beamformer_and_data):
+        system, beamformer, data = beamformer_and_data
+        volume = reconstruct_scanline_order(beamformer, data)
+        assert volume.shape == (system.volume.n_theta, system.volume.n_phi,
+                                system.volume.n_depth)
+        assert volume.order == "scanline"
+
+    def test_nappe_volume_shape(self, beamformer_and_data):
+        system, beamformer, data = beamformer_and_data
+        volume = reconstruct_nappe_order(beamformer, data)
+        assert volume.shape == (system.volume.n_theta, system.volume.n_phi,
+                                system.volume.n_depth)
+        assert volume.order == "nappe"
+
+    def test_both_orders_produce_identical_volumes(self, beamformer_and_data):
+        """Algorithm 1's central claim: the two loop nests are equivalent."""
+        _system, beamformer, data = beamformer_and_data
+        scanline = reconstruct_scanline_order(beamformer, data)
+        nappe = reconstruct_nappe_order(beamformer, data)
+        np.testing.assert_allclose(scanline.rf, nappe.rf)
+
+    def test_volume_contains_target_energy(self, beamformer_and_data):
+        _system, beamformer, data = beamformer_and_data
+        volume = reconstruct_scanline_order(beamformer, data)
+        assert np.max(np.abs(volume.rf)) > 0
+
+
+class TestPlaneReconstruction:
+    def test_plane_shape(self, beamformer_and_data):
+        system, beamformer, data = beamformer_and_data
+        plane = reconstruct_plane(beamformer, data)
+        assert plane.shape == (system.volume.n_theta, system.volume.n_depth)
+
+    def test_plane_matches_volume_slice(self, beamformer_and_data):
+        system, beamformer, data = beamformer_and_data
+        i_phi = 3
+        plane = reconstruct_plane(beamformer, data, i_phi=i_phi)
+        volume = reconstruct_scanline_order(beamformer, data)
+        np.testing.assert_allclose(plane, volume.rf[:, i_phi, :])
+
+    def test_default_plane_is_centre_elevation(self, beamformer_and_data):
+        system, beamformer, data = beamformer_and_data
+        default = reconstruct_plane(beamformer, data)
+        explicit = reconstruct_plane(beamformer, data,
+                                     i_phi=system.volume.n_phi // 2)
+        np.testing.assert_allclose(default, explicit)

@@ -1,0 +1,62 @@
+"""Tests for the repro.cli command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (["list"], ["run", "E1"], ["table2"], ["specs"],
+                     ["table2", "--system", "small"],
+                     ["specs", "--system", "tiny"]):
+            args = parser.parse_args(argv)
+            assert callable(args.handler)
+
+    def test_unknown_system_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["specs", "--system", "gigantic"])
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for i in range(1, 11):
+            assert f"E{i}" in output
+
+    def test_specs_prints_table1_numbers(self, capsys):
+        assert main(["specs", "--system", "paper"]) == 0
+        output = capsys.readouterr().out
+        assert "100 x 100" in output
+        assert "32 MHz" in output
+        assert "128 x 128 x 1000" in output
+
+    def test_table2_prints_rows(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "TABLEFREE" in output
+        assert "TABLESTEER-18b" in output
+
+    def test_run_single_cheap_experiment(self, capsys):
+        assert main(["run", "E2"]) == 0
+        output = capsys.readouterr().out
+        assert "traversal" in output.lower()
+        assert "finished" in output
+
+    def test_run_accepts_lowercase_id(self, capsys):
+        assert main(["run", "e1"]) == 0
+        assert "requirements" in capsys.readouterr().out.lower()
+
+    def test_run_unknown_experiment_fails(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

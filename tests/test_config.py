@@ -1,0 +1,171 @@
+"""Tests for repro.config: Table I presets and derived quantities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import (
+    AcousticConfig,
+    SystemConfig,
+    TransducerConfig,
+    VolumeConfig,
+    paper_system,
+    small_system,
+    tiny_system,
+)
+
+
+class TestAcousticConfig:
+    def test_wavelength_matches_table1(self):
+        acoustic = AcousticConfig()
+        assert acoustic.wavelength == pytest.approx(0.385e-3, rel=1e-6)
+
+    def test_sampling_period(self):
+        acoustic = AcousticConfig()
+        assert acoustic.sampling_period == pytest.approx(31.25e-9)
+
+    def test_samples_per_wavelength(self):
+        acoustic = AcousticConfig()
+        assert acoustic.samples_per_wavelength == pytest.approx(8.0)
+
+    def test_seconds_samples_roundtrip(self):
+        acoustic = AcousticConfig()
+        assert acoustic.samples_to_seconds(
+            acoustic.seconds_to_samples(1.234e-6)) == pytest.approx(1.234e-6)
+
+
+class TestTransducerConfig:
+    def test_paper_element_count(self):
+        assert paper_system().transducer.element_count == 10_000
+
+    def test_aperture_size_close_to_50_lambda(self):
+        transducer = paper_system().transducer
+        # 99 gaps at lambda/2 pitch = 49.5 lambda ~= 19.06 mm.
+        assert transducer.aperture_x == pytest.approx(99 * 0.385e-3 / 2, rel=1e-9)
+        assert transducer.aperture_x == pytest.approx(19.06e-3, rel=1e-2)
+
+    def test_aperture_of_single_element_is_zero(self):
+        config = TransducerConfig(elements_x=1, elements_y=1)
+        assert config.aperture_x == 0.0
+        assert config.aperture_y == 0.0
+
+
+class TestVolumeConfig:
+    def test_paper_focal_point_count(self):
+        assert paper_system().volume.focal_point_count == 128 * 128 * 1000
+
+    def test_paper_scanline_count(self):
+        assert paper_system().volume.scanline_count == 128 * 128
+
+    def test_depth_span_positive(self):
+        volume = paper_system().volume
+        assert volume.depth_span > 0
+        assert volume.depth_span == pytest.approx(
+            volume.depth_max - volume.depth_min)
+
+
+class TestSystemConfigDerived:
+    def test_theoretical_delay_count_is_164e9(self):
+        system = paper_system()
+        assert system.theoretical_delay_count == 128 * 128 * 1000 * 100 * 100
+        assert system.theoretical_delay_count == pytest.approx(1.64e11, rel=0.01)
+
+    def test_required_delay_rate_is_2_5e12(self):
+        system = paper_system()
+        assert system.delay_throughput_required == pytest.approx(2.46e12, rel=0.01)
+
+    def test_echo_buffer_slightly_more_than_8000_samples(self):
+        system = paper_system()
+        assert 8000 <= system.echo_buffer_samples <= 8200
+
+    def test_delay_index_needs_13_bits(self):
+        assert paper_system().delay_index_bits == 13
+
+    def test_max_round_trip_time_sub_millisecond(self):
+        system = paper_system()
+        assert 0 < system.max_round_trip_time < 1e-3
+
+    def test_presets_validate(self):
+        for preset in (paper_system(), small_system(), tiny_system()):
+            preset.validate()
+
+    def test_preset_names(self):
+        assert paper_system().name == "paper"
+        assert small_system().name == "small"
+        assert tiny_system().name == "tiny"
+
+
+class TestConfigModification:
+    def test_with_volume_changes_only_volume(self):
+        system = small_system()
+        modified = system.with_volume(n_depth=32)
+        assert modified.volume.n_depth == 32
+        assert modified.volume.n_theta == system.volume.n_theta
+        assert modified.transducer == system.transducer
+
+    def test_with_transducer(self):
+        system = small_system()
+        modified = system.with_transducer(elements_x=4, elements_y=4)
+        assert modified.transducer.element_count == 16
+
+    def test_with_acoustic(self):
+        system = small_system()
+        modified = system.with_acoustic(sampling_frequency=64e6)
+        assert modified.acoustic.sampling_frequency == 64e6
+        assert modified.echo_buffer_samples > system.echo_buffer_samples
+
+    def test_with_beamformer(self):
+        system = small_system()
+        modified = system.with_beamformer(frame_rate=30.0)
+        assert modified.beamformer.frame_rate == 30.0
+        assert modified.delay_throughput_required == pytest.approx(
+            2 * system.delay_throughput_required)
+
+    def test_original_untouched_by_with_methods(self):
+        system = small_system()
+        system.with_volume(n_depth=5)
+        assert system.volume.n_depth == 64
+
+
+class TestValidation:
+    def test_negative_speed_of_sound_rejected(self):
+        system = small_system().with_acoustic(speed_of_sound=-1.0)
+        with pytest.raises(ValueError):
+            system.validate()
+
+    def test_zero_elements_rejected(self):
+        system = small_system().with_transducer(elements_x=0)
+        with pytest.raises(ValueError):
+            system.validate()
+
+    def test_negative_pitch_rejected(self):
+        system = small_system().with_transducer(pitch=-0.1)
+        with pytest.raises(ValueError):
+            system.validate()
+
+    def test_depth_ordering_enforced(self):
+        system = small_system().with_volume(depth_min=0.1, depth_max=0.05)
+        with pytest.raises(ValueError):
+            system.validate()
+
+    def test_zero_depth_min_rejected(self):
+        system = small_system().with_volume(depth_min=0.0)
+        with pytest.raises(ValueError):
+            system.validate()
+
+    def test_theta_max_out_of_range_rejected(self):
+        system = small_system().with_volume(theta_max=math.pi)
+        with pytest.raises(ValueError):
+            system.validate()
+
+    def test_zero_frame_rate_rejected(self):
+        system = small_system().with_beamformer(frame_rate=0.0)
+        with pytest.raises(ValueError):
+            system.validate()
+
+    def test_zero_insonifications_rejected(self):
+        system = small_system().with_beamformer(insonifications_per_volume=0)
+        with pytest.raises(ValueError):
+            system.validate()

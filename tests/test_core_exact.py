@@ -1,0 +1,143 @@
+"""Tests for repro.core.exact: the reference delay computation (Eq. 2/3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    ExactDelayEngine,
+    propagation_delay,
+    receive_delay,
+    transmit_delay,
+)
+from repro.geometry.coordinates import spherical_to_cartesian
+
+
+class TestPropagationDelay:
+    def test_single_point_single_element(self):
+        origin = np.zeros(3)
+        point = np.array([[0.0, 0.0, 0.0154]])       # 15.4 mm deep
+        element = np.array([[0.0, 0.0, 0.0]])
+        delay = propagation_delay(origin, point, element, 1540.0)
+        # Two-way 2 * 15.4 mm at 1540 m/s = 20 us.
+        assert delay[0, 0] == pytest.approx(20e-6)
+
+    def test_off_axis_element(self):
+        origin = np.zeros(3)
+        point = np.array([[0.0, 0.0, 0.03]])
+        element = np.array([[0.04, 0.0, 0.0]])
+        delay = propagation_delay(origin, point, element, 1540.0)
+        expected = (0.03 + 0.05) / 1540.0
+        assert delay[0, 0] == pytest.approx(expected)
+
+    def test_matrix_shape(self, rng):
+        origin = np.zeros(3)
+        points = rng.normal(size=(7, 3)) + np.array([0, 0, 0.05])
+        elements = rng.normal(scale=0.001, size=(11, 3)) * np.array([1, 1, 0])
+        delays = propagation_delay(origin, points, elements, 1540.0)
+        assert delays.shape == (7, 11)
+
+    def test_equals_transmit_plus_receive(self, rng):
+        origin = np.array([0.001, -0.002, 0.0])
+        points = rng.normal(size=(5, 3)) + np.array([0, 0, 0.05])
+        elements = rng.normal(scale=0.005, size=(6, 3)) * np.array([1, 1, 0])
+        total = propagation_delay(origin, points, elements, 1540.0)
+        split = (transmit_delay(origin, points, 1540.0)[:, None]
+                 + receive_delay(points, elements, 1540.0))
+        np.testing.assert_allclose(total, split)
+
+    def test_delays_nonnegative(self, rng):
+        origin = np.zeros(3)
+        points = np.abs(rng.normal(size=(20, 3)))
+        elements = rng.normal(scale=0.01, size=(8, 3)) * np.array([1, 1, 0])
+        assert np.all(propagation_delay(origin, points, elements, 1540.0) >= 0)
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_delay(np.zeros(3), np.zeros((2, 2)), np.zeros((3, 3)), 1540.0)
+
+    def test_speed_of_sound_scaling(self):
+        origin = np.zeros(3)
+        point = np.array([[0.0, 0.0, 0.01]])
+        element = np.array([[0.0, 0.0, 0.0]])
+        slow = propagation_delay(origin, point, element, 1000.0)
+        fast = propagation_delay(origin, point, element, 2000.0)
+        assert slow[0, 0] == pytest.approx(2 * fast[0, 0])
+
+
+class TestExactDelayEngine:
+    def test_delays_samples_unit_conversion(self, tiny_exact, tiny):
+        point = np.array([[0.0, 0.0, 0.01]])
+        seconds = tiny_exact.delays_seconds(point)
+        samples = tiny_exact.delays_samples(point)
+        np.testing.assert_allclose(
+            samples, seconds * tiny.acoustic.sampling_frequency)
+
+    def test_delay_indices_are_rounded_samples(self, tiny_exact):
+        point = np.array([[0.001, -0.002, 0.015]])
+        samples = tiny_exact.delays_samples(point)
+        indices = tiny_exact.delay_indices(point)
+        np.testing.assert_array_equal(indices, np.floor(samples + 0.5))
+        assert indices.dtype == np.int64
+
+    def test_scanline_delays_shape(self, tiny_exact, tiny):
+        delays = tiny_exact.scanline_delays_samples(0, 0)
+        assert delays.shape == (tiny.volume.n_depth, tiny.transducer.element_count)
+
+    def test_nappe_delays_shape(self, tiny_exact, tiny):
+        delays = tiny_exact.nappe_delays_samples(3)
+        assert delays.shape == (tiny.volume.n_theta, tiny.volume.n_phi,
+                                tiny.transducer.element_count)
+
+    def test_nappe_and_scanline_views_agree(self, tiny_exact):
+        nappe = tiny_exact.nappe_delays_samples(5)
+        scanline = tiny_exact.scanline_delays_samples(2, 3)
+        np.testing.assert_allclose(nappe[2, 3], scanline[5])
+
+    def test_delays_increase_with_depth_on_axis(self, tiny_exact):
+        delays = tiny_exact.scanline_delays_samples(0, 0)
+        centre_element = tiny_exact.transducer.element_count // 2
+        assert np.all(np.diff(delays[:, centre_element]) > 0)
+
+    def test_closest_element_has_smallest_receive_delay(self, tiny_exact):
+        # For a steered point, the element nearest to it in x has the
+        # smallest two-way delay (transmit part is common to all elements).
+        theta = tiny_exact.grid.thetas[-1]
+        depth = tiny_exact.grid.depths[-1]
+        point = spherical_to_cartesian(theta, 0.0, depth).reshape(1, 3)
+        delays = tiny_exact.delays_seconds(point)[0]
+        distances = np.linalg.norm(tiny_exact.transducer.positions
+                                   - point[0][None, :], axis=1)
+        assert np.argmin(delays) == np.argmin(distances)
+
+    def test_custom_origin_shifts_transmit_leg(self, tiny):
+        shifted_origin = np.array([0.0, 0.0, -0.001])
+        engine_centered = ExactDelayEngine.from_config(tiny)
+        engine_shifted = ExactDelayEngine.from_config(tiny, origin=shifted_origin)
+        point = np.array([[0.0, 0.0, 0.01]])
+        extra_path = 0.001 / tiny.acoustic.speed_of_sound
+        np.testing.assert_allclose(
+            engine_shifted.delays_seconds(point),
+            engine_centered.delays_seconds(point) + extra_path)
+
+    def test_max_delay_bounds_all_grid_delays(self, tiny_exact):
+        bound = tiny_exact.max_delay_samples()
+        corner_scanline = tiny_exact.scanline_delays_samples(
+            len(tiny_exact.grid.thetas) - 1, len(tiny_exact.grid.phis) - 1)
+        assert corner_scanline.max() <= bound + 1e-6
+
+    def test_echo_buffer_covers_all_grid_delays(self, tiny_exact, tiny):
+        # Every delay index for on-grid points must fit the echo buffer.
+        indices = tiny_exact.delay_indices(
+            tiny_exact.grid.scanline_points(0, 0))
+        assert indices.max() < tiny.echo_buffer_samples * 1.3
+
+    def test_symmetric_elements_have_symmetric_delays(self, tiny_exact):
+        """Broadside points see mirrored elements at identical delays."""
+        point = np.array([[0.0, 0.0, 0.01]])
+        delays = tiny_exact.delays_seconds(point)[0]
+        ex, ey = tiny_exact.transducer.shape
+        delays_grid = delays.reshape(ex, ey)
+        np.testing.assert_allclose(delays_grid, delays_grid[::-1, :])
+        np.testing.assert_allclose(delays_grid, delays_grid[:, ::-1])

@@ -1,0 +1,193 @@
+"""Tests for repro.core.piecewise: PWL sqrt approximation and segment tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.piecewise import (
+    IncrementalSqrtEvaluator,
+    PiecewiseSqrt,
+    minimax_linear_sqrt,
+)
+from repro.fixedpoint.format import signed, unsigned
+
+
+class TestMinimaxLinear:
+    def test_error_bound_holds_on_interval(self):
+        a, b = 100.0, 400.0
+        c1, c0, max_error = minimax_linear_sqrt(a, b)
+        xs = np.linspace(a, b, 2001)
+        errors = c1 * xs + c0 - np.sqrt(xs)
+        assert np.max(np.abs(errors)) <= max_error * (1 + 1e-9)
+
+    def test_error_equioscillates(self):
+        a, b = 50.0, 150.0
+        c1, c0, max_error = minimax_linear_sqrt(a, b)
+        xs = np.linspace(a, b, 4001)
+        errors = c1 * xs + c0 - np.sqrt(xs)
+        # Both extremes of the signed error are reached (within sampling).
+        assert errors.max() == pytest.approx(max_error, rel=1e-3)
+        assert errors.min() == pytest.approx(-max_error, rel=1e-3)
+
+    def test_minimax_beats_chord(self):
+        a, b = 10.0, 100.0
+        _c1, _c0, minimax_error = minimax_linear_sqrt(a, b)
+        # Chord error: interpolate sqrt at the endpoints.
+        slope = (np.sqrt(b) - np.sqrt(a)) / (b - a)
+        xs = np.linspace(a, b, 2001)
+        chord_error = np.max(np.abs(np.sqrt(a) + slope * (xs - a) - np.sqrt(xs)))
+        assert minimax_error <= chord_error / 2 * (1 + 1e-6)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            minimax_linear_sqrt(5.0, 5.0)
+        with pytest.raises(ValueError):
+            minimax_linear_sqrt(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            minimax_linear_sqrt(10.0, 5.0)
+
+    def test_interval_starting_at_zero(self):
+        c1, c0, max_error = minimax_linear_sqrt(0.0, 4.0)
+        xs = np.linspace(0, 4, 1001)
+        errors = c1 * xs + c0 - np.sqrt(xs)
+        assert np.max(np.abs(errors)) <= max_error * (1 + 1e-9)
+        # Known closed form: error of the best fit on [0, h] is sqrt(h)/8.
+        assert max_error == pytest.approx(np.sqrt(4.0) / 8.0, rel=1e-6)
+
+
+class TestPiecewiseSqrtBuild:
+    def test_error_bound_respected_everywhere(self):
+        pwl = PiecewiseSqrt.build(0.0, 1e6, delta=0.25)
+        assert pwl.max_error() <= 0.25 * (1 + 1e-6)
+
+    def test_domain_covered(self):
+        pwl = PiecewiseSqrt.build(10.0, 5000.0, delta=0.1)
+        assert pwl.x_min == pytest.approx(10.0)
+        assert pwl.x_max == pytest.approx(5000.0)
+        assert np.all(np.diff(pwl.breakpoints) > 0)
+
+    def test_smaller_delta_needs_more_segments(self):
+        coarse = PiecewiseSqrt.build(0.0, 1e6, delta=0.5)
+        fine = PiecewiseSqrt.build(0.0, 1e6, delta=0.125)
+        assert fine.segment_count > coarse.segment_count
+
+    def test_segment_count_scaling_with_quarter_root(self):
+        """Segment count grows roughly like x_max**(1/4) for fixed delta."""
+        small_range = PiecewiseSqrt.build(0.0, 1e4, delta=0.25)
+        large_range = PiecewiseSqrt.build(0.0, 1.6e5, delta=0.25)
+        ratio = large_range.segment_count / small_range.segment_count
+        assert 1.5 < ratio < 2.7   # (16)**0.25 = 2
+
+    def test_paper_range_needs_about_70_segments(self):
+        """For the paper's argument range (~4800 max one-way samples) and
+        delta = 0.25, the segmentation lands in the neighbourhood of the 70
+        segments the paper reports."""
+        max_samples = 4800.0
+        pwl = PiecewiseSqrt.build(0.0, max_samples ** 2, delta=0.25)
+        assert 55 <= pwl.segment_count <= 85
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseSqrt.build(0.0, 100.0, delta=0.0)
+        with pytest.raises(ValueError):
+            PiecewiseSqrt.build(100.0, 10.0, delta=0.1)
+        with pytest.raises(ValueError):
+            PiecewiseSqrt.build(-5.0, 10.0, delta=0.1)
+
+
+class TestPiecewiseSqrtEvaluate:
+    @pytest.fixture(scope="class")
+    def pwl(self):
+        return PiecewiseSqrt.build(0.0, 1e6, delta=0.25)
+
+    def test_evaluate_close_to_sqrt(self, pwl, rng):
+        xs = rng.uniform(0, 1e6, 5000)
+        np.testing.assert_allclose(pwl.evaluate(xs), np.sqrt(xs), atol=0.2501)
+
+    def test_error_method_consistent(self, pwl, rng):
+        xs = rng.uniform(0, 1e6, 100)
+        np.testing.assert_allclose(pwl.error(xs),
+                                   pwl.evaluate(xs) - np.sqrt(xs))
+
+    def test_segment_index_within_bounds(self, pwl, rng):
+        xs = rng.uniform(-10, 2e6, 1000)   # includes out-of-domain values
+        idx = pwl.segment_index(xs)
+        assert idx.min() >= 0
+        assert idx.max() <= pwl.segment_count - 1
+
+    def test_evaluate_scalar_input(self, pwl):
+        assert float(pwl.evaluate(2500.0)) == pytest.approx(50.0, abs=0.26)
+
+    def test_breakpoint_membership(self, pwl):
+        # A point just above a breakpoint belongs to the segment that starts there.
+        for i in range(1, min(10, pwl.segment_count)):
+            x = pwl.breakpoints[i] + 1e-9
+            assert pwl.segment_index(x) == i
+
+
+class TestQuantizedCoefficients:
+    def test_quantized_keeps_structure(self):
+        pwl = PiecewiseSqrt.build(0.0, 1e5, delta=0.25)
+        quantized = pwl.quantized(signed(3, 26), unsigned(13, 8))
+        assert quantized.segment_count == pwl.segment_count
+        np.testing.assert_allclose(quantized.breakpoints, pwl.breakpoints)
+
+    def test_quantized_error_stays_small(self, rng):
+        pwl = PiecewiseSqrt.build(0.0, 2.5e7, delta=0.25)
+        quantized = pwl.quantized(signed(3, 26), unsigned(13, 8))
+        xs = rng.uniform(0, 2.5e7, 5000)
+        errors = quantized.evaluate(xs) - np.sqrt(xs)
+        # Coefficient quantisation adds at most a fraction of a sample.
+        assert np.max(np.abs(errors)) < 0.5
+
+    def test_lut_storage_accounting(self):
+        pwl = PiecewiseSqrt.build(0.0, 1e5, delta=0.25)
+        bits = pwl.lut_storage_bits(signed(3, 26), unsigned(13, 8))
+        slope_bits = pwl.segment_count * signed(3, 26).total_bits
+        intercept_bits = pwl.segment_count * unsigned(13, 8).total_bits
+        breakpoint_bits = (pwl.segment_count + 1) * unsigned(13, 8).total_bits
+        assert bits == slope_bits + intercept_bits + breakpoint_bits
+
+
+class TestIncrementalEvaluator:
+    @pytest.fixture(scope="class")
+    def pwl(self):
+        return PiecewiseSqrt.build(0.0, 1e6, delta=0.25)
+
+    def test_matches_direct_evaluation(self, pwl, rng):
+        evaluator = IncrementalSqrtEvaluator(pwl=pwl)
+        xs = np.sort(rng.uniform(0, 1e6, 500))
+        incremental = evaluator.evaluate_sequence(xs)
+        np.testing.assert_allclose(incremental, pwl.evaluate(xs))
+
+    def test_matches_direct_for_decreasing_sequence(self, pwl, rng):
+        evaluator = IncrementalSqrtEvaluator(pwl=pwl,
+                                             current_segment=pwl.segment_count - 1)
+        xs = np.sort(rng.uniform(0, 1e6, 500))[::-1]
+        incremental = evaluator.evaluate_sequence(xs)
+        np.testing.assert_allclose(incremental, pwl.evaluate(xs))
+
+    def test_gradual_sequence_needs_few_steps(self, pwl):
+        xs = np.linspace(1000.0, 9e5, 20_000)
+        evaluator = IncrementalSqrtEvaluator(
+            pwl=pwl, current_segment=int(pwl.segment_index(xs[0])))
+        evaluator.evaluate_sequence(xs)
+        assert evaluator.mean_steps_per_evaluation < 0.1
+        assert evaluator.max_steps_single_evaluation <= 1
+
+    def test_jump_requires_many_steps_but_stays_correct(self, pwl):
+        evaluator = IncrementalSqrtEvaluator(pwl=pwl)
+        evaluator.evaluate(10.0)
+        value = evaluator.evaluate(9.9e5)
+        assert value == pytest.approx(np.sqrt(9.9e5), abs=0.26)
+        assert evaluator.max_steps_single_evaluation > 1
+
+    def test_reset_clears_counters(self, pwl):
+        evaluator = IncrementalSqrtEvaluator(pwl=pwl)
+        evaluator.evaluate_sequence(np.linspace(0, 1e6, 50))
+        evaluator.reset()
+        assert evaluator.total_steps == 0
+        assert evaluator.total_evaluations == 0
+        assert evaluator.current_segment == 0
+        assert evaluator.mean_steps_per_evaluation == 0.0

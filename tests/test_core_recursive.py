@@ -1,0 +1,128 @@
+"""Tests for repro.core.recursive: the recursive delay-calculation baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import ExactDelayEngine
+from repro.core.recursive import RecursiveConfig, RecursiveDelayGenerator
+
+
+@pytest.fixture(scope="module")
+def generators(tiny):
+    exact = ExactDelayEngine.from_config(tiny)
+    recursive = RecursiveDelayGenerator.from_config(tiny)
+    return tiny, exact, recursive
+
+
+class TestScanlineRecursion:
+    def test_first_depth_is_exact(self, generators):
+        """With exact_start the first depth sample has no approximation error."""
+        system, exact, recursive = generators
+        approx = recursive.scanline_delays_samples(2, 3)
+        truth = exact.delays_samples(exact.grid.scanline_points(2, 3))
+        np.testing.assert_allclose(approx[0], truth[0], atol=1e-9)
+
+    def test_shape(self, generators):
+        system, _exact, recursive = generators
+        delays = recursive.scanline_delays_samples(0, 0)
+        assert delays.shape == (system.volume.n_depth,
+                                system.transducer.element_count)
+
+    def test_more_newton_iterations_reduce_error(self, tiny):
+        exact = ExactDelayEngine.from_config(tiny)
+        truth = exact.delays_samples(exact.grid.scanline_points(5, 5))
+        errors = {}
+        for iterations in (1, 3, 6):
+            generator = RecursiveDelayGenerator.from_config(
+                tiny, RecursiveConfig(newton_iterations=iterations))
+            approx = generator.scanline_delays_samples(5, 5)
+            errors[iterations] = np.max(np.abs(approx - truth))
+        assert errors[3] <= errors[1]
+        assert errors[6] <= errors[3]
+        assert errors[6] < 0.1
+
+    def test_converged_recursion_matches_exact(self, tiny):
+        """With enough Newton steps the recursion reproduces the exact delays."""
+        exact = ExactDelayEngine.from_config(tiny)
+        generator = RecursiveDelayGenerator.from_config(
+            tiny, RecursiveConfig(newton_iterations=10))
+        approx = generator.scanline_delays_samples(1, 6)
+        truth = exact.delays_samples(exact.grid.scanline_points(1, 6))
+        assert np.max(np.abs(approx - truth)) < 1e-3
+
+    def test_exact_start_disabled_degrades_shallow_accuracy(self, tiny):
+        exact = ExactDelayEngine.from_config(tiny)
+        truth = exact.delays_samples(exact.grid.scanline_points(0, 0))
+        with_start = RecursiveDelayGenerator.from_config(
+            tiny, RecursiveConfig(exact_start=True))
+        without_start = RecursiveDelayGenerator.from_config(
+            tiny, RecursiveConfig(exact_start=False))
+        err_with = np.abs(with_start.scanline_delays_samples(0, 0)[0] - truth[0]).max()
+        err_without = np.abs(
+            without_start.scanline_delays_samples(0, 0)[0] - truth[0]).max()
+        assert err_with <= err_without
+
+
+class TestInterfaces:
+    def test_nappe_matches_scanline(self, generators):
+        _system, _exact, recursive = generators
+        nappe = recursive.nappe_delays_samples(4)
+        scanline = recursive.scanline_delays_samples(2, 5)
+        np.testing.assert_allclose(nappe[2, 5], scanline[4])
+
+    def test_point_api_matches_grid_api(self, generators):
+        _system, _exact, recursive = generators
+        point = recursive.grid.point(3, 3, 7).reshape(1, 3)
+        from_points = recursive.delays_samples(point)[0]
+        from_scanline = recursive.scanline_delays_samples(3, 3)[7]
+        np.testing.assert_allclose(from_points, from_scanline)
+
+    def test_delay_indices_integer(self, generators):
+        _system, _exact, recursive = generators
+        points = recursive.grid.scanline_points(0, 0)[:3]
+        indices = recursive.delay_indices(points)
+        assert indices.dtype == np.int64
+        assert np.all(indices >= 0)
+
+
+class TestAnalysis:
+    def test_error_accumulates_along_scanline_with_one_iteration(self, tiny):
+        generator = RecursiveDelayGenerator.from_config(
+            tiny, RecursiveConfig(newton_iterations=1))
+        profile = generator.error_accumulation_along_scanline(7, 7)
+        assert profile[0] < 1e-6                     # exact start
+        assert profile[-1] >= profile[0]             # error does not vanish
+
+    def test_error_profile_shrinks_with_iterations(self, tiny):
+        generator = RecursiveDelayGenerator.from_config(tiny)
+        one = generator.error_accumulation_along_scanline(7, 7,
+                                                          newton_iterations=1)
+        five = generator.error_accumulation_along_scanline(7, 7,
+                                                           newton_iterations=5)
+        assert np.mean(five) <= np.mean(one)
+
+    def test_arithmetic_cost_includes_divider(self, generators):
+        """The recursive unit needs a divider, which the TABLEFREE PWL
+        datapath avoids — the key hardware-cost difference."""
+        _system, _exact, recursive = generators
+        cost = recursive.arithmetic_cost_per_point()
+        assert cost["divisions"] >= 1.0
+        assert cost["additions"] >= 3.0
+
+    def test_tablefree_beats_recursive_at_equal_effort(self, tiny):
+        """At the cited one-Newton-step design point, the PWL TABLEFREE
+        datapath is more accurate than the recursive unit over a scanline."""
+        from repro.core.tablefree import TableFreeDelayGenerator
+        exact = ExactDelayEngine.from_config(tiny)
+        points = exact.grid.scanline_points(6, 6)
+        truth = exact.delays_samples(points)
+        recursive = RecursiveDelayGenerator.from_config(
+            tiny, RecursiveConfig(newton_iterations=1))
+        tablefree = TableFreeDelayGenerator.from_config(tiny)
+        recursive_error = np.mean(np.abs(
+            recursive.scanline_delays_samples(6, 6) - truth))
+        tablefree_error = np.mean(np.abs(
+            tablefree.delays_samples(points) - truth))
+        assert tablefree_error < recursive_error

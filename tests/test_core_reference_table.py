@@ -1,0 +1,145 @@
+"""Tests for repro.core.reference_table: the broadside delay table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import ExactDelayEngine
+from repro.core.reference_table import ReferenceDelayTable, _fold_axis
+from repro.fixedpoint.format import REFERENCE_DELAY_14B, REFERENCE_DELAY_18B
+
+
+@pytest.fixture(scope="module")
+def table(request):
+    from repro.config import tiny_system
+    return ReferenceDelayTable.build(tiny_system())
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    from repro.config import small_system
+    return ReferenceDelayTable.build(small_system())
+
+
+class TestFoldAxis:
+    def test_even_symmetric_axis(self):
+        coords = np.array([-1.5, -0.5, 0.5, 1.5])
+        index_map, kept = _fold_axis(coords)
+        assert len(kept) == 2
+        np.testing.assert_allclose(coords[kept], [0.5, 1.5])
+        # |-1.5| maps to the 1.5 slot, |-0.5| to the 0.5 slot.
+        np.testing.assert_array_equal(index_map, [1, 0, 0, 1])
+
+    def test_odd_axis_with_zero(self):
+        coords = np.array([-2.0, -1.0, 0.0, 1.0, 2.0])
+        index_map, kept = _fold_axis(coords)
+        assert len(kept) == 3
+        np.testing.assert_array_equal(index_map, [2, 1, 0, 1, 2])
+
+
+class TestTableValues:
+    def test_full_table_shape(self, table):
+        ex = table.transducer.config.elements_x
+        ey = table.transducer.config.elements_y
+        n_depth = len(table.grid.depths)
+        assert table.delays.shape == (ex, ey, n_depth)
+
+    def test_matches_exact_engine_on_axis(self, table):
+        """Table entries equal exact delays for on-axis reference points."""
+        system = table.system
+        exact = ExactDelayEngine.from_config(system)
+        i_depth = len(table.grid.depths) // 2
+        point = np.array([[0.0, 0.0, table.grid.depths[i_depth]]])
+        exact_samples = exact.delays_samples(point)[0]
+        ex, ey = table.transducer.shape
+        table_slice = table.delays[:, :, i_depth].ravel()
+        np.testing.assert_allclose(table_slice, exact_samples, rtol=1e-12)
+
+    def test_delays_increase_with_depth(self, table):
+        assert np.all(np.diff(table.delays, axis=2) > 0)
+
+    def test_delays_increase_with_element_offset(self, table):
+        # At fixed depth, elements farther from the axis have larger delays.
+        mid_depth = table.delays.shape[2] // 2
+        slice_ = table.delays[:, :, mid_depth]
+        center = slice_.min()
+        corner = slice_[0, 0]
+        assert corner > center
+
+    def test_table_symmetry(self, table):
+        np.testing.assert_allclose(table.delays, table.delays[::-1, :, :])
+        np.testing.assert_allclose(table.delays, table.delays[:, ::-1, :])
+
+
+class TestQuadrantPruning:
+    def test_entry_counts(self, table):
+        ex, ey = table.transducer.shape
+        n_depth = len(table.grid.depths)
+        assert table.full_entry_count == ex * ey * n_depth
+        assert table.quadrant_entry_count == (ex // 2) * (ey // 2) * n_depth
+
+    def test_symmetry_savings_close_to_three_quarters(self, table):
+        assert table.symmetry_savings == pytest.approx(0.75, abs=0.05)
+
+    def test_lookup_reconstructs_full_slice(self, table):
+        for i_depth in (0, len(table.grid.depths) // 2, len(table.grid.depths) - 1):
+            reconstructed = table.lookup(i_depth)
+            np.testing.assert_allclose(reconstructed,
+                                       table.delays[:, :, i_depth])
+
+    def test_lookup_vectorised_over_depths(self, table):
+        depths = np.array([0, 3, 7])
+        stacked = table.lookup(depths)
+        assert stacked.shape == (3, *table.transducer.shape)
+        for k, i_depth in enumerate(depths):
+            np.testing.assert_allclose(stacked[k], table.delays[:, :, i_depth])
+
+    def test_nappe_slice_alias(self, table):
+        np.testing.assert_allclose(table.nappe_slice(2), table.lookup(2))
+
+    def test_paper_scale_entry_count_closed_form(self, paper):
+        # Do not build the paper table; check the closed-form count only.
+        ex, ey = paper.transducer.elements_x, paper.transducer.elements_y
+        quadrant = (ex // 2) * (ey // 2) * paper.volume.n_depth
+        assert quadrant == 2_500_000
+
+
+class TestStorage:
+    def test_storage_bits_scale_with_format(self, table):
+        assert table.storage_bits(REFERENCE_DELAY_18B) == \
+            table.quadrant_entry_count * 18
+        assert table.storage_bits(REFERENCE_DELAY_14B) == \
+            table.quadrant_entry_count * 14
+
+    def test_storage_megabits(self, small_table):
+        assert small_table.storage_megabits(REFERENCE_DELAY_18B) == pytest.approx(
+            small_table.quadrant_entry_count * 18 / 1e6)
+
+    def test_quantized_quadrant_within_half_lsb(self, small_table):
+        quantized = small_table.quantized_quadrant(REFERENCE_DELAY_18B)
+        error = quantized - small_table.quadrant
+        assert np.max(np.abs(error)) <= REFERENCE_DELAY_18B.resolution / 2 + 1e-12
+
+
+class TestDirectivity:
+    def test_mask_shape(self, table):
+        assert table.directivity_mask().shape == table.delays.shape
+
+    def test_shallow_steep_entries_pruned(self, table):
+        mask = table.directivity_mask()
+        # The farthest-corner element at the shallowest depth is far off-axis.
+        assert not mask[0, 0, 0]
+        # The central region at depth is well inside the cone.
+        ex, ey = table.transducer.shape
+        assert mask[ex // 2, ey // 2, -1]
+
+    def test_prunable_fraction_between_zero_and_one(self, table):
+        fraction = table.prunable_fraction()
+        assert 0.0 <= fraction < 1.0
+
+    def test_deeper_entries_less_prunable(self, table):
+        mask = table.directivity_mask()
+        shallow_kept = np.count_nonzero(mask[:, :, 0])
+        deep_kept = np.count_nonzero(mask[:, :, -1])
+        assert deep_kept >= shallow_kept

@@ -1,0 +1,124 @@
+"""Tests for repro.core.steering: the correction-plane computation (Eq. 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.steering import SteeringCorrections, correction_plane
+from repro.fixedpoint.format import CORRECTION_14B, CORRECTION_18B
+
+
+@pytest.fixture(scope="module")
+def corrections():
+    from repro.config import tiny_system
+    return SteeringCorrections.build(tiny_system())
+
+
+class TestCorrectionPlane:
+    def test_zero_steering_gives_zero_plane(self):
+        x = np.linspace(-0.01, 0.01, 8)
+        y = np.linspace(-0.01, 0.01, 8)
+        plane = correction_plane(x, y, theta=0.0, phi=0.0, speed_of_sound=1540.0)
+        np.testing.assert_allclose(plane, 0.0, atol=1e-18)
+
+    def test_plane_is_linear_in_element_coordinates(self):
+        x = np.linspace(-0.01, 0.01, 16)
+        y = np.linspace(-0.01, 0.01, 16)
+        plane = correction_plane(x, y, theta=0.4, phi=-0.3, speed_of_sound=1540.0)
+        # Second differences along both axes vanish for a plane.
+        np.testing.assert_allclose(np.diff(plane, n=2, axis=0), 0.0, atol=1e-18)
+        np.testing.assert_allclose(np.diff(plane, n=2, axis=1), 0.0, atol=1e-18)
+
+    def test_matches_equation_7(self):
+        x = np.array([-0.005, 0.0, 0.005])
+        y = np.array([-0.004, 0.004])
+        theta, phi, c = 0.35, -0.2, 1540.0
+        plane = correction_plane(x, y, theta, phi, c)
+        expected = -(x[:, None] * np.cos(phi) * np.sin(theta)
+                     + y[None, :] * np.sin(phi)) / c
+        np.testing.assert_allclose(plane, expected)
+
+    def test_sample_units_scaling(self):
+        x = np.array([0.005])
+        y = np.array([0.0])
+        seconds = correction_plane(x, y, 0.3, 0.0, 1540.0)
+        samples = correction_plane(x, y, 0.3, 0.0, 1540.0,
+                                   sampling_frequency=32e6)
+        np.testing.assert_allclose(samples, seconds * 32e6)
+
+    def test_antisymmetric_in_theta(self):
+        x = np.linspace(-0.01, 0.01, 8)
+        y = np.zeros(1)
+        pos = correction_plane(x, y, 0.4, 0.0, 1540.0)
+        neg = correction_plane(x, y, -0.4, 0.0, 1540.0)
+        np.testing.assert_allclose(pos, -neg)
+
+
+class TestSteeringCorrections:
+    def test_term_shapes(self, corrections, tiny):
+        ex = tiny.transducer.elements_x
+        ey = tiny.transducer.elements_y
+        assert corrections.x_terms.shape == (ex, tiny.volume.n_theta,
+                                             tiny.volume.n_phi)
+        assert corrections.y_terms.shape == (ey, tiny.volume.n_phi)
+
+    def test_plane_matches_direct_formula(self, corrections, tiny):
+        i_theta, i_phi = 2, 5
+        theta = corrections.grid.thetas[i_theta]
+        phi = corrections.grid.phis[i_phi]
+        expected = correction_plane(
+            corrections.transducer.x, corrections.transducer.y, theta, phi,
+            tiny.acoustic.speed_of_sound,
+            sampling_frequency=tiny.acoustic.sampling_frequency)
+        np.testing.assert_allclose(corrections.plane(i_theta, i_phi), expected)
+
+    def test_plane_seconds_conversion(self, corrections, tiny):
+        plane_samples = corrections.plane(1, 1)
+        plane_seconds = corrections.plane_seconds(1, 1)
+        np.testing.assert_allclose(
+            plane_samples,
+            plane_seconds * tiny.acoustic.sampling_frequency)
+
+    def test_centre_scanline_of_odd_grid_is_zero(self, tiny):
+        system = tiny.with_volume(n_theta=5, n_phi=5)
+        corrections = SteeringCorrections.build(system)
+        np.testing.assert_allclose(corrections.plane(2, 2), 0.0, atol=1e-12)
+
+    def test_precomputed_value_count_formula(self, corrections, tiny):
+        ex, ey = tiny.transducer.elements_x, tiny.transducer.elements_y
+        n_theta, n_phi = tiny.volume.n_theta, tiny.volume.n_phi
+        expected = ex * n_theta * ((n_phi + 1) // 2) + ey * n_phi
+        assert corrections.precomputed_value_count == expected
+
+    def test_paper_scale_count_is_832k(self, paper):
+        corrections_count = (paper.transducer.elements_x * paper.volume.n_theta
+                             * (paper.volume.n_phi // 2)
+                             + paper.transducer.elements_y * paper.volume.n_phi)
+        assert corrections_count == 832_000
+
+    def test_storage_bits(self, corrections):
+        assert corrections.storage_bits(CORRECTION_18B) == \
+            corrections.precomputed_value_count * 18
+        assert corrections.storage_bits(CORRECTION_14B) == \
+            corrections.precomputed_value_count * 14
+
+    def test_quantized_plane_error_bounded(self, corrections):
+        plane = corrections.plane(0, 0)
+        quantized = corrections.quantized_plane(0, 0, CORRECTION_18B)
+        assert np.max(np.abs(quantized - plane)) <= \
+            CORRECTION_18B.resolution / 2 + 1e-12
+
+    def test_max_correction_bounds_all_planes(self, corrections, tiny):
+        bound = corrections.max_correction_samples()
+        worst = 0.0
+        for i_theta in range(0, tiny.volume.n_theta, 3):
+            for i_phi in range(0, tiny.volume.n_phi, 3):
+                worst = max(worst, np.max(np.abs(corrections.plane(i_theta, i_phi))))
+        assert worst <= bound + 1e-9
+
+    def test_cos_phi_symmetry_of_x_terms(self, corrections, tiny):
+        """x-terms are symmetric in phi about the centre (cos is even),
+        which is what allows storing only half the phi axis."""
+        x_terms = corrections.x_terms
+        np.testing.assert_allclose(x_terms, x_terms[:, :, ::-1], atol=1e-18)

@@ -1,0 +1,115 @@
+"""Tests for repro.fixedpoint.array: FixedPointArray arithmetic and rounding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.array import FixedPointArray
+from repro.fixedpoint.format import CORRECTION_18B, REFERENCE_DELAY_18B, signed, unsigned
+from repro.fixedpoint.quantize import OverflowMode
+
+
+class TestConstruction:
+    def test_from_float_roundtrip(self):
+        fmt = unsigned(8, 4)
+        values = np.array([1.25, 2.5, 100.0])
+        arr = FixedPointArray.from_float(values, fmt)
+        np.testing.assert_allclose(arr.to_float(), values)
+
+    def test_shape_and_len(self):
+        fmt = unsigned(8, 0)
+        arr = FixedPointArray.from_float(np.zeros((3, 4)), fmt)
+        assert arr.shape == (3, 4)
+        arr1d = FixedPointArray.from_float(np.zeros(5), fmt)
+        assert len(arr1d) == 5
+
+    def test_storage_bits(self):
+        arr = FixedPointArray.from_float(np.zeros(10), REFERENCE_DELAY_18B)
+        assert arr.storage_bits() == 10 * 18
+
+
+class TestAddition:
+    def test_add_same_format(self):
+        fmt = unsigned(8, 2)
+        a = FixedPointArray.from_float(np.array([1.0, 2.25]), fmt)
+        b = FixedPointArray.from_float(np.array([0.5, 0.25]), fmt)
+        result = a.add(b)
+        np.testing.assert_allclose(result.to_float(), [1.5, 2.5])
+
+    def test_add_aligns_binary_points(self):
+        # U13.5 reference plus S13.4 correction: the paper's exact datapath.
+        ref = FixedPointArray.from_float(np.array([100.03125]), REFERENCE_DELAY_18B)
+        corr = FixedPointArray.from_float(np.array([-2.5]), CORRECTION_18B)
+        result = ref.add(corr)
+        assert result.to_float()[0] == pytest.approx(97.53125)
+
+    def test_result_format_widened(self):
+        a = FixedPointArray.from_float(np.array([5.0]), unsigned(3, 1))
+        b = FixedPointArray.from_float(np.array([-5.0]), signed(3, 2))
+        result = a.add(b)
+        assert result.fmt.signed
+        assert result.fmt.fraction_bits == 2
+        assert result.fmt.integer_bits == 4
+        assert result.to_float()[0] == pytest.approx(0.0)
+
+    def test_add_explicit_result_format_saturates(self):
+        fmt = unsigned(3, 0)
+        a = FixedPointArray.from_float(np.array([7.0]), fmt)
+        b = FixedPointArray.from_float(np.array([7.0]), fmt)
+        result = a.add(b, result_fmt=fmt)
+        assert result.to_float()[0] == pytest.approx(7.0)
+
+    def test_add_overflow_error_mode(self):
+        fmt = unsigned(3, 0)
+        a = FixedPointArray.from_float(np.array([7.0]), fmt)
+        b = FixedPointArray.from_float(np.array([7.0]), fmt)
+        with pytest.raises(OverflowError):
+            a.add(b, result_fmt=fmt, overflow=OverflowMode.ERROR)
+
+    def test_add_overflow_wrap_mode(self):
+        fmt = unsigned(3, 0)
+        a = FixedPointArray.from_float(np.array([7.0]), fmt)
+        b = FixedPointArray.from_float(np.array([1.0]), fmt)
+        result = a.add(b, result_fmt=fmt, overflow=OverflowMode.WRAP)
+        assert result.to_float()[0] == pytest.approx(0.0)
+
+
+class TestRoundToInteger:
+    def test_round_half_away_positive(self):
+        fmt = unsigned(8, 2)
+        arr = FixedPointArray.from_float(np.array([2.5, 2.25, 2.75]), fmt)
+        np.testing.assert_array_equal(arr.round_to_integer(), [3, 2, 3])
+
+    def test_round_half_away_negative(self):
+        fmt = signed(8, 2)
+        arr = FixedPointArray.from_float(np.array([-2.5, -2.25, -2.75]), fmt)
+        np.testing.assert_array_equal(arr.round_to_integer(), [-3, -2, -3])
+
+    def test_round_integer_format_is_identity(self):
+        fmt = unsigned(8, 0)
+        arr = FixedPointArray.from_float(np.array([3.0, 5.0]), fmt)
+        np.testing.assert_array_equal(arr.round_to_integer(), [3, 5])
+
+    def test_rounding_matches_float_reference(self, rng):
+        fmt = unsigned(13, 5)
+        values = rng.uniform(0, 8000, 500)
+        arr = FixedPointArray.from_float(values, fmt)
+        expected = np.floor(arr.to_float() + 0.5).astype(np.int64)
+        np.testing.assert_array_equal(arr.round_to_integer(), expected)
+
+
+class TestDatapathEquivalence:
+    def test_fixed_point_sum_equals_float_of_quantised_values(self, rng):
+        """The FixedPointArray add must equal adding the quantised floats.
+
+        Both operands are exact multiples of their resolution, so the float
+        sum is exact and the two paths must agree bit for bit.
+        """
+        ref_values = rng.uniform(0, 8000, 200)
+        corr_values = rng.uniform(-200, 200, 200)
+        ref = FixedPointArray.from_float(ref_values, REFERENCE_DELAY_18B)
+        corr = FixedPointArray.from_float(corr_values, CORRECTION_18B)
+        hw_sum = ref.add(corr).to_float()
+        float_sum = ref.to_float() + corr.to_float()
+        np.testing.assert_allclose(hw_sum, float_sum)

@@ -1,0 +1,113 @@
+"""Tests for repro.fixedpoint.format: Q-format descriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fixedpoint.format import (
+    CORRECTION_18B,
+    DELAY_INDEX_13B,
+    QFormat,
+    REFERENCE_DELAY_18B,
+    signed,
+    tablesteer_formats,
+    unsigned,
+)
+
+
+class TestQFormatBasics:
+    def test_unsigned_total_bits(self):
+        assert unsigned(13, 5).total_bits == 18
+
+    def test_signed_total_bits_includes_sign(self):
+        assert signed(13, 4).total_bits == 18
+
+    def test_resolution(self):
+        assert unsigned(13, 5).resolution == pytest.approx(1 / 32)
+        assert unsigned(13, 0).resolution == 1.0
+
+    def test_unsigned_range(self):
+        fmt = unsigned(3, 2)
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == pytest.approx(8 - 0.25)
+        assert fmt.min_raw == 0
+        assert fmt.max_raw == 31
+
+    def test_signed_range(self):
+        fmt = signed(3, 2)
+        assert fmt.min_value == -8.0
+        assert fmt.max_value == pytest.approx(8 - 0.25)
+        assert fmt.min_raw == -32
+        assert fmt.max_raw == 31
+
+    def test_describe(self):
+        assert unsigned(13, 5).describe() == "U13.5 (18 bits)"
+        assert signed(13, 4).describe() == "S13.4 (18 bits)"
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 3)
+        with pytest.raises(ValueError):
+            QFormat(3, -1)
+        with pytest.raises(ValueError):
+            QFormat(0, 0)
+
+    def test_zero_integer_bits_allowed(self):
+        fmt = unsigned(0, 8)
+        assert fmt.max_value < 1.0
+        assert fmt.resolution == pytest.approx(1 / 256)
+
+
+class TestPaperFormats:
+    def test_reference_delay_format_is_u13_5(self):
+        assert REFERENCE_DELAY_18B.integer_bits == 13
+        assert REFERENCE_DELAY_18B.fraction_bits == 5
+        assert not REFERENCE_DELAY_18B.signed
+        assert REFERENCE_DELAY_18B.total_bits == 18
+
+    def test_correction_format_is_s13_4(self):
+        assert CORRECTION_18B.integer_bits == 13
+        assert CORRECTION_18B.fraction_bits == 4
+        assert CORRECTION_18B.signed
+        assert CORRECTION_18B.total_bits == 18
+
+    def test_reference_format_covers_echo_buffer(self):
+        # The echo buffer holds slightly more than 8000 samples (13-bit index).
+        assert REFERENCE_DELAY_18B.max_value > 8000
+
+    def test_13_bit_index_format(self):
+        assert DELAY_INDEX_13B.total_bits == 13
+        assert DELAY_INDEX_13B.resolution == 1.0
+
+
+class TestTableSteerFormats:
+    def test_18_bit_formats(self):
+        ref, corr = tablesteer_formats(18)
+        assert (ref.integer_bits, ref.fraction_bits, ref.signed) == (13, 5, False)
+        assert (corr.integer_bits, corr.fraction_bits, corr.signed) == (13, 4, True)
+
+    def test_14_bit_formats(self):
+        ref, corr = tablesteer_formats(14)
+        assert ref.fraction_bits == 1
+        assert corr.fraction_bits == 0
+        assert corr.signed
+
+    def test_13_bit_formats_are_integer(self):
+        ref, corr = tablesteer_formats(13)
+        assert ref.fraction_bits == 0
+        assert corr.fraction_bits == 0
+
+    def test_below_13_bits_rejected(self):
+        with pytest.raises(ValueError):
+            tablesteer_formats(12)
+
+    @pytest.mark.parametrize("bits", [13, 14, 16, 18, 20, 24])
+    def test_reference_total_width_matches_request(self, bits):
+        ref, _corr = tablesteer_formats(bits)
+        assert ref.total_bits == bits
+
+    @pytest.mark.parametrize("bits", [14, 16, 18, 20])
+    def test_more_bits_means_finer_resolution(self, bits):
+        coarse, _ = tablesteer_formats(bits - 1)
+        fine, _ = tablesteer_formats(bits)
+        assert fine.resolution < coarse.resolution

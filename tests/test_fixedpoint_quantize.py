@@ -1,0 +1,127 @@
+"""Tests for repro.fixedpoint.quantize: rounding, saturation, error bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.format import signed, unsigned
+from repro.fixedpoint.quantize import (
+    OverflowMode,
+    RoundingMode,
+    from_raw,
+    quantization_error,
+    quantize,
+    representable,
+    to_raw,
+)
+
+
+class TestToRaw:
+    def test_integer_values_exact(self):
+        fmt = unsigned(8, 4)
+        assert to_raw(5.0, fmt) == 5 * 16
+
+    def test_fractional_value(self):
+        fmt = unsigned(8, 4)
+        assert to_raw(1.25, fmt) == 20
+
+    def test_rounding_nearest_half_away(self):
+        fmt = unsigned(8, 0)
+        assert to_raw(2.5, fmt, rounding=RoundingMode.NEAREST) == 3
+        fmt_signed = signed(8, 0)
+        assert to_raw(-2.5, fmt_signed, rounding=RoundingMode.NEAREST) == -3
+
+    def test_rounding_nearest_even(self):
+        fmt = unsigned(8, 0)
+        assert to_raw(2.5, fmt, rounding=RoundingMode.NEAREST_EVEN) == 2
+        assert to_raw(3.5, fmt, rounding=RoundingMode.NEAREST_EVEN) == 4
+
+    def test_rounding_floor_ceil_truncate(self):
+        fmt = signed(8, 0)
+        assert to_raw(2.7, fmt, rounding=RoundingMode.FLOOR) == 2
+        assert to_raw(-2.7, fmt, rounding=RoundingMode.FLOOR) == -3
+        assert to_raw(2.2, fmt, rounding=RoundingMode.CEIL) == 3
+        assert to_raw(-2.7, fmt, rounding=RoundingMode.TRUNCATE) == -2
+
+    def test_saturation_high(self):
+        fmt = unsigned(4, 0)
+        assert to_raw(100.0, fmt, overflow=OverflowMode.SATURATE) == 15
+
+    def test_saturation_low_unsigned(self):
+        fmt = unsigned(4, 0)
+        assert to_raw(-3.0, fmt, overflow=OverflowMode.SATURATE) == 0
+
+    def test_saturation_signed(self):
+        fmt = signed(4, 0)
+        assert to_raw(-100.0, fmt, overflow=OverflowMode.SATURATE) == -16
+        assert to_raw(100.0, fmt, overflow=OverflowMode.SATURATE) == 15
+
+    def test_overflow_error_mode(self):
+        fmt = unsigned(4, 0)
+        with pytest.raises(OverflowError):
+            to_raw(100.0, fmt, overflow=OverflowMode.ERROR)
+
+    def test_overflow_wrap_mode(self):
+        fmt = unsigned(4, 0)
+        assert to_raw(16.0, fmt, overflow=OverflowMode.WRAP) == 0
+        assert to_raw(17.0, fmt, overflow=OverflowMode.WRAP) == 1
+
+    def test_array_input(self):
+        fmt = unsigned(8, 2)
+        raw = to_raw(np.array([0.25, 0.5, 1.0]), fmt)
+        assert raw.dtype == np.int64
+        np.testing.assert_array_equal(raw, [1, 2, 4])
+
+
+class TestRoundTrip:
+    def test_from_raw_inverse_of_to_raw_on_grid(self):
+        fmt = unsigned(6, 3)
+        values = np.arange(0, 8, fmt.resolution)
+        assert np.allclose(from_raw(to_raw(values, fmt), fmt), values)
+
+    def test_quantize_idempotent(self):
+        fmt = signed(6, 4)
+        values = np.linspace(-30, 30, 101)
+        once = quantize(values, fmt)
+        twice = quantize(once, fmt)
+        np.testing.assert_allclose(once, twice)
+
+    def test_quantize_error_bounded_by_half_lsb(self):
+        fmt = unsigned(10, 6)
+        values = np.random.default_rng(0).uniform(0, 1000, 1000)
+        errors = quantization_error(values, fmt)
+        assert np.all(np.abs(errors) <= fmt.resolution / 2 + 1e-15)
+
+    def test_quantize_exact_for_representable_values(self):
+        fmt = signed(5, 3)
+        grid = np.arange(fmt.min_value, fmt.max_value + fmt.resolution / 2,
+                         fmt.resolution)
+        np.testing.assert_allclose(quantize(grid, fmt), grid)
+
+
+class TestRepresentable:
+    def test_inside_range(self):
+        fmt = unsigned(4, 2)
+        assert representable(10.0, fmt)
+        assert representable(0.0, fmt)
+
+    def test_outside_range(self):
+        fmt = unsigned(4, 2)
+        assert not representable(16.0, fmt)
+        assert not representable(-0.5, fmt)
+
+    def test_array(self):
+        fmt = signed(3, 0)
+        mask = representable(np.array([-9.0, -8.0, 0.0, 7.0, 8.0]), fmt)
+        np.testing.assert_array_equal(mask, [False, True, True, True, False])
+
+
+class TestUnknownModes:
+    def test_bad_rounding_mode(self):
+        with pytest.raises(ValueError):
+            to_raw(1.0, unsigned(4, 0), rounding="bogus")  # type: ignore[arg-type]
+
+    def test_bad_overflow_mode(self):
+        with pytest.raises(ValueError):
+            to_raw(1.0, unsigned(4, 0), overflow="bogus")  # type: ignore[arg-type]

@@ -1,0 +1,142 @@
+"""Tests for repro.geometry.apodization: windows and directivity weighting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.apodization import (
+    WindowType,
+    aperture_apodization,
+    combined_receive_weights,
+    directivity_weights,
+    window_1d,
+)
+from repro.geometry.coordinates import off_axis_angle
+
+
+class TestWindow1d:
+    @pytest.mark.parametrize("kind", list(WindowType))
+    def test_length_and_range(self, kind):
+        window = window_1d(16, kind)
+        assert window.shape == (16,)
+        assert np.all(window >= 0)
+        assert np.all(window <= 1.0 + 1e-12)
+
+    def test_rectangular_is_all_ones(self):
+        np.testing.assert_allclose(window_1d(8, WindowType.RECTANGULAR), 1.0)
+
+    def test_hann_tapers_to_zero(self):
+        window = window_1d(32, WindowType.HANN)
+        assert window[0] == pytest.approx(0.0)
+        assert window[-1] == pytest.approx(0.0)
+        assert window[16] > 0.9
+
+    def test_symmetry(self):
+        for kind in (WindowType.HANN, WindowType.HAMMING, WindowType.BLACKMAN,
+                     WindowType.TUKEY):
+            window = window_1d(21, kind)
+            np.testing.assert_allclose(window, window[::-1], atol=1e-12)
+
+    def test_length_one(self):
+        np.testing.assert_allclose(window_1d(1, WindowType.HANN), [1.0])
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            window_1d(0)
+
+    def test_tukey_limits(self):
+        flat = window_1d(64, WindowType.TUKEY, tukey_alpha=0.0)
+        np.testing.assert_allclose(flat, 1.0)
+        hann_like = window_1d(64, WindowType.TUKEY, tukey_alpha=1.0)
+        np.testing.assert_allclose(hann_like, np.hanning(64), atol=1e-12)
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ValueError):
+            window_1d(8, "bogus")  # type: ignore[arg-type]
+
+
+class TestApertureApodization:
+    def test_shape_matches_transducer(self, small_transducer):
+        weights = aperture_apodization(small_transducer)
+        assert weights.shape == small_transducer.shape
+
+    def test_peak_is_one(self, small_transducer):
+        weights = aperture_apodization(small_transducer)
+        assert weights.max() == pytest.approx(1.0)
+
+    def test_separable_outer_product(self, small_transducer):
+        weights = aperture_apodization(small_transducer, WindowType.HAMMING)
+        wx = window_1d(small_transducer.config.elements_x, WindowType.HAMMING)
+        wy = window_1d(small_transducer.config.elements_y, WindowType.HAMMING)
+        expected = np.outer(wx, wy)
+        expected /= expected.max()
+        np.testing.assert_allclose(weights, expected)
+
+    def test_rectangular_gives_uniform_weights(self, small_transducer):
+        weights = aperture_apodization(small_transducer, WindowType.RECTANGULAR)
+        np.testing.assert_allclose(weights, 1.0)
+
+
+class TestDirectivityWeights:
+    def test_on_axis_weight_is_one(self):
+        assert directivity_weights(np.array([0.0]), math.radians(45))[0] == 1.0
+
+    def test_beyond_max_angle_is_zero(self):
+        weights = directivity_weights(np.array([math.radians(60)]),
+                                      math.radians(45))
+        assert weights[0] == 0.0
+
+    def test_taper_region_between_zero_and_one(self):
+        max_angle = math.radians(45)
+        angle = math.radians(43)
+        weight = directivity_weights(np.array([angle]), max_angle, rolloff=0.1)[0]
+        assert 0.0 < weight < 1.0
+
+    def test_monotone_decreasing(self):
+        angles = np.linspace(0, math.radians(60), 200)
+        weights = directivity_weights(angles, math.radians(45), rolloff=0.2)
+        assert np.all(np.diff(weights) <= 1e-12)
+
+    def test_negative_angles_treated_by_magnitude(self):
+        max_angle = math.radians(45)
+        w_pos = directivity_weights(np.array([0.3]), max_angle)
+        w_neg = directivity_weights(np.array([-0.3]), max_angle)
+        np.testing.assert_allclose(w_pos, w_neg)
+
+    def test_zero_rolloff_is_hard_cutoff(self):
+        max_angle = math.radians(45)
+        angles = np.array([math.radians(44.9), math.radians(45.1)])
+        weights = directivity_weights(angles, max_angle, rolloff=0.0)
+        np.testing.assert_allclose(weights, [1.0, 0.0])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            directivity_weights(np.array([0.1]), -1.0)
+        with pytest.raises(ValueError):
+            directivity_weights(np.array([0.1]), 1.0, rolloff=2.0)
+
+
+class TestCombinedWeights:
+    def test_shape(self, small_transducer, small_grid):
+        points = small_grid.scanline_points(0, 0)[:5]
+        angles = off_axis_angle(points, small_transducer.positions)
+        weights = combined_receive_weights(small_transducer, angles)
+        assert weights.shape == (5, small_transducer.element_count)
+
+    def test_steep_angles_suppressed(self, small_transducer):
+        # A point essentially in the transducer plane, far to the side: every
+        # element sees it far off-axis, so all weights must be ~0.
+        point = np.array([[1.0, 0.0, 1e-6]])
+        angles = off_axis_angle(point, small_transducer.positions)
+        weights = combined_receive_weights(small_transducer, angles)
+        assert np.all(weights < 1e-6)
+
+    def test_broadside_point_keeps_aperture_window(self, small_transducer):
+        point = np.array([[0.0, 0.0, 0.1]])
+        angles = off_axis_angle(point, small_transducer.positions)
+        weights = combined_receive_weights(small_transducer, angles)
+        aperture = aperture_apodization(small_transducer).ravel()
+        np.testing.assert_allclose(weights[0], aperture, atol=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for repro.geometry.transducer: element grid construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TransducerConfig, paper_system
+from repro.geometry.transducer import MatrixTransducer, _centered_grid
+
+
+class TestCenteredGrid:
+    def test_single_element_at_origin(self):
+        np.testing.assert_allclose(_centered_grid(1, 0.2e-3), [0.0])
+
+    def test_even_count_straddles_zero(self):
+        grid = _centered_grid(4, 1.0)
+        np.testing.assert_allclose(grid, [-1.5, -0.5, 0.5, 1.5])
+
+    def test_odd_count_has_zero(self):
+        grid = _centered_grid(5, 1.0)
+        assert 0.0 in grid
+
+    def test_pitch_spacing(self):
+        grid = _centered_grid(10, 0.1925e-3)
+        np.testing.assert_allclose(np.diff(grid), 0.1925e-3)
+
+    def test_zero_elements_rejected(self):
+        with pytest.raises(ValueError):
+            _centered_grid(0, 1.0)
+
+
+class TestMatrixTransducer:
+    def test_element_count(self, tiny_transducer):
+        assert tiny_transducer.element_count == 64
+        assert tiny_transducer.positions.shape == (64, 3)
+
+    def test_paper_transducer_shape(self):
+        transducer = MatrixTransducer.from_config(paper_system())
+        assert transducer.shape == (100, 100)
+        assert transducer.element_count == 10_000
+
+    def test_elements_lie_in_z_zero_plane(self, small_transducer):
+        np.testing.assert_allclose(small_transducer.positions[:, 2], 0.0)
+
+    def test_aperture_centred_on_origin(self, small_transducer):
+        np.testing.assert_allclose(small_transducer.center(), [0, 0, 0],
+                                   atol=1e-15)
+
+    def test_element_index_row_major(self, tiny_transducer):
+        ex, ey = tiny_transducer.shape
+        assert tiny_transducer.element_index(0, 0) == 0
+        assert tiny_transducer.element_index(0, 1) == 1
+        assert tiny_transducer.element_index(1, 0) == ey
+
+    def test_element_index_out_of_range(self, tiny_transducer):
+        ex, ey = tiny_transducer.shape
+        with pytest.raises(IndexError):
+            tiny_transducer.element_index(ex, 0)
+        with pytest.raises(IndexError):
+            tiny_transducer.element_index(0, ey)
+        with pytest.raises(IndexError):
+            tiny_transducer.element_index(-1, 0)
+
+    def test_element_position_consistent_with_flat_array(self, tiny_transducer):
+        ex, ey = tiny_transducer.shape
+        for ix, iy in [(0, 0), (1, 3), (ex - 1, ey - 1)]:
+            flat = tiny_transducer.positions[tiny_transducer.element_index(ix, iy)]
+            np.testing.assert_allclose(
+                tiny_transducer.element_position(ix, iy), flat)
+
+    def test_grid_positions_match_flat_positions(self, tiny_transducer):
+        xx, yy = tiny_transducer.grid_positions()
+        np.testing.assert_allclose(xx.ravel(), tiny_transducer.positions[:, 0])
+        np.testing.assert_allclose(yy.ravel(), tiny_transducer.positions[:, 1])
+
+    def test_pitch_between_neighbours(self, small_transducer):
+        pitch = small_transducer.config.pitch
+        np.testing.assert_allclose(np.diff(small_transducer.x), pitch)
+        np.testing.assert_allclose(np.diff(small_transducer.y), pitch)
+
+    def test_from_transducer_config_directly(self):
+        config = TransducerConfig(elements_x=3, elements_y=5, pitch=1e-3)
+        transducer = MatrixTransducer.from_config(config)
+        assert transducer.shape == (3, 5)
+        assert transducer.element_count == 15
+
+    def test_quadrant_mask_selects_quarter_for_even_grid(self, small_transducer):
+        mask = small_transducer.quadrant_mask()
+        # Even x even grid with no element exactly at zero: exactly a quarter.
+        assert np.count_nonzero(mask) == small_transducer.element_count // 4
+
+    def test_quadrant_mask_odd_grid_includes_axes(self):
+        config = TransducerConfig(elements_x=5, elements_y=5, pitch=1e-3)
+        transducer = MatrixTransducer.from_config(config)
+        mask = transducer.quadrant_mask()
+        # 3x3 of the 5x5 grid has non-negative coordinates.
+        assert np.count_nonzero(mask) == 9
+
+    def test_symmetry_of_element_positions(self, small_transducer):
+        # For every element there is a mirrored element with negated x and y.
+        positions = small_transducer.positions
+        mirrored = positions * np.array([-1.0, -1.0, 1.0])
+        for row in mirrored:
+            distances = np.linalg.norm(positions - row, axis=1)
+            assert distances.min() < 1e-12

@@ -1,0 +1,104 @@
+"""Tests for repro.geometry.traversal: Algorithm 1 loop orders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_system
+from repro.geometry.traversal import (
+    analyze_traversal,
+    compare_orders,
+    nappe_order,
+    nappe_order_indices,
+    orders_visit_same_points,
+    scanline_order,
+    scanline_order_indices,
+)
+
+
+class TestIndexGenerators:
+    def test_scanline_indices_count(self, tiny):
+        indices = scanline_order_indices(tiny)
+        assert indices.shape == (tiny.volume.focal_point_count, 3)
+
+    def test_nappe_indices_count(self, tiny):
+        indices = nappe_order_indices(tiny)
+        assert indices.shape == (tiny.volume.focal_point_count, 3)
+
+    def test_scanline_order_depth_innermost(self, tiny):
+        indices = scanline_order_indices(tiny)
+        n_depth = tiny.volume.n_depth
+        # The first n_depth entries share (theta, phi) = (0, 0).
+        np.testing.assert_array_equal(indices[:n_depth, 0], 0)
+        np.testing.assert_array_equal(indices[:n_depth, 1], 0)
+        np.testing.assert_array_equal(indices[:n_depth, 2], np.arange(n_depth))
+
+    def test_nappe_order_depth_outermost(self, tiny):
+        indices = nappe_order_indices(tiny)
+        per_nappe = tiny.volume.n_theta * tiny.volume.n_phi
+        np.testing.assert_array_equal(indices[:per_nappe, 2], 0)
+        assert indices[per_nappe, 2] == 1
+
+    def test_generators_match_index_arrays(self, tiny):
+        from_gen = np.array([[s.i_theta, s.i_phi, s.i_depth]
+                             for s in scanline_order(tiny)])
+        np.testing.assert_array_equal(from_gen, scanline_order_indices(tiny))
+        from_gen = np.array([[s.i_theta, s.i_phi, s.i_depth]
+                             for s in nappe_order(tiny)])
+        np.testing.assert_array_equal(from_gen, nappe_order_indices(tiny))
+
+    def test_all_indices_within_bounds(self, tiny):
+        for indices in (scanline_order_indices(tiny), nappe_order_indices(tiny)):
+            assert indices[:, 0].max() == tiny.volume.n_theta - 1
+            assert indices[:, 1].max() == tiny.volume.n_phi - 1
+            assert indices[:, 2].max() == tiny.volume.n_depth - 1
+            assert indices.min() == 0
+
+
+class TestEquivalence:
+    def test_orders_visit_same_points(self, tiny):
+        assert orders_visit_same_points(tiny)
+
+    def test_no_duplicate_visits(self, tiny):
+        indices = scanline_order_indices(tiny)
+        assert len(np.unique(indices, axis=0)) == len(indices)
+        indices = nappe_order_indices(tiny)
+        assert len(np.unique(indices, axis=0)) == len(indices)
+
+
+class TestStats:
+    def test_scanline_switches_depth_every_point(self, tiny):
+        stats = analyze_traversal(scanline_order_indices(tiny), "scanline")
+        # Depth changes between every consecutive pair within a scanline;
+        # only at scanline boundaries does it repeat (returning to depth 0
+        # still counts as a switch unless n_depth == 1).
+        assert stats.slice_reuse_factor == pytest.approx(1.0, rel=0.01)
+
+    def test_nappe_reuses_each_slice(self, tiny):
+        stats = analyze_traversal(nappe_order_indices(tiny), "nappe")
+        per_nappe = tiny.volume.n_theta * tiny.volume.n_phi
+        assert stats.slice_reuse_factor == pytest.approx(per_nappe)
+        assert stats.max_consecutive_same_depth == per_nappe
+        assert stats.depth_switches == tiny.volume.n_depth - 1
+
+    def test_compare_orders_keys(self, tiny):
+        comparison = compare_orders(tiny)
+        assert set(comparison) == {"scanline", "nappe"}
+        assert comparison["nappe"].slice_reuse_factor \
+            > comparison["scanline"].slice_reuse_factor
+
+    def test_analyze_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            analyze_traversal(np.zeros((5, 2)), "bad")
+
+    def test_point_counts_agree(self, tiny):
+        comparison = compare_orders(tiny)
+        assert comparison["scanline"].point_count == tiny.volume.focal_point_count
+        assert comparison["nappe"].point_count == tiny.volume.focal_point_count
+
+    def test_single_depth_volume(self):
+        system = tiny_system().with_volume(n_depth=1)
+        comparison = compare_orders(system)
+        assert comparison["scanline"].depth_switches == 0
+        assert comparison["nappe"].depth_switches == 0

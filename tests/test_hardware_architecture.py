@@ -1,0 +1,93 @@
+"""Tests for repro.hardware.architecture: the Fig. 4 block model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.format import CORRECTION_18B, REFERENCE_DELAY_18B
+from repro.hardware.architecture import (
+    BlockArray,
+    BlockGeometry,
+    DelayComputeBlock,
+    paper_block_array,
+)
+
+
+class TestBlockGeometry:
+    def test_paper_adder_count(self):
+        geometry = BlockGeometry()
+        assert geometry.adder_count == 136
+        assert geometry.rounding_adder_count == 128
+        assert geometry.delays_per_cycle == 128
+
+    def test_custom_geometry(self):
+        geometry = BlockGeometry(nx=4, ny=4)
+        assert geometry.adder_count == 4 + 16
+        assert geometry.delays_per_cycle == 16
+
+    def test_bram_bits(self):
+        assert BlockGeometry(bram_words=1024, word_bits=18).bram_bits == 18_432
+
+
+class TestDelayComputeBlock:
+    def test_single_cycle_matches_direct_sum(self, rng):
+        block = DelayComputeBlock(geometry=BlockGeometry())
+        reference = 1234.5
+        x_corr = rng.uniform(-50, 50, 8)
+        y_corr = rng.uniform(-50, 50, 16)
+        output = block.process_cycle(reference, x_corr, y_corr)
+        expected = np.floor(reference + x_corr[:, None] + y_corr[None, :] + 0.5)
+        np.testing.assert_array_equal(output, expected.astype(np.int64))
+        assert output.shape == (8, 16)
+
+    def test_wrong_correction_lengths_rejected(self):
+        block = DelayComputeBlock(geometry=BlockGeometry())
+        with pytest.raises(ValueError):
+            block.process_cycle(10.0, np.zeros(7), np.zeros(16))
+        with pytest.raises(ValueError):
+            block.process_cycle(10.0, np.zeros(8), np.zeros(15))
+
+    def test_quantised_block_matches_quantised_reference_path(self, rng):
+        block = DelayComputeBlock(geometry=BlockGeometry(),
+                                  reference_format=REFERENCE_DELAY_18B,
+                                  correction_format=CORRECTION_18B)
+        reference = float(rng.uniform(0, 8000))
+        x_corr = rng.uniform(-100, 100, 8)
+        y_corr = rng.uniform(-100, 100, 16)
+        output = block.process_cycle(reference, x_corr, y_corr)
+        from repro.fixedpoint.quantize import quantize
+        ref_q = float(quantize(reference, REFERENCE_DELAY_18B))
+        x_q = quantize(x_corr, CORRECTION_18B)
+        y_q = quantize(y_corr, CORRECTION_18B)
+        expected = np.floor(ref_q + x_q[:, None] + y_q[None, :] + 0.5)
+        np.testing.assert_array_equal(output, expected.astype(np.int64))
+
+    def test_process_sequence_shape_and_consistency(self, rng):
+        geometry = BlockGeometry(nx=3, ny=5)
+        block = DelayComputeBlock(geometry=geometry)
+        references = rng.uniform(0, 1000, 12)
+        x_corr = rng.uniform(-10, 10, 3)
+        y_corr = rng.uniform(-10, 10, 5)
+        stream = block.process_sequence(references, x_corr, y_corr)
+        assert stream.shape == (12, 3, 5)
+        np.testing.assert_array_equal(
+            stream[4], block.process_cycle(references[4], x_corr, y_corr))
+
+
+class TestBlockArray:
+    def test_paper_array_totals(self):
+        array = paper_block_array()
+        assert array.n_blocks == 128
+        assert array.total_adders == 128 * 136
+        assert array.delays_per_cycle == 128 * 128
+        assert array.total_bram_bits / 1e6 == pytest.approx(2.36, abs=0.05)
+
+    def test_peak_rate_at_200mhz_is_3_3_tdelays(self):
+        array = paper_block_array()
+        assert array.peak_delay_rate(200e6) == pytest.approx(3.28e12, rel=0.01)
+
+    def test_peak_rate_scales_with_clock(self):
+        array = paper_block_array()
+        assert array.peak_delay_rate(100e6) == pytest.approx(
+            array.peak_delay_rate(200e6) / 2)

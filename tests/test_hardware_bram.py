@@ -1,0 +1,120 @@
+"""Tests for repro.hardware.bram: streaming plan and circular-buffer model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.bram import (
+    BramBankSpec,
+    CircularBufferSimulator,
+    make_streaming_plan,
+    parallel_read_conflicts,
+    staggered_bank_assignment,
+)
+
+
+class TestBankSpec:
+    def test_capacity(self):
+        assert BramBankSpec(word_bits=18, words=1024).capacity_bits == 18 * 1024
+
+    def test_paper_bank_array_is_2_3_megabits(self):
+        total = 128 * BramBankSpec(word_bits=18, words=1024).capacity_bits
+        assert total / 1e6 == pytest.approx(2.36, abs=0.05)
+
+
+class TestStreamingPlan:
+    def test_paper_bandwidth_figure(self):
+        """2.5e6 entries at 18 bit refetched 960 times/s is ~5.4 GB/s."""
+        plan = make_streaming_plan(table_entries=2_500_000, entry_bits=18,
+                                   insonifications_per_second=960)
+        assert plan.dram_bandwidth_bytes_per_second / 1e9 == pytest.approx(
+            5.4, abs=0.15)
+
+    def test_14_bit_variant_bandwidth(self):
+        plan = make_streaming_plan(table_entries=2_500_000, entry_bits=14,
+                                   insonifications_per_second=960)
+        assert plan.dram_bandwidth_bytes_per_second / 1e9 == pytest.approx(
+            4.2, abs=0.15)
+
+    def test_on_chip_capacity(self):
+        plan = make_streaming_plan(table_entries=2_500_000, entry_bits=18,
+                                   insonifications_per_second=960)
+        assert plan.on_chip_bits == 128 * 1024 * 18
+
+    def test_chunks_per_table(self):
+        plan = make_streaming_plan(table_entries=2_500_000, entry_bits=18,
+                                   insonifications_per_second=960)
+        expected = int(np.ceil(2_500_000 * 18 / (128 * 1024 * 18)))
+        assert plan.chunks_per_table == expected
+
+    def test_table_bits(self):
+        plan = make_streaming_plan(table_entries=1000, entry_bits=18,
+                                   insonifications_per_second=10)
+        assert plan.table_bits == 18_000
+
+
+class TestCircularBuffer:
+    def test_matched_rates_never_stall(self):
+        simulator = CircularBufferSimulator(capacity_words=1024,
+                                            consume_words_per_cycle=0.1,
+                                            refill_words_per_cycle=0.1,
+                                            initial_fill_words=1024)
+        stats = simulator.run(n_cycles=10_000, refill_latency_cycles=1000)
+        assert stats["stall_cycles"] == 0
+        assert stats["min_fill_words"] > 0
+
+    def test_underprovisioned_refill_stalls(self):
+        simulator = CircularBufferSimulator(capacity_words=64,
+                                            consume_words_per_cycle=1.0,
+                                            refill_words_per_cycle=0.5,
+                                            initial_fill_words=64)
+        stats = simulator.run(n_cycles=1000)
+        assert stats["stall_cycles"] > 0
+        assert stats["stall_fraction"] > 0.1
+
+    def test_latency_eats_into_margin(self):
+        base = CircularBufferSimulator(capacity_words=256,
+                                       consume_words_per_cycle=0.2,
+                                       refill_words_per_cycle=0.2,
+                                       initial_fill_words=256)
+        no_latency = base.run(n_cycles=5000, refill_latency_cycles=0)
+        with_latency = base.run(n_cycles=5000, refill_latency_cycles=500)
+        assert with_latency["min_fill_words"] < no_latency["min_fill_words"]
+
+    def test_overprovisioned_refill_keeps_buffer_full(self):
+        simulator = CircularBufferSimulator(capacity_words=128,
+                                            consume_words_per_cycle=0.1,
+                                            refill_words_per_cycle=1.0,
+                                            initial_fill_words=0)
+        stats = simulator.run(n_cycles=2000)
+        assert stats["final_fill_words"] == pytest.approx(128, abs=1.5)
+
+    def test_invalid_capacity_rejected(self):
+        simulator = CircularBufferSimulator(capacity_words=0,
+                                            consume_words_per_cycle=1,
+                                            refill_words_per_cycle=1)
+        with pytest.raises(ValueError):
+            simulator.run(100)
+
+
+class TestStaggering:
+    def test_round_robin_assignment(self):
+        assignment = staggered_bank_assignment(10, 4)
+        np.testing.assert_array_equal(assignment, [0, 1, 2, 3, 0, 1, 2, 3, 0, 1])
+
+    def test_no_conflicts_when_window_fits_banks(self):
+        assignment = staggered_bank_assignment(1000, 128)
+        assert parallel_read_conflicts(assignment, 128) == 0
+
+    def test_conflicts_when_window_exceeds_banks(self):
+        assignment = staggered_bank_assignment(64, 16)
+        assert parallel_read_conflicts(assignment, 32) > 0
+
+    def test_single_bank_everything_conflicts(self):
+        assignment = staggered_bank_assignment(10, 1)
+        assert parallel_read_conflicts(assignment, 5) > 0
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ValueError):
+            staggered_bank_assignment(10, 0)

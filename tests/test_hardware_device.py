@@ -1,0 +1,61 @@
+"""Tests for repro.hardware.device: FPGA capacity descriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.device import (
+    FpgaDevice,
+    virtex7_xc7vx1140t,
+    virtex_ultrascale_projection,
+)
+
+
+class TestVirtex7:
+    def test_capacities_match_datasheet_scale(self):
+        device = virtex7_xc7vx1140t()
+        assert device.luts == 712_000
+        assert device.registers == 1_424_000
+        assert device.bram_megabits == pytest.approx(67.7, rel=0.01)
+        assert device.dsp_slices == 3360
+
+    def test_bram_blocks(self):
+        assert virtex7_xc7vx1140t().bram_blocks == 1880
+
+    def test_name(self):
+        assert "1140T" in virtex7_xc7vx1140t().name
+
+
+class TestUltraScaleProjection:
+    def test_doubles_lut_count(self):
+        v7 = virtex7_xc7vx1140t()
+        us = virtex_ultrascale_projection()
+        assert us.luts == 2 * v7.luts
+        assert us.registers == 2 * v7.registers
+
+    def test_higher_clock_ceiling(self):
+        assert virtex_ultrascale_projection().max_clock_hz > \
+            virtex7_xc7vx1140t().max_clock_hz
+
+
+class TestUtilization:
+    def test_fraction_computation(self):
+        device = FpgaDevice(name="x", luts=1000, registers=2000, bram_bits=100,
+                            bram_blocks=10, dsp_slices=4, max_clock_hz=1e8)
+        used = device.utilization(luts=500, registers=500, bram_bits=50,
+                                  dsp_slices=1)
+        assert used["luts"] == pytest.approx(0.5)
+        assert used["registers"] == pytest.approx(0.25)
+        assert used["bram"] == pytest.approx(0.5)
+        assert used["dsp"] == pytest.approx(0.25)
+
+    def test_zero_dsp_device(self):
+        device = FpgaDevice(name="x", luts=10, registers=10, bram_bits=10,
+                            bram_blocks=1, dsp_slices=0, max_clock_hz=1e8)
+        assert device.utilization(dsp_slices=0)["dsp"] == 0.0
+
+    def test_fits_true_and_false(self):
+        device = virtex7_xc7vx1140t()
+        assert device.fits(luts=device.luts, registers=0, bram_bits=0)
+        assert not device.fits(luts=device.luts + 1)
+        assert not device.fits(bram_bits=device.bram_bits * 2)

@@ -1,0 +1,115 @@
+"""Tests for repro.hardware.report: the Table II generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import paper_system, small_system
+from repro.hardware.device import virtex7_xc7vx1140t, virtex_ultrascale_projection
+from repro.hardware.report import (
+    format_table2,
+    full_table_row,
+    table2,
+    tablefree_row,
+    tablesteer_row,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2(paper_system())
+
+
+class TestTableFreeRow:
+    def test_matches_paper_headline_numbers(self, rows):
+        row = rows[0]
+        assert row.name == "TABLEFREE"
+        assert row.lut_utilization == pytest.approx(1.0, abs=0.03)
+        assert row.register_utilization == pytest.approx(0.23, abs=0.03)
+        assert row.bram_utilization == 0.0
+        assert row.clock_hz == pytest.approx(167e6)
+        assert row.offchip_bandwidth_bytes_per_second == 0.0
+        assert row.delay_rate / 1e12 == pytest.approx(1.67, abs=0.05)
+        assert row.frame_rate == pytest.approx(7.8, abs=0.5)
+        assert row.supported_channels == (42, 42)
+
+    def test_ultrascale_supports_larger_aperture(self):
+        v7 = tablefree_row(paper_system(), device=virtex7_xc7vx1140t())
+        us = tablefree_row(paper_system(), device=virtex_ultrascale_projection())
+        assert us.supported_channels[0] > v7.supported_channels[0]
+
+    def test_unnormalised_row_reports_oversubscription(self):
+        row = tablefree_row(paper_system(), fit_to_device=False)
+        assert row.notes["n_units_fitted"] == 10_000
+        assert row.notes["luts_demanded"] > virtex7_xc7vx1140t().luts
+
+
+class TestTableSteerRows:
+    def test_14_bit_row(self, rows):
+        row = rows[1]
+        assert row.name == "TABLESTEER-14b"
+        assert row.lut_utilization == pytest.approx(0.91, abs=0.03)
+        assert row.register_utilization == pytest.approx(0.25, abs=0.03)
+        assert row.bram_utilization == pytest.approx(0.25, abs=0.03)
+        assert row.offchip_bandwidth_bytes_per_second / 1e9 == pytest.approx(
+            4.2, abs=0.2)
+        assert row.frame_rate == pytest.approx(20.0, abs=0.5)
+        assert row.supported_channels == (100, 100)
+
+    def test_18_bit_row(self, rows):
+        row = rows[2]
+        assert row.name == "TABLESTEER-18b"
+        assert row.lut_utilization == pytest.approx(1.0, abs=0.03)
+        assert row.register_utilization == pytest.approx(0.30, abs=0.03)
+        assert row.bram_utilization == pytest.approx(0.25, abs=0.03)
+        assert row.offchip_bandwidth_bytes_per_second / 1e9 == pytest.approx(
+            5.4, abs=0.2)
+        assert row.delay_rate / 1e12 == pytest.approx(3.3, abs=0.1)
+
+    def test_reference_entry_counts_recorded(self, rows):
+        notes = rows[2].notes
+        assert notes["reference_table_entries"] == 2_500_000
+        assert notes["correction_values"] == 832_000
+
+    def test_small_system_fits_comfortably(self):
+        row = tablesteer_row(small_system(), total_bits=18, n_blocks=16)
+        assert row.lut_utilization < 0.5
+        assert row.bram_utilization < 0.25
+
+
+class TestTableAssembly:
+    def test_three_rows(self, rows):
+        assert [row.name for row in rows] == ["TABLEFREE", "TABLESTEER-14b",
+                                              "TABLESTEER-18b"]
+
+    def test_who_wins_shape(self, rows):
+        """The qualitative conclusion of the paper: TABLESTEER fits the full
+        100x100 aperture at ~20 fps on the Virtex-7, TABLEFREE does not reach
+        the full aperture and runs below the 15 fps target."""
+        tablefree, _steer14, steer18 = rows
+        assert steer18.supported_channels == (100, 100)
+        assert tablefree.supported_channels[0] < 100
+        assert steer18.frame_rate > 15.0 > tablefree.frame_rate
+        # TABLEFREE's compensating advantages: no BRAM, no DRAM traffic.
+        assert tablefree.bram_utilization == 0.0
+        assert tablefree.offchip_bandwidth_bytes_per_second == 0.0
+        assert steer18.offchip_bandwidth_bytes_per_second > 0.0
+
+    def test_as_dict_keys(self, rows):
+        d = rows[0].as_dict()
+        for key in ("architecture", "luts_pct", "registers_pct", "bram_pct",
+                    "clock_mhz", "dram_gb_per_s", "throughput_tdelays_per_s",
+                    "frame_rate_fps", "channels"):
+            assert key in d
+
+    def test_format_table2_contains_all_rows(self, rows):
+        text = format_table2(rows)
+        for row in rows:
+            assert row.name in text
+        assert "Frame rate" in text
+
+    def test_full_table_row_strawman(self):
+        strawman = full_table_row(paper_system())
+        assert strawman["coefficients"] == pytest.approx(1.64e11, rel=0.01)
+        assert strawman["storage_gigabytes"] > 100
+        assert strawman["bandwidth_terabytes_per_second"] > 1

@@ -1,0 +1,131 @@
+"""Tests for repro.hardware.resources: cost models and the full-table baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import paper_system
+from repro.hardware.device import virtex7_xc7vx1140t
+from repro.hardware.resources import (
+    FullTableBaseline,
+    ResourceDemand,
+    TableFreeCostModel,
+    TableSteerCostModel,
+)
+
+
+class TestResourceDemand:
+    def test_scaled(self):
+        demand = ResourceDemand(luts=10, registers=20, bram_bits=30, dsp_slices=1)
+        scaled = demand.scaled(3)
+        assert (scaled.luts, scaled.registers, scaled.bram_bits,
+                scaled.dsp_slices) == (30, 60, 90, 3)
+
+    def test_plus(self):
+        a = ResourceDemand(luts=1, registers=2, bram_bits=3)
+        b = ResourceDemand(luts=10, registers=20, bram_bits=30, dsp_slices=5)
+        total = a.plus(b)
+        assert (total.luts, total.registers, total.bram_bits,
+                total.dsp_slices) == (11, 22, 33, 5)
+
+
+class TestTableFreeCostModel:
+    def test_42x42_fits_virtex7(self):
+        """The calibrated model reproduces the paper's largest single-chip
+        design point: a 42 x 42 aperture."""
+        model = TableFreeCostModel()
+        device = virtex7_xc7vx1140t()
+        assert model.max_square_aperture(device.luts) == 42
+
+    def test_full_aperture_demand_exceeds_device(self):
+        model = TableFreeCostModel()
+        device = virtex7_xc7vx1140t()
+        demand = model.demand(10_000)
+        assert not device.fits(luts=demand.luts)
+
+    def test_register_utilization_near_paper(self):
+        model = TableFreeCostModel()
+        device = virtex7_xc7vx1140t()
+        demand = model.demand(42 * 42)
+        registers_pct = demand.registers / device.registers
+        assert registers_pct == pytest.approx(0.23, abs=0.03)
+
+    def test_no_bram_demand(self):
+        demand = TableFreeCostModel().demand(1000)
+        assert demand.bram_bits == 0
+
+    def test_max_units_monotone_in_budget(self):
+        model = TableFreeCostModel()
+        assert model.max_units(2_000_000) > model.max_units(500_000)
+
+    def test_zero_budget(self):
+        assert TableFreeCostModel().max_units(0) == 0
+
+
+class TestTableSteerCostModel:
+    def test_adders_per_block_matches_paper(self):
+        """8 x-corrections and 16 y-corrections require 8 + 16*8 = 136 adders."""
+        assert TableSteerCostModel().adders_per_block(8, 16) == 136
+
+    def test_block_demand_scales_with_bits(self):
+        model = TableSteerCostModel()
+        demand14 = model.block_demand(14, 8, 16)
+        demand18 = model.block_demand(18, 8, 16)
+        assert demand18.luts > demand14.luts
+        assert demand18.registers > demand14.registers
+        assert demand18.bram_bits > demand14.bram_bits
+
+    def test_paper_lut_utilization_14_and_18_bits(self):
+        """91 % (14-bit) and ~100 % (18-bit) LUTs on the XC7VX1140T."""
+        model = TableSteerCostModel()
+        device = virtex7_xc7vx1140t()
+        demand14 = model.demand(14, 128, 8, 16, correction_storage_bits=0)
+        demand18 = model.demand(18, 128, 8, 16, correction_storage_bits=0)
+        assert demand14.luts / device.luts == pytest.approx(0.91, abs=0.03)
+        assert demand18.luts / device.luts == pytest.approx(1.00, abs=0.03)
+
+    def test_paper_register_utilization(self):
+        model = TableSteerCostModel()
+        device = virtex7_xc7vx1140t()
+        demand14 = model.demand(14, 128, 8, 16, correction_storage_bits=0)
+        demand18 = model.demand(18, 128, 8, 16, correction_storage_bits=0)
+        assert demand14.registers / device.registers == pytest.approx(0.25, abs=0.03)
+        assert demand18.registers / device.registers == pytest.approx(0.30, abs=0.03)
+
+    def test_delays_per_cycle(self):
+        assert TableSteerCostModel().delays_per_cycle(128, 8, 16) == 128 * 128
+
+    def test_correction_storage_adds_bram_only(self):
+        model = TableSteerCostModel()
+        without = model.demand(18, 128, 8, 16, correction_storage_bits=0)
+        with_corr = model.demand(18, 128, 8, 16, correction_storage_bits=1e6)
+        assert with_corr.bram_bits == pytest.approx(without.bram_bits + 1e6)
+        assert with_corr.luts == without.luts
+
+
+class TestFullTableBaseline:
+    def test_coefficient_count_is_164e9(self):
+        baseline = FullTableBaseline()
+        assert baseline.coefficient_count(paper_system()) == pytest.approx(
+            1.64e11, rel=0.01)
+
+    def test_storage_hundreds_of_gigabytes(self):
+        baseline = FullTableBaseline()
+        storage_gb = baseline.storage_bytes(paper_system()) / 1e9
+        assert 200 < storage_gb < 400
+
+    def test_bandwidth_terabytes_per_second(self):
+        baseline = FullTableBaseline()
+        bandwidth = baseline.access_bandwidth_bytes_per_second(paper_system())
+        assert bandwidth > 1e12
+
+    def test_delay_rate_is_2_5e12(self):
+        baseline = FullTableBaseline()
+        assert baseline.delay_rate_per_second(paper_system()) == pytest.approx(
+            2.46e12, rel=0.01)
+
+    def test_wider_coefficients_cost_more(self):
+        system = paper_system()
+        narrow = FullTableBaseline(bits_per_coefficient=13)
+        wide = FullTableBaseline(bits_per_coefficient=18)
+        assert wide.storage_bytes(system) > narrow.storage_bytes(system)

@@ -1,0 +1,122 @@
+"""Tests for repro.hardware.scaling: design-space exploration sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import paper_system
+from repro.hardware.scaling import (
+    aperture_sweep,
+    find_minimum_design,
+    tablefree_device_sweep,
+    tablefree_frequency_sweep,
+    tablesteer_block_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+class TestTableFreeFrequencySweep:
+    def test_frame_rate_monotone_in_clock(self, system):
+        points = tablefree_frequency_sweep(system)
+        rates = [p.frame_rate for p in points]
+        assert rates == sorted(rates)
+
+    def test_paper_point_present(self, system):
+        points = {p.parameters["clock_mhz"]: p
+                  for p in tablefree_frequency_sweep(system)}
+        assert points[167.0].frame_rate == pytest.approx(7.8, abs=0.4)
+        assert not points[167.0].meets_target
+
+    def test_high_clock_meets_target(self, system):
+        points = tablefree_frequency_sweep(system, clocks_hz=(400e6,))
+        assert points[0].meets_target
+
+    def test_as_dict_merges_parameters(self, system):
+        point = tablefree_frequency_sweep(system, clocks_hz=(167e6,))[0]
+        d = point.as_dict()
+        assert d["clock_mhz"] == 167.0
+        assert "frame_rate" in d
+
+
+class TestTableFreeDeviceSweep:
+    def test_supported_side_grows_with_device(self, system):
+        points = tablefree_device_sweep(system)
+        sides = [p.parameters["supported_side"] for p in points]
+        assert sides == sorted(sides)
+
+    def test_virtex7_point_is_42(self, system):
+        points = {p.parameters["lut_scaling"]: p
+                  for p in tablefree_device_sweep(system)}
+        assert points[1.0].parameters["supported_side"] == 42
+
+    def test_paper_projection_double_luts_not_yet_100x100(self, system):
+        """Doubling the LUTs (the 20 nm UltraScale argument) is still short of
+        the full 100x100 aperture — the paper pins its hopes on the 16 nm
+        family plus tuning."""
+        points = {p.parameters["lut_scaling"]: p
+                  for p in tablefree_device_sweep(system)}
+        assert points[2.0].parameters["supported_side"] < 100
+        assert points[4.0].parameters["supported_side"] < 100 or \
+            points[4.0].meets_target is not None
+
+
+class TestTableSteerBlockSweep:
+    def test_frame_rate_linear_in_blocks(self, system):
+        points = tablesteer_block_sweep(system, block_counts=(32, 64, 128))
+        rates = [p.frame_rate for p in points]
+        assert rates[1] == pytest.approx(2 * rates[0], rel=0.01)
+        assert rates[2] == pytest.approx(4 * rates[0], rel=0.01)
+
+    def test_paper_design_point(self, system):
+        points = {int(p.parameters["blocks"]): p
+                  for p in tablesteer_block_sweep(system)}
+        assert points[128].frame_rate == pytest.approx(20.0, abs=0.5)
+        assert points[128].meets_target
+        assert points[128].lut_fraction == pytest.approx(1.0, abs=0.05)
+
+    def test_small_block_counts_miss_target(self, system):
+        points = tablesteer_block_sweep(system, block_counts=(16, 32))
+        assert not any(p.meets_target for p in points)
+
+
+class TestApertureSweep:
+    def test_rows_cover_requested_sides(self, system):
+        rows = aperture_sweep(system, sides=(32, 64, 100))
+        assert [row["side"] for row in rows] == [32, 64, 100]
+
+    def test_tablefree_cost_grows_quadratically(self, system):
+        rows = {row["side"]: row for row in aperture_sweep(system, sides=(32, 64))}
+        ratio = rows[64]["tablefree_lut_fraction"] / rows[32]["tablefree_lut_fraction"]
+        assert ratio == pytest.approx(4.0, rel=0.1)
+
+    def test_small_aperture_fits_tablefree_large_does_not(self, system):
+        rows = {row["side"]: row for row in aperture_sweep(system)}
+        assert rows[32]["tablefree_fits"] == 1.0
+        assert rows[100]["tablefree_fits"] == 0.0
+
+    def test_delay_rate_scales_with_element_count(self, system):
+        rows = {row["side"]: row for row in aperture_sweep(system, sides=(50, 100))}
+        assert rows[100]["delay_rate_required"] == pytest.approx(
+            4 * rows[50]["delay_rate_required"], rel=0.01)
+
+
+class TestFindMinimumDesign:
+    def test_15fps_needs_about_96_blocks(self, system):
+        design = find_minimum_design(system, target_frame_rate=15.0)
+        assert design is not None
+        assert 90 <= design.parameters["blocks"] <= 100
+        assert design.meets_target
+
+    def test_higher_target_needs_more_blocks(self, system):
+        low = find_minimum_design(system, target_frame_rate=10.0)
+        high = find_minimum_design(system, target_frame_rate=30.0)
+        assert high.parameters["blocks"] > low.parameters["blocks"]
+
+    def test_unreachable_target_returns_none(self, system):
+        assert find_minimum_design(system, target_frame_rate=1e6,
+                                   max_blocks=64) is None

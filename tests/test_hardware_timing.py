@@ -1,0 +1,117 @@
+"""Tests for repro.hardware.timing: throughput and frame-rate models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import paper_system, small_system
+from repro.hardware.timing import (
+    delays_per_volume,
+    frames_per_second_per_mhz,
+    required_delay_rate,
+    tablefree_throughput,
+    tablesteer_dram_bandwidth,
+    tablesteer_throughput,
+)
+
+
+class TestRequiredRates:
+    def test_paper_required_rate(self):
+        assert required_delay_rate(paper_system()) == pytest.approx(2.46e12,
+                                                                    rel=0.01)
+
+    def test_delays_per_volume(self):
+        assert delays_per_volume(paper_system()) == pytest.approx(1.64e11,
+                                                                  rel=0.01)
+
+    def test_rate_scales_with_frame_rate(self):
+        base = paper_system()
+        doubled = base.with_beamformer(frame_rate=30.0)
+        assert required_delay_rate(doubled) == pytest.approx(
+            2 * required_delay_rate(base))
+
+
+class TestTableFreeThroughput:
+    def test_paper_frame_rate_at_167mhz(self):
+        report = tablefree_throughput(paper_system(), n_units=10_000,
+                                      clock_hz=167e6)
+        assert report.achievable_frame_rate == pytest.approx(7.8, abs=0.4)
+
+    def test_one_fps_per_20mhz_rule(self):
+        fps_per_mhz = frames_per_second_per_mhz(paper_system())
+        assert 20 * fps_per_mhz == pytest.approx(1.0, abs=0.1)
+
+    def test_delay_rate_scales_with_units(self):
+        small_array = tablefree_throughput(paper_system(), n_units=1764,
+                                           clock_hz=167e6)
+        full_array = tablefree_throughput(paper_system(), n_units=10_000,
+                                          clock_hz=167e6)
+        assert full_array.delay_rate == pytest.approx(
+            small_array.delay_rate * 10_000 / 1764)
+
+    def test_frame_rate_independent_of_unit_count(self):
+        a = tablefree_throughput(paper_system(), n_units=100, clock_hz=167e6)
+        b = tablefree_throughput(paper_system(), n_units=10_000, clock_hz=167e6)
+        assert a.achievable_frame_rate == pytest.approx(b.achievable_frame_rate)
+
+    def test_does_not_meet_15fps_target_at_167mhz(self):
+        report = tablefree_throughput(paper_system(), n_units=10_000,
+                                      clock_hz=167e6)
+        assert not report.meets_target
+
+    def test_meets_target_at_higher_clock(self):
+        report = tablefree_throughput(paper_system(), n_units=10_000,
+                                      clock_hz=330e6)
+        assert report.meets_target
+
+
+class TestTableSteerThroughput:
+    def test_paper_peak_rate(self):
+        report = tablesteer_throughput(paper_system(), n_blocks=128,
+                                       delays_per_block_per_cycle=128,
+                                       clock_hz=200e6)
+        assert report.delay_rate == pytest.approx(3.28e12, rel=0.01)
+
+    def test_paper_frame_rate_close_to_20fps(self):
+        report = tablesteer_throughput(paper_system(), n_blocks=128,
+                                       delays_per_block_per_cycle=128,
+                                       clock_hz=200e6)
+        assert report.achievable_frame_rate == pytest.approx(20.0, abs=0.5)
+        assert report.meets_target
+
+    def test_headroom_above_one(self):
+        report = tablesteer_throughput(paper_system(), n_blocks=128,
+                                       delays_per_block_per_cycle=128,
+                                       clock_hz=200e6)
+        assert report.headroom > 1.0
+
+    def test_fewer_blocks_lower_rate(self):
+        full = tablesteer_throughput(paper_system(), 128, 128, 200e6)
+        half = tablesteer_throughput(paper_system(), 64, 128, 200e6)
+        assert half.delay_rate == pytest.approx(full.delay_rate / 2)
+        assert not half.meets_target
+
+
+class TestDramBandwidth:
+    def test_paper_18bit_bandwidth(self):
+        bandwidth = tablesteer_dram_bandwidth(paper_system(),
+                                              table_entries=2_500_000,
+                                              entry_bits=18)
+        assert bandwidth / 1e9 == pytest.approx(5.4, abs=0.2)
+
+    def test_paper_14bit_bandwidth(self):
+        bandwidth = tablesteer_dram_bandwidth(paper_system(),
+                                              table_entries=2_500_000,
+                                              entry_bits=14)
+        assert bandwidth / 1e9 == pytest.approx(4.2, abs=0.2)
+
+    def test_scales_with_frame_rate(self):
+        base = tablesteer_dram_bandwidth(paper_system(), 2_500_000, 18)
+        doubled = tablesteer_dram_bandwidth(paper_system(), 2_500_000, 18,
+                                            target_frame_rate=30.0)
+        assert doubled == pytest.approx(2 * base)
+
+    def test_small_system_needs_less(self):
+        small_bw = tablesteer_dram_bandwidth(small_system(), 100_000, 18)
+        paper_bw = tablesteer_dram_bandwidth(paper_system(), 2_500_000, 18)
+        assert small_bw < paper_bw

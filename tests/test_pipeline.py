@@ -1,0 +1,165 @@
+"""Tests for repro.pipeline: the high-level imaging pipeline and compounding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.phantom import point_target
+from repro.config import tiny_system
+from repro.core.multi_origin import OriginSchedule
+from repro.pipeline.compounding import (
+    InsonificationPlan,
+    acquisition_summary,
+    compound_volume,
+)
+from repro.pipeline.imaging import (
+    DelayArchitecture,
+    ImagingPipeline,
+    compare_architectures,
+    make_delay_provider,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return tiny_system()
+
+
+@pytest.fixture(scope="module")
+def centred_target(system):
+    from repro.geometry.volume import FocalGrid
+    grid = FocalGrid.from_config(system)
+    return point_target(depth=float(grid.depths[len(grid.depths) // 2]))
+
+
+class TestMakeDelayProvider:
+    @pytest.mark.parametrize("architecture", ["exact", "tablefree", "tablesteer",
+                                              "tablesteer_float"])
+    def test_provider_construction(self, system, architecture):
+        provider = make_delay_provider(system, architecture)
+        points = np.array([[0.0, 0.0, 0.01]])
+        delays = provider.delays_samples(points)
+        assert delays.shape == (1, system.transducer.element_count)
+
+    def test_enum_and_string_equivalent(self, system):
+        a = make_delay_provider(system, DelayArchitecture.TABLEFREE)
+        b = make_delay_provider(system, "tablefree")
+        assert type(a) is type(b)
+
+    def test_unknown_architecture_rejected(self, system):
+        with pytest.raises(ValueError):
+            make_delay_provider(system, "magic")
+
+
+class TestImagingPipeline:
+    def test_image_phantom_roundtrip(self, system, centred_target):
+        pipeline = ImagingPipeline(system, architecture="exact")
+        image = pipeline.image_phantom(centred_target)
+        assert image.shape == (system.volume.n_theta, system.volume.n_depth)
+        assert image.max() > 0
+
+    def test_log_compressed_output_range(self, system, centred_target):
+        pipeline = ImagingPipeline(system, architecture="exact")
+        data = pipeline.acquire(centred_target)
+        db_image = pipeline.image_plane(data, dynamic_range_db=50.0)
+        assert db_image.max() == pytest.approx(0.0)
+        assert db_image.min() >= -50.0
+
+    def test_volume_orders_agree(self, system, centred_target):
+        pipeline = ImagingPipeline(system, architecture="tablesteer")
+        data = pipeline.acquire(centred_target)
+        nappe = pipeline.image_volume(data, order="nappe")
+        scanline = pipeline.image_volume(data, order="scanline")
+        np.testing.assert_allclose(nappe.rf, scanline.rf)
+
+    def test_bad_order_rejected(self, system, centred_target):
+        pipeline = ImagingPipeline(system)
+        data = pipeline.acquire(centred_target)
+        with pytest.raises(ValueError):
+            pipeline.image_volume(data, order="diagonal")
+
+    def test_architecture_accessible(self, system):
+        pipeline = ImagingPipeline(system, architecture="tablefree")
+        from repro.core.tablefree import TableFreeDelayGenerator
+        assert isinstance(pipeline.delay_provider, TableFreeDelayGenerator)
+
+    def test_noise_changes_image(self, system, centred_target):
+        pipeline = ImagingPipeline(system)
+        clean = pipeline.image_phantom(centred_target, noise_std=0.0)
+        noisy = pipeline.image_phantom(centred_target, noise_std=0.5, seed=3)
+        assert not np.allclose(clean, noisy)
+
+
+class TestCompareArchitectures:
+    def test_all_requested_architectures_present(self, system, centred_target):
+        images = compare_architectures(system, centred_target,
+                                       architectures=("exact", "tablesteer"))
+        assert set(images) == {"exact", "tablesteer"}
+
+    def test_images_similar_across_architectures(self, system, centred_target):
+        images = compare_architectures(system, centred_target)
+        reference = images["exact"]
+        for name, image in images.items():
+            assert image.shape == reference.shape
+            peak_ref = np.unravel_index(np.argmax(reference), reference.shape)
+            peak_img = np.unravel_index(np.argmax(image), image.shape)
+            assert abs(peak_ref[1] - peak_img[1]) <= 1, name
+
+
+class TestInsonificationPlan:
+    def test_default_plan_covers_all_scanlines(self, system):
+        plan = InsonificationPlan.from_system(system)
+        covered = np.concatenate(plan.scanline_groups)
+        assert len(covered) == system.volume.scanline_count
+        assert len(np.unique(covered)) == system.volume.scanline_count
+
+    def test_insonification_count_capped_by_scanlines(self, system):
+        plan = InsonificationPlan.from_system(system, insonifications=10_000)
+        assert plan.insonification_count <= system.volume.scanline_count
+
+    def test_origin_cycling(self, system):
+        schedule = OriginSchedule.translated_subapertures(system, count=2)
+        plan = InsonificationPlan.from_system(system, schedule=schedule,
+                                              insonifications=4)
+        np.testing.assert_allclose(plan.origin_for(0), plan.origin_for(2))
+        assert not np.allclose(plan.origin_for(0), plan.origin_for(1))
+
+    def test_scanlines_per_insonification(self, system):
+        plan = InsonificationPlan.from_system(system, insonifications=4)
+        assert plan.scanlines_per_insonification() == pytest.approx(
+            system.volume.scanline_count / 4)
+
+    def test_acquisition_summary_paper_arithmetic(self):
+        from repro.config import paper_system
+        system = paper_system()
+        plan = InsonificationPlan.from_system(system)
+        summary = acquisition_summary(system, plan)
+        assert summary["insonifications_per_second"] == pytest.approx(960.0)
+        assert summary["scanlines_per_insonification"] == pytest.approx(256.0)
+        assert summary["delay_values_per_second"] == pytest.approx(2.46e12,
+                                                                   rel=0.01)
+
+
+class TestCompoundVolume:
+    def test_single_origin_compound_matches_plain_reconstruction(self, system,
+                                                                 centred_target):
+        plan = InsonificationPlan.from_system(system, insonifications=2)
+        compounded = compound_volume(system, centred_target, plan)
+        pipeline = ImagingPipeline(system, architecture="exact")
+        data = pipeline.acquire(centred_target)
+        direct = pipeline.image_volume(data, order="scanline")
+        np.testing.assert_allclose(compounded, direct.rf)
+
+    def test_multi_origin_compound_produces_focused_volume(self, system,
+                                                           centred_target):
+        schedule = OriginSchedule.translated_subapertures(system, count=2)
+        plan = InsonificationPlan.from_system(system, schedule=schedule,
+                                              insonifications=2)
+        volume = compound_volume(system, centred_target, plan)
+        assert volume.shape == (system.volume.n_theta, system.volume.n_phi,
+                                system.volume.n_depth)
+        # The brightest voxel sits at the target depth index.
+        depth_profile = np.max(np.abs(volume), axis=(0, 1))
+        assert abs(int(np.argmax(depth_profile))
+                   - system.volume.n_depth // 2) <= 1

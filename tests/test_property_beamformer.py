@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the beamforming and acoustics substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics.echo import ChannelData, EchoSimulator
+from repro.acoustics.phantom import Phantom, point_target
+from repro.beamformer.das import DelayAndSumBeamformer
+from repro.beamformer.image import envelope, log_compress, normalized_rms_difference
+from repro.beamformer.interpolation import fetch_linear, fetch_nearest
+from repro.config import tiny_system
+from repro.core.exact import ExactDelayEngine
+
+SYSTEM = tiny_system()
+EXACT = ExactDelayEngine.from_config(SYSTEM)
+SIMULATOR = EchoSimulator.from_config(SYSTEM)
+BEAMFORMER = DelayAndSumBeamformer(SYSTEM, EXACT)
+
+depth_strategy = st.floats(min_value=float(EXACT.grid.depths[2]),
+                           max_value=float(EXACT.grid.depths[-3]),
+                           allow_nan=False)
+amplitude_strategy = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+class TestAcquisitionProperties:
+    @given(depth=depth_strategy, amplitude=amplitude_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_channel_data_linear_in_amplitude(self, depth, amplitude):
+        unit = SIMULATOR.simulate(point_target(depth=depth, amplitude=1.0))
+        scaled = SIMULATOR.simulate(point_target(depth=depth, amplitude=amplitude))
+        np.testing.assert_allclose(scaled.samples, amplitude * unit.samples,
+                                   atol=1e-10)
+
+    @given(depth=depth_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_echo_energy_is_finite_and_nonzero(self, depth):
+        data = SIMULATOR.simulate(point_target(depth=depth))
+        energy = float(np.sum(data.samples ** 2))
+        assert np.isfinite(energy)
+        assert energy > 0
+
+    @given(depth=depth_strategy, amplitude=amplitude_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_beamformed_output_linear_in_scatterer_amplitude(self, depth, amplitude):
+        i_mid = SYSTEM.volume.n_theta // 2
+        unit = SIMULATOR.simulate(point_target(depth=depth, amplitude=1.0))
+        scaled = SIMULATOR.simulate(point_target(depth=depth, amplitude=amplitude))
+        rf_unit = BEAMFORMER.beamform_scanline(unit, i_mid, i_mid)
+        rf_scaled = BEAMFORMER.beamform_scanline(scaled, i_mid, i_mid)
+        np.testing.assert_allclose(rf_scaled, amplitude * rf_unit, atol=1e-9)
+
+    @given(i_depth=st.integers(min_value=2, max_value=SYSTEM.volume.n_depth - 3),
+           offset=st.floats(min_value=-0.25, max_value=0.25, allow_nan=False))
+    @settings(max_examples=15, deadline=None)
+    def test_beamformed_peak_near_target_depth(self, i_depth, offset):
+        """For a target close to any focal-grid depth, the beamformed scanline
+        through it peaks within a couple of depth cells of the target.  (The
+        tiny test grid samples depth much more coarsely than the pulse length,
+        so targets exactly between nodes can legitimately be missed — that is
+        a property of the coarse grid, not of the beamformer.)"""
+        spacing = float(EXACT.grid.depths[1] - EXACT.grid.depths[0])
+        depth = float(EXACT.grid.depths[i_depth]) + offset * spacing
+        data = SIMULATOR.simulate(point_target(depth=depth))
+        i_mid = SYSTEM.volume.n_theta // 2
+        rf = BEAMFORMER.beamform_scanline(data, i_mid, i_mid)
+        peak_depth = float(EXACT.grid.depths[int(np.argmax(np.abs(rf)))])
+        assert abs(peak_depth - depth) <= 2.5 * spacing
+
+
+class TestImageFormationProperties:
+    @given(scale=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_log_compression_scale_invariant(self, scale, seed):
+        rng = np.random.default_rng(seed)
+        image = np.abs(rng.normal(size=(8, 8))) + 1e-3
+        np.testing.assert_allclose(log_compress(image),
+                                   log_compress(scale * image), atol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_envelope_bounds_signal_magnitude(self, seed):
+        rng = np.random.default_rng(seed)
+        t = np.arange(128)
+        rf = np.cos(2 * np.pi * 0.12 * t) * rng.uniform(0.5, 2.0)
+        env = envelope(rf)
+        # The analytic-signal envelope can undershoot slightly at the edges
+        # but must dominate the rectified signal away from them.
+        assert np.all(env[8:-8] >= np.abs(rf[8:-8]) - 1e-6)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           scale=st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_nrms_scale_relationship(self, seed, scale):
+        """Scaling an image by ``s`` gives an NRMS of exactly ``|1 - s|``."""
+        rng = np.random.default_rng(seed)
+        image = np.abs(rng.normal(size=(6, 6))) + 0.1
+        np.testing.assert_allclose(
+            normalized_rms_difference(image, scale * image),
+            abs(1.0 - scale), rtol=1e-9)
+
+
+class TestInterpolationProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_linear_interpolation_bounded_by_neighbouring_samples(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(size=(1, 64))
+        data = ChannelData(samples=samples, sampling_frequency=32e6)
+        delays = rng.uniform(1.0, 62.0, 20)
+        elements = np.zeros(20, dtype=int)
+        values = fetch_linear(data, elements, delays)
+        lower = samples[0, np.floor(delays).astype(int)]
+        upper = samples[0, np.floor(delays).astype(int) + 1]
+        low = np.minimum(lower, upper) - 1e-12
+        high = np.maximum(lower, upper) + 1e-12
+        assert np.all(values >= low) and np.all(values <= high)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_nearest_returns_actual_stored_samples(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(size=(2, 32))
+        data = ChannelData(samples=samples, sampling_frequency=32e6)
+        delays = rng.uniform(0.0, 31.0, 16)
+        elements = rng.integers(0, 2, 16)
+        values = fetch_nearest(data, elements, delays)
+        for value, element in zip(values, elements):
+            assert value in samples[element]
+
+
+class TestPhantomProperties:
+    @given(n=st.integers(min_value=1, max_value=50),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_phantom_merge_preserves_counts(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = Phantom(positions=rng.normal(size=(n, 3)), amplitudes=rng.normal(size=n))
+        b = point_target(depth=0.01)
+        merged = a.merged_with(b)
+        assert merged.scatterer_count == n + 1
+        np.testing.assert_allclose(merged.positions[:n], a.positions)

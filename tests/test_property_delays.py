@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the delay engines' invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_system
+from repro.core.exact import ExactDelayEngine, propagation_delay
+from repro.core.steering import correction_plane
+from repro.core.tablesteer import farfield_error_seconds
+from repro.geometry.coordinates import spherical_to_cartesian
+
+SYSTEM = tiny_system()
+EXACT = ExactDelayEngine.from_config(SYSTEM)
+
+point_strategy = st.tuples(
+    st.floats(min_value=-float(SYSTEM.volume.theta_max),
+              max_value=float(SYSTEM.volume.theta_max), allow_nan=False),
+    st.floats(min_value=-float(SYSTEM.volume.phi_max),
+              max_value=float(SYSTEM.volume.phi_max), allow_nan=False),
+    st.floats(min_value=float(SYSTEM.volume.depth_min),
+              max_value=float(SYSTEM.volume.depth_max), allow_nan=False),
+)
+
+
+class TestExactDelayInvariants:
+    @given(spherical=point_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_delays_positive_and_bounded(self, spherical):
+        theta, phi, r = spherical
+        point = spherical_to_cartesian(theta, phi, r).reshape(1, 3)
+        delays = EXACT.delays_samples(point)
+        assert np.all(delays > 0)
+        assert np.all(delays <= EXACT.max_delay_samples() + 1e-6)
+
+    @given(spherical=point_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_triangle_inequality_lower_bound(self, spherical):
+        """Every two-way delay is at least 2 * r / c (down and straight back
+        is the shortest possible path via the origin element region)."""
+        theta, phi, r = spherical
+        point = spherical_to_cartesian(theta, phi, r).reshape(1, 3)
+        delays_seconds = EXACT.delays_seconds(point)
+        shortest_possible = (r + np.min(np.linalg.norm(
+            EXACT.transducer.positions - point[0][None, :], axis=1))) \
+            / SYSTEM.acoustic.speed_of_sound
+        assert np.min(delays_seconds) >= shortest_possible - 1e-15
+
+    @given(spherical=point_strategy,
+           scale=st.floats(min_value=1.05, max_value=3.0, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_deeper_point_on_same_ray_has_larger_delays(self, spherical, scale):
+        theta, phi, r = spherical
+        r_far = min(r * scale, float(SYSTEM.volume.depth_max) * 3)
+        near = spherical_to_cartesian(theta, phi, r).reshape(1, 3)
+        far = spherical_to_cartesian(theta, phi, r_far).reshape(1, 3)
+        # Transmit leg strictly grows; the receive leg can only grow when the
+        # point moves radially away from the aperture plane, so the total
+        # two-way delay must grow for every element.
+        assert np.all(EXACT.delays_samples(far) >= EXACT.delays_samples(near) - 1e-9)
+
+    @given(spherical=point_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_mirror_symmetry_in_x(self, spherical):
+        """Mirroring the focal point in x permutes element delays by the
+        corresponding element mirror — the multiset of delays is unchanged."""
+        theta, phi, r = spherical
+        point = spherical_to_cartesian(theta, phi, r).reshape(1, 3)
+        mirrored = point * np.array([[-1.0, 1.0, 1.0]])
+        original = np.sort(EXACT.delays_samples(point).ravel())
+        reflected = np.sort(EXACT.delays_samples(mirrored).ravel())
+        np.testing.assert_allclose(original, reflected, rtol=1e-12)
+
+    @given(spherical=point_strategy,
+           c=st.floats(min_value=1000.0, max_value=2000.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_delay_inversely_proportional_to_speed(self, spherical, c):
+        theta, phi, r = spherical
+        point = spherical_to_cartesian(theta, phi, r).reshape(1, 3)
+        elements = EXACT.transducer.positions[:8]
+        base = propagation_delay(np.zeros(3), point, elements, 1540.0)
+        scaled = propagation_delay(np.zeros(3), point, elements, c)
+        np.testing.assert_allclose(scaled, base * 1540.0 / c, rtol=1e-12)
+
+
+class TestSteeringInvariants:
+    @given(theta=st.floats(min_value=-0.6, max_value=0.6, allow_nan=False),
+           phi=st.floats(min_value=-0.6, max_value=0.6, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_correction_plane_antisymmetric_under_angle_negation(self, theta, phi):
+        x = EXACT.transducer.x
+        y = EXACT.transducer.y
+        c = SYSTEM.acoustic.speed_of_sound
+        plane = correction_plane(x, y, theta, phi, c)
+        negated = correction_plane(x, y, -theta, -phi, c)
+        # Negating both angles negates the steering projection element-wise:
+        # plane(theta, phi) == -plane(-theta, -phi).
+        np.testing.assert_allclose(plane, -negated, atol=1e-18)
+
+    @given(theta=st.floats(min_value=-0.6, max_value=0.6, allow_nan=False),
+           phi=st.floats(min_value=-0.6, max_value=0.6, allow_nan=False),
+           r=st.floats(min_value=float(SYSTEM.volume.depth_min),
+                       max_value=float(SYSTEM.volume.depth_max),
+                       allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_farfield_error_vanishes_at_broadside_center(self, theta, phi, r):
+        """The far-field error for the centre-most elements is much smaller
+        than for the aperture corners (it scales with xD, yD)."""
+        x = EXACT.transducer.x
+        y = EXACT.transducer.y
+        error = np.abs(farfield_error_seconds(theta, phi, r, x, y,
+                                              SYSTEM.acoustic.speed_of_sound))
+        ex, ey = error.shape
+        centre = error[ex // 2 - 1: ex // 2 + 1, ey // 2 - 1: ey // 2 + 1].max()
+        corners = max(error[0, 0], error[0, -1], error[-1, 0], error[-1, -1])
+        assert centre <= corners + 1e-15
+
+    @given(theta=st.floats(min_value=-0.6, max_value=0.6, allow_nan=False),
+           phi=st.floats(min_value=-0.6, max_value=0.6, allow_nan=False),
+           r=st.floats(min_value=float(SYSTEM.volume.depth_min),
+                       max_value=float(SYSTEM.volume.depth_max),
+                       allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_farfield_error_symmetric_under_angle_negation(self, theta, phi, r):
+        """Negating both steering angles mirrors the error pattern over the
+        aperture: error(theta, phi)[i, j] == error(-theta, -phi)[~i, ~j]."""
+        error = farfield_error_seconds(theta, phi, r, EXACT.transducer.x,
+                                       EXACT.transducer.y,
+                                       SYSTEM.acoustic.speed_of_sound)
+        negated = farfield_error_seconds(-theta, -phi, r, EXACT.transducer.x,
+                                         EXACT.transducer.y,
+                                         SYSTEM.acoustic.speed_of_sound)
+        np.testing.assert_allclose(error, negated[::-1, ::-1], atol=1e-15)

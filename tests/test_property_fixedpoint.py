@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the fixed-point substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint.array import FixedPointArray
+from repro.fixedpoint.format import QFormat, signed, tablesteer_formats, unsigned
+from repro.fixedpoint.quantize import (
+    OverflowMode,
+    RoundingMode,
+    from_raw,
+    quantize,
+    to_raw,
+)
+
+formats = st.builds(
+    QFormat,
+    integer_bits=st.integers(min_value=1, max_value=16),
+    fraction_bits=st.integers(min_value=0, max_value=16),
+    signed=st.booleans(),
+)
+
+finite_floats = st.floats(min_value=-1e5, max_value=1e5,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(fmt=formats, value=finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_quantize_error_bounded_by_half_lsb_inside_range(fmt, value):
+    """Inside the representable range, quantisation error is <= LSB/2."""
+    clipped = float(np.clip(value, fmt.min_value, fmt.max_value))
+    error = abs(float(quantize(clipped, fmt)) - clipped)
+    assert error <= fmt.resolution / 2 + 1e-12
+
+
+@given(fmt=formats, value=finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_quantize_result_always_representable(fmt, value):
+    """Whatever the input, the quantised value lies inside the format range."""
+    result = float(quantize(value, fmt))
+    assert fmt.min_value - 1e-12 <= result <= fmt.max_value + 1e-12
+
+
+@given(fmt=formats, value=finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_quantize_idempotent(fmt, value):
+    once = float(quantize(value, fmt))
+    twice = float(quantize(once, fmt))
+    assert once == twice
+
+
+@given(fmt=formats, value=finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_raw_roundtrip_identity(fmt, value):
+    """to_raw -> from_raw -> to_raw is stable (raw codes do not drift)."""
+    raw = to_raw(value, fmt)
+    raw_again = to_raw(from_raw(raw, fmt), fmt)
+    assert int(raw) == int(raw_again)
+
+
+@given(fmt=formats, value=finite_floats)
+@settings(max_examples=150, deadline=None)
+def test_floor_rounding_never_exceeds_value(fmt, value):
+    clipped = float(np.clip(value, fmt.min_value, fmt.max_value))
+    result = float(quantize(clipped, fmt, rounding=RoundingMode.FLOOR))
+    assert result <= clipped + 1e-12
+
+
+@given(fmt=formats,
+       values=st.lists(finite_floats, min_size=1, max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_wrap_overflow_stays_in_raw_range(fmt, values):
+    raw = to_raw(np.array(values), fmt, overflow=OverflowMode.WRAP)
+    assert np.all(raw >= fmt.min_raw)
+    assert np.all(raw <= fmt.max_raw)
+
+
+@given(bits=st.integers(min_value=13, max_value=24),
+       reference=st.floats(min_value=0, max_value=8000, allow_nan=False),
+       correction=st.floats(min_value=-250, max_value=250, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_tablesteer_datapath_index_error_at_most_one(bits, reference, correction):
+    """The paper's claim: for any operands, the fixed-point sum's rounded
+    index differs from the ideal index by at most one sample."""
+    ref_fmt, corr_fmt = tablesteer_formats(bits)
+    ideal = np.floor(reference + correction + 0.5)
+    ref_arr = FixedPointArray.from_float(np.array([reference]), ref_fmt)
+    corr_arr = FixedPointArray.from_float(np.array([correction]), corr_fmt)
+    hw = ref_arr.add(corr_arr).round_to_integer()[0]
+    assert abs(hw - ideal) <= 1
+
+
+@given(a=st.floats(min_value=0, max_value=4000, allow_nan=False),
+       b=st.floats(min_value=0, max_value=4000, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_fixed_point_addition_commutative(a, b):
+    fmt = unsigned(13, 5)
+    x = FixedPointArray.from_float(np.array([a]), fmt)
+    y = FixedPointArray.from_float(np.array([b]), fmt)
+    assert x.add(y).to_float()[0] == y.add(x).to_float()[0]
+
+
+@given(value=st.floats(min_value=-4000, max_value=4000, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_round_to_integer_matches_half_away_reference(value):
+    fmt = signed(13, 6)
+    arr = FixedPointArray.from_float(np.array([value]), fmt)
+    represented = arr.to_float()[0]
+    expected = np.sign(represented) * np.floor(np.abs(represented) + 0.5)
+    assert arr.round_to_integer()[0] == expected

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the TABLESTEER data structures."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_system
+from repro.core.exact import ExactDelayEngine
+from repro.core.reference_table import ReferenceDelayTable
+from repro.core.steering import SteeringCorrections, correction_plane
+from repro.core.tablesteer import TableSteerConfig, TableSteerDelayGenerator
+
+SYSTEM = tiny_system()
+EXACT = ExactDelayEngine.from_config(SYSTEM)
+REFERENCE = ReferenceDelayTable.build(SYSTEM)
+CORRECTIONS = SteeringCorrections.build(SYSTEM)
+STEER_FLOAT = TableSteerDelayGenerator.from_config(
+    SYSTEM, TableSteerConfig(total_bits=None))
+STEER_18B = TableSteerDelayGenerator.from_config(
+    SYSTEM, TableSteerConfig(total_bits=18))
+
+grid_theta = st.integers(min_value=0, max_value=SYSTEM.volume.n_theta - 1)
+grid_phi = st.integers(min_value=0, max_value=SYSTEM.volume.n_phi - 1)
+grid_depth = st.integers(min_value=0, max_value=SYSTEM.volume.n_depth - 1)
+
+
+class TestReferenceTableProperties:
+    @given(i_depth=grid_depth)
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_reconstruction_exact_for_any_depth(self, i_depth):
+        np.testing.assert_allclose(REFERENCE.lookup(i_depth),
+                                   REFERENCE.delays[:, :, i_depth])
+
+    @given(i_depth=grid_depth)
+    @settings(max_examples=60, deadline=None)
+    def test_reference_slice_symmetric(self, i_depth):
+        slice_ = REFERENCE.lookup(i_depth)
+        np.testing.assert_allclose(slice_, slice_[::-1, :])
+        np.testing.assert_allclose(slice_, slice_[:, ::-1])
+
+    @given(i_depth=grid_depth)
+    @settings(max_examples=60, deadline=None)
+    def test_reference_minimum_at_aperture_centre(self, i_depth):
+        """The on-axis reference delay is smallest for the innermost elements."""
+        slice_ = REFERENCE.lookup(i_depth)
+        ex, ey = slice_.shape
+        centre = slice_[ex // 2 - 1: ex // 2 + 1, ey // 2 - 1: ey // 2 + 1].min()
+        assert centre == slice_.min()
+
+
+class TestSteeringProperties:
+    @given(i_theta=grid_theta, i_phi=grid_phi)
+    @settings(max_examples=100, deadline=None)
+    def test_precomputed_plane_matches_direct_formula(self, i_theta, i_phi):
+        theta = CORRECTIONS.grid.thetas[i_theta]
+        phi = CORRECTIONS.grid.phis[i_phi]
+        direct = correction_plane(CORRECTIONS.transducer.x,
+                                  CORRECTIONS.transducer.y, theta, phi,
+                                  SYSTEM.acoustic.speed_of_sound,
+                                  SYSTEM.acoustic.sampling_frequency)
+        np.testing.assert_allclose(CORRECTIONS.plane(i_theta, i_phi), direct,
+                                   atol=1e-9)
+
+    @given(i_theta=grid_theta, i_phi=grid_phi)
+    @settings(max_examples=100, deadline=None)
+    def test_plane_bounded_by_max_correction(self, i_theta, i_phi):
+        plane = CORRECTIONS.plane(i_theta, i_phi)
+        assert np.max(np.abs(plane)) <= CORRECTIONS.max_correction_samples() + 1e-9
+
+    @given(i_theta=grid_theta, i_phi=grid_phi)
+    @settings(max_examples=100, deadline=None)
+    def test_plane_mean_is_zero(self, i_theta, i_phi):
+        """The correction plane is linear in centred element coordinates, so
+        its mean over the (symmetric) aperture vanishes."""
+        plane = CORRECTIONS.plane(i_theta, i_phi)
+        assert abs(float(np.mean(plane))) < 1e-9
+
+
+class TestGeneratorProperties:
+    @given(i_theta=grid_theta, i_phi=grid_phi, i_depth=grid_depth)
+    @settings(max_examples=60, deadline=None)
+    def test_float_generator_equals_reference_plus_plane(self, i_theta, i_phi,
+                                                         i_depth):
+        delays = STEER_FLOAT.grid_delay_samples(i_theta, i_phi, i_depth)
+        expected = (REFERENCE.lookup(i_depth)
+                    + CORRECTIONS.plane(i_theta, i_phi)).ravel()
+        np.testing.assert_allclose(delays, expected, atol=1e-9)
+
+    @given(i_theta=grid_theta, i_phi=grid_phi, i_depth=grid_depth)
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_point_within_one_sample_of_float(self, i_theta, i_phi,
+                                                    i_depth):
+        float_idx = np.floor(
+            STEER_FLOAT.grid_delay_samples(i_theta, i_phi, i_depth) + 0.5)
+        fixed_idx = np.floor(
+            STEER_18B.grid_delay_samples(i_theta, i_phi, i_depth) + 0.5)
+        assert np.max(np.abs(fixed_idx - float_idx)) <= 1
+
+    @given(i_theta=grid_theta, i_phi=grid_phi, i_depth=grid_depth)
+    @settings(max_examples=40, deadline=None)
+    def test_steering_error_bounded_by_lagrange_bound(self, i_theta, i_phi,
+                                                      i_depth):
+        from repro.core.tablesteer import lagrange_error_bound_seconds
+        bound_samples = (lagrange_error_bound_seconds(SYSTEM)
+                         * SYSTEM.acoustic.sampling_frequency)
+        approx = STEER_FLOAT.grid_delay_samples(i_theta, i_phi, i_depth)
+        truth = EXACT.delays_samples(
+            EXACT.grid.point(i_theta, i_phi, i_depth).reshape(1, 3))[0]
+        assert np.max(np.abs(approx - truth)) <= bound_samples * 1.05 + 1e-6
+
+    @given(i_theta=grid_theta, i_phi=grid_phi)
+    @settings(max_examples=30, deadline=None)
+    def test_broadside_most_scanline_is_most_accurate(self, i_theta, i_phi):
+        """No scanline has smaller mean steering error than the one closest
+        to broadside (for this symmetric grid the innermost pair)."""
+        def mean_error(it, ip):
+            approx = STEER_FLOAT.scanline_delays_samples(it, ip)
+            truth = EXACT.delays_samples(EXACT.grid.scanline_points(it, ip))
+            return float(np.mean(np.abs(approx - truth)))
+        centre = SYSTEM.volume.n_theta // 2
+        centre_error = min(mean_error(centre, centre),
+                           mean_error(centre - 1, centre - 1))
+        assert mean_error(i_theta, i_phi) >= centre_error - 1e-9
