@@ -1,0 +1,75 @@
+"""Benchmark E11: streaming runtime throughput across execution backends.
+
+The software counterpart of the E9 hardware throughput rows: an 8-frame
+cine sequence is streamed through the ``reference``, ``vectorized`` and
+``sharded`` backends and the sustained frames/s / voxels/s are compared.
+The batched backends amortise delay generation through the
+:class:`DelayTableCache`, so — like the paper's table-streaming architecture
+— they must beat the regenerate-per-scanline reference path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import tiny_system
+from repro.experiments import e11_runtime_throughput
+from repro.runtime import BeamformingService, DelayTableCache, static_cine
+from repro.acoustics.echo import EchoSimulator
+from repro.acoustics.phantom import point_target
+
+
+@pytest.fixture(scope="module")
+def result():
+    return e11_runtime_throughput.run(tiny_system(), architecture="tablefree",
+                                      n_frames=8)
+
+
+def test_bench_runtime_backends(result, report):
+    rows = result["backends"]
+    report(
+        "E11 (runtime): streaming backend throughput "
+        f"(system '{result['system']}', {result['n_frames']} frames, "
+        f"architecture {result['architecture']})",
+        *(f"  {name:<10s} {row['frames_per_second']:8.2f} frames/s   "
+          f"{row['voxels_per_second']:.3e} voxels/s   "
+          f"{row['speedup_vs_reference']:.2f}x vs reference   "
+          f"cache {row['cache_hits']}h/{row['cache_misses']}m"
+          for name, row in rows.items()),
+    )
+    # The whole point of the batched runtime: precomputed (cached) delay
+    # tensors beat per-scanline regeneration.
+    assert rows["vectorized"]["frames_per_second"] > \
+        rows["reference"]["frames_per_second"]
+    # And repeated frames are served from the cache, not regenerated.
+    assert rows["vectorized"]["cache_misses"] == 1
+    assert rows["vectorized"]["cache_hits"] == result["n_frames"] - 1
+
+
+def test_bench_vectorized_frame(benchmark):
+    """Micro-benchmark: one cached-table vectorized frame (steady state)."""
+    system = tiny_system()
+    service = BeamformingService(system, architecture="tablefree",
+                                 backend="vectorized",
+                                 cache=DelayTableCache())
+    grid_mid_depth = system.volume.depth_min + 0.5 * system.volume.depth_span
+    data = EchoSimulator.from_config(system).simulate(
+        point_target(depth=grid_mid_depth))
+    service.submit_frame(data)  # warm the delay-table cache
+    result = benchmark(lambda: service.submit_frame(data))
+    assert result.rf.shape == (system.volume.n_theta, system.volume.n_phi,
+                               system.volume.n_depth)
+
+
+def test_bench_streamed_cine(benchmark):
+    """Throughput of an 8-frame static cine on the sharded backend."""
+    system = tiny_system()
+    service = BeamformingService(system, architecture="tablefree",
+                                 backend="sharded", cache=DelayTableCache())
+    grid_mid_depth = system.volume.depth_min + 0.5 * system.volume.depth_span
+    data = EchoSimulator.from_config(system).simulate(
+        point_target(depth=grid_mid_depth))
+    service.submit_frame(data)  # warm the delay-table cache
+
+    results = benchmark(lambda: service.stream_all(static_cine(data, 8)))
+    assert len(results) == 8

@@ -1,0 +1,62 @@
+"""Streaming runtime: beamform a moving-target cine through every backend.
+
+Demonstrates the :mod:`repro.runtime` subsystem end to end on the
+scaled-down ``tiny`` preset:
+
+1. build a cine sequence of a point scatterer drifting in depth;
+2. stream it through the ``reference``, ``vectorized`` and ``sharded``
+   execution backends via the :class:`BeamformingService` facade;
+3. report per-backend volume rate, voxel rate and delay-table cache
+   behaviour — only the first frame of each batched backend pays the
+   delay-generation cost, every later frame reuses the cached tensors;
+4. verify that all backends found the moving target at the same voxel.
+
+Usage::
+
+    python examples/streaming_runtime.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import tiny_system
+from repro.runtime import BeamformingService, DelayTableCache, moving_point_cine
+
+N_FRAMES = 8
+
+
+def main() -> None:
+    system = tiny_system()
+    frames = moving_point_cine(system, n_frames=N_FRAMES)
+    print(f"Streaming a {N_FRAMES}-frame moving-point cine on the "
+          f"'{system.name}' preset "
+          f"({system.volume.focal_point_count} voxels/frame)")
+
+    peak_tracks: dict[str, list[tuple[int, ...]]] = {}
+    for backend in ("reference", "vectorized", "sharded"):
+        # Each backend gets a private cache so its hit/miss counters are
+        # directly comparable (cross-backend sharing is shown in the tests).
+        service = BeamformingService(system, architecture="tablesteer",
+                                     backend=backend,
+                                     cache=DelayTableCache())
+        results = service.stream_all(frames)
+        peak_tracks[backend] = [
+            np.unravel_index(int(np.argmax(np.abs(r.rf))), r.rf.shape)
+            for r in results]
+        stats = service.stats()
+        print(f"  {backend:<10s}: {stats.frames_per_second:8.2f} frames/s  "
+              f"{stats.voxels_per_second:.3e} voxels/s  "
+              f"mean latency {stats.mean_latency_seconds * 1e3:6.2f} ms  "
+              f"cache {stats.cache.hits} hits / {stats.cache.misses} misses")
+
+    reference_track = peak_tracks["reference"]
+    agree = all(peak_tracks[b] == reference_track
+                for b in ("vectorized", "sharded"))
+    depths = [int(track[2]) for track in reference_track]
+    print(f"  target depth index per frame : {depths} (drifts deeper)")
+    print(f"  backends agree on every peak : {agree}")
+
+
+if __name__ == "__main__":
+    main()

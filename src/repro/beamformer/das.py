@@ -44,6 +44,14 @@ class DelayProvider(Protocol):
         """Delays for a grid nappe, shape ``(n_theta, n_phi, n_elements)``."""
         ...  # pragma: no cover - protocol definition
 
+    def volume_delays_samples(self) -> np.ndarray:
+        """Delays for the whole grid, shape ``(n_theta, n_phi, n_depth, n_elements)``.
+
+        All providers in :mod:`repro.core` inherit a scanline-stacking
+        default from :class:`repro.core.bulk.BulkDelayProviderMixin`.
+        """
+        ...  # pragma: no cover - protocol definition
+
 
 @dataclass(frozen=True)
 class ApodizationSettings:
@@ -75,17 +83,48 @@ class DelayAndSumBeamformer:
 
     def __init__(self, system: SystemConfig, delays: DelayProvider,
                  apodization: ApodizationSettings | None = None,
-                 interpolation: InterpolationKind = InterpolationKind.NEAREST) -> None:
+                 interpolation: InterpolationKind = InterpolationKind.NEAREST,
+                 transducer: MatrixTransducer | None = None,
+                 grid: FocalGrid | None = None) -> None:
         self.system = system
         self.delays = delays
         self.apodization = apodization or ApodizationSettings()
         self.interpolation = interpolation
-        self.transducer = MatrixTransducer.from_config(system)
-        self.grid = FocalGrid.from_config(system)
+        self.transducer = transducer or MatrixTransducer.from_config(system)
+        self.grid = grid or FocalGrid.from_config(system)
         self._aperture_weights = aperture_apodization(
             self.transducer, self.apodization.window).ravel()
+        # The focal grid is static for the lifetime of the beamformer, so the
+        # per-scanline receive weights are computed once and reused across
+        # every frame (they used to be rebuilt for every scanline of every
+        # volume, dominating the reference path's run time).
+        self._scanline_weights: dict[tuple[int, int], np.ndarray] = {}
 
     # ------------------------------------------------------------- weights
+    def weights_for_scanline(self, i_theta: int, i_phi: int) -> np.ndarray:
+        """Receive weights for one grid scanline, cached per ``(i_theta, i_phi)``."""
+        key = (i_theta, i_phi)
+        weights = self._scanline_weights.get(key)
+        if weights is None:
+            weights = self.weights_for_points(
+                self.grid.scanline_points(i_theta, i_phi))
+            self._scanline_weights[key] = weights
+        return weights
+
+    def volume_weights(self) -> np.ndarray:
+        """Receive weights for every grid point, shape ``(n_theta, n_phi, n_depth, n_elements)``.
+
+        Assembled from (and seeding) the per-scanline cache so the batched
+        runtime backends use the exact same values as the scanline path.
+        """
+        n_theta, n_phi, n_depth = self.grid.shape
+        out = np.empty((n_theta, n_phi, n_depth,
+                        self.transducer.element_count))
+        for i_theta in range(n_theta):
+            for i_phi in range(n_phi):
+                out[i_theta, i_phi] = self.weights_for_scanline(i_theta, i_phi)
+        return out
+
     def weights_for_points(self, points: np.ndarray) -> np.ndarray:
         """Receive weights ``w(S)`` for each (point, element) pair."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
@@ -112,9 +151,8 @@ class DelayAndSumBeamformer:
                           i_theta: int, i_phi: int) -> np.ndarray:
         """Beamformed samples along one grid scanline, shape ``(n_depth,)``."""
         delays = self.delays.scanline_delays_samples(i_theta, i_phi)
-        points = self.grid.scanline_points(i_theta, i_phi)
         return self._sum_with_delays(channel_data, delays,
-                                     self.weights_for_points(points))
+                                     self.weights_for_scanline(i_theta, i_phi))
 
     def beamform_nappe(self, channel_data: ChannelData,
                        i_depth: int) -> np.ndarray:

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli run all              # run every experiment
     python -m repro.cli table2               # print the Table II comparison
     python -m repro.cli specs                # print the Table I system spec
+    python -m repro.cli stream               # stream a cine through the runtime
 
 Each experiment prints measured figures next to the values reported in the
 paper (see EXPERIMENTS.md for the recorded comparison).
@@ -39,6 +40,7 @@ _EXPERIMENT_TITLES = {
     "E8": "Table II comparison",
     "E9": "Throughput (Section II-C / V-B, Fig. 4)",
     "E10": "End-to-end imaging comparison",
+    "E11": "Streaming runtime throughput (backends + delay cache)",
 }
 
 
@@ -112,6 +114,34 @@ def _cmd_specs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .runtime import BeamformingService, DelayTableCache, moving_point_cine
+
+    if args.frames < 1:
+        print("--frames must be at least 1", file=sys.stderr)
+        return 2
+    system = _SYSTEM_PRESETS[args.system]()
+    cache = DelayTableCache()
+    service = BeamformingService(system, architecture=args.architecture,
+                                 backend=args.backend, cache=cache)
+    frames = moving_point_cine(system, n_frames=args.frames)
+    print(f"Streaming {len(frames)} frames on system '{system.name}' "
+          f"(architecture={args.architecture}, backend={args.backend})")
+    for result in service.stream(frames):
+        print(f"  frame {result.frame_id:3d}: "
+              f"acquire {result.acquire_seconds * 1e3:8.2f} ms, "
+              f"beamform {result.beamform_seconds * 1e3:8.2f} ms")
+    stats = service.stats()
+    print("Aggregate:")
+    print(f"  frames                   : {stats.frames}")
+    print(f"  volume rate              : {stats.frames_per_second:.2f} frames/s")
+    print(f"  voxel rate               : {stats.voxels_per_second:.3e} voxels/s")
+    print(f"  mean latency             : {stats.mean_latency_seconds * 1e3:.2f} ms")
+    print(f"  delay-table cache        : {stats.cache.hits} hits, "
+          f"{stats.cache.misses} misses, {stats.cache.evictions} evictions")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -134,6 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
     specs_parser.add_argument("--system", choices=sorted(_SYSTEM_PRESETS),
                               default="paper")
     specs_parser.set_defaults(handler=_cmd_specs)
+
+    stream_parser = subparsers.add_parser(
+        "stream", help="stream a cine sequence through the beamforming runtime")
+    stream_parser.add_argument("--system", choices=sorted(_SYSTEM_PRESETS),
+                               default="small")
+    stream_parser.add_argument("--architecture",
+                               choices=["exact", "tablefree", "tablesteer",
+                                        "tablesteer_float"],
+                               default="exact")
+    stream_parser.add_argument("--backend",
+                               choices=["reference", "vectorized", "sharded"],
+                               default="vectorized")
+    stream_parser.add_argument("--frames", type=int, default=8,
+                               help="number of cine frames (default 8)")
+    stream_parser.set_defaults(handler=_cmd_stream)
     return parser
 
 

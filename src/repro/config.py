@@ -26,8 +26,10 @@ Three presets are provided:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 
 @dataclass(frozen=True)
@@ -222,6 +224,21 @@ class SystemConfig:
         About 2.5e12 delay values/s at 15 volumes/s (Section II-C).
         """
         return self.theoretical_delay_count * self.beamformer.frame_rate
+
+    def cache_key(self) -> str:
+        """Stable digest of every physical parameter of the system.
+
+        Two configurations with identical acoustic, transducer, volume and
+        beamformer parameters produce the same key even if their ``name``
+        differs, so delay/weight tensors cached under the key (see
+        :class:`repro.runtime.cache.DelayTableCache`) are shared between
+        presets that describe the same probe and grid.  The key is a hex
+        string, safe to embed in file names or composite dictionary keys.
+        """
+        payload = asdict(self)
+        payload.pop("name", None)
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     def with_volume(self, **kwargs) -> "SystemConfig":
         """Return a copy with selected :class:`VolumeConfig` fields replaced."""

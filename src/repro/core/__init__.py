@@ -8,6 +8,7 @@
 * :mod:`repro.core.tablesteer` — TABLESTEER table-plus-steering generation.
 """
 
+from .bulk import BulkDelayProviderMixin
 from .exact import ExactDelayEngine, propagation_delay, receive_delay, transmit_delay
 from .multi_origin import (
     MultiOriginTableFree,
@@ -28,6 +29,7 @@ from .tablesteer import (
 )
 
 __all__ = [
+    "BulkDelayProviderMixin",
     "ExactDelayEngine",
     "propagation_delay",
     "transmit_delay",

@@ -1,0 +1,46 @@
+"""Bulk (whole-volume) delay generation shared by all delay providers.
+
+The streaming runtime (:mod:`repro.runtime`) beamforms entire volumes in one
+batched pass, which needs the complete ``(n_points, n_elements)`` delay
+tensor instead of the per-scanline slices the hardware-style providers
+naturally emit.  Rather than teaching every provider a second bulk code
+path, this mixin derives the volume tensor from the provider's existing
+``scanline_delays_samples`` — scanline by scanline, in the same traversal
+order the reference beamformer uses — so the bulk tensor is numerically
+*identical* to what the per-scanline path would have produced.  Providers
+with a cheaper native batch computation (the exact engine) simply override
+:meth:`volume_delays_samples`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BulkDelayProviderMixin:
+    """Default whole-volume delay generation for scanline-oriented providers.
+
+    Requires the host class to expose a ``grid`` attribute (a
+    :class:`repro.geometry.volume.FocalGrid`) and the standard
+    ``scanline_delays_samples(i_theta, i_phi)`` method.
+    """
+
+    def volume_delays_samples(self) -> np.ndarray:
+        """Delays for every focal point of the grid, in fractional samples.
+
+        Returns an array of shape ``(n_theta, n_phi, n_depth, n_elements)``
+        assembled scanline by scanline, so it matches the per-scanline API
+        bit for bit.
+        """
+        grid = self.grid
+        n_theta, n_phi, n_depth = grid.shape
+        first = np.asarray(self.scanline_delays_samples(0, 0))
+        n_elements = first.shape[-1]
+        out = np.empty((n_theta, n_phi, n_depth, n_elements))
+        out[0, 0] = first
+        for i_theta in range(n_theta):
+            for i_phi in range(n_phi):
+                if i_theta == 0 and i_phi == 0:
+                    continue
+                out[i_theta, i_phi] = self.scanline_delays_samples(i_theta, i_phi)
+        return out

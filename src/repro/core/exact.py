@@ -21,6 +21,7 @@ from ..config import SystemConfig
 from ..geometry.coordinates import spherical_to_cartesian
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
+from .bulk import BulkDelayProviderMixin
 
 
 def propagation_delay(origin: np.ndarray,
@@ -73,7 +74,7 @@ def receive_delay(points: np.ndarray, elements: np.ndarray,
 
 
 @dataclass(frozen=True)
-class ExactDelayEngine:
+class ExactDelayEngine(BulkDelayProviderMixin):
     """Reference delay generator bound to a system configuration.
 
     The engine fixes the transducer element positions, the focal grid and the
@@ -129,6 +130,17 @@ class ExactDelayEngine:
         flat = points.reshape(-1, 3)
         delays = self.delays_samples(flat)
         return delays.reshape(*shape, -1)
+
+    def volume_delays_samples(self) -> np.ndarray:
+        """Delays for the whole grid, shape ``(n_theta, n_phi, n_depth, n_elements)``.
+
+        Overrides the scanline-stacking default with one batched evaluation;
+        the distance arithmetic is elementwise, so the result is identical.
+        """
+        n_theta, n_phi, n_depth = self.grid.shape
+        points = self.grid.all_points().reshape(-1, 3)
+        delays = self.delays_samples(points)
+        return delays.reshape(n_theta, n_phi, n_depth, -1)
 
     def scanline_points(self, theta: float, phi: float,
                         depths: np.ndarray | None = None) -> np.ndarray:

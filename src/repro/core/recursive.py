@@ -32,6 +32,7 @@ from ..config import SystemConfig
 from ..geometry.coordinates import spherical_to_cartesian
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
+from .bulk import BulkDelayProviderMixin
 
 
 @dataclass(frozen=True)
@@ -47,7 +48,7 @@ class RecursiveConfig:
 
 
 @dataclass
-class RecursiveDelayGenerator:
+class RecursiveDelayGenerator(BulkDelayProviderMixin):
     """Delay generator that updates distances recursively along scanlines."""
 
     system: SystemConfig

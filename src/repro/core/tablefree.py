@@ -30,6 +30,7 @@ from ..fixedpoint.format import QFormat, signed, unsigned
 from ..fixedpoint.quantize import quantize
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
+from .bulk import BulkDelayProviderMixin
 from .piecewise import IncrementalSqrtEvaluator, PiecewiseSqrt
 
 
@@ -65,7 +66,7 @@ class TableFreeConfig:
 
 
 @dataclass
-class TableFreeDelayGenerator:
+class TableFreeDelayGenerator(BulkDelayProviderMixin):
     """Delay generator implementing the TABLEFREE scheme.
 
     Use :meth:`from_config` to construct; then :meth:`delay_indices` /

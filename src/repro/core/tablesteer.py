@@ -35,6 +35,7 @@ from ..fixedpoint.format import QFormat, tablesteer_formats
 from ..geometry.coordinates import cartesian_to_spherical
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
+from .bulk import BulkDelayProviderMixin
 from .reference_table import ReferenceDelayTable
 from .steering import SteeringCorrections
 
@@ -60,7 +61,7 @@ class TableSteerConfig:
 
 
 @dataclass
-class TableSteerDelayGenerator:
+class TableSteerDelayGenerator(BulkDelayProviderMixin):
     """Delay generator implementing the TABLESTEER scheme."""
 
     system: SystemConfig

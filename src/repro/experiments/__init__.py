@@ -17,6 +17,7 @@ from . import (
     e08_table2,
     e09_throughput,
     e10_imaging,
+    e11_runtime_throughput,
 )
 
 ALL_EXPERIMENTS = {
@@ -30,6 +31,7 @@ ALL_EXPERIMENTS = {
     "E8": e08_table2,
     "E9": e09_throughput,
     "E10": e10_imaging,
+    "E11": e11_runtime_throughput,
 }
 
 __all__ = [
@@ -44,4 +46,5 @@ __all__ = [
     "e08_table2",
     "e09_throughput",
     "e10_imaging",
+    "e11_runtime_throughput",
 ]

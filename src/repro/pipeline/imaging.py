@@ -11,8 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..runtime.cache import DelayTableCache
 
 from ..acoustics.echo import ChannelData, EchoSimulator
 from ..acoustics.phantom import Phantom
@@ -29,6 +33,8 @@ from ..config import SystemConfig
 from ..core.exact import ExactDelayEngine
 from ..core.tablefree import TableFreeConfig, TableFreeDelayGenerator
 from ..core.tablesteer import TableSteerConfig, TableSteerDelayGenerator
+from ..geometry.transducer import MatrixTransducer
+from ..geometry.volume import FocalGrid
 
 
 class DelayArchitecture(str, Enum):
@@ -62,7 +68,16 @@ def make_delay_provider(system: SystemConfig,
 
 @dataclass
 class ImagingPipeline:
-    """A complete receive-imaging chain bound to one delay architecture."""
+    """A complete receive-imaging chain bound to one delay architecture.
+
+    ``backend`` selects the execution backend used by :meth:`image_volume`:
+    ``reference`` keeps the classic per-scanline drivers, ``vectorized`` and
+    ``sharded`` route volume reconstruction through the batched
+    :mod:`repro.runtime` backends (sharing delay tensors via ``cache`` when
+    one is provided).  ``simulator``, ``transducer`` and ``grid`` accept
+    pre-built objects so several pipelines over the same system (e.g. one
+    per delay architecture) can share them instead of rebuilding.
+    """
 
     system: SystemConfig
     architecture: DelayArchitecture = DelayArchitecture.EXACT
@@ -70,17 +85,29 @@ class ImagingPipeline:
     interpolation: InterpolationKind = InterpolationKind.NEAREST
     tablefree_config: TableFreeConfig | None = None
     tablesteer_bits: int = 18
+    backend: str = "reference"
+    cache: "DelayTableCache | None" = None
+    simulator: EchoSimulator | None = None
+    transducer: MatrixTransducer | None = None
+    grid: FocalGrid | None = None
 
     def __post_init__(self) -> None:
         self.architecture = DelayArchitecture(self.architecture)
-        self._simulator = EchoSimulator.from_config(self.system)
+        self._simulator = self.simulator or EchoSimulator.from_config(self.system)
         self._provider = make_delay_provider(
             self.system, self.architecture,
             tablefree_config=self.tablefree_config,
             tablesteer_bits=self.tablesteer_bits)
         self._beamformer = DelayAndSumBeamformer(
             self.system, self._provider, apodization=self.apodization,
-            interpolation=self.interpolation)
+            interpolation=self.interpolation,
+            transducer=self.transducer, grid=self.grid)
+        self._runtime_backend = None
+        if self.backend != "reference":
+            # Imported lazily: repro.runtime depends on this module.
+            from ..runtime.backends import make_backend
+            self._runtime_backend = make_backend(
+                self.backend, self._beamformer, cache=self.cache)
 
     @property
     def delay_provider(self) -> DelayProvider:
@@ -115,12 +142,22 @@ class ImagingPipeline:
 
     def image_volume(self, channel_data: ChannelData,
                      order: str = "nappe") -> BeamformedVolume:
-        """Reconstruct the full volume in the requested traversal order."""
+        """Reconstruct the full volume.
+
+        With the default ``reference`` backend the volume is built by the
+        classic drivers in the requested traversal ``order``; the batched
+        runtime backends reconstruct all scanlines at once (both traversal
+        orders yield the identical volume) and tag the volume with the
+        backend name instead.
+        """
+        if order not in ("nappe", "scanline"):
+            raise ValueError("order must be 'nappe' or 'scanline'")
+        if self._runtime_backend is not None:
+            rf = self._runtime_backend.beamform_volume(channel_data)
+            return BeamformedVolume(rf=rf, order=self.backend)
         if order == "nappe":
             return reconstruct_nappe_order(self._beamformer, channel_data)
-        if order == "scanline":
-            return reconstruct_scanline_order(self._beamformer, channel_data)
-        raise ValueError("order must be 'nappe' or 'scanline'")
+        return reconstruct_scanline_order(self._beamformer, channel_data)
 
     def image_phantom(self, phantom: Phantom, noise_std: float = 0.0,
                       seed: int = 0, i_phi: int | None = None) -> np.ndarray:
@@ -138,12 +175,18 @@ def compare_architectures(system: SystemConfig, phantom: Phantom,
 
     Returns a mapping from architecture name to envelope image of the centre
     elevation plane; the channel data are simulated once so the images differ
-    only through the delay generation.
+    only through the delay generation.  The simulator, transducer and focal
+    grid are likewise built once and shared by every per-architecture
+    pipeline — only the delay providers differ.
     """
     simulator = EchoSimulator.from_config(system)
+    transducer = MatrixTransducer.from_config(system)
+    grid = FocalGrid.from_config(system)
     channel_data = simulator.simulate(phantom, noise_std=noise_std, seed=seed)
     images = {}
     for name in architectures:
-        pipeline = ImagingPipeline(system, architecture=name)
+        pipeline = ImagingPipeline(system, architecture=name,
+                                   simulator=simulator, transducer=transducer,
+                                   grid=grid)
         images[name] = pipeline.image_plane(channel_data)
     return images

@@ -1,0 +1,59 @@
+"""repro.runtime: batched multi-backend streaming beamforming runtime.
+
+The software-throughput layer of the reproduction: where :mod:`repro.core`
+answers *how a delay is generated*, this package answers *how fast volumes
+can be streamed* once generation is amortised — the same question the
+paper's Section II-C/V-B asks of the hardware.
+
+* :mod:`repro.runtime.cache` — LRU cache of precomputed delay/weight
+  tensors keyed by :meth:`repro.config.SystemConfig.cache_key`.
+* :mod:`repro.runtime.backends` — ``reference`` / ``vectorized`` /
+  ``sharded`` execution backends producing identical volumes.
+* :mod:`repro.runtime.scheduler` — frame queue and cine-sequence builders.
+* :mod:`repro.runtime.service` — the :class:`BeamformingService` facade
+  with per-frame latency and aggregate throughput metrics.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    BACKENDS,
+    DelayTables,
+    ExecutionBackend,
+    ReferenceBackend,
+    ShardedBackend,
+    VectorizedBackend,
+    build_tables,
+    make_backend,
+    tables_key,
+)
+from .cache import CacheStats, DelayTableCache
+from .scheduler import (
+    FrameRequest,
+    FrameResult,
+    FrameScheduler,
+    moving_point_cine,
+    static_cine,
+)
+from .service import BeamformingService, RuntimeStats
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BACKENDS",
+    "BeamformingService",
+    "CacheStats",
+    "DelayTableCache",
+    "DelayTables",
+    "ExecutionBackend",
+    "FrameRequest",
+    "FrameResult",
+    "FrameScheduler",
+    "ReferenceBackend",
+    "RuntimeStats",
+    "ShardedBackend",
+    "VectorizedBackend",
+    "build_tables",
+    "make_backend",
+    "moving_point_cine",
+    "static_cine",
+    "tables_key",
+]

@@ -1,0 +1,241 @@
+"""Pluggable execution backends for whole-volume beamforming.
+
+The paper's hardware argument — that throughput is decided by how delays are
+*produced*, not by the sum itself — has a direct software analogue: the
+per-scanline reference path spends almost all of its time regenerating
+delays and weights, while a batched path that reuses precomputed tensors is
+limited only by the echo-buffer gather.  Three backends make that trade-off
+explicit:
+
+``reference``
+    Delegates to the existing per-scanline
+    :class:`repro.beamformer.das.DelayAndSumBeamformer` loop.  Ground truth
+    and baseline for the throughput experiments.
+
+``vectorized``
+    Precomputes the full ``(n_points, n_elements)`` delay and weight tensors
+    once per ``(SystemConfig, architecture)`` pair — optionally through a
+    shared :class:`repro.runtime.cache.DelayTableCache` — and beamforms the
+    whole volume with one batched gather/sum.
+
+``sharded``
+    The vectorized math applied to scanline blocks dispatched on a thread
+    pool, modelling the paper's parallel delay-generation blocks (Fig. 4).
+
+All three produce numerically identical volumes; the equivalence is pinned
+by ``tests/test_runtime_backends.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+import numpy as np
+
+from ..acoustics.echo import ChannelData
+from ..beamformer.das import DelayAndSumBeamformer
+from ..beamformer.interpolation import fetch_samples
+from .cache import DelayTableCache
+
+
+@dataclass(frozen=True)
+class DelayTables:
+    """Precomputed per-volume beamforming tensors.
+
+    Attributes
+    ----------
+    delays:
+        Fractional-sample delays, shape ``(n_points, n_elements)`` with
+        points in scanline-major ``(i_theta, i_phi, i_depth)`` order.
+    weights:
+        Receive apodization weights, same shape and ordering.
+    grid_shape:
+        Focal-grid shape ``(n_theta, n_phi, n_depth)`` used to fold the flat
+        point axis back into a volume.
+    """
+
+    delays: np.ndarray
+    weights: np.ndarray
+    grid_shape: tuple[int, int, int]
+
+    @property
+    def nbytes(self) -> int:
+        """Total memory footprint of both tensors [bytes]."""
+        return self.delays.nbytes + self.weights.nbytes
+
+
+def tables_key(beamformer: DelayAndSumBeamformer) -> Hashable:
+    """Stable cache key for the delay/weight tensors of a beamformer.
+
+    Combines the physical system digest with the delay architecture (class
+    plus its numerical design and origin) and the apodization settings —
+    everything the tensors depend on.  Frames that share this key can share
+    the tensors.
+    """
+    provider = beamformer.delays
+    origin = getattr(provider, "origin", None)
+    origin_key = tuple(np.asarray(origin, dtype=float).ravel()) \
+        if origin is not None else None
+    design = getattr(provider, "design", None)
+    return (beamformer.system.cache_key(),
+            type(provider).__name__,
+            repr(design),
+            origin_key,
+            repr(beamformer.apodization))
+
+
+def build_tables(beamformer: DelayAndSumBeamformer) -> DelayTables:
+    """Generate the full delay and weight tensors for a beamformer's grid."""
+    grid_shape = beamformer.grid.shape
+    n_elements = beamformer.transducer.element_count
+    delays = beamformer.delays.volume_delays_samples().reshape(-1, n_elements)
+    weights = beamformer.volume_weights().reshape(-1, n_elements)
+    return DelayTables(delays=delays, weights=weights, grid_shape=grid_shape)
+
+
+class ExecutionBackend:
+    """Common interface: beamform one frame of channel data into a volume."""
+
+    name: str = "abstract"
+
+    def __init__(self, beamformer: DelayAndSumBeamformer) -> None:
+        self.beamformer = beamformer
+
+    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
+        """Beamformed RF volume, shape ``(n_theta, n_phi, n_depth)``."""
+        raise NotImplementedError
+
+
+class ReferenceBackend(ExecutionBackend):
+    """Per-scanline loop through the classic delay-and-sum path."""
+
+    name = "reference"
+
+    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
+        beamformer = self.beamformer
+        n_theta, n_phi, n_depth = beamformer.grid.shape
+        rf = np.empty((n_theta, n_phi, n_depth))
+        for i_theta in range(n_theta):
+            for i_phi in range(n_phi):
+                rf[i_theta, i_phi] = beamformer.beamform_scanline(
+                    channel_data, i_theta, i_phi)
+        return rf
+
+
+class VectorizedBackend(ExecutionBackend):
+    """Whole-volume batched gather/sum over precomputed delay tensors.
+
+    Parameters
+    ----------
+    beamformer:
+        The configured delay-and-sum beamformer (supplies grid, provider,
+        apodization and interpolation settings).
+    cache:
+        Optional shared :class:`DelayTableCache`.  Without one the backend
+        still memoises its own tensors for the lifetime of the instance.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, beamformer: DelayAndSumBeamformer,
+                 cache: DelayTableCache | None = None) -> None:
+        super().__init__(beamformer)
+        self.cache = cache
+        self._key = tables_key(beamformer)
+        self._tables: DelayTables | None = None
+
+    def tables(self) -> DelayTables:
+        """The (possibly cached) delay/weight tensors for this beamformer.
+
+        With a cache attached, every frame goes through the cache — the
+        hit/miss counters then directly record that repeated frames from the
+        same probe geometry skip delay regeneration.
+        """
+        builder: Callable[[], DelayTables] = lambda: build_tables(self.beamformer)
+        if self.cache is not None:
+            return self.cache.get_or_build(self._key, builder)
+        if self._tables is None:
+            self._tables = builder()
+        return self._tables
+
+    def _sum_rows(self, channel_data: ChannelData, tables: DelayTables,
+                  rows: slice) -> np.ndarray:
+        delays = tables.delays[rows]
+        weights = tables.weights[rows]
+        element_indices = np.broadcast_to(np.arange(delays.shape[1]),
+                                          delays.shape)
+        samples = fetch_samples(channel_data, element_indices, delays,
+                                kind=self.beamformer.interpolation)
+        return np.sum(weights * samples, axis=1)
+
+    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
+        tables = self.tables()
+        flat = self._sum_rows(channel_data, tables,
+                              slice(0, tables.delays.shape[0]))
+        return flat.reshape(tables.grid_shape)
+
+
+class ShardedBackend(VectorizedBackend):
+    """Vectorized math over scanline blocks dispatched on a thread pool.
+
+    The focal grid is split into ``shards`` contiguous point blocks; each
+    worker gathers and sums its block independently (NumPy releases the GIL
+    inside the heavy kernels).  Per-row arithmetic is identical to the
+    vectorized backend, so the volumes match exactly.
+    """
+
+    name = "sharded"
+
+    def __init__(self, beamformer: DelayAndSumBeamformer,
+                 cache: DelayTableCache | None = None,
+                 shards: int | None = None,
+                 max_workers: int | None = None) -> None:
+        super().__init__(beamformer, cache=cache)
+        self.shards = shards or min(8, os.cpu_count() or 1)
+        self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+
+    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
+        tables = self.tables()
+        n_points = tables.delays.shape[0]
+        out = np.empty(n_points)
+        bounds = np.linspace(0, n_points, self.shards + 1).astype(int)
+        blocks = [slice(int(lo), int(hi))
+                  for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+        def work(rows: slice) -> None:
+            out[rows] = self._sum_rows(channel_data, tables, rows)
+
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            # list() to surface worker exceptions instead of swallowing them.
+            list(pool.map(work, blocks))
+        return out.reshape(tables.grid_shape)
+
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    ReferenceBackend.name: ReferenceBackend,
+    VectorizedBackend.name: VectorizedBackend,
+    ShardedBackend.name: ShardedBackend,
+}
+
+BACKEND_NAMES: tuple[str, ...] = tuple(BACKENDS)
+
+
+def make_backend(name: str, beamformer: DelayAndSumBeamformer,
+                 cache: DelayTableCache | None = None,
+                 **kwargs) -> ExecutionBackend:
+    """Instantiate an execution backend by name.
+
+    ``reference`` ignores ``cache``; ``sharded`` additionally accepts
+    ``shards`` and ``max_workers`` keyword arguments.
+    """
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(f"unknown backend {name!r}; "
+                         f"available: {', '.join(BACKEND_NAMES)}") from None
+    if backend_cls is ReferenceBackend:
+        return ReferenceBackend(beamformer)
+    return backend_cls(beamformer, cache=cache, **kwargs)

@@ -1,0 +1,93 @@
+"""LRU cache for precomputed delay/weight tensors.
+
+Generating the full ``(n_points, n_elements)`` delay tensor is by far the
+most expensive part of beamforming a volume in software — exactly the
+bottleneck the paper attacks in hardware.  In a streaming setting the probe
+geometry is fixed across a cine sequence, so the tensor is identical for
+every frame; :class:`DelayTableCache` stores it under a stable composite key
+(:meth:`repro.config.SystemConfig.cache_key` plus the delay architecture and
+apodization) so that only the first frame of a sequence pays the generation
+cost.  The cache is a plain LRU with hit/miss/eviction counters, which the
+runtime's stats (and the regression tests) assert on to prove that repeated
+frames skip regeneration.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters describing how a :class:`DelayTableCache` has been used."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DelayTableCache:
+    """A small LRU cache mapping table keys to prebuilt tensors.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries kept; the least recently *used* entry is
+        evicted when a new key is inserted into a full cache.  Each entry for
+        a paper-scale system can be hundreds of megabytes, so the default is
+        deliberately small.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------- lookups
+    def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, building (and storing) it on miss."""
+        if key in self._entries:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]  # type: ignore[return-value]
+        self._misses += 1
+        value = builder()
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------ lifecycle
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the usage counters."""
+        return CacheStats(hits=self._hits, misses=self._misses,
+                          evictions=self._evictions, size=len(self._entries),
+                          capacity=self.capacity)

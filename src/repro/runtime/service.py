@@ -1,0 +1,207 @@
+"""The streaming beamforming service: frames in, volumes + metrics out.
+
+:class:`BeamformingService` is the facade over the whole runtime subsystem.
+It binds a system configuration to one delay architecture and one execution
+backend, simulates acquisitions when a frame arrives as a phantom, beamforms
+each frame, and keeps per-frame latency plus aggregate throughput counters —
+the software analogue of the paper's volumes-per-second budget (Section
+II-C).  Delay/weight tensors flow through a shared
+:class:`repro.runtime.cache.DelayTableCache`, so a cine sequence pays the
+delay-generation cost exactly once.
+
+Typical use::
+
+    from repro import small_system
+    from repro.runtime import BeamformingService, moving_point_cine
+
+    service = BeamformingService(small_system(), architecture="tablesteer",
+                                 backend="vectorized")
+    for result in service.stream(moving_point_cine(service.system, 8)):
+        print(result.frame_id, result.latency_seconds)
+    print(service.stats().frames_per_second)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..acoustics.echo import ChannelData, EchoSimulator
+from ..acoustics.phantom import Phantom
+from ..beamformer.das import ApodizationSettings, DelayAndSumBeamformer
+from ..beamformer.interpolation import InterpolationKind
+from ..config import SystemConfig
+from ..core.tablefree import TableFreeConfig
+from ..pipeline.imaging import DelayArchitecture, make_delay_provider
+from .backends import ExecutionBackend, make_backend
+from .cache import CacheStats, DelayTableCache
+from .scheduler import FrameRequest, FrameResult, FrameScheduler
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Aggregate throughput figures over every frame the service processed."""
+
+    backend: str
+    frames: int
+    voxels: int
+    acquire_seconds: float
+    beamform_seconds: float
+    mean_latency_seconds: float
+    max_latency_seconds: float
+    cache: CacheStats
+
+    @property
+    def total_seconds(self) -> float:
+        """Total processing time across acquisition and beamforming."""
+        return self.acquire_seconds + self.beamform_seconds
+
+    @property
+    def frames_per_second(self) -> float:
+        """Sustained volume rate over the beamforming time alone."""
+        return self.frames / self.beamform_seconds if self.beamform_seconds else 0.0
+
+    @property
+    def voxels_per_second(self) -> float:
+        """Sustained reconstruction rate in voxels/s."""
+        return self.voxels / self.beamform_seconds if self.beamform_seconds else 0.0
+
+
+class BeamformingService:
+    """Streaming frame-to-volume beamforming bound to one backend.
+
+    Parameters
+    ----------
+    system:
+        System configuration shared by every frame of the stream.
+    architecture:
+        Delay-generation architecture name (see
+        :class:`repro.pipeline.imaging.DelayArchitecture`).
+    backend:
+        Execution backend name: ``reference``, ``vectorized`` or ``sharded``.
+    cache:
+        Delay-table cache; pass a shared instance to reuse tensors across
+        services (e.g. a ``vectorized`` and a ``sharded`` service over the
+        same probe).  ``None`` creates a private cache.
+    simulator:
+        Optional pre-built echo simulator, shared with other services to
+        avoid rebuilding the transducer per service.
+    backend_options:
+        Extra keyword arguments for the backend constructor (``shards``,
+        ``max_workers`` for ``sharded``).
+    """
+
+    def __init__(self, system: SystemConfig,
+                 architecture: DelayArchitecture | str = DelayArchitecture.EXACT,
+                 backend: str = "vectorized",
+                 apodization: ApodizationSettings | None = None,
+                 interpolation: InterpolationKind = InterpolationKind.NEAREST,
+                 cache: DelayTableCache | None = None,
+                 tablefree_config: TableFreeConfig | None = None,
+                 tablesteer_bits: int = 18,
+                 simulator: EchoSimulator | None = None,
+                 backend_options: dict | None = None) -> None:
+        self.system = system
+        self.architecture = DelayArchitecture(architecture)
+        self.cache = cache if cache is not None else DelayTableCache()
+        provider = make_delay_provider(
+            system, self.architecture,
+            tablefree_config=tablefree_config,
+            tablesteer_bits=tablesteer_bits)
+        self.beamformer = DelayAndSumBeamformer(
+            system, provider, apodization=apodization,
+            interpolation=interpolation)
+        self._backend: ExecutionBackend = make_backend(
+            backend, self.beamformer, cache=self.cache,
+            **(backend_options or {}))
+        self._simulator = simulator or EchoSimulator.from_config(system)
+        self._frames = 0
+        self._voxels = 0
+        self._acquire_seconds = 0.0
+        self._beamform_seconds = 0.0
+        self._latencies: list[float] = []
+
+    # ------------------------------------------------------------ identity
+    @property
+    def backend_name(self) -> str:
+        """Name of the active execution backend."""
+        return self._backend.name
+
+    # ------------------------------------------------------------- frames
+    def submit_frame(self, frame: FrameRequest | ChannelData | Phantom,
+                     noise_std: float = 0.0, seed: int = 0) -> FrameResult:
+        """Beamform one frame and record its latency.
+
+        ``frame`` may be a full :class:`FrameRequest`, raw
+        :class:`ChannelData`, or a :class:`Phantom` (simulated first using
+        ``noise_std``/``seed``).
+        """
+        if isinstance(frame, FrameRequest):
+            request = frame
+        elif isinstance(frame, ChannelData):
+            request = FrameRequest(frame_id=self._frames, channel_data=frame)
+        else:
+            request = FrameRequest(frame_id=self._frames, phantom=frame,
+                                   noise_std=noise_std, seed=seed)
+
+        acquire_seconds = 0.0
+        channel_data = request.channel_data
+        if channel_data is None:
+            start = time.perf_counter()
+            channel_data = self._simulator.simulate(
+                request.phantom, noise_std=request.noise_std,
+                seed=request.seed)
+            acquire_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rf = self._backend.beamform_volume(channel_data)
+        beamform_seconds = time.perf_counter() - start
+
+        result = FrameResult(frame_id=request.frame_id, rf=rf,
+                             backend=self._backend.name,
+                             acquire_seconds=acquire_seconds,
+                             beamform_seconds=beamform_seconds)
+        self._frames += 1
+        self._voxels += result.voxel_count
+        self._acquire_seconds += acquire_seconds
+        self._beamform_seconds += beamform_seconds
+        self._latencies.append(result.latency_seconds)
+        return result
+
+    def stream(self, frames: Iterable[FrameRequest] | FrameScheduler
+               ) -> Iterator[FrameResult]:
+        """Beamform a sequence of frames lazily, in submission order."""
+        source = frames.drain() if isinstance(frames, FrameScheduler) else frames
+        for request in source:
+            yield self.submit_frame(request)
+
+    def stream_all(self, frames: Iterable[FrameRequest] | FrameScheduler
+                   ) -> list[FrameResult]:
+        """Eager variant of :meth:`stream` returning all results at once."""
+        return list(self.stream(frames))
+
+    # -------------------------------------------------------------- stats
+    def stats(self) -> RuntimeStats:
+        """Aggregate metrics over every frame processed so far."""
+        latencies = np.asarray(self._latencies) if self._latencies else np.zeros(1)
+        return RuntimeStats(
+            backend=self._backend.name,
+            frames=self._frames,
+            voxels=self._voxels,
+            acquire_seconds=self._acquire_seconds,
+            beamform_seconds=self._beamform_seconds,
+            mean_latency_seconds=float(np.mean(latencies)),
+            max_latency_seconds=float(np.max(latencies)),
+            cache=self.cache.stats,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero the frame counters (the delay-table cache is kept)."""
+        self._frames = 0
+        self._voxels = 0
+        self._acquire_seconds = 0.0
+        self._beamform_seconds = 0.0
+        self._latencies = []

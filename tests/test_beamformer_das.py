@@ -34,6 +34,34 @@ class TestProtocol:
 
 
 class TestWeights:
+    def test_scanline_weights_cached_and_correct(self, tiny_setup):
+        system, exact, _beamformer, _data, _depth = tiny_setup
+        beamformer = DelayAndSumBeamformer(system, exact)
+        assert not beamformer._scanline_weights
+        first = beamformer.weights_for_scanline(1, 2)
+        np.testing.assert_array_equal(
+            first, beamformer.weights_for_points(
+                exact.grid.scanline_points(1, 2)))
+        # The second call must hand back the very same cached array.
+        assert beamformer.weights_for_scanline(1, 2) is first
+        assert set(beamformer._scanline_weights) == {(1, 2)}
+
+    def test_beamform_scanline_populates_weight_cache(self, tiny_setup):
+        system, exact, _beamformer, data, _depth = tiny_setup
+        beamformer = DelayAndSumBeamformer(system, exact)
+        beamformer.beamform_scanline(data, 0, 3)
+        beamformer.beamform_scanline(data, 0, 3)
+        assert set(beamformer._scanline_weights) == {(0, 3)}
+
+    def test_volume_weights_match_scanline_weights(self, tiny_setup):
+        system, exact, beamformer, _data, _depth = tiny_setup
+        volume = beamformer.volume_weights()
+        n_theta, n_phi, n_depth = beamformer.grid.shape
+        assert volume.shape == (n_theta, n_phi, n_depth,
+                                system.transducer.element_count)
+        np.testing.assert_array_equal(volume[3, 1],
+                                      beamformer.weights_for_scanline(3, 1))
+
     def test_weights_shape(self, tiny_setup):
         system, exact, beamformer, _data, _depth = tiny_setup
         points = exact.grid.scanline_points(0, 0)[:7]

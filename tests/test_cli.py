@@ -17,9 +17,17 @@ class TestParser:
         parser = build_parser()
         for argv in (["list"], ["run", "E1"], ["table2"], ["specs"],
                      ["table2", "--system", "small"],
-                     ["specs", "--system", "tiny"]):
+                     ["specs", "--system", "tiny"],
+                     ["stream"],
+                     ["stream", "--system", "tiny", "--backend", "sharded",
+                      "--architecture", "tablesteer", "--frames", "4"]):
             args = parser.parse_args(argv)
             assert callable(args.handler)
+
+    def test_unknown_backend_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["stream", "--backend", "gpu"])
 
     def test_unknown_system_rejected(self):
         parser = build_parser()
@@ -60,3 +68,11 @@ class TestCommands:
     def test_run_unknown_experiment_fails(self, capsys):
         assert main(["run", "E99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_stream_reports_throughput_and_cache(self, capsys):
+        assert main(["stream", "--system", "tiny", "--frames", "4",
+                     "--backend", "vectorized"]) == 0
+        output = capsys.readouterr().out
+        assert "Streaming 4 frames" in output
+        assert "volume rate" in output
+        assert "3 hits, 1 misses" in output

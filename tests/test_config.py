@@ -169,3 +169,25 @@ class TestValidation:
         system = small_system().with_beamformer(insonifications_per_volume=0)
         with pytest.raises(ValueError):
             system.validate()
+
+
+class TestCacheKey:
+    def test_deterministic_across_instances(self):
+        assert small_system().cache_key() == small_system().cache_key()
+
+    def test_name_does_not_affect_key(self):
+        import dataclasses
+        renamed = dataclasses.replace(small_system(), name="renamed")
+        assert renamed.cache_key() == small_system().cache_key()
+
+    def test_physical_change_changes_key(self):
+        base = small_system()
+        assert base.with_volume(n_depth=32).cache_key() != base.cache_key()
+        assert base.with_transducer(elements_x=8).cache_key() != base.cache_key()
+        assert base.with_acoustic(
+            sampling_frequency=40e6).cache_key() != base.cache_key()
+
+    def test_key_is_filename_safe_hex(self):
+        key = small_system().cache_key()
+        assert len(key) == 16
+        assert all(c in "0123456789abcdef" for c in key)

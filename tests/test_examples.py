@@ -64,6 +64,14 @@ class TestExamplesRun:
         assert "virtual sources" in output
         assert "TABLESTEER tables" in output
 
+    def test_streaming_runtime(self, capsys):
+        _load_example("streaming_runtime").main()
+        output = capsys.readouterr().out
+        for backend in ("reference", "vectorized", "sharded"):
+            assert backend in output
+        assert "cache 7 hits / 1 misses" in output
+        assert "backends agree on every peak : True" in output
+
     def test_design_space(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setattr(sys, "argv", ["design_space.py", str(tmp_path)])
         _load_example("design_space").main()

@@ -19,13 +19,14 @@ from repro.experiments import (
     e08_table2,
     e09_throughput,
     e10_imaging,
+    e11_runtime_throughput,
 )
 
 
 class TestRegistry:
-    def test_all_ten_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 10
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+    def test_all_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 11
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 12)}
 
     def test_every_experiment_has_run_and_main(self):
         for module in ALL_EXPERIMENTS.values():
@@ -218,3 +219,26 @@ class TestE10Imaging:
         assert exact["peak_value"] > 0
         for comparison in result["comparisons"].values():
             assert comparison["peak_shift_theta"] <= 2
+
+
+class TestE11RuntimeThroughput:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return e11_runtime_throughput.run(tiny_system(), n_frames=4)
+
+    def test_all_backends_measured(self, result):
+        assert set(result["backends"]) == {"reference", "vectorized", "sharded"}
+        for row in result["backends"].values():
+            assert row["frames"] == 4
+            assert row["frames_per_second"] > 0
+            assert row["voxels_per_second"] > 0
+
+    def test_cached_frames_skip_regeneration(self, result):
+        for backend in ("vectorized", "sharded"):
+            row = result["backends"][backend]
+            assert row["cache_misses"] == 1
+            assert row["cache_hits"] == 3
+
+    def test_speedup_reported_relative_to_reference(self, result):
+        assert result["backends"]["reference"][
+            "speedup_vs_reference"] == pytest.approx(1.0)

@@ -91,6 +91,47 @@ class TestImagingPipeline:
         assert not np.allclose(clean, noisy)
 
 
+class TestPipelineBackends:
+    @pytest.mark.parametrize("backend", ["vectorized", "sharded"])
+    def test_runtime_backend_matches_reference(self, system, centred_target,
+                                               backend):
+        reference = ImagingPipeline(system, architecture="tablefree")
+        data = reference.acquire(centred_target)
+        want = reference.image_volume(data, order="scanline")
+        batched = ImagingPipeline(system, architecture="tablefree",
+                                  backend=backend)
+        got = batched.image_volume(data)
+        assert got.order == backend
+        np.testing.assert_allclose(got.rf, want.rf, rtol=0, atol=1e-9)
+
+    def test_backend_shares_cache(self, system, centred_target):
+        from repro.runtime import DelayTableCache
+        cache = DelayTableCache()
+        pipeline = ImagingPipeline(system, backend="vectorized", cache=cache)
+        data = pipeline.acquire(centred_target)
+        pipeline.image_volume(data)
+        pipeline.image_volume(data)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_unknown_backend_rejected(self, system):
+        with pytest.raises(ValueError):
+            ImagingPipeline(system, backend="quantum")
+
+    def test_shared_objects_are_reused(self, system):
+        from repro.acoustics.echo import EchoSimulator
+        from repro.geometry.transducer import MatrixTransducer
+        from repro.geometry.volume import FocalGrid
+        simulator = EchoSimulator.from_config(system)
+        transducer = MatrixTransducer.from_config(system)
+        grid = FocalGrid.from_config(system)
+        pipeline = ImagingPipeline(system, simulator=simulator,
+                                   transducer=transducer, grid=grid)
+        assert pipeline._simulator is simulator
+        assert pipeline.beamformer.transducer is transducer
+        assert pipeline.beamformer.grid is grid
+
+
 class TestCompareArchitectures:
     def test_all_requested_architectures_present(self, system, centred_target):
         images = compare_architectures(system, centred_target,

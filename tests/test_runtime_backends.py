@@ -1,0 +1,148 @@
+"""Tests for repro.runtime.backends and repro.runtime.cache.
+
+The load-bearing guarantee of the runtime is that execution strategy never
+changes the image: ``vectorized`` and ``sharded`` must reproduce the
+``reference`` per-scanline volume for every delay architecture.  The cache
+tests pin the LRU bookkeeping the throughput claims rest on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beamformer.das import DelayAndSumBeamformer
+from repro.beamformer.interpolation import InterpolationKind
+from repro.pipeline.imaging import make_delay_provider
+from repro.runtime import (
+    BACKEND_NAMES,
+    DelayTableCache,
+    ReferenceBackend,
+    build_tables,
+    make_backend,
+    tables_key,
+)
+
+ARCHITECTURES = ("exact", "tablefree", "tablesteer")
+
+
+@pytest.fixture(scope="module")
+def beamformers(tiny):
+    """One beamformer per delay architecture, sharing the tiny system."""
+    return {name: DelayAndSumBeamformer(tiny, make_delay_provider(tiny, name))
+            for name in ARCHITECTURES}
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    @pytest.mark.parametrize("backend", ["vectorized", "sharded"])
+    def test_matches_reference_volume(self, beamformers, tiny_channel_data,
+                                      architecture, backend):
+        beamformer = beamformers[architecture]
+        reference = ReferenceBackend(beamformer).beamform_volume(
+            tiny_channel_data)
+        batched = make_backend(backend, beamformer).beamform_volume(
+            tiny_channel_data)
+        assert batched.shape == reference.shape
+        np.testing.assert_allclose(batched, reference, rtol=0, atol=1e-9)
+
+    def test_linear_interpolation_also_matches(self, tiny, tiny_channel_data):
+        beamformer = DelayAndSumBeamformer(
+            tiny, make_delay_provider(tiny, "exact"),
+            interpolation=InterpolationKind.LINEAR)
+        reference = ReferenceBackend(beamformer).beamform_volume(
+            tiny_channel_data)
+        batched = make_backend("vectorized", beamformer).beamform_volume(
+            tiny_channel_data)
+        np.testing.assert_allclose(batched, reference, rtol=0, atol=1e-9)
+
+    def test_unknown_backend_rejected(self, beamformers):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu", beamformers["exact"])
+
+    def test_backend_registry_names(self):
+        assert set(BACKEND_NAMES) == {"reference", "vectorized", "sharded"}
+
+
+class TestVolumeDelayDefault:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_bulk_tensor_matches_scanlines(self, tiny, beamformers,
+                                           architecture):
+        provider = beamformers[architecture].delays
+        volume = provider.volume_delays_samples()
+        n_theta, n_phi, n_depth = beamformers[architecture].grid.shape
+        assert volume.shape == (n_theta, n_phi, n_depth,
+                                tiny.transducer.element_count)
+        np.testing.assert_allclose(
+            volume[2, 3], provider.scanline_delays_samples(2, 3),
+            rtol=0, atol=1e-9)
+
+
+class TestDelayTables:
+    def test_tables_shapes_and_key_stability(self, tiny, beamformers):
+        beamformer = beamformers["exact"]
+        tables = build_tables(beamformer)
+        n_points = tiny.volume.focal_point_count
+        assert tables.delays.shape == (n_points, tiny.transducer.element_count)
+        assert tables.weights.shape == tables.delays.shape
+        assert tables.grid_shape == beamformer.grid.shape
+        assert tables.nbytes == tables.delays.nbytes + tables.weights.nbytes
+        assert tables_key(beamformer) == tables_key(beamformer)
+
+    def test_key_distinguishes_architectures(self, beamformers):
+        keys = {tables_key(b) for b in beamformers.values()}
+        assert len(keys) == len(ARCHITECTURES)
+
+
+class TestDelayTableCache:
+    def test_hit_and_miss_counting(self):
+        cache = DelayTableCache(capacity=2)
+        calls = []
+        for _ in range(3):
+            cache.get_or_build("a", lambda: calls.append(1) or "va")
+        assert calls == [1]
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.evictions) == (2, 1, 0)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_lru_eviction_order(self):
+        cache = DelayTableCache(capacity=2)
+        cache.get_or_build("a", lambda: "va")
+        cache.get_or_build("b", lambda: "vb")
+        cache.get_or_build("a", lambda: "va")   # refresh 'a' -> 'b' is LRU
+        cache.get_or_build("c", lambda: "vc")   # evicts 'b'
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_rebuild_after_eviction(self):
+        cache = DelayTableCache(capacity=1)
+        builds = []
+        cache.get_or_build("a", lambda: builds.append("a") or 1)
+        cache.get_or_build("b", lambda: builds.append("b") or 2)
+        cache.get_or_build("a", lambda: builds.append("a") or 1)
+        assert builds == ["a", "b", "a"]
+
+    def test_clear_keeps_counters(self):
+        cache = DelayTableCache()
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            DelayTableCache(capacity=0)
+
+    def test_shared_cache_serves_both_batched_backends(self, beamformers,
+                                                       tiny_channel_data):
+        beamformer = beamformers["tablesteer"]
+        cache = DelayTableCache()
+        vectorized = make_backend("vectorized", beamformer, cache=cache)
+        sharded = make_backend("sharded", beamformer, cache=cache)
+        vectorized.beamform_volume(tiny_channel_data)
+        sharded.beamform_volume(tiny_channel_data)
+        stats = cache.stats
+        assert stats.misses == 1      # built once by the first backend
+        assert stats.hits == 1        # reused by the second

@@ -1,0 +1,153 @@
+"""Tests for repro.runtime.scheduler and repro.runtime.service.
+
+Covers the streaming contract of the acceptance criteria: a >= 8-frame cine
+sequence flows through every backend, per-frame latency and aggregate
+throughput are recorded, and the cache statistics prove that repeated
+frames of an unchanged probe geometry never regenerate delay tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.phantom import point_target
+from repro.runtime import (
+    BeamformingService,
+    DelayTableCache,
+    FrameRequest,
+    FrameScheduler,
+    moving_point_cine,
+    static_cine,
+)
+
+N_FRAMES = 8
+
+
+class TestFrameRequest:
+    def test_requires_exactly_one_payload(self, tiny, tiny_channel_data):
+        phantom = point_target(depth=0.01)
+        with pytest.raises(ValueError):
+            FrameRequest(frame_id=0)
+        with pytest.raises(ValueError):
+            FrameRequest(frame_id=0, phantom=phantom,
+                         channel_data=tiny_channel_data)
+        assert FrameRequest(frame_id=0, phantom=phantom).phantom is phantom
+
+
+class TestFrameScheduler:
+    def test_fifo_order_and_ids(self, tiny_channel_data):
+        scheduler = FrameScheduler()
+        for _ in range(5):
+            scheduler.submit(channel_data=tiny_channel_data)
+        assert scheduler.pending == len(scheduler) == 5
+        drained = [request.frame_id for request in scheduler.drain()]
+        assert drained == [0, 1, 2, 3, 4]
+        assert scheduler.pending == 0
+
+    def test_extend_with_cine(self, tiny):
+        scheduler = FrameScheduler()
+        scheduler.extend(moving_point_cine(tiny, n_frames=3))
+        assert scheduler.pending == 3
+
+    def test_submit_after_extend_does_not_reuse_ids(self, tiny,
+                                                    tiny_channel_data):
+        scheduler = FrameScheduler()
+        scheduler.extend(moving_point_cine(tiny, n_frames=3))  # ids 0..2
+        request = scheduler.submit(channel_data=tiny_channel_data)
+        assert request.frame_id == 3
+        ids = [r.frame_id for r in scheduler.drain()]
+        assert ids == [0, 1, 2, 3]
+
+
+class TestCineScenarios:
+    def test_moving_point_cine_moves(self, tiny):
+        frames = moving_point_cine(tiny, n_frames=N_FRAMES)
+        assert len(frames) == N_FRAMES
+        depths = [float(np.linalg.norm(f.phantom.positions)) for f in frames]
+        assert depths == sorted(depths)
+        assert depths[0] < depths[-1]
+
+    def test_static_cine_replays_same_frame(self, tiny_channel_data):
+        frames = static_cine(tiny_channel_data, n_frames=4)
+        assert len(frames) == 4
+        assert all(f.channel_data is tiny_channel_data for f in frames)
+
+    def test_frame_counts_validated(self, tiny, tiny_channel_data):
+        with pytest.raises(ValueError):
+            moving_point_cine(tiny, n_frames=0)
+        with pytest.raises(ValueError):
+            static_cine(tiny_channel_data, n_frames=0)
+
+
+class TestBeamformingService:
+    @pytest.mark.parametrize("backend", ["reference", "vectorized", "sharded"])
+    def test_streams_cine_through_backend(self, tiny, backend):
+        service = BeamformingService(tiny, architecture="tablesteer",
+                                     backend=backend)
+        results = service.stream_all(moving_point_cine(tiny, n_frames=N_FRAMES))
+        assert len(results) == N_FRAMES
+        shape = (tiny.volume.n_theta, tiny.volume.n_phi, tiny.volume.n_depth)
+        for i, result in enumerate(results):
+            assert result.frame_id == i
+            assert result.rf.shape == shape
+            assert result.backend == backend
+            assert result.latency_seconds > 0
+            assert result.voxel_count == tiny.volume.focal_point_count
+        # The target moves between frames, so the volumes must differ.
+        assert not np.allclose(results[0].rf, results[-1].rf)
+
+    def test_backends_agree_on_streamed_frames(self, tiny):
+        cine = moving_point_cine(tiny, n_frames=N_FRAMES)
+        volumes = {}
+        for backend in ("reference", "vectorized", "sharded"):
+            service = BeamformingService(tiny, backend=backend)
+            volumes[backend] = service.stream_all(cine)
+        for backend in ("vectorized", "sharded"):
+            for got, want in zip(volumes[backend], volumes["reference"]):
+                np.testing.assert_allclose(got.rf, want.rf, rtol=0, atol=1e-9)
+
+    def test_cached_frames_skip_delay_regeneration(self, tiny):
+        cache = DelayTableCache()
+        service = BeamformingService(tiny, backend="vectorized", cache=cache)
+        service.stream_all(moving_point_cine(tiny, n_frames=N_FRAMES))
+        stats = service.stats()
+        assert stats.cache.misses == 1
+        assert stats.cache.hits == N_FRAMES - 1
+        assert stats.cache.evictions == 0
+
+    def test_stats_aggregate_counts(self, tiny, tiny_channel_data):
+        service = BeamformingService(tiny, backend="vectorized")
+        service.stream_all(static_cine(tiny_channel_data, n_frames=4))
+        stats = service.stats()
+        assert stats.frames == 4
+        assert stats.voxels == 4 * tiny.volume.focal_point_count
+        assert stats.acquire_seconds == 0.0
+        assert stats.beamform_seconds > 0
+        assert stats.frames_per_second > 0
+        assert stats.voxels_per_second > 0
+        assert stats.total_seconds == pytest.approx(
+            stats.acquire_seconds + stats.beamform_seconds)
+        assert stats.max_latency_seconds >= stats.mean_latency_seconds
+
+    def test_submit_accepts_raw_payloads(self, tiny, tiny_channel_data):
+        service = BeamformingService(tiny, backend="vectorized")
+        from_data = service.submit_frame(tiny_channel_data)
+        assert from_data.acquire_seconds == 0.0
+        from_phantom = service.submit_frame(point_target(depth=0.01))
+        assert from_phantom.acquire_seconds > 0
+        assert service.stats().frames == 2
+
+    def test_reset_stats_keeps_cache(self, tiny, tiny_channel_data):
+        cache = DelayTableCache()
+        service = BeamformingService(tiny, backend="vectorized", cache=cache)
+        service.submit_frame(tiny_channel_data)
+        service.reset_stats()
+        assert service.stats().frames == 0
+        service.submit_frame(tiny_channel_data)
+        assert cache.stats.misses == 1  # tables survived the reset
+        assert cache.stats.hits == 1
+
+    def test_backend_name_exposed(self, tiny):
+        service = BeamformingService(tiny, backend="sharded")
+        assert service.backend_name == "sharded"
