@@ -1,9 +1,11 @@
 """End-to-end imaging example: phantom -> echoes -> beamforming -> image.
 
-Simulates a point-target phantom, beamforms it with exact, TABLEFREE and
-TABLESTEER delays, and prints an ASCII B-mode-style image plus quantitative
-comparisons (peak location, axial/lateral resolution, normalised RMS
-difference) — the end-to-end counterpart of the paper's accuracy analysis.
+Simulates a point-target phantom and images it with the exact, TABLEFREE
+and TABLESTEER delay architectures through one shared
+:class:`repro.api.Session` — the channel data are simulated once, so the
+printed differences (peak location, axial/lateral resolution, normalised
+RMS difference) come from delay generation alone.  Prints an ASCII
+B-mode-style image of the exact-delay reconstruction.
 
 Usage::
 
@@ -16,24 +18,17 @@ import argparse
 
 import numpy as np
 
-from repro import small_system
-from repro.acoustics import EchoSimulator, point_target
+from repro.api import EngineSpec, Session
+from repro.acoustics import point_target
 from repro.beamformer import (
-    DelayAndSumBeamformer,
-    envelope,
     log_compress,
     normalized_rms_difference,
     point_spread_metrics,
-    reconstruct_plane,
-)
-from repro.core import (
-    ExactDelayEngine,
-    TableFreeDelayGenerator,
-    TableSteerConfig,
-    TableSteerDelayGenerator,
 )
 
 ASCII_SHADES = " .:-=+*#%@"
+
+ARCHITECTURES_TO_COMPARE = ("exact", "tablefree", "tablesteer")
 
 
 def ascii_image(db_image: np.ndarray, dynamic_range: float = 40.0) -> str:
@@ -54,9 +49,8 @@ def main() -> None:
                              "TABLESTEER approximation error is largest")
     args = parser.parse_args()
 
-    system = small_system()
-    exact = ExactDelayEngine.from_config(system)
-    grid = exact.grid
+    session = Session(EngineSpec(system="small"))
+    grid = session.grid
 
     # Put the target on a grid node so the comparison is purely about delays.
     i_depth = int(0.6 * len(grid.depths))
@@ -67,22 +61,13 @@ def main() -> None:
           f"theta {np.degrees(theta):.1f} deg")
 
     phantom = point_target(depth=depth, theta=theta)
-    channel_data = EchoSimulator.from_config(system).simulate(phantom)
+    channel_data = session.acquire(phantom)
     print(f"Simulated {channel_data.element_count} channels x "
           f"{channel_data.sample_count} samples of RF data\n")
 
-    providers = {
-        "exact": exact,
-        "TABLEFREE": TableFreeDelayGenerator.from_config(system),
-        "TABLESTEER-18b": TableSteerDelayGenerator.from_config(
-            system, TableSteerConfig(total_bits=18)),
-    }
-
-    images = {}
-    for name, provider in providers.items():
-        beamformer = DelayAndSumBeamformer(system, provider)
-        rf = reconstruct_plane(beamformer, channel_data)
-        images[name] = envelope(rf, axis=1)
+    # One acquisition, one shared grid/transducer — three delay engines.
+    images = session.sweep(channel_data=channel_data,
+                           architectures=ARCHITECTURES_TO_COMPARE)
 
     reference = images["exact"]
     for name, image in images.items():

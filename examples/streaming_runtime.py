@@ -1,15 +1,17 @@
 """Streaming runtime: beamform a moving-target cine through every backend.
 
-Demonstrates the :mod:`repro.runtime` subsystem end to end on the
+Demonstrates the declarative :mod:`repro.api` surface end to end on the
 scaled-down ``tiny`` preset:
 
-1. build a cine sequence of a point scatterer drifting in depth;
-2. stream it through the ``reference``, ``vectorized`` and ``sharded``
-   execution backends via the :class:`BeamformingService` facade;
-3. report per-backend volume rate, voxel rate and delay-table cache
+1. describe the engine once as an :class:`repro.api.EngineSpec` (and show
+   that the description round-trips through JSON);
+2. describe the acquisition as a :class:`repro.api.ScanSpec` cine;
+3. stream it through the ``reference``, ``vectorized`` and ``sharded``
+   execution backends vended by one shared :class:`repro.api.Session`;
+4. report per-backend volume rate, voxel rate and delay-table cache
    behaviour — only the first frame of each batched backend pays the
    delay-generation cost, every later frame reuses the cached tensors;
-4. verify that all backends found the moving target at the same voxel.
+5. verify that all backends found the moving target at the same voxel.
 
 Usage::
 
@@ -20,27 +22,29 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import tiny_system
-from repro.runtime import BeamformingService, DelayTableCache, moving_point_cine
+from repro.api import BACKENDS, EngineSpec, ScanSpec, Session
+from repro.runtime import DelayTableCache
 
 N_FRAMES = 8
 
 
 def main() -> None:
-    system = tiny_system()
-    frames = moving_point_cine(system, n_frames=N_FRAMES)
+    spec = EngineSpec(system="tiny", architecture="tablesteer")
+    # The whole engine description is one portable JSON document.
+    assert EngineSpec.from_json(spec.to_json()) == spec
+
+    session = Session(spec)
+    scan = ScanSpec(scenario="moving_point", frames=N_FRAMES)
     print(f"Streaming a {N_FRAMES}-frame moving-point cine on the "
-          f"'{system.name}' preset "
-          f"({system.volume.focal_point_count} voxels/frame)")
+          f"'{session.system.name}' preset "
+          f"({session.system.volume.focal_point_count} voxels/frame)")
 
     peak_tracks: dict[str, list[tuple[int, ...]]] = {}
-    for backend in ("reference", "vectorized", "sharded"):
+    for backend in BACKENDS.names():
         # Each backend gets a private cache so its hit/miss counters are
         # directly comparable (cross-backend sharing is shown in the tests).
-        service = BeamformingService(system, architecture="tablesteer",
-                                     backend=backend,
-                                     cache=DelayTableCache())
-        results = service.stream_all(frames)
+        service = session.service(backend=backend, cache=DelayTableCache())
+        results = service.stream_all(scan.build_frames(session.system))
         peak_tracks[backend] = [
             np.unravel_index(int(np.argmax(np.abs(r.rf))), r.rf.shape)
             for r in results]

@@ -32,17 +32,30 @@ Quick start::
 """
 
 from .config import (
+    PRESETS,
     AcousticConfig,
     BeamformerConfig,
     SystemConfig,
     TransducerConfig,
     VolumeConfig,
+    get_preset,
     paper_system,
     small_system,
     tiny_system,
 )
 
 __version__ = "1.0.0"
+
+_API_EXPORTS = frozenset({
+    "ARCHITECTURES",
+    "BACKENDS",
+    "SCENARIOS",
+    "EngineSpec",
+    "ScanSpec",
+    "Session",
+    "Registry",
+    "RegistryError",
+})
 
 __all__ = [
     "__version__",
@@ -51,7 +64,20 @@ __all__ = [
     "TransducerConfig",
     "VolumeConfig",
     "BeamformerConfig",
+    "PRESETS",
+    "get_preset",
     "paper_system",
     "small_system",
     "tiny_system",
+    *sorted(_API_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    # The declarative API (registries, specs, Session) pulls in the whole
+    # pipeline/runtime stack; importing it lazily keeps `import repro`
+    # config-only cheap for users who just want the Table I presets.
+    if name in _API_EXPORTS:
+        from . import api
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

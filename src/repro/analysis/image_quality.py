@@ -35,7 +35,7 @@ from ..config import SystemConfig
 from ..core.exact import ExactDelayEngine
 from ..core.tablefree import TableFreeConfig, TableFreeDelayGenerator
 from ..geometry.volume import FocalGrid
-from ..pipeline.imaging import DelayArchitecture, make_delay_provider
+from ..architectures import ARCHITECTURES
 
 
 def _cyst_masks(system: SystemConfig, grid: FocalGrid, cyst_depth: float,
@@ -78,7 +78,7 @@ def cyst_contrast_study(system: SystemConfig,
     results: dict[str, dict[str, float]] = {}
     reference_image: np.ndarray | None = None
     for name in architectures:
-        provider = make_delay_provider(system, DelayArchitecture(name))
+        provider = ARCHITECTURES.create(name, system)
         beamformer = DelayAndSumBeamformer(system, provider)
         image = envelope(reconstruct_plane(beamformer, channel_data), axis=1)
         if reference_image is None:
@@ -107,7 +107,7 @@ def resolution_vs_depth_study(system: SystemConfig,
     grid = FocalGrid.from_config(system)
     results: dict[str, list[dict[str, float]]] = {name: [] for name in architectures}
     simulator = EchoSimulator.from_config(system)
-    providers = {name: make_delay_provider(system, DelayArchitecture(name))
+    providers = {name: ARCHITECTURES.create(name, system)
                  for name in architectures}
     for fraction in depth_fractions:
         requested = system.volume.depth_min + fraction * system.volume.depth_span

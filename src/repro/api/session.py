@@ -1,0 +1,205 @@
+"""The Session facade: one spec, shared substrates, many engines.
+
+A :class:`Session` resolves an :class:`repro.api.specs.EngineSpec` once —
+system config, echo simulator, transducer, focal grid and the shared
+delay-table cache — and then vends imaging pipelines, streaming services
+and architecture/backend sweeps bound to those shared objects.  Building
+the substrates once is what makes comparative studies honest (every
+variant sees the same probe, grid and channel data) and cheap (nothing is
+rebuilt per variant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..acoustics.echo import ChannelData, EchoSimulator
+from ..acoustics.phantom import Phantom
+from ..geometry.transducer import MatrixTransducer
+from ..geometry.volume import FocalGrid
+from ..pipeline.imaging import ImagingPipeline
+from ..runtime.cache import DelayTableCache
+from ..runtime.scheduler import FrameResult
+from ..runtime.service import BeamformingService
+from .specs import EngineSpec, ScanSpec
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Engine builder bound to one :class:`EngineSpec`.
+
+    Usage::
+
+        from repro.api import EngineSpec, Session
+
+        session = Session(EngineSpec(system="tiny", architecture="tablesteer",
+                                     backend="vectorized"))
+        image = session.pipeline().image_phantom(phantom)
+        results = session.stream(ScanSpec(frames=8))
+        images = session.sweep(phantom, architectures=("exact", "tablefree"))
+
+    The simulator, transducer, focal grid and delay-table cache are built
+    once in the constructor and shared by every pipeline/service the
+    session vends — including across ``architecture=``/``backend=``
+    overrides, so sweeps differ only in what the spec says they differ in.
+    """
+
+    def __init__(self, spec: EngineSpec | Mapping | None = None) -> None:
+        if spec is None:
+            spec = EngineSpec()
+        elif isinstance(spec, Mapping):
+            spec = EngineSpec.from_dict(dict(spec))
+        self.spec = spec
+        self.system = spec.resolve_system()
+        self.transducer = MatrixTransducer.from_config(self.system)
+        self.grid = FocalGrid.from_config(self.system)
+        self.simulator = EchoSimulator.from_config(self.system)
+        self.cache = DelayTableCache(capacity=spec.cache_capacity)
+
+    # ------------------------------------------------------------ builders
+    def _resolve_variant(self, architecture: str | None, backend: str | None,
+                         architecture_options: Any, backend_options: Any
+                         ) -> tuple[str, Any, str, Any]:
+        """Fill architecture/backend (and options) from the session spec.
+
+        Spec options are inherited only when the name still matches the
+        spec's — overriding the architecture/backend switches to that
+        variant's registered defaults unless options are given explicitly.
+        """
+        architecture = architecture or self.spec.architecture
+        if architecture_options is None and \
+                architecture == self.spec.architecture:
+            architecture_options = self.spec.architecture_options
+        backend = backend or self.spec.backend
+        if backend_options is None and backend == self.spec.backend:
+            backend_options = self.spec.backend_options
+        return architecture, architecture_options, backend, backend_options
+
+    def pipeline(self, architecture: str | None = None,
+                 backend: str | None = None,
+                 architecture_options: Any = None,
+                 backend_options: Any = None,
+                 cache: DelayTableCache | None = None,
+                 provider: Any = None) -> ImagingPipeline:
+        """An :class:`ImagingPipeline` over the shared substrates.
+
+        ``architecture`` / ``backend`` (and their options) default to the
+        session spec; overriding them swaps the variant while keeping the
+        simulator, transducer, grid and cache shared.  A pre-built
+        ``provider`` skips delay-generator construction entirely.
+        """
+        architecture, architecture_options, backend, backend_options = \
+            self._resolve_variant(architecture, backend,
+                                  architecture_options, backend_options)
+        return ImagingPipeline(
+            self.system,
+            architecture=architecture,
+            architecture_options=architecture_options,
+            apodization=self.spec.apodization,
+            interpolation=self.spec.interpolation,
+            backend=backend,
+            backend_options=backend_options,
+            cache=cache if cache is not None else self.cache,
+            simulator=self.simulator,
+            transducer=self.transducer,
+            grid=self.grid,
+            provider=provider)
+
+    def service(self, architecture: str | None = None,
+                backend: str | None = None,
+                architecture_options: Any = None,
+                backend_options: Any = None,
+                cache: DelayTableCache | None = None) -> BeamformingService:
+        """A streaming :class:`BeamformingService` over the shared substrates.
+
+        Note the service's default backend is the spec's backend — for a
+        spec built with the ``reference`` default this includes the classic
+        per-scanline path, unlike ``BeamformingService``'s own
+        ``vectorized`` default.
+        """
+        architecture, architecture_options, backend, backend_options = \
+            self._resolve_variant(architecture, backend,
+                                  architecture_options, backend_options)
+        return BeamformingService(
+            self.system,
+            architecture=architecture,
+            architecture_options=architecture_options,
+            backend=backend,
+            backend_options=backend_options,
+            apodization=self.spec.apodization,
+            interpolation=self.spec.interpolation,
+            cache=cache if cache is not None else self.cache,
+            simulator=self.simulator)
+
+    # ------------------------------------------------------------- running
+    def acquire(self, phantom: Phantom, noise_std: float = 0.0,
+                seed: int = 0) -> ChannelData:
+        """Simulate one insonification with the shared simulator."""
+        return self.simulator.simulate(phantom, noise_std=noise_std, seed=seed)
+
+    def stream(self, scan: ScanSpec | Mapping | None = None,
+               **service_overrides: Any) -> list[FrameResult]:
+        """Stream a :class:`ScanSpec` cine through a spec-configured service."""
+        if scan is None:
+            scan = ScanSpec()
+        elif isinstance(scan, Mapping):
+            scan = ScanSpec.from_dict(dict(scan))
+        service = self.service(**service_overrides)
+        return service.stream_all(scan.build_frames(self.system))
+
+    def sweep(self, phantom: Phantom | None = None,
+              architectures: Iterable[str] | None = None,
+              backends: Iterable[str] | None = None,
+              noise_std: float = 0.0, seed: int = 0,
+              channel_data: ChannelData | None = None
+              ) -> dict[str, np.ndarray] | dict[tuple[str, str], np.ndarray]:
+        """Image one phantom under several architecture/backend variants.
+
+        The phantom is insonified *once* with the shared simulator (or pass
+        pre-acquired ``channel_data`` to skip the simulation entirely);
+        every variant beamforms the identical channel data, so result
+        differences come from delay generation (and nothing else) — this
+        subsumes the old ``repro.pipeline.compare_architectures``.
+
+        With ``backends=None`` the result maps each architecture name to
+        the envelope image of the centre elevation plane (the classic
+        comparison).  With ``backends`` given, the result maps
+        ``(architecture, backend)`` pairs to full RF volumes, letting
+        equivalence across execution strategies be asserted in the same
+        sweep.
+        """
+        if architectures is None:
+            architectures = (self.spec.architecture,)
+        architectures = tuple(architectures)
+        if channel_data is None:
+            if phantom is None:
+                raise ValueError("provide a phantom or channel_data to sweep")
+            channel_data = self.acquire(phantom, noise_std=noise_std,
+                                        seed=seed)
+        if backends is None:
+            return {name: self.pipeline(architecture=name)
+                    .image_plane(channel_data)
+                    for name in architectures}
+        backends = tuple(backends)
+        volumes: dict[tuple[str, str], np.ndarray] = {}
+        for name in architectures:
+            # One delay provider per architecture, shared across backends
+            # (rebuilding e.g. the TABLESTEER reference table per backend
+            # would triple the most expensive step for identical inputs).
+            provider = None
+            for backend in backends:
+                pipeline = self.pipeline(architecture=name, backend=backend,
+                                         provider=provider)
+                provider = pipeline.delay_provider
+                volumes[(name, backend)] = \
+                    pipeline.image_volume(channel_data).rf
+        return volumes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        system = self.system.name
+        return (f"Session(system={system!r}, "
+                f"architecture={self.spec.architecture!r}, "
+                f"backend={self.spec.backend!r})")

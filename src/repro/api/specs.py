@@ -1,0 +1,363 @@
+"""Declarative, serialisable specs for engines and scans.
+
+An :class:`EngineSpec` describes *everything needed to build a beamforming
+engine* — system (preset name or inline :class:`repro.config.SystemConfig`),
+delay architecture + options, execution backend + options, apodization,
+interpolation and cache sizing — as one frozen, JSON-round-trippable
+document.  A :class:`ScanSpec` describes *what to image*: a registered cine
+scenario plus frame count, noise and seed.  Together they make a whole run
+portable: ship the JSON, rebuild the identical engine anywhere with
+``Session(EngineSpec.from_json(text))``.
+
+Architecture/backend names and options are validated eagerly against the
+registries (:data:`repro.architectures.ARCHITECTURES`,
+:data:`repro.runtime.backends.BACKENDS`, :data:`SCENARIOS`), so a typo in a
+spec file fails at load time with the list of registered names, not deep in
+a run.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..acoustics.phantom import point_target, speckle_phantom
+from ..architectures import ARCHITECTURES, architecture_name
+from ..beamformer.das import ApodizationSettings
+from ..beamformer.interpolation import InterpolationKind
+from ..config import PRESETS, SystemConfig, get_preset
+from ..geometry.volume import FocalGrid
+from ..registry import Registry, decode_options, encode_options
+from ..runtime.backends import BACKENDS
+from ..runtime.scheduler import FrameRequest, moving_point_cine
+
+__all__ = [
+    "EngineSpec",
+    "ScanSpec",
+    "SCENARIOS",
+    "apply_overrides",
+    "parse_assignment",
+]
+
+
+# ------------------------------------------------------------- engine spec
+@dataclass(frozen=True)
+class EngineSpec:
+    """Declarative description of one complete beamforming engine.
+
+    Fields accept both rich objects and their plain-dict/JSON forms (the
+    constructor coerces and validates either way), so specs can be built in
+    code or loaded from documents interchangeably::
+
+        EngineSpec(system="tiny", architecture="tablesteer",
+                   architecture_options={"total_bits": 14})
+        EngineSpec.from_json(path.read_text())
+    """
+
+    system: str | SystemConfig = "small"
+    """Preset name (see :data:`repro.config.PRESETS`) or inline config."""
+
+    architecture: str = "exact"
+    """Registered delay-architecture name."""
+
+    architecture_options: Any = None
+    """Options dataclass/dict for the architecture (``None`` = defaults)."""
+
+    backend: str = "reference"
+    """Registered execution-backend name."""
+
+    backend_options: Any = None
+    """Options dataclass/dict for the backend (``None`` = defaults)."""
+
+    apodization: ApodizationSettings = field(
+        default_factory=ApodizationSettings)
+    """Receive apodization settings (dict form accepted)."""
+
+    interpolation: InterpolationKind = InterpolationKind.NEAREST
+    """Echo-sample interpolation strategy (name or enum)."""
+
+    cache_capacity: int = 4
+    """Capacity of the session's shared delay-table LRU cache."""
+
+    def __post_init__(self) -> None:
+        system = self.system
+        if isinstance(system, dict):
+            system = SystemConfig.from_dict(system)
+        elif isinstance(system, str):
+            if system not in PRESETS:
+                raise ValueError(
+                    f"unknown system preset {system!r}; "
+                    f"available: {', '.join(sorted(PRESETS))}")
+        elif isinstance(system, SystemConfig):
+            system.validate()
+        else:
+            raise ValueError(
+                "system must be a preset name, a SystemConfig or its dict "
+                f"form, got {type(system).__name__}")
+        object.__setattr__(self, "system", system)
+
+        arch_name = architecture_name(self.architecture)
+        arch_entry = ARCHITECTURES.get(arch_name)
+        object.__setattr__(self, "architecture", arch_name)
+        if self.architecture_options is not None:
+            object.__setattr__(self, "architecture_options",
+                               arch_entry.make_options(self.architecture_options))
+
+        backend_entry = BACKENDS.get(self.backend)
+        if self.backend_options is not None:
+            object.__setattr__(self, "backend_options",
+                               backend_entry.make_options(self.backend_options))
+
+        if isinstance(self.apodization, dict):
+            object.__setattr__(self, "apodization",
+                               decode_options(ApodizationSettings,
+                                              self.apodization))
+        object.__setattr__(self, "interpolation",
+                           InterpolationKind(self.interpolation))
+        if not isinstance(self.cache_capacity, int) or self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be a positive integer")
+
+    # ------------------------------------------------------------ building
+    def resolve_system(self) -> SystemConfig:
+        """The concrete :class:`SystemConfig` this spec describes."""
+        if isinstance(self.system, str):
+            return get_preset(self.system)
+        return self.system
+
+    def with_updates(self, **changes: Any) -> "EngineSpec":
+        """A copy with the given fields replaced (and re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-safe) form; inverse of :meth:`from_dict`."""
+        return {
+            "system": self.system if isinstance(self.system, str)
+            else self.system.to_dict(),
+            "architecture": self.architecture,
+            "architecture_options": encode_options(self.architecture_options),
+            "backend": self.backend,
+            "backend_options": encode_options(self.backend_options),
+            "apodization": encode_options(self.apodization),
+            "interpolation": self.interpolation.value,
+            "cache_capacity": self.cache_capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys raise)."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"engine spec must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown engine spec field(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}")
+        return cls(**data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineSpec":
+        """Rebuild a spec from its :meth:`to_json` form."""
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------- scan scenarios
+SCENARIOS = Registry("scenario")
+"""Registry of cine scan scenarios (factory: ``(system, scan, options)``)."""
+
+
+@dataclass(frozen=True)
+class MovingPointOptions:
+    """Options for the ``moving_point`` scenario."""
+
+    depth_fractions: tuple[float, float] = (0.35, 0.65)
+    """Start/end depth as fractions of the imaging range."""
+
+    theta_fraction: float = 0.0
+    """Azimuth steering of the scanline the target drifts along."""
+
+
+@dataclass(frozen=True)
+class StaticPointOptions:
+    """Options for the ``static_point`` scenario."""
+
+    depth_fraction: float = 0.5
+    """Target depth as a fraction of the imaging range (grid-snapped)."""
+
+    theta_fraction: float = 0.0
+    """Azimuth steering as a fraction of ``theta_max`` (grid-snapped)."""
+
+
+@dataclass(frozen=True)
+class SpeckleOptions:
+    """Options for the ``speckle`` scenario."""
+
+    n_scatterers: int = 2000
+    """Number of diffuse scatterers filling the volume."""
+
+
+@SCENARIOS.register(
+    "moving_point", options=MovingPointOptions,
+    description="point scatterer drifting in depth across the cine")
+def _build_moving_point(system: SystemConfig, scan: "ScanSpec",
+                        options: MovingPointOptions) -> list[FrameRequest]:
+    base = moving_point_cine(system, n_frames=scan.frames,
+                             depth_fractions=tuple(options.depth_fractions),
+                             theta_fraction=options.theta_fraction)
+    return [replace(request, noise_std=scan.noise_std,
+                    seed=request.seed + scan.seed)
+            for request in base]
+
+
+@SCENARIOS.register(
+    "static_point", options=StaticPointOptions,
+    description="the same grid-snapped point target replayed every frame")
+def _build_static_point(system: SystemConfig, scan: "ScanSpec",
+                        options: StaticPointOptions) -> list[FrameRequest]:
+    volume = system.volume
+    grid = FocalGrid.from_config(system)
+    requested = volume.depth_min + options.depth_fraction * volume.depth_span
+    depth = float(grid.depths[np.argmin(np.abs(grid.depths - requested))])
+    theta = float(grid.thetas[np.argmin(
+        np.abs(grid.thetas - options.theta_fraction * volume.theta_max))])
+    phantom = point_target(depth=depth, theta=theta)
+    return [FrameRequest(frame_id=i, phantom=phantom,
+                         noise_std=scan.noise_std, seed=scan.seed)
+            for i in range(scan.frames)]
+
+
+@SCENARIOS.register(
+    "speckle", options=SpeckleOptions,
+    description="diffuse speckle phantom, per-frame noise realisations")
+def _build_speckle(system: SystemConfig, scan: "ScanSpec",
+                   options: SpeckleOptions) -> list[FrameRequest]:
+    phantom = speckle_phantom(system, n_scatterers=options.n_scatterers,
+                              seed=scan.seed)
+    return [FrameRequest(frame_id=i, phantom=phantom,
+                         noise_std=scan.noise_std, seed=scan.seed + i)
+            for i in range(scan.frames)]
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """Declarative description of one cine acquisition to stream."""
+
+    scenario: str = "moving_point"
+    """Registered scenario name (see :data:`SCENARIOS`)."""
+
+    frames: int = 8
+    """Number of cine frames."""
+
+    noise_std: float = 0.0
+    """Additive channel-noise standard deviation."""
+
+    seed: int = 0
+    """Base random seed for simulation."""
+
+    options: Any = None
+    """Scenario options dataclass/dict (``None`` = scenario defaults)."""
+
+    def __post_init__(self) -> None:
+        entry = SCENARIOS.get(self.scenario)
+        if not isinstance(self.frames, int) or self.frames < 1:
+            raise ValueError("frames must be a positive integer")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if self.options is not None:
+            object.__setattr__(self, "options",
+                               entry.make_options(self.options))
+
+    def build_frames(self, system: SystemConfig) -> list[FrameRequest]:
+        """Materialise the cine sequence for ``system``."""
+        entry = SCENARIOS.get(self.scenario)
+        return entry.factory(system, self, entry.make_options(self.options))
+
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-safe) form; inverse of :meth:`from_dict`."""
+        return {
+            "scenario": self.scenario,
+            "frames": self.frames,
+            "noise_std": self.noise_std,
+            "seed": self.seed,
+            "options": encode_options(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanSpec":
+        """Rebuild a scan spec from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"scan spec must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scan spec field(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}")
+        return cls(**data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScanSpec":
+        """Rebuild a scan spec from its :meth:`to_json` form."""
+        return cls.from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------- overrides
+def parse_assignment(text: str) -> tuple[str, Any]:
+    """Split a ``key=value`` override; values parse as JSON, else strings.
+
+    ``architecture_options.total_bits=14`` -> ``("architecture_options.total_bits", 14)``;
+    ``backend=sharded`` -> ``("backend", "sharded")``.
+    """
+    key, sep, raw = text.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise ValueError(f"override must look like key=value, got {text!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw.strip()
+    return key, value
+
+
+def apply_overrides(data: dict, assignments: Iterable[str]) -> dict:
+    """Apply dotted-path ``key=value`` overrides to a spec dict (pure).
+
+    Intermediate mappings are created on demand, so
+    ``architecture_options.delta=0.5`` works even when the spec had
+    ``architecture_options: null``.
+    """
+    data = copy.deepcopy(data)
+    for text in assignments:
+        key, value = parse_assignment(text)
+        parts = key.split(".")
+        node = data
+        for depth, part in enumerate(parts[:-1]):
+            child = node.get(part)
+            if child is None:
+                child = {}
+                node[part] = child
+            elif not isinstance(child, dict):
+                # E.g. descending into a preset *name* with system.foo=...;
+                # clobbering the scalar would silently discard the preset.
+                raise ValueError(
+                    f"cannot apply override {key!r}: "
+                    f"{'.'.join(parts[:depth + 1])!r} is {child!r}, "
+                    f"not a mapping")
+            node = child
+        node[parts[-1]] = value
+    return data

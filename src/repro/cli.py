@@ -2,12 +2,20 @@
 
 Usage::
 
-    python -m repro.cli list                 # list available experiments
+    python -m repro.cli list                 # experiments + registered plugins
     python -m repro.cli run E3               # run one experiment
     python -m repro.cli run all              # run every experiment
     python -m repro.cli table2               # print the Table II comparison
     python -m repro.cli specs                # print the Table I system spec
+    python -m repro.cli spec                 # print an EngineSpec as JSON
     python -m repro.cli stream               # stream a cine through the runtime
+
+The ``run``, ``spec`` and ``stream`` commands all speak the declarative
+:mod:`repro.api` surface: ``--spec file.json`` loads an
+:class:`repro.api.EngineSpec` document, ``--set key=value`` applies dotted
+overrides (``--set architecture_options.total_bits=14``), and architecture /
+backend names are validated against the registries, so user-registered
+plugins work without CLI changes.
 
 Each experiment prints measured figures next to the values reported in the
 paper (see EXPERIMENTS.md for the recorded comparison).
@@ -16,18 +24,14 @@ paper (see EXPERIMENTS.md for the recorded comparison).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
-from .config import paper_system, small_system, tiny_system
+from .config import PRESETS, get_preset
 from .experiments import ALL_EXPERIMENTS
-
-_SYSTEM_PRESETS = {
-    "paper": paper_system,
-    "small": small_system,
-    "tiny": tiny_system,
-}
 
 _EXPERIMENT_TITLES = {
     "E1": "Delay-table requirements (Section II-B/II-C)",
@@ -44,10 +48,86 @@ _EXPERIMENT_TITLES = {
 }
 
 
+# ------------------------------------------------------------ spec plumbing
+def _merged_spec_data(args: argparse.Namespace,
+                      default_system: str | None = None,
+                      default_backend: str | None = None) -> dict:
+    """Merge spec-file / flags / ``--set`` overrides into one spec dict.
+
+    Precedence (lowest to highest): built-in defaults, spec-file document,
+    explicit ``--system`` / ``--architecture`` / ``--backend`` flags,
+    ``--set`` overrides.
+    """
+    from .api import apply_overrides
+
+    data: dict = {}
+    spec_path = getattr(args, "spec", None)
+    if spec_path:
+        try:
+            data = json.loads(Path(spec_path).read_text())
+        except OSError as exc:
+            raise ValueError(f"cannot read spec file {spec_path!r}: {exc}") \
+                from None
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"spec file {spec_path!r} is not valid JSON: "
+                             f"{exc}") from None
+    if getattr(args, "system", None):
+        data["system"] = args.system
+    elif "system" not in data and default_system is not None:
+        data["system"] = default_system
+    if getattr(args, "architecture", None):
+        data["architecture"] = args.architecture
+    if getattr(args, "backend", None):
+        data["backend"] = args.backend
+    elif "backend" not in data and default_backend is not None:
+        data["backend"] = default_backend
+    return apply_overrides(data, getattr(args, "set", None) or [])
+
+
+def _resolve_engine_spec(args: argparse.Namespace,
+                         default_system: str | None = None,
+                         default_backend: str | None = None):
+    """Build a validated :class:`repro.api.EngineSpec` from CLI flags.
+
+    Raises :class:`ValueError` with the registry listings for unknown names.
+    """
+    from .api import EngineSpec
+
+    return EngineSpec.from_dict(
+        _merged_spec_data(args, default_system=default_system,
+                          default_backend=default_backend))
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser,
+                        default_system: str) -> None:
+    """The shared ``--spec`` / ``--system`` / ``--set`` flag family."""
+    parser.add_argument("--spec", metavar="FILE",
+                        help="EngineSpec JSON document to start from")
+    parser.add_argument("--system", default=None,
+                        help=f"system preset ({', '.join(sorted(PRESETS))}) "
+                             f"[default: {default_system}]")
+    parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                        help="dotted spec override, e.g. "
+                             "--set architecture_options.total_bits=14 "
+                             "(repeatable)")
+
+
+# ----------------------------------------------------------------- commands
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from .api import ARCHITECTURES, BACKENDS, SCENARIOS
+
     print("Available experiments:")
     for key in sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])):
         print(f"  {key:4s} {_EXPERIMENT_TITLES.get(key, '')}")
+    print("System presets:")
+    for name in sorted(PRESETS):
+        print(f"  {name}")
+    for title, registry in (("architectures", ARCHITECTURES),
+                            ("backends", BACKENDS),
+                            ("scan scenarios", SCENARIOS)):
+        print(f"Registered {title}:")
+        for name, entry in registry.items():
+            print(f"  {name:18s} {entry.description}")
     return 0
 
 
@@ -61,13 +141,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.experiment!r}; "
               f"use 'list' to see the available ones", file=sys.stderr)
         return 2
+    system = None
+    if args.spec or args.system or args.set:
+        try:
+            from .api import EngineSpec
+            data = _merged_spec_data(args)
+            spec = EngineSpec.from_dict(data)
+            # Experiments consume only the spec's *system*, and only when
+            # one was actually named — each experiment otherwise keeps its
+            # own default (often the paper system), rather than silently
+            # inheriting EngineSpec's 'small'.
+            if "system" in data:
+                system = spec.resolve_system()
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     for key in keys:
         module = ALL_EXPERIMENTS[key]
         print("=" * 72)
         print(f"{key}: {_EXPERIMENT_TITLES.get(key, '')}")
         print("=" * 72)
         start = time.perf_counter()
-        module.main()
+        module.main(system=system)
         elapsed = time.perf_counter() - start
         print(f"[{key} finished in {elapsed:.1f} s]")
         print()
@@ -76,14 +171,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     from .experiments import e08_table2
-    system = _SYSTEM_PRESETS[args.system]()
+    system = get_preset(args.system)
     result = e08_table2.run(system)
     print(result["formatted"])
     return 0
 
 
 def _cmd_specs(args: argparse.Namespace) -> int:
-    system = _SYSTEM_PRESETS[args.system]()
+    system = get_preset(args.system)
     acoustic = system.acoustic
     transducer = system.transducer
     volume = system.volume
@@ -114,19 +209,45 @@ def _cmd_specs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_spec(args: argparse.Namespace) -> int:
+    try:
+        spec = _resolve_engine_spec(args, default_system="small")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    text = spec.to_json()
+    if args.out:
+        try:
+            Path(args.out).write_text(text + "\n")
+        except OSError as exc:
+            print(f"cannot write spec file {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from .runtime import BeamformingService, DelayTableCache, moving_point_cine
+    from .api import ScanSpec, Session
 
     if args.frames < 1:
         print("--frames must be at least 1", file=sys.stderr)
         return 2
-    system = _SYSTEM_PRESETS[args.system]()
-    cache = DelayTableCache()
-    service = BeamformingService(system, architecture=args.architecture,
-                                 backend=args.backend, cache=cache)
-    frames = moving_point_cine(system, n_frames=args.frames)
-    print(f"Streaming {len(frames)} frames on system '{system.name}' "
-          f"(architecture={args.architecture}, backend={args.backend})")
+    try:
+        spec = _resolve_engine_spec(args, default_system="small",
+                                    default_backend="vectorized")
+        session = Session(spec)
+        scan = ScanSpec(scenario=args.scenario, frames=args.frames)
+        service = session.service()
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    frames = scan.build_frames(session.system)
+    print(f"Streaming {len(frames)} frames on system '{session.system.name}' "
+          f"(architecture={service.architecture}, "
+          f"backend={service.backend_name}, scenario={scan.scenario})")
     for result in service.stream(frames):
         print(f"  frame {result.frame_id:3d}: "
               f"acquire {result.acquire_seconds * 1e3:8.2f} ms, "
@@ -143,39 +264,61 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
+    """Build the CLI argument parser.
+
+    Architecture/backend names are deliberately *not* closed ``choices``
+    lists: they are validated against the registries when the command runs,
+    so plugins registered by user code (or named in spec files) work and
+    unknown names fail with the registered listing.
+    """
     parser = argparse.ArgumentParser(
         prog="repro", description="DATE 2015 delay-table reproduction toolkit")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser = subparsers.add_parser(
+        "list", help="list experiments and registered plugins")
     list_parser.set_defaults(handler=_cmd_list)
 
-    run_parser = subparsers.add_parser("run", help="run one experiment or 'all'")
-    run_parser.add_argument("experiment", help="experiment id (E1..E10) or 'all'")
-    run_parser.set_defaults(handler=_cmd_run)
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment or 'all'",
+        epilog="experiments consume only the spec's system (--system or the "
+               "spec file's \"system\"); other spec fields are validated "
+               "but not used by 'run'")
+    run_parser.add_argument("experiment", help="experiment id (E1..E11) or 'all'")
+    _add_spec_arguments(run_parser, default_system="per-experiment")
+    run_parser.set_defaults(handler=_cmd_run, architecture=None, backend=None)
 
     table_parser = subparsers.add_parser("table2", help="print the Table II model")
-    table_parser.add_argument("--system", choices=sorted(_SYSTEM_PRESETS),
+    table_parser.add_argument("--system", choices=sorted(PRESETS),
                               default="paper")
     table_parser.set_defaults(handler=_cmd_table2)
 
     specs_parser = subparsers.add_parser("specs", help="print the system spec (Table I)")
-    specs_parser.add_argument("--system", choices=sorted(_SYSTEM_PRESETS),
+    specs_parser.add_argument("--system", choices=sorted(PRESETS),
                               default="paper")
     specs_parser.set_defaults(handler=_cmd_specs)
 
+    spec_parser = subparsers.add_parser(
+        "spec", help="resolve an EngineSpec document and print it as JSON")
+    _add_spec_arguments(spec_parser, default_system="small")
+    spec_parser.add_argument("--architecture", default=None,
+                             help="delay architecture (see 'list')")
+    spec_parser.add_argument("--backend", default=None,
+                             help="execution backend (see 'list')")
+    spec_parser.add_argument("--out", metavar="FILE", default=None,
+                             help="write the JSON to FILE instead of stdout")
+    spec_parser.set_defaults(handler=_cmd_spec)
+
     stream_parser = subparsers.add_parser(
         "stream", help="stream a cine sequence through the beamforming runtime")
-    stream_parser.add_argument("--system", choices=sorted(_SYSTEM_PRESETS),
-                               default="small")
-    stream_parser.add_argument("--architecture",
-                               choices=["exact", "tablefree", "tablesteer",
-                                        "tablesteer_float"],
-                               default="exact")
-    stream_parser.add_argument("--backend",
-                               choices=["reference", "vectorized", "sharded"],
-                               default="vectorized")
+    _add_spec_arguments(stream_parser, default_system="small")
+    stream_parser.add_argument("--architecture", default=None,
+                               help="delay architecture (see 'list')")
+    stream_parser.add_argument("--backend", default=None,
+                               help="execution backend (see 'list') "
+                                    "[default: vectorized]")
+    stream_parser.add_argument("--scenario", default="moving_point",
+                               help="scan scenario (see 'list')")
     stream_parser.add_argument("--frames", type=int, default=8,
                                help="number of cine frames (default 8)")
     stream_parser.set_defaults(handler=_cmd_stream)

@@ -30,6 +30,7 @@ import hashlib
 import json
 import math
 from dataclasses import asdict, dataclass, field, replace
+from typing import Callable
 
 
 @dataclass(frozen=True)
@@ -225,6 +226,43 @@ class SystemConfig:
         """
         return self.theoretical_delay_count * self.beamformer.frame_rate
 
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-safe) form of the full configuration.
+
+        Inverse of :meth:`from_dict`; used by ``repro.api.EngineSpec`` to
+        embed non-preset systems inline in portable spec documents.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Rebuild (and validate) a configuration from :meth:`to_dict` output.
+
+        Missing sections fall back to their defaults; unknown sections raise
+        :class:`ValueError` so typos in spec files surface instead of being
+        silently dropped.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"system config must be a mapping, "
+                             f"got {type(data).__name__}")
+        sections = {"acoustic": AcousticConfig, "transducer": TransducerConfig,
+                    "volume": VolumeConfig, "beamformer": BeamformerConfig}
+        unknown = set(data) - set(sections) - {"name"}
+        if unknown:
+            raise ValueError(f"unknown system config section(s): "
+                             f"{', '.join(sorted(unknown))}")
+        kwargs = {}
+        for key, section_cls in sections.items():
+            value = data.get(key, {})
+            try:
+                kwargs[key] = value if isinstance(value, section_cls) \
+                    else section_cls(**value)
+            except TypeError as exc:
+                raise ValueError(f"bad {key!r} section: {exc}") from None
+        config = cls(name=data.get("name", "custom"), **kwargs)
+        config.validate()
+        return config
+
     def cache_key(self) -> str:
         """Stable digest of every physical parameter of the system.
 
@@ -364,3 +402,21 @@ def tiny_system() -> SystemConfig:
                           volume=volume, beamformer=beamformer, name="tiny")
     config.validate()
     return config
+
+
+PRESETS: dict[str, Callable[[], SystemConfig]] = {
+    "paper": paper_system,
+    "small": small_system,
+    "tiny": tiny_system,
+}
+"""Named system presets — the single source the CLI and spec layer draw from."""
+
+
+def get_preset(name: str) -> SystemConfig:
+    """Build the preset called ``name``; unknown names list the presets."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ValueError(f"unknown system preset {name!r}; "
+                         f"available: {', '.join(sorted(PRESETS))}") from None
+    return factory()

@@ -36,9 +36,9 @@ def run(system: SystemConfig | None = None) -> dict[str, object]:
     }
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the requirements report for the paper system."""
-    result = run()
+    result = run(system=system)
     requirements = result["requirements"]
     print("Experiment E1: delay-table requirements (paper system)")
     print(f"  focal points                : {requirements['focal_points']:.3e}")

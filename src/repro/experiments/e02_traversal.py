@@ -50,9 +50,9 @@ def run(system: SystemConfig | None = None) -> dict[str, object]:
     }
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the traversal comparison."""
-    result = run()
+    result = run(system=system)
     print("Experiment E2: traversal order comparison "
           f"(system: {result['system']})")
     print(f"  both orders visit the same focal points: "

@@ -64,9 +64,9 @@ def run(system: SystemConfig | None = None,
     }
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the PWL square-root characterisation."""
-    result = run()
+    result = run(system=system)
     print("Experiment E3: piecewise-linear square root "
           f"(system: {result['system']})")
     print(f"  delta (error bound)      : {result['delta']} samples")

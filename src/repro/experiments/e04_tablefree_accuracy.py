@@ -72,9 +72,9 @@ def run(system: SystemConfig | None = None,
     return results
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the TABLEFREE accuracy results."""
-    result = run()
+    result = run(system=system)
     print("Experiment E4: TABLEFREE accuracy "
           f"(system: {result['system']}, delta={result['delta']})")
     fixed = result["fixed_point"]["all_points"]

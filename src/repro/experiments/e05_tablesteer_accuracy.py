@@ -84,9 +84,9 @@ def run(system: SystemConfig | None = None,
     return results
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the TABLESTEER accuracy results."""
-    result = run()
+    result = run(system=system)
     print(f"Experiment E5: TABLESTEER accuracy (system: {result['system']})")
     bounds = result["bounds"]
     print(f"  Lagrange-type bound        : {bounds['lagrange_bound_seconds'] * 1e6:.2f} us "

@@ -37,9 +37,9 @@ def run(system: SystemConfig | None = None,
     }
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the fixed-point impact results."""
-    result = run(n_samples=1_000_000)
+    result = run(system=system, n_samples=1_000_000)
     print("Experiment E6: fixed-point impact on delay selection")
     r13, r18 = result["bits_13"], result["bits_18"]
     print(f"  13-bit integers : {100 * r13['affected_fraction']:.1f}% of samples "

@@ -122,9 +122,9 @@ def run(system: SystemConfig | None = None,
     return results
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the storage / bandwidth analysis for the paper system."""
-    result = run()
+    result = run(system=system)
     print("Experiment E7: TABLESTEER storage and bandwidth (paper system)")
     analytical = result["analytical"]
     print(f"  reference table entries : {analytical['reference_entries']:.3e} "

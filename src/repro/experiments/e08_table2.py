@@ -76,9 +76,9 @@ def run(system: SystemConfig | None = None,
     }
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the reproduced Table II."""
-    result = run()
+    result = run(system=system)
     print("Experiment E8: Table II (Virtex-7 XC7VX1140T model)")
     print(result["formatted"])
     projection = result["ultrascale_projection"]

@@ -121,9 +121,9 @@ def run_with_real_tables(system: SystemConfig) -> dict[str, object]:
     }
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the throughput analysis."""
-    result = run()
+    result = run(system=system)
     print("Experiment E9: delay-generation throughput (paper system)")
     print(f"  required delay rate       : {result['required_delay_rate']:.3e} /s "
           f"(paper 2.5e12)")

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..acoustics.echo import EchoSimulator
 from ..acoustics.phantom import point_target
+from ..architectures import ARCHITECTURES
 from ..beamformer.das import DelayAndSumBeamformer
 from ..beamformer.drivers import reconstruct_plane
 from ..beamformer.image import (
@@ -23,10 +24,7 @@ from ..beamformer.image import (
     point_spread_metrics,
 )
 from ..config import SystemConfig, small_system
-from ..core.exact import ExactDelayEngine
 from ..geometry.volume import FocalGrid
-from ..core.tablefree import TableFreeConfig, TableFreeDelayGenerator
-from ..core.tablesteer import TableSteerConfig, TableSteerDelayGenerator
 
 
 def run(system: SystemConfig | None = None,
@@ -55,11 +53,10 @@ def run(system: SystemConfig | None = None,
     channel_data = simulator.simulate(phantom, noise_std=noise_std)
 
     providers = {
-        "exact": ExactDelayEngine.from_config(system),
-        "tablefree": TableFreeDelayGenerator.from_config(
-            system, TableFreeConfig()),
-        "tablesteer_18b": TableSteerDelayGenerator.from_config(
-            system, TableSteerConfig(total_bits=18)),
+        "exact": ARCHITECTURES.create("exact", system),
+        "tablefree": ARCHITECTURES.create("tablefree", system),
+        "tablesteer_18b": ARCHITECTURES.create(
+            "tablesteer", system, options={"total_bits": 18}),
     }
 
     images: dict[str, np.ndarray] = {}
@@ -100,9 +97,9 @@ def run(system: SystemConfig | None = None,
     }
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the imaging comparison."""
-    result = run()
+    result = run(system=system)
     print(f"Experiment E10: point-target imaging (system: {result['system']})")
     target = result["target"]
     print(f"  target at depth {1e3 * target['depth_m']:.1f} mm, "

@@ -17,9 +17,9 @@ hit/miss counters proving that repeated frames skip delay regeneration.
 
 from __future__ import annotations
 
-from ..acoustics.echo import EchoSimulator
+from ..api import EngineSpec, ScanSpec, Session
 from ..config import SystemConfig, tiny_system
-from ..runtime import BeamformingService, DelayTableCache, moving_point_cine
+from ..runtime import DelayTableCache
 
 
 def run(system: SystemConfig | None = None,
@@ -31,19 +31,25 @@ def run(system: SystemConfig | None = None,
 
     The same pre-simulated channel-data sequence is replayed for every
     backend so the measured differences come from execution strategy alone.
+    The engine family is described declaratively: one
+    :class:`repro.api.EngineSpec` per backend, all sharing one
+    :class:`repro.api.Session`'s simulator and grid.
     """
-    system = system or tiny_system()
-    frames = moving_point_cine(system, n_frames=n_frames)
+    spec = EngineSpec(system=system if system is not None else tiny_system(),
+                      architecture=architecture)
+    session = Session(spec)
+    system = session.system
+    scan = ScanSpec(scenario="moving_point", frames=n_frames)
+    frames = scan.build_frames(system)
 
     # Pre-simulate the acquisitions once; all backends replay the same data.
-    simulator = EchoSimulator.from_config(system)
-    recorded = [simulator.simulate(f.phantom, seed=f.seed) for f in frames]
+    recorded = [session.simulator.simulate(f.phantom, seed=f.seed)
+                for f in frames]
 
     results: dict[str, dict[str, float]] = {}
     for backend in backends:
-        cache = DelayTableCache()
-        service = BeamformingService(system, architecture=architecture,
-                                     backend=backend, cache=cache)
+        # A private cache per backend keeps the hit/miss counters comparable.
+        service = session.service(backend=backend, cache=DelayTableCache())
         for data in recorded:
             service.submit_frame(data)
         stats = service.stats()
@@ -79,9 +85,9 @@ def run(system: SystemConfig | None = None,
     }
 
 
-def main() -> None:
+def main(system: SystemConfig | None = None) -> None:
     """Print the backend throughput comparison."""
-    result = run()
+    result = run(system=system)
     print("Experiment E11: streaming runtime throughput "
           f"(system '{result['system']}', architecture {result['architecture']}, "
           f"{result['n_frames']} frames)")

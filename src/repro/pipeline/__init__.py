@@ -4,6 +4,7 @@ from .compounding import InsonificationPlan, acquisition_summary, compound_volum
 from .imaging import (
     DelayArchitecture,
     ImagingPipeline,
+    architecture_name,
     compare_architectures,
     make_delay_provider,
 )
@@ -11,6 +12,7 @@ from .imaging import (
 __all__ = [
     "DelayArchitecture",
     "ImagingPipeline",
+    "architecture_name",
     "make_delay_provider",
     "compare_architectures",
     "InsonificationPlan",

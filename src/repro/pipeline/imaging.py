@@ -20,6 +20,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 from ..acoustics.echo import ChannelData, EchoSimulator
 from ..acoustics.phantom import Phantom
+from ..architectures import (
+    ARCHITECTURES,
+    architecture_name,
+    legacy_architecture_options,
+)
 from ..beamformer.das import ApodizationSettings, DelayAndSumBeamformer, DelayProvider
 from ..beamformer.drivers import (
     BeamformedVolume,
@@ -30,15 +35,19 @@ from ..beamformer.drivers import (
 from ..beamformer.image import envelope, log_compress
 from ..beamformer.interpolation import InterpolationKind
 from ..config import SystemConfig
-from ..core.exact import ExactDelayEngine
-from ..core.tablefree import TableFreeConfig, TableFreeDelayGenerator
-from ..core.tablesteer import TableSteerConfig, TableSteerDelayGenerator
+from ..core.tablefree import TableFreeConfig
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
 
 
 class DelayArchitecture(str, Enum):
-    """Selectable delay-generation architectures."""
+    """The four built-in delay-generation architectures.
+
+    Kept for backward compatibility; the open set of architectures now
+    lives in :data:`repro.architectures.ARCHITECTURES`, and every
+    construction path accepts plain registered names (including ones not in
+    this enum).
+    """
 
     EXACT = "exact"
     TABLEFREE = "tablefree"
@@ -49,21 +58,20 @@ class DelayArchitecture(str, Enum):
 def make_delay_provider(system: SystemConfig,
                         architecture: DelayArchitecture | str,
                         tablefree_config: TableFreeConfig | None = None,
-                        tablesteer_bits: int = 18) -> DelayProvider:
-    """Instantiate the delay generator for the requested architecture."""
-    architecture = DelayArchitecture(architecture)
-    if architecture is DelayArchitecture.EXACT:
-        return ExactDelayEngine.from_config(system)
-    if architecture is DelayArchitecture.TABLEFREE:
-        return TableFreeDelayGenerator.from_config(
-            system, tablefree_config or TableFreeConfig())
-    if architecture is DelayArchitecture.TABLESTEER:
-        return TableSteerDelayGenerator.from_config(
-            system, TableSteerConfig(total_bits=tablesteer_bits))
-    if architecture is DelayArchitecture.TABLESTEER_FLOAT:
-        return TableSteerDelayGenerator.from_config(
-            system, TableSteerConfig(total_bits=None))
-    raise ValueError(f"unknown architecture: {architecture!r}")
+                        tablesteer_bits: int = 18,
+                        options: object | None = None) -> DelayProvider:
+    """Instantiate the delay generator for the requested architecture.
+
+    Thin shim over ``ARCHITECTURES.create(name, system, options=...)``; the
+    historical ``tablefree_config`` / ``tablesteer_bits`` knobs are mapped
+    onto the registered options dataclasses when ``options`` is not given.
+    """
+    name = architecture_name(architecture)
+    if options is None:
+        options = legacy_architecture_options(
+            name, tablefree_config=tablefree_config,
+            tablesteer_bits=tablesteer_bits)
+    return ARCHITECTURES.create(name, system, options=options)
 
 
 @dataclass
@@ -80,24 +88,35 @@ class ImagingPipeline:
     """
 
     system: SystemConfig
-    architecture: DelayArchitecture = DelayArchitecture.EXACT
+    architecture: DelayArchitecture | str = "exact"
     apodization: ApodizationSettings = field(default_factory=ApodizationSettings)
     interpolation: InterpolationKind = InterpolationKind.NEAREST
+    architecture_options: object | None = None
     tablefree_config: TableFreeConfig | None = None
     tablesteer_bits: int = 18
     backend: str = "reference"
+    backend_options: object | None = None
     cache: "DelayTableCache | None" = None
     simulator: EchoSimulator | None = None
     transducer: MatrixTransducer | None = None
     grid: FocalGrid | None = None
+    provider: DelayProvider | None = None
+    """Pre-built delay provider; skips registry construction when given
+    (e.g. to share one provider across several per-backend pipelines)."""
 
     def __post_init__(self) -> None:
-        self.architecture = DelayArchitecture(self.architecture)
+        self.architecture = architecture_name(self.architecture)
         self._simulator = self.simulator or EchoSimulator.from_config(self.system)
-        self._provider = make_delay_provider(
-            self.system, self.architecture,
-            tablefree_config=self.tablefree_config,
-            tablesteer_bits=self.tablesteer_bits)
+        if self.provider is not None:
+            self._provider = self.provider
+        else:
+            options = self.architecture_options
+            if options is None:
+                options = legacy_architecture_options(
+                    self.architecture, tablefree_config=self.tablefree_config,
+                    tablesteer_bits=self.tablesteer_bits)
+            self._provider = ARCHITECTURES.create(
+                self.architecture, self.system, options=options)
         self._beamformer = DelayAndSumBeamformer(
             self.system, self._provider, apodization=self.apodization,
             interpolation=self.interpolation,
@@ -107,7 +126,8 @@ class ImagingPipeline:
             # Imported lazily: repro.runtime depends on this module.
             from ..runtime.backends import make_backend
             self._runtime_backend = make_backend(
-                self.backend, self._beamformer, cache=self.cache)
+                self.backend, self._beamformer, cache=self.cache,
+                options=self.backend_options)
 
     @property
     def delay_provider(self) -> DelayProvider:
@@ -175,18 +195,14 @@ def compare_architectures(system: SystemConfig, phantom: Phantom,
 
     Returns a mapping from architecture name to envelope image of the centre
     elevation plane; the channel data are simulated once so the images differ
-    only through the delay generation.  The simulator, transducer and focal
-    grid are likewise built once and shared by every per-architecture
-    pipeline — only the delay providers differ.
+    only through the delay generation.
+
+    Deprecated shim: delegates to :meth:`repro.api.Session.sweep`, which
+    additionally sweeps backends and accepts arbitrary registered
+    architectures.
     """
-    simulator = EchoSimulator.from_config(system)
-    transducer = MatrixTransducer.from_config(system)
-    grid = FocalGrid.from_config(system)
-    channel_data = simulator.simulate(phantom, noise_std=noise_std, seed=seed)
-    images = {}
-    for name in architectures:
-        pipeline = ImagingPipeline(system, architecture=name,
-                                   simulator=simulator, transducer=transducer,
-                                   grid=grid)
-        images[name] = pipeline.image_plane(channel_data)
-    return images
+    from ..api import EngineSpec, Session  # lazy: repro.api sits above us
+
+    session = Session(EngineSpec(system=system))
+    return session.sweep(phantom, architectures=architectures,
+                         noise_std=noise_std, seed=seed)

@@ -21,6 +21,7 @@ from .backends import (
     ExecutionBackend,
     ReferenceBackend,
     ShardedBackend,
+    ShardedOptions,
     VectorizedBackend,
     build_tables,
     make_backend,
@@ -50,6 +51,7 @@ __all__ = [
     "ReferenceBackend",
     "RuntimeStats",
     "ShardedBackend",
+    "ShardedOptions",
     "VectorizedBackend",
     "build_tables",
     "make_backend",

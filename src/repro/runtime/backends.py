@@ -38,6 +38,7 @@ import numpy as np
 from ..acoustics.echo import ChannelData
 from ..beamformer.das import DelayAndSumBeamformer
 from ..beamformer.interpolation import fetch_samples
+from ..registry import Registry, RegistryError
 from .cache import DelayTableCache
 
 
@@ -214,28 +215,67 @@ class ShardedBackend(VectorizedBackend):
         return out.reshape(tables.grid_shape)
 
 
-BACKENDS: dict[str, type[ExecutionBackend]] = {
-    ReferenceBackend.name: ReferenceBackend,
-    VectorizedBackend.name: VectorizedBackend,
-    ShardedBackend.name: ShardedBackend,
-}
+@dataclass(frozen=True)
+class ShardedOptions:
+    """Options for the ``sharded`` backend (``None`` means auto-size)."""
 
-BACKEND_NAMES: tuple[str, ...] = tuple(BACKENDS)
+    shards: int | None = None
+    """Number of contiguous point blocks the grid is split into."""
+
+    max_workers: int | None = None
+    """Thread-pool size used to dispatch the blocks."""
+
+
+BACKENDS = Registry("backend")
+"""Registry of execution backends (factory: ``(beamformer, cache, options)``)."""
+
+
+@BACKENDS.register(
+    "reference",
+    description="per-scanline classic delay-and-sum loop (ground truth)")
+def _build_reference(beamformer: DelayAndSumBeamformer,
+                     cache: DelayTableCache | None,
+                     options: None) -> ReferenceBackend:
+    return ReferenceBackend(beamformer)
+
+
+@BACKENDS.register(
+    "vectorized",
+    description="whole-volume batched gather/sum over cached delay tensors")
+def _build_vectorized(beamformer: DelayAndSumBeamformer,
+                      cache: DelayTableCache | None,
+                      options: None) -> VectorizedBackend:
+    return VectorizedBackend(beamformer, cache=cache)
+
+
+@BACKENDS.register(
+    "sharded", options=ShardedOptions,
+    description="vectorized math over scanline blocks on a thread pool")
+def _build_sharded(beamformer: DelayAndSumBeamformer,
+                   cache: DelayTableCache | None,
+                   options: ShardedOptions) -> ShardedBackend:
+    return ShardedBackend(beamformer, cache=cache, shards=options.shards,
+                          max_workers=options.max_workers)
+
+
+BACKEND_NAMES: tuple[str, ...] = BACKENDS.names()
+"""Built-in backend names (snapshot; prefer ``BACKENDS.names()``)."""
 
 
 def make_backend(name: str, beamformer: DelayAndSumBeamformer,
                  cache: DelayTableCache | None = None,
+                 options: object | None = None,
                  **kwargs) -> ExecutionBackend:
-    """Instantiate an execution backend by name.
+    """Instantiate an execution backend by name (registry-driven).
 
-    ``reference`` ignores ``cache``; ``sharded`` additionally accepts
-    ``shards`` and ``max_workers`` keyword arguments.
+    ``reference`` ignores ``cache``.  Backend options are passed either as
+    an ``options`` dataclass/dict (e.g. :class:`ShardedOptions`) or, for
+    backward compatibility, as bare keyword arguments (``shards=4``).
     """
-    try:
-        backend_cls = BACKENDS[name]
-    except KeyError:
-        raise ValueError(f"unknown backend {name!r}; "
-                         f"available: {', '.join(BACKEND_NAMES)}") from None
-    if backend_cls is ReferenceBackend:
-        return ReferenceBackend(beamformer)
-    return backend_cls(beamformer, cache=cache, **kwargs)
+    if kwargs:
+        if options is not None:
+            raise RegistryError(
+                "pass backend options either via 'options' or as keyword "
+                "arguments, not both")
+        options = kwargs
+    return BACKENDS.create(name, beamformer, cache, options=options)

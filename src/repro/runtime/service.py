@@ -31,11 +31,15 @@ import numpy as np
 
 from ..acoustics.echo import ChannelData, EchoSimulator
 from ..acoustics.phantom import Phantom
+from ..architectures import (
+    ARCHITECTURES,
+    architecture_name,
+    legacy_architecture_options,
+)
 from ..beamformer.das import ApodizationSettings, DelayAndSumBeamformer
 from ..beamformer.interpolation import InterpolationKind
 from ..config import SystemConfig
 from ..core.tablefree import TableFreeConfig
-from ..pipeline.imaging import DelayArchitecture, make_delay_provider
 from .backends import ExecutionBackend, make_backend
 from .cache import CacheStats, DelayTableCache
 from .scheduler import FrameRequest, FrameResult, FrameScheduler
@@ -78,10 +82,17 @@ class BeamformingService:
     system:
         System configuration shared by every frame of the stream.
     architecture:
-        Delay-generation architecture name (see
-        :class:`repro.pipeline.imaging.DelayArchitecture`).
+        Delay-generation architecture name, resolved through
+        :data:`repro.architectures.ARCHITECTURES` (any registered name,
+        including user plugins).
     backend:
-        Execution backend name: ``reference``, ``vectorized`` or ``sharded``.
+        Execution backend name, resolved through
+        :data:`repro.runtime.backends.BACKENDS`.
+    architecture_options:
+        Options dataclass instance (or plain dict) for the architecture;
+        ``None`` uses the registered defaults.  The historical
+        ``tablefree_config`` / ``tablesteer_bits`` keywords are still
+        honoured when this is not given.
     cache:
         Delay-table cache; pass a shared instance to reuse tensors across
         services (e.g. a ``vectorized`` and a ``sharded`` service over the
@@ -95,29 +106,36 @@ class BeamformingService:
     """
 
     def __init__(self, system: SystemConfig,
-                 architecture: DelayArchitecture | str = DelayArchitecture.EXACT,
+                 architecture: str = "exact",
                  backend: str = "vectorized",
                  apodization: ApodizationSettings | None = None,
                  interpolation: InterpolationKind = InterpolationKind.NEAREST,
                  cache: DelayTableCache | None = None,
+                 architecture_options: object | None = None,
                  tablefree_config: TableFreeConfig | None = None,
                  tablesteer_bits: int = 18,
                  simulator: EchoSimulator | None = None,
-                 backend_options: dict | None = None) -> None:
+                 backend_options: object | None = None) -> None:
         self.system = system
-        self.architecture = DelayArchitecture(architecture)
+        self.architecture = architecture_name(architecture)
         self.cache = cache if cache is not None else DelayTableCache()
-        provider = make_delay_provider(
-            system, self.architecture,
-            tablefree_config=tablefree_config,
-            tablesteer_bits=tablesteer_bits)
+        if architecture_options is None:
+            architecture_options = legacy_architecture_options(
+                self.architecture, tablefree_config=tablefree_config,
+                tablesteer_bits=tablesteer_bits)
+        provider = ARCHITECTURES.create(self.architecture, system,
+                                        options=architecture_options)
         self.beamformer = DelayAndSumBeamformer(
             system, provider, apodization=apodization,
             interpolation=interpolation)
         self._backend: ExecutionBackend = make_backend(
             backend, self.beamformer, cache=self.cache,
-            **(backend_options or {}))
+            options=backend_options)
         self._simulator = simulator or EchoSimulator.from_config(system)
+        # Monotonic id source for auto-assigned frames; unlike the stats
+        # counters it survives reset_stats(), so ids never repeat within
+        # one service lifetime.
+        self._next_frame_id = 0
         self._frames = 0
         self._voxels = 0
         self._acquire_seconds = 0.0
@@ -142,10 +160,14 @@ class BeamformingService:
         if isinstance(frame, FrameRequest):
             request = frame
         elif isinstance(frame, ChannelData):
-            request = FrameRequest(frame_id=self._frames, channel_data=frame)
+            request = FrameRequest(frame_id=self._next_frame_id,
+                                   channel_data=frame)
         else:
-            request = FrameRequest(frame_id=self._frames, phantom=frame,
+            request = FrameRequest(frame_id=self._next_frame_id, phantom=frame,
                                    noise_std=noise_std, seed=seed)
+        # Auto-assigned ids continue above the highest id seen, so mixing
+        # explicit FrameRequests with raw payloads cannot collide either.
+        self._next_frame_id = max(self._next_frame_id, request.frame_id + 1)
 
         acquire_seconds = 0.0
         channel_data = request.channel_data
@@ -199,7 +221,12 @@ class BeamformingService:
         )
 
     def reset_stats(self) -> None:
-        """Zero the frame counters (the delay-table cache is kept)."""
+        """Zero the stats counters (the delay-table cache is kept).
+
+        Auto-assigned frame ids are *not* reset: they come from a separate
+        monotonic counter, so frames submitted after a reset never reuse
+        ids of frames submitted before it.
+        """
         self._frames = 0
         self._voxels = 0
         self._acquire_seconds = 0.0

@@ -1,0 +1,220 @@
+"""Tests for repro.api.session — and the registry extension acceptance test.
+
+The load-bearing claims: a Session builds shared substrates once, its sweep
+reproduces the legacy ``compare_architectures`` images exactly, and a brand
+new delay architecture registered via ``@ARCHITECTURES.register(...)`` plus
+an options dataclass runs through ``Session.pipeline()`` and
+``BeamformingService`` without modifying any repro module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.acoustics.phantom import point_target
+from repro.api import ARCHITECTURES, EngineSpec, ScanSpec, Session
+from repro.core.bulk import BulkDelayProviderMixin
+from repro.core.exact import ExactDelayEngine
+from repro.geometry.volume import FocalGrid
+from repro.pipeline.imaging import compare_architectures
+from repro.runtime import BeamformingService, DelayTableCache
+
+
+@pytest.fixture(scope="module")
+def tiny_session():
+    from repro.config import tiny_system
+    return Session(EngineSpec(system=tiny_system()))
+
+
+@pytest.fixture(scope="module")
+def centred_target(tiny_session):
+    depths = tiny_session.grid.depths
+    return point_target(depth=float(depths[len(depths) // 2]))
+
+
+class TestSessionConstruction:
+    def test_spec_defaults(self):
+        session = Session()
+        assert session.spec == EngineSpec()
+        assert session.system.name == "small"
+
+    def test_mapping_spec_accepted(self):
+        session = Session({"system": "tiny", "architecture": "tablefree"})
+        assert session.spec.architecture == "tablefree"
+        assert session.system.name == "tiny"
+
+    def test_shared_substrates_are_reused(self, tiny_session):
+        pipeline = tiny_session.pipeline(architecture="tablesteer")
+        service = tiny_session.service(backend="vectorized")
+        assert pipeline._simulator is tiny_session.simulator
+        assert pipeline.beamformer.transducer is tiny_session.transducer
+        assert pipeline.beamformer.grid is tiny_session.grid
+        assert service._simulator is tiny_session.simulator
+        assert service.cache is tiny_session.cache
+        assert pipeline.cache is tiny_session.cache
+
+    def test_cache_capacity_from_spec(self):
+        session = Session(EngineSpec(system="tiny", cache_capacity=2))
+        assert session.cache.capacity == 2
+
+    def test_spec_options_flow_to_vended_engines(self):
+        spec = EngineSpec(system="tiny", architecture="tablesteer",
+                          architecture_options={"total_bits": 13})
+        session = Session(spec)
+        assert session.pipeline().delay_provider.design.total_bits == 13
+        # Overriding the architecture drops the spec's options (they belong
+        # to the spec architecture, not the override).
+        provider = session.pipeline(architecture="tablefree").delay_provider
+        assert provider.design.delta == 0.25
+
+    def test_unknown_names_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            Session({"architecture": "magic"})
+
+
+class TestSessionStreaming:
+    def test_stream_scan_spec(self, tiny_session):
+        results = tiny_session.stream(ScanSpec(frames=3),
+                                      backend="vectorized")
+        assert [r.frame_id for r in results] == [0, 1, 2]
+        shape = tiny_session.grid.shape
+        assert all(r.rf.shape == shape for r in results)
+
+    def test_stream_accepts_mapping(self, tiny_session):
+        results = tiny_session.stream({"scenario": "static_point",
+                                       "frames": 2}, backend="vectorized")
+        assert len(results) == 2
+
+
+class TestSweep:
+    def test_sweep_matches_legacy_compare_architectures(self, tiny,
+                                                        centred_target):
+        legacy = compare_architectures(tiny, centred_target,
+                                       architectures=("exact", "tablesteer"))
+        session = Session(EngineSpec(system=tiny))
+        images = session.sweep(centred_target,
+                               architectures=("exact", "tablesteer"))
+        assert set(images) == set(legacy)
+        for name in images:
+            np.testing.assert_array_equal(images[name], legacy[name])
+
+    def test_sweep_defaults_to_spec_architecture(self, tiny_session,
+                                                 centred_target):
+        images = tiny_session.sweep(centred_target)
+        assert set(images) == {"exact"}
+
+    def test_sweep_backends_returns_identical_volumes(self, tiny_session,
+                                                      centred_target):
+        volumes = tiny_session.sweep(
+            centred_target, architectures=("tablefree",),
+            backends=("reference", "vectorized", "sharded"))
+        reference = volumes[("tablefree", "reference")]
+        for backend in ("vectorized", "sharded"):
+            np.testing.assert_allclose(volumes[("tablefree", backend)],
+                                       reference, rtol=0, atol=1e-9)
+
+    def test_sweep_accepts_preacquired_channel_data(self, tiny_session,
+                                                    centred_target):
+        channel_data = tiny_session.acquire(centred_target)
+        images = tiny_session.sweep(channel_data=channel_data,
+                                    architectures=("exact",))
+        np.testing.assert_array_equal(
+            images["exact"],
+            tiny_session.sweep(centred_target)["exact"])
+        with pytest.raises(ValueError, match="phantom or channel_data"):
+            tiny_session.sweep()
+
+    def test_prebuilt_provider_is_reused(self, tiny_session):
+        first = tiny_session.pipeline(architecture="tablesteer")
+        second = tiny_session.pipeline(architecture="tablesteer",
+                                       backend="vectorized",
+                                       provider=first.delay_provider)
+        assert second.delay_provider is first.delay_provider
+
+
+# --------------------------------------------------- acceptance: extension
+@dataclass(frozen=True)
+class _ToyOptions:
+    offset_samples: float = 0.0
+
+
+class _ToyProvider(BulkDelayProviderMixin):
+    """Exact delays plus a constant offset (minimal DelayProvider)."""
+
+    def __init__(self, inner: ExactDelayEngine, offset: float) -> None:
+        self.inner = inner
+        self.grid = inner.grid
+        self.offset = offset
+
+    def delays_samples(self, points):
+        return self.inner.delays_samples(points) + self.offset
+
+    def scanline_delays_samples(self, i_theta, i_phi):
+        return self.inner.scanline_delays_samples(i_theta, i_phi) + self.offset
+
+    def nappe_delays_samples(self, i_depth):
+        return self.inner.nappe_delays_samples(i_depth) + self.offset
+
+
+@pytest.fixture()
+def toy_architecture():
+    """Register a toy architecture for one test, then clean up."""
+
+    @ARCHITECTURES.register("toy_offset", options=_ToyOptions,
+                            description="exact + constant offset (test only)")
+    def _build(system, options):
+        return _ToyProvider(ExactDelayEngine.from_config(system),
+                            options.offset_samples)
+
+    try:
+        yield "toy_offset"
+    finally:
+        ARCHITECTURES.unregister("toy_offset")
+
+
+class TestCustomArchitectureEndToEnd:
+    def test_runs_through_pipeline_service_and_spec(self, tiny, centred_target,
+                                                    toy_architecture):
+        spec = EngineSpec(system=tiny, architecture=toy_architecture,
+                          architecture_options={"offset_samples": 0.0})
+        # The spec document round-trips with the plugin in place.
+        rebuilt = EngineSpec.from_json(spec.to_json())
+        assert rebuilt.architecture == toy_architecture
+
+        session = Session(rebuilt)
+        # Through the imaging pipeline...
+        pipeline = session.pipeline()
+        image = pipeline.image_phantom(centred_target)
+        baseline = session.pipeline(architecture="exact") \
+            .image_phantom(centred_target)
+        np.testing.assert_allclose(image, baseline)
+
+        # ...and through the streaming service, on a batched backend.
+        service = BeamformingService(
+            tiny, architecture=toy_architecture,
+            architecture_options={"offset_samples": 0.0},
+            backend="vectorized", cache=DelayTableCache())
+        result = service.submit_frame(centred_target)
+        assert result.rf.shape == FocalGrid.from_config(tiny).shape
+        assert service.architecture == toy_architecture
+
+    def test_nonzero_offset_changes_the_image(self, tiny, centred_target,
+                                              toy_architecture):
+        session = Session(EngineSpec(system=tiny))
+        images = session.sweep(centred_target,
+                               architectures=("exact", toy_architecture))
+        np.testing.assert_array_equal(images[toy_architecture],
+                                      images["exact"])
+        offset_pipeline = session.pipeline(
+            architecture=toy_architecture,
+            architecture_options={"offset_samples": 40.0})
+        shifted = offset_pipeline.image_plane(
+            session.acquire(centred_target))
+        assert not np.allclose(shifted, images["exact"])
+
+    def test_unregistered_name_gone_again(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            Session({"architecture": "toy_offset"})

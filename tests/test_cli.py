@@ -18,21 +18,39 @@ class TestParser:
         for argv in (["list"], ["run", "E1"], ["table2"], ["specs"],
                      ["table2", "--system", "small"],
                      ["specs", "--system", "tiny"],
-                     ["stream"],
+                     ["stream"], ["spec"],
+                     ["run", "E10", "--system", "tiny",
+                      "--set", "architecture=tablefree"],
+                     ["spec", "--architecture", "tablesteer",
+                      "--set", "architecture_options.total_bits=14"],
                      ["stream", "--system", "tiny", "--backend", "sharded",
                       "--architecture", "tablesteer", "--frames", "4"]):
             args = parser.parse_args(argv)
             assert callable(args.handler)
 
-    def test_unknown_backend_rejected(self):
-        parser = build_parser()
-        with pytest.raises(SystemExit):
-            parser.parse_args(["stream", "--backend", "gpu"])
+    def test_unknown_backend_rejected_with_registry_listing(self, capsys):
+        # Names are validated against the registry at run time (so plugins
+        # work), not by a closed argparse choices list.
+        assert main(["stream", "--system", "tiny", "--backend", "gpu"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'gpu'" in err
+        assert "reference" in err and "vectorized" in err and "sharded" in err
+
+    def test_unknown_architecture_rejected_with_registry_listing(self, capsys):
+        assert main(["stream", "--system", "tiny",
+                     "--architecture", "magic"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown architecture 'magic'" in err
+        assert "tablesteer_float" in err
 
     def test_unknown_system_rejected(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["specs", "--system", "gigantic"])
+
+    def test_unknown_stream_preset_lists_presets(self, capsys):
+        assert main(["stream", "--system", "gigantic"]) == 2
+        assert "paper, small, tiny" in capsys.readouterr().err
 
 
 class TestCommands:
@@ -41,6 +59,15 @@ class TestCommands:
         output = capsys.readouterr().out
         for i in range(1, 11):
             assert f"E{i}" in output
+
+    def test_list_prints_registered_plugins(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "Registered architectures:" in output
+        assert "tablesteer_float" in output
+        assert "Registered backends:" in output
+        assert "sharded" in output
+        assert "moving_point" in output
 
     def test_specs_prints_table1_numbers(self, capsys):
         assert main(["specs", "--system", "paper"]) == 0
@@ -76,3 +103,65 @@ class TestCommands:
         assert "Streaming 4 frames" in output
         assert "volume rate" in output
         assert "3 hits, 1 misses" in output
+
+    def test_stream_defaults_to_vectorized(self, capsys):
+        assert main(["stream", "--system", "tiny", "--frames", "2"]) == 0
+        assert "backend=vectorized" in capsys.readouterr().out
+
+
+class TestSpecWorkflow:
+    def test_spec_prints_resolved_json(self, capsys):
+        assert main(["spec", "--system", "tiny",
+                     "--architecture", "tablesteer",
+                     "--set", "architecture_options.total_bits=14"]) == 0
+        from repro.api import EngineSpec
+        spec = EngineSpec.from_json(capsys.readouterr().out)
+        assert spec.system == "tiny"
+        assert spec.architecture_options.total_bits == 14
+
+    def test_spec_file_roundtrips_through_stream(self, tmp_path, capsys):
+        path = tmp_path / "engine.json"
+        assert main(["spec", "--system", "tiny",
+                     "--architecture", "tablefree",
+                     "--backend", "sharded", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stream", "--spec", str(path), "--frames", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "architecture=tablefree" in output
+        assert "backend=sharded" in output
+
+    def test_set_overrides_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "engine.json"
+        assert main(["spec", "--system", "tiny", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["stream", "--spec", str(path), "--frames", "2",
+                     "--set", "architecture=tablesteer"]) == 0
+        assert "architecture=tablesteer" in capsys.readouterr().out
+
+    def test_unwritable_out_path_reported(self, capsys):
+        assert main(["spec", "--system", "tiny",
+                     "--out", "/nonexistent/dir/e.json"]) == 2
+        assert "cannot write spec file" in capsys.readouterr().err
+
+    def test_missing_spec_file_reported(self, capsys):
+        assert main(["stream", "--spec", "/nonexistent/engine.json"]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_bad_override_reported(self, capsys):
+        assert main(["spec", "--set", "no_equals"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_run_accepts_spec_system(self, capsys):
+        assert main(["run", "E2", "--system", "tiny"]) == 0
+        assert "system: tiny" in capsys.readouterr().out
+
+    def test_run_without_explicit_system_keeps_experiment_default(self, capsys):
+        # --set alone must not swap the experiment onto EngineSpec's
+        # default 'small' system: E1's own default is the paper system.
+        assert main(["run", "E1", "--set", "cache_capacity=2"]) == 0
+        output = capsys.readouterr().out
+        assert "receive elements            : 10000" in output
+
+    def test_run_rejects_invalid_override(self, capsys):
+        assert main(["run", "E1", "--set", "backend=warp"]) == 2
+        assert "unknown backend" in capsys.readouterr().err

@@ -191,3 +191,53 @@ class TestCacheKey:
         key = small_system().cache_key()
         assert len(key) == 16
         assert all(c in "0123456789abcdef" for c in key)
+
+
+class TestPresetsRegistry:
+    def test_presets_mapping_covers_all_factories(self):
+        from repro.config import PRESETS
+        assert set(PRESETS) == {"paper", "small", "tiny"}
+        assert PRESETS["tiny"]() == tiny_system()
+
+    def test_get_preset_builds_named_system(self):
+        from repro.config import get_preset
+        assert get_preset("small") == small_system()
+        assert get_preset("paper").name == "paper"
+
+    def test_get_preset_unknown_lists_names(self):
+        from repro.config import get_preset
+        with pytest.raises(ValueError, match="paper, small, tiny"):
+            get_preset("gigantic")
+
+
+class TestSystemConfigDictRoundTrip:
+    def test_roundtrip_preserves_equality(self):
+        for system in (paper_system(), small_system(), tiny_system()):
+            rebuilt = SystemConfig.from_dict(system.to_dict())
+            assert rebuilt == system
+            assert rebuilt.cache_key() == system.cache_key()
+
+    def test_roundtrip_through_json(self):
+        import json
+        system = tiny_system().with_volume(n_depth=24)
+        rebuilt = SystemConfig.from_dict(json.loads(
+            json.dumps(system.to_dict())))
+        assert rebuilt == system
+
+    def test_missing_sections_default(self):
+        system = SystemConfig.from_dict({"name": "bare"})
+        assert system == SystemConfig(name="bare")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown system config section"):
+            SystemConfig.from_dict({"acoustics": {}})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="bad 'acoustic' section"):
+            SystemConfig.from_dict({"acoustic": {"speed": 1}})
+
+    def test_invalid_values_still_validated(self):
+        data = tiny_system().to_dict()
+        data["volume"]["depth_max"] = 0.0
+        with pytest.raises(ValueError):
+            SystemConfig.from_dict(data)

@@ -22,7 +22,14 @@ def _load_example(name: str):
     spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
     module = importlib.util.module_from_spec(spec)
     assert spec.loader is not None
-    spec.loader.exec_module(module)
+    # Registered so dataclasses defined in examples (whose postponed
+    # annotations are resolved against sys.modules) process correctly.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(spec.name, None)
+        raise
     return module
 
 
@@ -90,3 +97,15 @@ class TestExampleInventory:
             module = _load_example(path.stem)
             assert module.__doc__, path.name
             assert hasattr(module, "main"), path.name
+
+    def test_custom_architecture(self, capsys):
+        from repro.api import ARCHITECTURES
+        try:
+            _load_example("custom_architecture").main()
+        finally:
+            if "exact_offset" in ARCHITECTURES:
+                ARCHITECTURES.unregister("exact_offset")
+        output = capsys.readouterr().out
+        assert '"architecture": "exact_offset"' in output
+        assert "Peak depth index" in output
+        assert "backend 'vectorized'" in output

@@ -132,6 +132,42 @@ class TestPipelineBackends:
         assert pipeline.beamformer.grid is grid
 
 
+class TestRegistryIntegration:
+    def test_architecture_options_override_legacy_knobs(self, system):
+        from repro.core.tablesteer import TableSteerConfig
+        pipeline = ImagingPipeline(
+            system, architecture="tablesteer",
+            architecture_options=TableSteerConfig(total_bits=13))
+        assert pipeline.delay_provider.design.total_bits == 13
+        as_dict = ImagingPipeline(system, architecture="tablesteer",
+                                  architecture_options={"total_bits": 13})
+        assert as_dict.delay_provider.design.total_bits == 13
+
+    def test_legacy_knobs_still_honoured(self, system):
+        from repro.core.tablefree import TableFreeConfig
+        pipeline = ImagingPipeline(
+            system, architecture="tablefree",
+            tablefree_config=TableFreeConfig(delta=0.5))
+        assert pipeline.delay_provider.design.delta == 0.5
+        steer = ImagingPipeline(system, architecture="tablesteer",
+                                tablesteer_bits=14)
+        assert steer.delay_provider.design.total_bits == 14
+
+    def test_deprecation_shims_still_import(self):
+        # Historical public entry points must keep importing and working.
+        from repro.pipeline import (  # noqa: F401
+            DelayArchitecture,
+            compare_architectures,
+            make_delay_provider,
+        )
+        from repro.pipeline.imaging import (  # noqa: F401
+            architecture_name,
+        )
+        from repro.runtime import BACKEND_NAMES, make_backend  # noqa: F401
+        assert architecture_name(DelayArchitecture.EXACT) == "exact"
+        assert set(BACKEND_NAMES) == {"reference", "vectorized", "sharded"}
+
+
 class TestCompareArchitectures:
     def test_all_requested_architectures_present(self, system, centred_target):
         images = compare_architectures(system, centred_target,

@@ -1,0 +1,133 @@
+"""Tests for repro.registry: the generic plugin registry and options codec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.fixedpoint.format import QFormat, signed
+from repro.registry import (
+    Registry,
+    RegistryError,
+    decode_options,
+    encode_options,
+)
+
+
+@dataclass(frozen=True)
+class _WidgetOptions:
+    size: int = 3
+    label: str = "w"
+
+
+@dataclass(frozen=True)
+class _NestedOptions:
+    fmt: QFormat = field(default_factory=lambda: signed(3, 4))
+    bits: int | None = None
+    fractions: tuple[float, float] = (0.1, 0.9)
+
+
+@pytest.fixture()
+def registry():
+    reg = Registry("widget")
+
+    @reg.register("plain", description="no options")
+    def _build_plain(context, options):
+        return ("plain", context, options)
+
+    @reg.register("sized", options=_WidgetOptions, description="has options")
+    def _build_sized(context, options):
+        return ("sized", context, options)
+
+    return reg
+
+
+class TestRegistry:
+    def test_names_in_registration_order(self, registry):
+        assert registry.names() == ("plain", "sized")
+        assert "plain" in registry and "nope" not in registry
+        assert len(registry) == 2
+
+    def test_create_calls_factory_with_coerced_options(self, registry):
+        kind, context, options = registry.create("sized", "ctx",
+                                                 options={"size": 7})
+        assert (kind, context) == ("sized", "ctx")
+        assert options == _WidgetOptions(size=7)
+
+    def test_create_defaults_options(self, registry):
+        assert registry.create("sized", "ctx")[2] == _WidgetOptions()
+        assert registry.create("plain", "ctx")[2] is None
+
+    def test_unknown_name_lists_available(self, registry):
+        with pytest.raises(RegistryError, match="plain, sized"):
+            registry.get("nope")
+        with pytest.raises(ValueError, match="unknown widget 'nope'"):
+            registry.create("nope", "ctx")
+
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(RegistryError, match="already registered"):
+            @registry.register("plain")
+            def _again(context, options):
+                return None
+
+    def test_unregister_frees_the_name(self, registry):
+        registry.unregister("plain")
+        assert "plain" not in registry
+        with pytest.raises(RegistryError):
+            registry.unregister("plain")
+
+    def test_options_for_optionless_entry_rejected(self, registry):
+        with pytest.raises(RegistryError, match="takes no options"):
+            registry.create("plain", "ctx", options={"size": 1})
+
+    def test_options_must_be_dataclass_type(self):
+        reg = Registry("thing")
+        with pytest.raises(RegistryError, match="dataclass"):
+            reg.register("bad", options=dict)
+
+    def test_decorator_returns_factory_unchanged(self):
+        reg = Registry("thing")
+
+        def factory(context, options):
+            return 42
+
+        assert reg.register("x")(factory) is factory
+
+    def test_wrong_options_instance_rejected(self, registry):
+        with pytest.raises(RegistryError, match="must be a _WidgetOptions"):
+            registry.create("sized", "ctx", options=3)
+
+
+class TestOptionsCodec:
+    def test_roundtrip_flat(self):
+        options = _WidgetOptions(size=9, label="q")
+        data = encode_options(options)
+        assert data == {"size": 9, "label": "q"}
+        assert decode_options(_WidgetOptions, data) == options
+
+    def test_roundtrip_nested_dataclass_and_union(self):
+        options = _NestedOptions(fmt=signed(5, 2), bits=13,
+                                 fractions=(0.2, 0.8))
+        data = encode_options(options)
+        assert data["fmt"] == {"integer_bits": 5, "fraction_bits": 2,
+                               "signed": True}
+        rebuilt = decode_options(_NestedOptions, data)
+        assert rebuilt == options
+        assert isinstance(rebuilt.fmt, QFormat)
+        assert isinstance(rebuilt.fractions, tuple)
+
+    def test_none_passthrough(self):
+        assert encode_options(None) is None
+        assert decode_options(_NestedOptions,
+                              {"bits": None}).bits is None
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(RegistryError, match="unknown option"):
+            decode_options(_WidgetOptions, {"sizw": 2})
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(RegistryError):
+            encode_options({"not": "a dataclass"})
+        with pytest.raises(RegistryError):
+            decode_options(int, {"a": 1})

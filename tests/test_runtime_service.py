@@ -138,6 +138,36 @@ class TestBeamformingService:
         assert from_phantom.acquire_seconds > 0
         assert service.stats().frames == 2
 
+    def test_frame_ids_stay_monotonic_across_reset(self, tiny,
+                                                   tiny_channel_data):
+        service = BeamformingService(tiny, backend="vectorized")
+        first = service.submit_frame(tiny_channel_data)
+        second = service.submit_frame(tiny_channel_data)
+        assert (first.frame_id, second.frame_id) == (0, 1)
+        service.reset_stats()
+        third = service.submit_frame(tiny_channel_data)
+        assert third.frame_id == 2  # ids never repeat after a stats reset
+        assert service.stats().frames == 1  # but the stats did reset
+
+    def test_auto_ids_continue_above_explicit_requests(self, tiny,
+                                                       tiny_channel_data):
+        service = BeamformingService(tiny, backend="vectorized")
+        service.submit_frame(FrameRequest(frame_id=7,
+                                          channel_data=tiny_channel_data))
+        auto = service.submit_frame(tiny_channel_data)
+        assert auto.frame_id == 8
+
+    def test_architecture_options_accepted(self, tiny, tiny_channel_data):
+        from repro.core.tablesteer import TableSteerConfig
+        service = BeamformingService(
+            tiny, architecture="tablesteer",
+            architecture_options=TableSteerConfig(total_bits=13))
+        assert service.beamformer.delays.design.total_bits == 13
+        as_dict = BeamformingService(
+            tiny, architecture="tablesteer",
+            architecture_options={"total_bits": 13})
+        assert as_dict.beamformer.delays.design.total_bits == 13
+
     def test_reset_stats_keeps_cache(self, tiny, tiny_channel_data):
         cache = DelayTableCache()
         service = BeamformingService(tiny, backend="vectorized", cache=cache)
