@@ -1,75 +1,136 @@
-"""Benchmark E11: streaming runtime throughput across execution backends.
+"""Benchmark E11: streaming runtime throughput across backends x dtypes.
 
 The software counterpart of the E9 hardware throughput rows: an 8-frame
 cine sequence is streamed through the ``reference``, ``vectorized`` and
-``sharded`` backends and the sustained frames/s / voxels/s are compared.
-The batched backends amortise delay generation through the
-:class:`DelayTableCache`, so — like the paper's table-streaming architecture
-— they must beat the regenerate-per-scanline reference path.
+``sharded`` backends under both kernel precisions, per-frame and batched.
+The compiled-plan backends amortise delay generation through the
+:class:`PlanCache`, so — like the paper's table-streaming architecture —
+they must beat the regenerate-per-scanline reference path; and the fast
+path of the kernel layer (``float32`` + batched execution) must beat the
+exact ``float64`` per-frame path on the same backend.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.config import tiny_system
-from repro.experiments import e11_runtime_throughput
-from repro.runtime import BeamformingService, DelayTableCache, static_cine
 from repro.acoustics.echo import EchoSimulator
 from repro.acoustics.phantom import point_target
+from repro.config import tiny_system
+from repro.experiments import e11_runtime_throughput
+from repro.runtime import BeamformingService, PlanCache, static_cine
 
 
 @pytest.fixture(scope="module")
 def result():
     return e11_runtime_throughput.run(tiny_system(), architecture="tablefree",
-                                      n_frames=8)
+                                      n_frames=8, batch=4)
 
 
 def test_bench_runtime_backends(result, report):
     rows = result["backends"]
     report(
-        "E11 (runtime): streaming backend throughput "
+        "E11 (runtime): streaming backend x dtype throughput "
         f"(system '{result['system']}', {result['n_frames']} frames, "
-        f"architecture {result['architecture']})",
-        *(f"  {name:<10s} {row['frames_per_second']:8.2f} frames/s   "
+        f"architecture {result['architecture']}, batch={result['batch']})",
+        *(f"  {backend:<10s} {precision:<8s} "
+          f"{row['frames_per_second']:8.2f} frames/s   "
+          f"batched {row['batched_frames_per_second']:8.2f}   "
           f"{row['voxels_per_second']:.3e} voxels/s   "
           f"{row['speedup_vs_reference']:.2f}x vs reference   "
           f"cache {row['cache_hits']}h/{row['cache_misses']}m"
-          for name, row in rows.items()),
+          for backend, by_precision in rows.items()
+          for precision, row in by_precision.items()),
     )
-    # The whole point of the batched runtime: precomputed (cached) delay
-    # tensors beat per-scanline regeneration.
-    assert rows["vectorized"]["frames_per_second"] > \
-        rows["reference"]["frames_per_second"]
-    # And repeated frames are served from the cache, not regenerated.
-    assert rows["vectorized"]["cache_misses"] == 1
-    assert rows["vectorized"]["cache_hits"] == result["n_frames"] - 1
+    # The whole point of the compiled-plan runtime: precompiled (cached)
+    # plans beat per-scanline regeneration.
+    assert rows["vectorized"]["float64"]["frames_per_second"] > \
+        rows["reference"]["float64"]["frames_per_second"]
+    # And repeated frames are served from the cache, not recompiled.
+    assert rows["vectorized"]["float64"]["cache_misses"] == 1
+    assert rows["vectorized"]["float64"]["cache_hits"] == \
+        result["n_frames"] - 1
 
 
-def test_bench_vectorized_frame(benchmark):
-    """Micro-benchmark: one cached-table vectorized frame (steady state)."""
-    system = tiny_system()
-    service = BeamformingService(system, architecture="tablefree",
-                                 backend="vectorized",
-                                 cache=DelayTableCache())
+def test_bench_float32_batched_beats_float64_per_frame(report):
+    """The kernel layer's fast path must outrun its exact per-frame path.
+
+    Measured on the ``small`` system (16k points x 256 elements), where the
+    per-frame gather's working set falls out of the CPU caches: the batched
+    float32 path chunks the gather over point blocks and moves half the
+    bytes, so it must win.  Plans are compiled (cache-warmed) before timing
+    so this isolates steady-state kernel throughput.
+    """
+    from repro.config import small_system
+
+    system = small_system()
     grid_mid_depth = system.volume.depth_min + 0.5 * system.volume.depth_span
     data = EchoSimulator.from_config(system).simulate(
         point_target(depth=grid_mid_depth))
-    service.submit_frame(data)  # warm the delay-table cache
+    cine = static_cine(data, 8)
+
+    def best_fps(precision: str, batch_size: int) -> float:
+        """Best of three runs — insulates the ordering assert from noise."""
+        service = BeamformingService(system, architecture="tablefree",
+                                     backend="vectorized",
+                                     precision=precision, cache=PlanCache())
+        service.submit_frame(data)   # compile the plan outside the clock
+        best = 0.0
+        for _ in range(3):
+            service.reset_stats()
+            service.stream_all(cine, batch_size=batch_size)
+            best = max(best, service.stats().frames_per_second)
+        return best
+
+    exact = best_fps("float64", batch_size=1)
+    fast = best_fps("float32", batch_size=8)
+
+    report(f"E11 (runtime): small-system vectorized float32 batched "
+           f"{fast:8.2f} frames/s vs float64 per-frame {exact:8.2f} frames/s "
+           f"({fast / exact:.2f}x)")
+    assert fast > exact
+
+
+def test_bench_vectorized_frame(benchmark):
+    """Micro-benchmark: one cached-plan vectorized frame (steady state)."""
+    system = tiny_system()
+    service = BeamformingService(system, architecture="tablefree",
+                                 backend="vectorized",
+                                 cache=PlanCache())
+    grid_mid_depth = system.volume.depth_min + 0.5 * system.volume.depth_span
+    data = EchoSimulator.from_config(system).simulate(
+        point_target(depth=grid_mid_depth))
+    service.submit_frame(data)  # warm the plan cache
     result = benchmark(lambda: service.submit_frame(data))
     assert result.rf.shape == (system.volume.n_theta, system.volume.n_phi,
                                system.volume.n_depth)
+
+
+def test_bench_batched_float32_cine(benchmark):
+    """Throughput of an 8-frame static cine on the fast kernel path."""
+    system = tiny_system()
+    service = BeamformingService(system, architecture="tablefree",
+                                 backend="vectorized", precision="float32",
+                                 cache=PlanCache())
+    grid_mid_depth = system.volume.depth_min + 0.5 * system.volume.depth_span
+    data = EchoSimulator.from_config(system).simulate(
+        point_target(depth=grid_mid_depth))
+    service.submit_frame(data)  # warm the plan cache
+
+    results = benchmark(lambda: service.stream_all(static_cine(data, 8),
+                                                   batch_size=8))
+    assert len(results) == 8
 
 
 def test_bench_streamed_cine(benchmark):
     """Throughput of an 8-frame static cine on the sharded backend."""
     system = tiny_system()
     service = BeamformingService(system, architecture="tablefree",
-                                 backend="sharded", cache=DelayTableCache())
+                                 backend="sharded", cache=PlanCache())
     grid_mid_depth = system.volume.depth_min + 0.5 * system.volume.depth_span
     data = EchoSimulator.from_config(system).simulate(
         point_target(depth=grid_mid_depth))
-    service.submit_frame(data)  # warm the delay-table cache
+    service.submit_frame(data)  # warm the plan cache
 
     results = benchmark(lambda: service.stream_all(static_cine(data, 8)))
     assert len(results) == 8

@@ -8,10 +8,12 @@ scaled-down ``tiny`` preset:
 2. describe the acquisition as a :class:`repro.api.ScanSpec` cine;
 3. stream it through the ``reference``, ``vectorized`` and ``sharded``
    execution backends vended by one shared :class:`repro.api.Session`;
-4. report per-backend volume rate, voxel rate and delay-table cache
-   behaviour — only the first frame of each batched backend pays the
-   delay-generation cost, every later frame reuses the cached tensors;
-5. verify that all backends found the moving target at the same voxel.
+4. report per-backend volume rate, voxel rate and plan-cache behaviour —
+   only the first frame of each plan-based backend pays the compile cost,
+   every later frame reuses the cached :class:`BeamformingPlan`;
+5. run the fast kernel path (``precision="float32"`` + batched submission)
+   and verify it against the exact volumes;
+6. verify that all backends found the moving target at the same voxel.
 
 Usage::
 
@@ -23,7 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api import BACKENDS, EngineSpec, ScanSpec, Session
-from repro.runtime import DelayTableCache
+from repro.kernels import Precision
+from repro.runtime import PlanCache
 
 N_FRAMES = 8
 
@@ -43,7 +46,7 @@ def main() -> None:
     for backend in BACKENDS.names():
         # Each backend gets a private cache so its hit/miss counters are
         # directly comparable (cross-backend sharing is shown in the tests).
-        service = session.service(backend=backend, cache=DelayTableCache())
+        service = session.service(backend=backend, cache=PlanCache())
         results = service.stream_all(scan.build_frames(session.system))
         peak_tracks[backend] = [
             np.unravel_index(int(np.argmax(np.abs(r.rf))), r.rf.shape)
@@ -53,6 +56,21 @@ def main() -> None:
               f"{stats.voxels_per_second:.3e} voxels/s  "
               f"mean latency {stats.mean_latency_seconds * 1e3:6.2f} ms  "
               f"cache {stats.cache.hits} hits / {stats.cache.misses} misses")
+
+    # The fast path: float32 kernels, 4 frames per batched execution.
+    fast = session.service(backend="vectorized", cache=PlanCache(),
+                           precision="float32")
+    fast_results = fast.stream_all(scan.build_frames(session.system),
+                                   batch_size=4)
+    stats = fast.stats()
+    print(f"  {'float32 x4':<10s}: {stats.frames_per_second:8.2f} frames/s  "
+          f"{stats.voxels_per_second:.3e} voxels/s  "
+          f"(batched, {stats.precision})")
+    exact = session.service(backend="vectorized", cache=PlanCache())
+    for fast_result, frame in zip(fast_results,
+                                  scan.build_frames(session.system)):
+        Precision.FLOAT32.tolerance.assert_allclose(
+            fast_result.rf, exact.submit_frame(frame).rf)
 
     reference_track = peak_tracks["reference"]
     agree = all(peak_tracks[b] == reference_track

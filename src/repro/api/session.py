@@ -19,8 +19,9 @@ from ..acoustics.echo import ChannelData, EchoSimulator
 from ..acoustics.phantom import Phantom
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
+from ..kernels import Precision
 from ..pipeline.imaging import ImagingPipeline
-from ..runtime.cache import DelayTableCache
+from ..runtime.cache import PlanCache
 from ..runtime.scheduler import FrameResult
 from ..runtime.service import BeamformingService
 from .specs import EngineSpec, ScanSpec
@@ -57,7 +58,7 @@ class Session:
         self.transducer = MatrixTransducer.from_config(self.system)
         self.grid = FocalGrid.from_config(self.system)
         self.simulator = EchoSimulator.from_config(self.system)
-        self.cache = DelayTableCache(capacity=spec.cache_capacity)
+        self.cache = PlanCache(capacity=spec.cache_capacity)
 
     # ------------------------------------------------------------ builders
     def _resolve_variant(self, architecture: str | None, backend: str | None,
@@ -82,14 +83,16 @@ class Session:
                  backend: str | None = None,
                  architecture_options: Any = None,
                  backend_options: Any = None,
-                 cache: DelayTableCache | None = None,
-                 provider: Any = None) -> ImagingPipeline:
+                 cache: PlanCache | None = None,
+                 provider: Any = None,
+                 precision: Precision | str | None = None) -> ImagingPipeline:
         """An :class:`ImagingPipeline` over the shared substrates.
 
-        ``architecture`` / ``backend`` (and their options) default to the
-        session spec; overriding them swaps the variant while keeping the
-        simulator, transducer, grid and cache shared.  A pre-built
-        ``provider`` skips delay-generator construction entirely.
+        ``architecture`` / ``backend`` (and their options) and
+        ``precision`` default to the session spec; overriding them swaps
+        the variant while keeping the simulator, transducer, grid and cache
+        shared.  A pre-built ``provider`` skips delay-generator
+        construction entirely.
         """
         architecture, architecture_options, backend, backend_options = \
             self._resolve_variant(architecture, backend,
@@ -102,6 +105,8 @@ class Session:
             interpolation=self.spec.interpolation,
             backend=backend,
             backend_options=backend_options,
+            precision=precision if precision is not None
+            else self.spec.precision,
             cache=cache if cache is not None else self.cache,
             simulator=self.simulator,
             transducer=self.transducer,
@@ -112,7 +117,9 @@ class Session:
                 backend: str | None = None,
                 architecture_options: Any = None,
                 backend_options: Any = None,
-                cache: DelayTableCache | None = None) -> BeamformingService:
+                cache: PlanCache | None = None,
+                precision: Precision | str | None = None
+                ) -> BeamformingService:
         """A streaming :class:`BeamformingService` over the shared substrates.
 
         Note the service's default backend is the spec's backend — for a
@@ -131,6 +138,8 @@ class Session:
             backend_options=backend_options,
             apodization=self.spec.apodization,
             interpolation=self.spec.interpolation,
+            precision=precision if precision is not None
+            else self.spec.precision,
             cache=cache if cache is not None else self.cache,
             simulator=self.simulator)
 
@@ -141,14 +150,20 @@ class Session:
         return self.simulator.simulate(phantom, noise_std=noise_std, seed=seed)
 
     def stream(self, scan: ScanSpec | Mapping | None = None,
+               batch_size: int = 1,
                **service_overrides: Any) -> list[FrameResult]:
-        """Stream a :class:`ScanSpec` cine through a spec-configured service."""
+        """Stream a :class:`ScanSpec` cine through a spec-configured service.
+
+        ``batch_size > 1`` groups frames into batched kernel executions
+        (see :meth:`BeamformingService.submit_batch`).
+        """
         if scan is None:
             scan = ScanSpec()
         elif isinstance(scan, Mapping):
             scan = ScanSpec.from_dict(dict(scan))
         service = self.service(**service_overrides)
-        return service.stream_all(scan.build_frames(self.system))
+        return service.stream_all(scan.build_frames(self.system),
+                                  batch_size=batch_size)
 
     def sweep(self, phantom: Phantom | None = None,
               architectures: Iterable[str] | None = None,

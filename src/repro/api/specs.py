@@ -31,6 +31,7 @@ from ..beamformer.das import ApodizationSettings
 from ..beamformer.interpolation import InterpolationKind
 from ..config import PRESETS, SystemConfig, get_preset
 from ..geometry.volume import FocalGrid
+from ..kernels import Precision, resolve_precision
 from ..registry import Registry, decode_options, encode_options
 from ..runtime.backends import BACKENDS
 from ..runtime.scheduler import FrameRequest, moving_point_cine
@@ -80,8 +81,12 @@ class EngineSpec:
     interpolation: InterpolationKind = InterpolationKind.NEAREST
     """Echo-sample interpolation strategy (name or enum)."""
 
+    precision: Precision = Precision.FLOAT64
+    """Kernel execution dtype policy (``"float64"`` exact /
+    ``"float32"`` fast; name or :class:`repro.kernels.Precision`)."""
+
     cache_capacity: int = 4
-    """Capacity of the session's shared delay-table LRU cache."""
+    """Capacity of the session's shared compiled-plan LRU cache."""
 
     def __post_init__(self) -> None:
         system = self.system
@@ -118,6 +123,8 @@ class EngineSpec:
                                               self.apodization))
         object.__setattr__(self, "interpolation",
                            InterpolationKind(self.interpolation))
+        object.__setattr__(self, "precision",
+                           resolve_precision(self.precision))
         if not isinstance(self.cache_capacity, int) or self.cache_capacity < 1:
             raise ValueError("cache_capacity must be a positive integer")
 
@@ -144,6 +151,7 @@ class EngineSpec:
             "backend_options": encode_options(self.backend_options),
             "apodization": encode_options(self.apodization),
             "interpolation": self.interpolation.value,
+            "precision": self.precision.value,
             "cache_capacity": self.cache_capacity,
         }
 

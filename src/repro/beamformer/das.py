@@ -21,7 +21,9 @@ from ..geometry.apodization import WindowType, aperture_apodization, directivity
 from ..geometry.coordinates import off_axis_angle
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
-from .interpolation import InterpolationKind, fetch_samples
+from ..kernels.ops import delay_and_sum
+from ..kernels.precision import Precision, resolve_precision
+from .interpolation import InterpolationKind
 
 
 @runtime_checkable
@@ -79,17 +81,25 @@ class DelayAndSumBeamformer:
         Echo-sample interpolation strategy.  ``NEAREST`` (default) models the
         integer-index hardware addressing of the paper; ``LINEAR`` performs
         fractional-delay interpolation and is used by the ablation study.
+    precision:
+        Execution dtype policy of the gather/weight/accumulate arithmetic
+        (see :class:`repro.kernels.Precision`).  ``float64`` (default)
+        reproduces the historical behaviour exactly; ``float32`` trades a
+        documented tolerance for memory bandwidth.  Delay *generation* is
+        always ``float64`` either way.
     """
 
     def __init__(self, system: SystemConfig, delays: DelayProvider,
                  apodization: ApodizationSettings | None = None,
                  interpolation: InterpolationKind = InterpolationKind.NEAREST,
                  transducer: MatrixTransducer | None = None,
-                 grid: FocalGrid | None = None) -> None:
+                 grid: FocalGrid | None = None,
+                 precision: Precision | str | None = None) -> None:
         self.system = system
         self.delays = delays
         self.apodization = apodization or ApodizationSettings()
         self.interpolation = interpolation
+        self.precision = resolve_precision(precision)
         self.transducer = transducer or MatrixTransducer.from_config(system)
         self.grid = grid or FocalGrid.from_config(system)
         self._aperture_weights = aperture_apodization(
@@ -168,9 +178,6 @@ class DelayAndSumBeamformer:
     def _sum_with_delays(self, channel_data: ChannelData,
                          delays_samples: np.ndarray,
                          weights: np.ndarray) -> np.ndarray:
-        n_points, n_elements = delays_samples.shape
-        element_indices = np.broadcast_to(np.arange(n_elements),
-                                          delays_samples.shape)
-        samples = fetch_samples(channel_data, element_indices, delays_samples,
-                                kind=self.interpolation)
-        return np.sum(weights * samples, axis=1)
+        return delay_and_sum(channel_data.samples, delays_samples, weights,
+                             kind=self.interpolation,
+                             dtype=self.precision.dtype)

@@ -44,7 +44,8 @@ def reconstruct_scanline_order(beamformer: DelayAndSumBeamformer,
     """Reconstruct the whole volume scanline-by-scanline (depth innermost)."""
     grid = beamformer.grid
     n_theta, n_phi, n_depth = grid.shape
-    rf = np.zeros((n_theta, n_phi, n_depth))
+    rf = np.zeros((n_theta, n_phi, n_depth),
+                  dtype=beamformer.precision.dtype)
     for i_theta in range(n_theta):
         for i_phi in range(n_phi):
             rf[i_theta, i_phi, :] = beamformer.beamform_scanline(
@@ -57,7 +58,8 @@ def reconstruct_nappe_order(beamformer: DelayAndSumBeamformer,
     """Reconstruct the whole volume nappe-by-nappe (depth outermost)."""
     grid = beamformer.grid
     n_theta, n_phi, n_depth = grid.shape
-    rf = np.zeros((n_theta, n_phi, n_depth))
+    rf = np.zeros((n_theta, n_phi, n_depth),
+                  dtype=beamformer.precision.dtype)
     for i_depth in range(n_depth):
         rf[:, :, i_depth] = beamformer.beamform_nappe(channel_data, i_depth)
     return BeamformedVolume(rf=rf, order="nappe")
@@ -75,7 +77,7 @@ def reconstruct_plane(beamformer: DelayAndSumBeamformer,
     n_theta, n_phi, n_depth = grid.shape
     if i_phi is None:
         i_phi = n_phi // 2
-    image = np.zeros((n_theta, n_depth))
+    image = np.zeros((n_theta, n_depth), dtype=beamformer.precision.dtype)
     for i_theta in range(n_theta):
         image[i_theta, :] = beamformer.beamform_scanline(channel_data,
                                                          i_theta, i_phi)

@@ -81,6 +81,8 @@ def _merged_spec_data(args: argparse.Namespace,
         data["backend"] = args.backend
     elif "backend" not in data and default_backend is not None:
         data["backend"] = default_backend
+    if getattr(args, "dtype", None):
+        data["precision"] = args.dtype
     return apply_overrides(data, getattr(args, "set", None) or [])
 
 
@@ -235,6 +237,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.frames < 1:
         print("--frames must be at least 1", file=sys.stderr)
         return 2
+    if args.batch < 1:
+        print("--batch must be at least 1", file=sys.stderr)
+        return 2
     try:
         spec = _resolve_engine_spec(args, default_system="small",
                                     default_backend="vectorized")
@@ -247,8 +252,10 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     frames = scan.build_frames(session.system)
     print(f"Streaming {len(frames)} frames on system '{session.system.name}' "
           f"(architecture={service.architecture}, "
-          f"backend={service.backend_name}, scenario={scan.scenario})")
-    for result in service.stream(frames):
+          f"backend={service.backend_name}, "
+          f"dtype={service.precision.value}, batch={args.batch}, "
+          f"scenario={scan.scenario})")
+    for result in service.stream(frames, batch_size=args.batch):
         print(f"  frame {result.frame_id:3d}: "
               f"acquire {result.acquire_seconds * 1e3:8.2f} ms, "
               f"beamform {result.beamform_seconds * 1e3:8.2f} ms")
@@ -321,6 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
                                help="scan scenario (see 'list')")
     stream_parser.add_argument("--frames", type=int, default=8,
                                help="number of cine frames (default 8)")
+    stream_parser.add_argument("--dtype", choices=["float64", "float32"],
+                               default=None,
+                               help="kernel execution precision "
+                                    "[default: float64 (exact)]")
+    stream_parser.add_argument("--batch", type=int, default=1,
+                               help="frames per batched kernel execution "
+                                    "(default 1 = per-frame)")
     stream_parser.set_defaults(handler=_cmd_stream)
     return parser
 

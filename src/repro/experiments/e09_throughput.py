@@ -16,6 +16,7 @@ import numpy as np
 
 from ..config import SystemConfig, paper_system
 from ..core.reference_table import ReferenceDelayTable
+from ..kernels import plan_storage_bytes
 from ..core.steering import SteeringCorrections
 from ..hardware.architecture import BlockGeometry, DelayComputeBlock, paper_block_array
 from ..hardware.timing import (
@@ -50,9 +51,23 @@ def run(system: SystemConfig | None = None) -> dict[str, object]:
     direct = np.floor(reference_sample + x_corr[:, None] + y_corr[None, :] + 0.5)
     dataflow_matches = bool(np.array_equal(block_output, direct.astype(np.int64)))
 
+    # Software-runtime counterpart of the storage argument: a compiled
+    # repro.kernels plan is the "full delay table" in software form.  At
+    # paper scale it does not fit (terabytes) — the reason both the paper's
+    # hardware and our streaming runtime generate/compile once and reuse —
+    # while the float32 policy shaves the weight tensor by 4 bytes/entry.
+    n_points = system.volume.focal_point_count
+    n_elements = system.transducer.element_count
+    plan_storage = {
+        "entries": n_points * n_elements,
+        "float64_bytes": plan_storage_bytes(n_points, n_elements, "float64"),
+        "float32_bytes": plan_storage_bytes(n_points, n_elements, "float32"),
+    }
+
     return {
         "system": system.name,
         "required_delay_rate": required_delay_rate(system),
+        "plan_storage": plan_storage,
         "block": {
             "adders": geometry.adder_count,
             "rounding_adders": geometry.rounding_adder_count,
@@ -140,6 +155,11 @@ def main(system: SystemConfig | None = None) -> None:
           f"(paper 19.7)")
     print(f"  TABLEFREE frame rate      : {free['frame_rate']:.1f} fps at 167 MHz "
           f"(paper 7.8); {20 * free['fps_per_mhz']:.2f} fps per 20 MHz")
+    storage = result["plan_storage"]
+    print(f"  compiled-plan storage     : {storage['entries']:.3e} entries -> "
+          f"{storage['float64_bytes'] / 1e9:.2f} GB float64 / "
+          f"{storage['float32_bytes'] / 1e9:.2f} GB float32 "
+          f"(why delays must stream, Section II-B)")
 
 
 if __name__ == "__main__":

@@ -1,39 +1,56 @@
-"""Experiment E11: streaming-runtime throughput across execution backends.
+"""Experiment E11: streaming-runtime throughput across backends x dtypes.
 
 The software companion to E9: where E9 reproduces the paper's *hardware*
 delay-rate arithmetic (Fig. 4 blocks, Tdelays/s), this experiment measures
 what the same amortisation buys in the software runtime.  A cine sequence of
 a moving point target is streamed through the :class:`BeamformingService`
-once per execution backend; because probe geometry is constant across the
-sequence, the delay/weight tensors are generated for the first frame only
-and every later frame is served from the :class:`DelayTableCache` — the
-software analogue of reading a precomputed table instead of recomputing
-delays per sample.
+once per (execution backend, kernel precision) pair — and once more through
+the batched multi-frame path — so three effects are visible side by side:
 
-Reported per backend: sustained frames/s and voxels/s, mean per-frame
-latency, speedup over the ``reference`` per-scanline path, and the cache
-hit/miss counters proving that repeated frames skip delay regeneration.
+* **plan caching** — probe geometry is constant across the sequence, so the
+  compiled :class:`repro.kernels.BeamformingPlan` is built for the first
+  frame only and every later frame is served from the
+  :class:`repro.runtime.cache.PlanCache` (the software analogue of reading
+  a precomputed table instead of recomputing delays per sample);
+* **dtype policy** — ``float32`` halves the gather/accumulate memory
+  traffic against the bit-exact ``float64`` baseline;
+* **batching** — ``execute_batch`` amortises index setup and NumPy
+  dispatch across frames.
+
+Reported per (backend, dtype): sustained frames/s and voxels/s per-frame
+and batched, mean per-frame latency, speedup over the ``reference`` /
+``float64`` per-scanline path, and the cache hit/miss counters proving that
+repeated frames skip plan compilation.  ``write_bench_json`` serialises the
+whole table to ``BENCH_runtime.json`` so CI can track the throughput
+trajectory per PR (``python -m repro.experiments.e11_runtime_throughput
+--json BENCH_runtime.json``).
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from ..api import EngineSpec, ScanSpec, Session
 from ..config import SystemConfig, tiny_system
-from ..runtime import DelayTableCache
+from ..runtime import PlanCache
+
+DEFAULT_BACKENDS = ("reference", "vectorized", "sharded")
+DEFAULT_PRECISIONS = ("float64", "float32")
 
 
 def run(system: SystemConfig | None = None,
         architecture: str = "tablesteer",
         n_frames: int = 8,
-        backends: tuple[str, ...] = ("reference", "vectorized", "sharded"),
-        ) -> dict[str, object]:
-    """Stream ``n_frames`` cine frames through each backend and compare.
+        backends: tuple[str, ...] = DEFAULT_BACKENDS,
+        precisions: tuple[str, ...] = DEFAULT_PRECISIONS,
+        batch: int = 4) -> dict[str, object]:
+    """Stream ``n_frames`` cine frames through each backend x dtype variant.
 
     The same pre-simulated channel-data sequence is replayed for every
-    backend so the measured differences come from execution strategy alone.
-    The engine family is described declaratively: one
-    :class:`repro.api.EngineSpec` per backend, all sharing one
-    :class:`repro.api.Session`'s simulator and grid.
+    variant so the measured differences come from execution strategy and
+    precision alone.  Each variant is measured twice: per-frame submission
+    and batched submission (``batch`` frames per kernel execution).
     """
     spec = EngineSpec(system=system if system is not None else tiny_system(),
                       architecture=architecture)
@@ -42,36 +59,57 @@ def run(system: SystemConfig | None = None,
     scan = ScanSpec(scenario="moving_point", frames=n_frames)
     frames = scan.build_frames(system)
 
-    # Pre-simulate the acquisitions once; all backends replay the same data.
+    # Pre-simulate the acquisitions once; all variants replay the same data.
     recorded = [session.simulator.simulate(f.phantom, seed=f.seed)
                 for f in frames]
 
-    results: dict[str, dict[str, float]] = {}
+    results: dict[str, dict[str, dict[str, float]]] = {}
     for backend in backends:
-        # A private cache per backend keeps the hit/miss counters comparable.
-        service = session.service(backend=backend, cache=DelayTableCache())
-        for data in recorded:
-            service.submit_frame(data)
-        stats = service.stats()
-        results[backend] = {
-            "frames": stats.frames,
-            "frames_per_second": stats.frames_per_second,
-            "voxels_per_second": stats.voxels_per_second,
-            "mean_latency_seconds": stats.mean_latency_seconds,
-            "cache_hits": stats.cache.hits,
-            "cache_misses": stats.cache.misses,
-        }
+        results[backend] = {}
+        for precision in precisions:
+            # A private cache per variant keeps the hit/miss counters
+            # comparable across rows.
+            service = session.service(backend=backend, cache=PlanCache(),
+                                      precision=precision)
+            for data in recorded:
+                service.submit_frame(data)
+            stats = service.stats()
 
-    reference_fps = results.get("reference", {}).get("frames_per_second")
-    for backend, row in results.items():
-        row["speedup_vs_reference"] = (
-            row["frames_per_second"] / reference_fps
-            if reference_fps else float("nan"))
+            batched = session.service(backend=backend, cache=PlanCache(),
+                                      precision=precision)
+            batched.stream_all(list(recorded), batch_size=batch)
+            batched_stats = batched.stats()
+
+            results[backend][precision] = {
+                "frames": stats.frames,
+                "frames_per_second": stats.frames_per_second,
+                "voxels_per_second": stats.voxels_per_second,
+                "mean_latency_seconds": stats.mean_latency_seconds,
+                "cache_hits": stats.cache.hits,
+                "cache_misses": stats.cache.misses,
+                "batched_frames_per_second": batched_stats.frames_per_second,
+                "batched_voxels_per_second": batched_stats.voxels_per_second,
+            }
+
+    reference_fps = results.get("reference", {}).get("float64", {}) \
+        .get("frames_per_second")
+    # None (JSON null) rather than NaN when the sweep excludes the
+    # reference row: json.dumps would otherwise emit the non-standard
+    # ``NaN`` token and break strict consumers of BENCH_runtime.json.
+    for rows in results.values():
+        for row in rows.values():
+            row["speedup_vs_reference"] = (
+                row["frames_per_second"] / reference_fps
+                if reference_fps else None)
+            row["batched_speedup_vs_reference"] = (
+                row["batched_frames_per_second"] / reference_fps
+                if reference_fps else None)
 
     return {
         "system": system.name,
         "architecture": architecture,
         "n_frames": n_frames,
+        "batch": batch,
         "voxels_per_frame": system.volume.focal_point_count,
         "backends": results,
         "paper_reference": {
@@ -85,20 +123,58 @@ def run(system: SystemConfig | None = None,
     }
 
 
+def write_bench_json(path: str | Path,
+                     system: SystemConfig | None = None,
+                     **run_kwargs) -> dict[str, object]:
+    """Run the sweep and write the frames/s / voxels/s table to ``path``.
+
+    This is the CI hook: the written ``BENCH_runtime.json`` records the
+    per-PR throughput trajectory per backend x dtype.
+    """
+    result = run(system=system, **run_kwargs)
+    Path(path).write_text(
+        json.dumps(result, indent=2, sort_keys=True, allow_nan=False) + "\n")
+    return result
+
+
 def main(system: SystemConfig | None = None) -> None:
-    """Print the backend throughput comparison."""
+    """Print the backend x dtype throughput comparison."""
     result = run(system=system)
     print("Experiment E11: streaming runtime throughput "
           f"(system '{result['system']}', architecture {result['architecture']}, "
-          f"{result['n_frames']} frames)")
+          f"{result['n_frames']} frames, batch={result['batch']})")
     print(f"  voxels per frame          : {result['voxels_per_frame']}")
-    for backend, row in result["backends"].items():
-        print(f"  {backend:<10s}: {row['frames_per_second']:8.2f} frames/s  "
-              f"{row['voxels_per_second']:.3e} voxels/s  "
-              f"{row['speedup_vs_reference']:.2f}x vs reference  "
-              f"cache {row['cache_hits']} hits / {row['cache_misses']} misses")
+    for backend, rows in result["backends"].items():
+        for precision, row in rows.items():
+            speedup = row["speedup_vs_reference"]
+            speedup_text = (f"{speedup:.2f}x vs reference"
+                            if speedup is not None else "(no reference row)")
+            print(f"  {backend:<10s} {precision:<8s}: "
+                  f"{row['frames_per_second']:8.2f} frames/s  "
+                  f"(batched {row['batched_frames_per_second']:8.2f})  "
+                  f"{row['voxels_per_second']:.3e} voxels/s  "
+                  f"{speedup_text}  "
+                  f"cache {row['cache_hits']}h/{row['cache_misses']}m")
     print("  (paper target: 15 volumes/s sustained, Section II-C)")
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="E11 streaming runtime throughput")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write the result table to FILE "
+                             "(e.g. BENCH_runtime.json)")
+    args = parser.parse_args()
+    if args.json:
+        result = write_bench_json(args.json)
+        print(f"wrote {args.json}")
+        rows = result["backends"]
+        for backend, by_precision in rows.items():
+            for precision, row in by_precision.items():
+                print(f"  {backend:<10s} {precision:<8s}: "
+                      f"{row['frames_per_second']:8.2f} frames/s "
+                      f"(batched {row['batched_frames_per_second']:8.2f})")
+    else:
+        main()

@@ -1,0 +1,48 @@
+"""repro.kernels: the unified low-level beamforming kernel layer.
+
+Every path that *consumes* delays — the classic per-scanline loop in
+:mod:`repro.beamformer.das`, the ``reference``/``vectorized``/``sharded``
+execution backends in :mod:`repro.runtime.backends`, and the batched
+multi-frame streaming path — executes through this package, so a speedup
+landed here (a dtype policy, a better gather, one day a GPU kernel) reaches
+every entry point at once.
+
+* :mod:`repro.kernels.ops` — the three primitive kernels
+  (:func:`gather_interp`, :func:`apply_weights`, :func:`accumulate`), the
+  precompiled :class:`GatherIndex` addressing and the uncompiled
+  :func:`delay_and_sum` composition.
+* :mod:`repro.kernels.plan` — :class:`BeamformingPlan`, a frozen artifact
+  compiled once per ``(system, architecture, apodization, interpolation,
+  precision)`` and executed per frame / per row block / per batch.
+* :mod:`repro.kernels.precision` — the :class:`Precision` dtype policy
+  (``float64`` exact / ``float32`` fast) with pinned equivalence
+  tolerances.
+"""
+
+from .ops import (
+    GatherIndex,
+    accumulate,
+    apply_weights,
+    build_gather_index,
+    delay_and_sum,
+    gather_interp,
+)
+from .plan import BeamformingPlan, compile_plan, plan_key, plan_storage_bytes
+from .precision import TOLERANCES, Precision, Tolerance, resolve_precision
+
+__all__ = [
+    "BeamformingPlan",
+    "GatherIndex",
+    "Precision",
+    "TOLERANCES",
+    "Tolerance",
+    "accumulate",
+    "apply_weights",
+    "build_gather_index",
+    "compile_plan",
+    "delay_and_sum",
+    "gather_interp",
+    "plan_key",
+    "plan_storage_bytes",
+    "resolve_precision",
+]

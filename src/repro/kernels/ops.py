@@ -1,0 +1,218 @@
+"""Low-level beamforming kernels: gather, weight, accumulate.
+
+Every consumer of delays in this codebase — the per-scanline classic loop,
+the whole-volume vectorized backend, the thread-sharded backend and the
+batched multi-frame path — ultimately performs the same three steps:
+
+1. :func:`gather_interp` — fetch one echo sample per (focal point, element)
+   from the channel buffers at the delayed index (nearest or linear);
+2. :func:`apply_weights` — multiply by the receive apodization weights;
+3. :func:`accumulate` — sum across the element axis (Eq. 1 of the paper).
+
+This module is the single implementation of those steps.  The kernels are
+shape-polymorphic over a leading batch axis: ``samples`` may be one frame
+``(n_elements, n_samples)`` or a stacked cine ``(n_frames, n_elements,
+n_samples)`` and every kernel broadcasts accordingly, which is what makes
+multi-frame execution one fancy-index instead of a Python loop per frame.
+
+Addressing is split from gathering: :func:`build_gather_index` converts a
+fractional-delay tensor into the integer indices, validity masks and (for
+linear interpolation) fractions once, so a compiled
+:class:`repro.kernels.plan.BeamformingPlan` pays the float->index conversion
+at compile time rather than per frame — the software analogue of the paper's
+precomputed delay table.
+
+Arithmetic runs in the dtype of ``samples`` (see
+:class:`repro.kernels.precision.Precision`); delay tensors and the index
+build are always ``float64`` so echo addressing is precision-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..beamformer.interpolation import InterpolationKind
+
+# InterpolationKind is a str-valued enum; the kernels compare by value so
+# this module stays below repro.beamformer in the import graph (das.py
+# imports these kernels).
+_NEAREST = "nearest"
+_LINEAR = "linear"
+
+__all__ = [
+    "GatherIndex",
+    "accumulate",
+    "apply_weights",
+    "build_gather_index",
+    "delay_and_sum",
+    "gather_interp",
+]
+
+
+@dataclass(frozen=True)
+class GatherIndex:
+    """Precomputed echo-buffer addressing for one delay tensor.
+
+    For ``NEAREST`` only ``indices``/``valid`` are set; for ``LINEAR`` the
+    ``lower``/``upper`` index pair, their masks and the interpolation
+    ``fraction`` are set.  All arrays have the delay tensor's
+    ``(n_points, n_elements)`` shape; indices are pre-clipped into the
+    buffer so gathering never faults, and the masks zero the out-of-range
+    fetches (a hardware echo buffer addressed past its end contributes
+    nothing).
+    """
+
+    kind: "InterpolationKind | str"
+    n_samples: int
+    element_indices: np.ndarray
+    indices: np.ndarray | None = None
+    valid: np.ndarray | None = None
+    lower: np.ndarray | None = None
+    upper: np.ndarray | None = None
+    fraction: np.ndarray | None = None
+    lower_valid: np.ndarray | None = None
+    upper_valid: np.ndarray | None = None
+
+    @property
+    def n_points(self) -> int:
+        """Number of focal points addressed."""
+        return self.element_indices.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the owned index/mask tensors [bytes].
+
+        ``element_indices`` is a broadcast view and costs nothing.
+        """
+        arrays = (self.indices, self.valid, self.lower, self.upper,
+                  self.fraction, self.lower_valid, self.upper_valid)
+        return sum(a.nbytes for a in arrays if a is not None)
+
+    def rows(self, rows: slice) -> "GatherIndex":
+        """A view of this index restricted to a contiguous point block."""
+        def cut(array: np.ndarray | None) -> np.ndarray | None:
+            return array[rows] if array is not None else None
+
+        return replace(self, element_indices=self.element_indices[rows],
+                       indices=cut(self.indices), valid=cut(self.valid),
+                       lower=cut(self.lower), upper=cut(self.upper),
+                       fraction=cut(self.fraction),
+                       lower_valid=cut(self.lower_valid),
+                       upper_valid=cut(self.upper_valid))
+
+
+def build_gather_index(delays_samples: np.ndarray, n_samples: int,
+                       kind: "InterpolationKind | str" = _NEAREST
+                       ) -> GatherIndex:
+    """Convert fractional-sample delays into clipped gather indices + masks.
+
+    ``delays_samples`` has shape ``(n_points, n_elements)``; ``n_samples``
+    is the echo-buffer length the indices address.  This is the only place
+    delays are rounded, so nearest/linear addressing is defined here once
+    for every execution path.
+    """
+    delays = np.asarray(delays_samples, dtype=np.float64)
+    if delays.ndim != 2:
+        raise ValueError("delays must have shape (n_points, n_elements), "
+                         f"got {delays.shape}")
+    element_indices = np.broadcast_to(np.arange(delays.shape[1]),
+                                      delays.shape)
+    kind_value = getattr(kind, "value", kind)
+    if kind_value == _NEAREST:
+        indices = np.floor(delays + 0.5).astype(np.int64)
+        valid = (indices >= 0) & (indices < n_samples)
+        return GatherIndex(kind=kind, n_samples=n_samples,
+                           element_indices=element_indices,
+                           indices=np.clip(indices, 0, n_samples - 1),
+                           valid=valid)
+    if kind_value == _LINEAR:
+        lower = np.floor(delays)
+        fraction = delays - lower
+        lower_idx = lower.astype(np.int64)
+        upper_idx = lower_idx + 1
+        lower_valid = (lower_idx >= 0) & (lower_idx < n_samples)
+        upper_valid = (upper_idx >= 0) & (upper_idx < n_samples)
+        return GatherIndex(kind=kind, n_samples=n_samples,
+                           element_indices=element_indices,
+                           lower=np.clip(lower_idx, 0, n_samples - 1),
+                           upper=np.clip(upper_idx, 0, n_samples - 1),
+                           fraction=fraction,
+                           lower_valid=lower_valid, upper_valid=upper_valid)
+    raise ValueError(f"unknown interpolation kind: {kind!r}")
+
+
+def _take(samples: np.ndarray, element_indices: np.ndarray,
+          sample_indices: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Fancy-index fetch with invalid entries zeroed.
+
+    ``samples`` is ``(n_elements, n_samples)`` or ``(n_frames, n_elements,
+    n_samples)``; the result is ``(n_points, n_elements)`` or ``(n_frames,
+    n_points, n_elements)``.
+    """
+    if samples.ndim == 2:
+        values = samples[element_indices, sample_indices]
+    else:
+        # Batched fancy indexing places the frame axis innermost in memory;
+        # copy to C order so the element-axis reduction is contiguous — that
+        # keeps NumPy's pairwise summation (bit-identical with the per-frame
+        # path) and is faster than reducing a strided view.
+        values = np.ascontiguousarray(samples[:, element_indices,
+                                              sample_indices])
+    values[..., ~valid] = 0.0
+    return values
+
+
+def gather_interp(samples: np.ndarray, index: GatherIndex) -> np.ndarray:
+    """Fetch (and, for LINEAR, interpolate) echo samples via a gather index.
+
+    The result is carried in ``samples.dtype`` — cast the buffer once before
+    calling to select the execution precision.
+    """
+    samples = np.asarray(samples)
+    if samples.ndim not in (2, 3):
+        raise ValueError("samples must be (n_elements, n_samples) or "
+                         "(n_frames, n_elements, n_samples), "
+                         f"got {samples.shape}")
+    if samples.shape[-1] != index.n_samples:
+        raise ValueError(
+            f"gather index was built for {index.n_samples}-sample buffers, "
+            f"got {samples.shape[-1]} samples")
+    if getattr(index.kind, "value", index.kind) == _NEAREST:
+        return _take(samples, index.element_indices, index.indices,
+                     index.valid)
+    below = _take(samples, index.element_indices, index.lower,
+                  index.lower_valid)
+    above = _take(samples, index.element_indices, index.upper,
+                  index.upper_valid)
+    fraction = index.fraction.astype(samples.dtype, copy=False)
+    return (1.0 - fraction) * below + fraction * above
+
+
+def apply_weights(samples: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Apodize gathered samples (weights broadcast over any batch axis)."""
+    return weights.astype(samples.dtype, copy=False) * samples
+
+
+def accumulate(weighted: np.ndarray) -> np.ndarray:
+    """Sum the weighted samples across the trailing element axis (Eq. 1)."""
+    return np.sum(weighted, axis=-1)
+
+
+def delay_and_sum(samples: np.ndarray, delays_samples: np.ndarray,
+                  weights: np.ndarray,
+                  kind: "InterpolationKind | str" = _NEAREST,
+                  dtype: np.dtype | type = np.float64) -> np.ndarray:
+    """One-shot gather/weight/accumulate for freshly generated delays.
+
+    The uncompiled entry point: used where delays are produced per call (the
+    per-scanline classic loop, arbitrary-point beamforming) and caching an
+    index would buy nothing.  Compiled execution goes through
+    :class:`repro.kernels.plan.BeamformingPlan` instead.
+    """
+    samples = np.asarray(samples, dtype=dtype)
+    index = build_gather_index(delays_samples, samples.shape[-1], kind)
+    return accumulate(apply_weights(gather_interp(samples, index), weights))

@@ -1,0 +1,263 @@
+"""Compiled beamforming plans: delays + weights + addressing, frozen once.
+
+A :class:`BeamformingPlan` is the cacheable artifact every execution path
+shares.  It is compiled **once** from ``(SystemConfig, delay architecture,
+apodization, interpolation, precision)`` — everything that determines the
+per-frame arithmetic — and then executed against any number of frames:
+
+* :meth:`BeamformingPlan.execute` — one frame -> one volume;
+* :meth:`BeamformingPlan.execute_rows` — a contiguous point block (what the
+  sharded backend's workers run);
+* :meth:`BeamformingPlan.execute_batch` — a stacked cine -> stacked volumes
+  in one gather, amortising index setup and NumPy dispatch across frames.
+
+Compilation materialises the full ``(n_points, n_elements)`` delay and
+weight tensors and pre-resolves the fractional delays into clipped integer
+gather indices (:func:`repro.kernels.ops.build_gather_index`) for the
+system's echo-buffer length — the software analogue of the paper's
+precomputed delay table: the expensive float work happens once, streaming
+frames only gather.  Plans are immutable and safe to share across backends
+and threads; :func:`plan_key` (which includes the interpolation kind and
+execution dtype) is the key they are cached under in
+:class:`repro.runtime.cache.PlanCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable, Sequence
+
+import numpy as np
+
+from ..beamformer.interpolation import InterpolationKind
+from .ops import GatherIndex, accumulate, apply_weights, build_gather_index, \
+    gather_interp
+from .precision import Precision, resolve_precision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..acoustics.echo import ChannelData
+    from ..beamformer.das import DelayAndSumBeamformer
+
+__all__ = ["BATCH_BLOCK_ELEMENTS", "BeamformingPlan", "compile_plan",
+           "plan_key", "plan_storage_bytes"]
+
+
+BATCH_BLOCK_ELEMENTS = 1 << 20
+"""Target gathered-value count per batched-execution chunk (~8 MB at
+float64).  Keeps the ``(n_frames, block, n_elements)`` temporaries inside
+the CPU caches; see :meth:`BeamformingPlan.execute_batch`."""
+
+
+def plan_storage_bytes(n_points: int, n_elements: int,
+                       precision: Precision | str | None = None,
+                       interpolation: "InterpolationKind | str" = "nearest"
+                       ) -> int:
+    """Predicted memory footprint of a compiled plan, without compiling it.
+
+    Counts the ``float64`` delay tensor, the weights in the execution dtype
+    and the compiled gather index (indices + validity masks, plus the
+    interpolation fractions for ``linear``).  Used by experiment E9 to put
+    the software plan against the paper's delay-table storage wall: at
+    paper scale the plan is terabytes — the very reason the paper generates
+    delays on the fly — while the scaled-down presets fit in megabytes.
+    """
+    precision = resolve_precision(precision)
+    entries = int(n_points) * int(n_elements)
+    per_entry = 8 + precision.dtype.itemsize        # delays + weights
+    kind = getattr(interpolation, "value", interpolation)
+    if kind == "linear":
+        per_entry += 2 * 8 + 8 + 2                  # lower/upper, frac, masks
+    else:
+        per_entry += 8 + 1                          # indices + valid mask
+    return entries * per_entry
+
+
+def plan_key(beamformer: "DelayAndSumBeamformer",
+             precision: Precision | str | None = None) -> Hashable:
+    """Stable cache key for the compiled plan of a beamformer.
+
+    Combines the physical system digest, the delay architecture (class plus
+    its numerical design and origin), the apodization settings, the
+    interpolation kind and the execution dtype — everything
+    :func:`compile_plan` bakes into the tensors.  Engines that share this
+    key can share the plan; engines differing in *any* component (notably
+    interpolation or precision, which earlier table keys ignored) can never
+    be served each other's tensors.
+    """
+    precision = resolve_precision(precision)
+    provider = beamformer.delays
+    origin = getattr(provider, "origin", None)
+    origin_key = tuple(np.asarray(origin, dtype=float).ravel()) \
+        if origin is not None else None
+    design = getattr(provider, "design", None)
+    return (beamformer.system.cache_key(),
+            type(provider).__name__,
+            repr(design),
+            origin_key,
+            repr(beamformer.apodization),
+            beamformer.interpolation.value,
+            precision.value)
+
+
+@dataclass(frozen=True)
+class BeamformingPlan:
+    """Frozen, executable beamforming recipe for one engine configuration.
+
+    Attributes
+    ----------
+    key:
+        The :func:`plan_key` this plan was compiled under.
+    delays:
+        Fractional-sample delays, ``(n_points, n_elements)`` ``float64``,
+        points in scanline-major ``(i_theta, i_phi, i_depth)`` order.
+        Kept for introspection; execution uses the precompiled index.
+    weights:
+        Receive apodization weights in the execution dtype, same shape.
+    grid_shape:
+        Focal-grid shape ``(n_theta, n_phi, n_depth)`` used to fold the
+        flat point axis back into a volume.
+    precision:
+        Execution dtype policy (see :class:`repro.kernels.Precision`).
+    interpolation:
+        Echo-sample interpolation the gather index was built for.
+    n_samples:
+        Echo-buffer length the primary gather index addresses.
+    """
+
+    key: Hashable
+    delays: np.ndarray
+    weights: np.ndarray
+    grid_shape: tuple[int, int, int]
+    precision: Precision
+    interpolation: InterpolationKind
+    n_samples: int
+    _indices: dict[int, GatherIndex] = field(default_factory=dict,
+                                             repr=False, compare=False)
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def n_points(self) -> int:
+        """Number of focal points (product of ``grid_shape``)."""
+        return self.delays.shape[0]
+
+    @property
+    def n_elements(self) -> int:
+        """Number of receive channels."""
+        return self.delays.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Execution dtype of weights, gathered samples and sums."""
+        return self.precision.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of tensors plus compiled gather indices [bytes]."""
+        return (self.delays.nbytes + self.weights.nbytes
+                + sum(index.nbytes for index in self._indices.values()))
+
+    # ----------------------------------------------------------- addressing
+    def gather_index(self, n_samples: int | None = None) -> GatherIndex:
+        """The compiled gather index for ``n_samples``-long echo buffers.
+
+        The index for the compile-time buffer length is built eagerly; other
+        lengths (unusual, e.g. externally recorded data) are built on first
+        use and memoised on the plan.
+        """
+        n_samples = self.n_samples if n_samples is None else int(n_samples)
+        index = self._indices.get(n_samples)
+        if index is None:
+            index = build_gather_index(self.delays, n_samples,
+                                       self.interpolation)
+            self._indices[n_samples] = index
+        return index
+
+    # ------------------------------------------------------------ execution
+    def coerce_samples(self, channel_data: "ChannelData | np.ndarray"
+                       ) -> np.ndarray:
+        """Raw sample array of one frame, cast to the execution dtype.
+
+        The single definition of frame coercion — the backends reuse it so
+        every execution path accepts exactly the same payloads.
+        """
+        samples = getattr(channel_data, "samples", channel_data)
+        return np.asarray(samples, dtype=self.dtype)
+
+    def execute(self, channel_data: "ChannelData | np.ndarray") -> np.ndarray:
+        """Beamform one frame into a volume of shape ``grid_shape``."""
+        samples = self.coerce_samples(channel_data)
+        index = self.gather_index(samples.shape[-1])
+        flat = accumulate(apply_weights(gather_interp(samples, index),
+                                        self.weights))
+        return flat.reshape(self.grid_shape)
+
+    def execute_rows(self, channel_data: "ChannelData | np.ndarray",
+                     rows: slice) -> np.ndarray:
+        """Beamform one contiguous point block; returns the flat rows.
+
+        The unit of work of the sharded backend: index and weights are
+        row-sliced views, so concurrent workers share the compiled tensors.
+        """
+        samples = self.coerce_samples(channel_data)
+        index = self.gather_index(samples.shape[-1]).rows(rows)
+        return accumulate(apply_weights(gather_interp(samples, index),
+                                        self.weights[rows]))
+
+    def execute_batch(self, frames: "Sequence[ChannelData | np.ndarray]"
+                      ) -> np.ndarray:
+        """Beamform a cine batch at once; shape ``(n_frames, *grid_shape)``.
+
+        All frames are stacked into one ``(n_frames, n_elements, n_samples)``
+        buffer and gathered with batched fancy-indexes, so per-frame NumPy
+        dispatch and masking costs are paid once per batch.  The gather is
+        chunked over point blocks of ~:data:`BATCH_BLOCK_ELEMENTS` gathered
+        values: without the bound, a wide batch materialises a
+        ``(n_frames, n_points, n_elements)`` temporary that falls out of
+        the CPU caches and runs *slower* than per-frame execution.  The
+        chunking is invisible numerically — each focal point's sum is
+        independent, so the result is bit-identical to the single-shot
+        gather.  Frames must share one buffer length (always true for one
+        acquisition system).
+        """
+        if len(frames) == 0:
+            return np.empty((0, *self.grid_shape), dtype=self.dtype)
+        stacked = np.stack([self.coerce_samples(frame) for frame in frames])
+        index = self.gather_index(stacked.shape[-1])
+        block = max(1, BATCH_BLOCK_ELEMENTS // (len(frames) * self.n_elements))
+        if block >= self.n_points:
+            flat = accumulate(apply_weights(gather_interp(stacked, index),
+                                            self.weights))
+            return flat.reshape((len(frames), *self.grid_shape))
+        out = np.empty((len(frames), self.n_points), dtype=self.dtype)
+        for lo in range(0, self.n_points, block):
+            rows = slice(lo, min(lo + block, self.n_points))
+            out[:, rows] = accumulate(apply_weights(
+                gather_interp(stacked, index.rows(rows)),
+                self.weights[rows]))
+        return out.reshape((len(frames), *self.grid_shape))
+
+
+def compile_plan(beamformer: "DelayAndSumBeamformer",
+                 precision: Precision | str | None = None) -> BeamformingPlan:
+    """Compile the beamforming plan for a configured beamformer.
+
+    Generates the full delay tensor through the provider's bulk path, the
+    full weight tensor (cast to the execution dtype), and the gather index
+    for the system's echo-buffer length.  This is the expensive step the
+    :class:`repro.runtime.cache.PlanCache` amortises across frames and
+    across backends.
+    """
+    precision = resolve_precision(precision)
+    grid_shape = beamformer.grid.shape
+    n_elements = beamformer.transducer.element_count
+    delays = np.asarray(beamformer.delays.volume_delays_samples(),
+                        dtype=np.float64).reshape(-1, n_elements)
+    weights = beamformer.volume_weights().reshape(-1, n_elements) \
+        .astype(precision.dtype)
+    plan = BeamformingPlan(key=plan_key(beamformer, precision),
+                           delays=delays, weights=weights,
+                           grid_shape=grid_shape, precision=precision,
+                           interpolation=beamformer.interpolation,
+                           n_samples=beamformer.system.echo_buffer_samples)
+    plan.gather_index()   # resolve addressing at compile time, not per frame
+    return plan

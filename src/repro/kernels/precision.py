@@ -1,0 +1,107 @@
+"""Numeric precision policy for the beamforming kernel layer.
+
+The paper's whole argument is a precision/throughput trade: delay *indices*
+may be off by half a sample (integer addressing) because apodization and
+pulse bandwidth mask the error.  The software runtime has the same dial one
+level up — the gather/weight/accumulate arithmetic can run in ``float64``
+(bit-exact with the classic reference path) or ``float32`` (half the memory
+traffic, measurably faster on wide volumes) without touching how delays are
+*generated*.  :class:`Precision` names the two policies and pins, for each,
+the tolerance at which a volume must match the ``float64`` reference; the
+equivalence tests and ``docs/kernels.md`` both quote this table.
+
+Delay tensors themselves always stay ``float64``: precision selects the
+dtype of the echo samples, weights and accumulation only, so the echo-buffer
+*addressing* (and therefore the paper's delay-accuracy analysis) is
+identical under both policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """How closely a volume must match the ``float64`` reference volume.
+
+    ``atol`` is *relative to the peak absolute amplitude* of the reference
+    volume (beamformed RF has no fixed physical scale), so the comparison is
+    ``|a - b| <= rtol * |b| + atol * max|b|``.
+    """
+
+    rtol: float
+    atol: float
+
+    def assert_allclose(self, actual: np.ndarray,
+                        reference: np.ndarray) -> None:
+        """Raise :class:`AssertionError` unless ``actual`` is within tolerance."""
+        peak = float(np.max(np.abs(reference))) or 1.0
+        np.testing.assert_allclose(np.asarray(actual, dtype=np.float64),
+                                   np.asarray(reference, dtype=np.float64),
+                                   rtol=self.rtol, atol=self.atol * peak)
+
+
+class Precision(str, Enum):
+    """Execution dtype policy of the kernel layer."""
+
+    FLOAT64 = "float64"
+    """Exact mode: bit-compatible with the classic per-scanline path."""
+
+    FLOAT32 = "float32"
+    """Fast mode: half the memory traffic; volumes match the ``float64``
+    reference within :data:`TOLERANCES`\\ [``FLOAT32``]."""
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The NumPy dtype samples, weights and sums are carried in."""
+        return np.dtype(self.value)
+
+    @property
+    def tolerance(self) -> Tolerance:
+        """Pinned equivalence tolerance against the ``float64`` reference."""
+        return TOLERANCES[self]
+
+
+TOLERANCES: dict[Precision, Tolerance] = {
+    # float64 reproduces the classic path exactly; 1e-9 absorbs only
+    # summation-order noise (there is none today — the kernels keep the
+    # reference order — but the pin leaves room for a pairwise-sum backend).
+    Precision.FLOAT64: Tolerance(rtol=0.0, atol=1e-9),
+    # float32: ~2^-24 per operation over a few hundred weighted additions,
+    # plus cancellation near the volume's zero crossings — hence a peak-
+    # referenced atol.  Calibrated against the tiny/small presets, point and
+    # speckle phantoms (observed worst case ~1.2e-7 of peak); the pin keeps
+    # a wide margin for larger element counts.
+    Precision.FLOAT32: Tolerance(rtol=1e-4, atol=1e-5),
+}
+"""Pinned per-precision tolerances (see the table in ``docs/kernels.md``)."""
+
+
+def resolve_precision(value: "Precision | str | np.dtype | type | None"
+                      ) -> Precision:
+    """Coerce a user-facing precision spelling into a :class:`Precision`.
+
+    Accepts the enum itself, its string value (``"float32"``), a NumPy dtype
+    (``np.float32``) or ``None`` (the ``float64`` default).
+    """
+    if value is None:
+        return Precision.FLOAT64
+    if isinstance(value, Precision):
+        return value
+    if isinstance(value, str):
+        try:
+            return Precision(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown precision {value!r}; available: "
+                f"{', '.join(p.value for p in Precision)}") from None
+    try:
+        return Precision(np.dtype(value).name)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"cannot interpret {value!r} as a precision; available: "
+            f"{', '.join(p.value for p in Precision)}") from None

@@ -9,6 +9,7 @@ an end user of the paper's system would.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING
@@ -16,7 +17,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from ..runtime.cache import DelayTableCache
+    from ..runtime.cache import PlanCache
 
 from ..acoustics.echo import ChannelData, EchoSimulator
 from ..acoustics.phantom import Phantom
@@ -38,6 +39,7 @@ from ..config import SystemConfig
 from ..core.tablefree import TableFreeConfig
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
+from ..kernels import Precision, resolve_precision
 
 
 class DelayArchitecture(str, Enum):
@@ -62,10 +64,17 @@ def make_delay_provider(system: SystemConfig,
                         options: object | None = None) -> DelayProvider:
     """Instantiate the delay generator for the requested architecture.
 
-    Thin shim over ``ARCHITECTURES.create(name, system, options=...)``; the
-    historical ``tablefree_config`` / ``tablesteer_bits`` knobs are mapped
-    onto the registered options dataclasses when ``options`` is not given.
+    .. deprecated::
+        Thin shim over ``ARCHITECTURES.create(name, system, options=...)``;
+        call the registry directly.  The historical ``tablefree_config`` /
+        ``tablesteer_bits`` knobs are mapped onto the registered options
+        dataclasses when ``options`` is not given.
     """
+    warnings.warn(
+        "make_delay_provider() is deprecated; use "
+        "repro.architectures.ARCHITECTURES.create(name, system, "
+        "options=...) instead",
+        DeprecationWarning, stacklevel=2)
     name = architecture_name(architecture)
     if options is None:
         options = legacy_architecture_options(
@@ -96,7 +105,8 @@ class ImagingPipeline:
     tablesteer_bits: int = 18
     backend: str = "reference"
     backend_options: object | None = None
-    cache: "DelayTableCache | None" = None
+    precision: Precision | str | None = None
+    cache: "PlanCache | None" = None
     simulator: EchoSimulator | None = None
     transducer: MatrixTransducer | None = None
     grid: FocalGrid | None = None
@@ -106,6 +116,7 @@ class ImagingPipeline:
 
     def __post_init__(self) -> None:
         self.architecture = architecture_name(self.architecture)
+        self.precision = resolve_precision(self.precision)
         self._simulator = self.simulator or EchoSimulator.from_config(self.system)
         if self.provider is not None:
             self._provider = self.provider
@@ -120,13 +131,14 @@ class ImagingPipeline:
         self._beamformer = DelayAndSumBeamformer(
             self.system, self._provider, apodization=self.apodization,
             interpolation=self.interpolation,
-            transducer=self.transducer, grid=self.grid)
+            transducer=self.transducer, grid=self.grid,
+            precision=self.precision)
         self._runtime_backend = None
         if self.backend != "reference":
             # Imported lazily: repro.runtime depends on this module.
-            from ..runtime.backends import make_backend
-            self._runtime_backend = make_backend(
-                self.backend, self._beamformer, cache=self.cache,
+            from ..runtime.backends import BACKENDS
+            self._runtime_backend = BACKENDS.create(
+                self.backend, self._beamformer, self.cache, self.precision,
                 options=self.backend_options)
 
     @property
@@ -197,10 +209,16 @@ def compare_architectures(system: SystemConfig, phantom: Phantom,
     elevation plane; the channel data are simulated once so the images differ
     only through the delay generation.
 
-    Deprecated shim: delegates to :meth:`repro.api.Session.sweep`, which
-    additionally sweeps backends and accepts arbitrary registered
-    architectures.
+    .. deprecated::
+        Delegates to :meth:`repro.api.Session.sweep`, which additionally
+        sweeps backends and accepts arbitrary registered architectures;
+        call that instead.
     """
+    warnings.warn(
+        "compare_architectures() is deprecated; use "
+        "repro.api.Session(EngineSpec(system=system)).sweep(phantom, "
+        "architectures=...) instead",
+        DeprecationWarning, stacklevel=2)
     from ..api import EngineSpec, Session  # lazy: repro.api sits above us
 
     session = Session(EngineSpec(system=system))

@@ -1,33 +1,35 @@
 """repro.runtime: batched multi-backend streaming beamforming runtime.
 
 The software-throughput layer of the reproduction: where :mod:`repro.core`
-answers *how a delay is generated*, this package answers *how fast volumes
-can be streamed* once generation is amortised — the same question the
-paper's Section II-C/V-B asks of the hardware.
+answers *how a delay is generated* and :mod:`repro.kernels` *how delays are
+consumed*, this package answers *how fast volumes can be streamed* once
+plan compilation is amortised — the same question the paper's Section
+II-C/V-B asks of the hardware.
 
-* :mod:`repro.runtime.cache` — LRU cache of precomputed delay/weight
-  tensors keyed by :meth:`repro.config.SystemConfig.cache_key`.
+* :mod:`repro.runtime.cache` — LRU :class:`PlanCache` of compiled
+  :class:`repro.kernels.BeamformingPlan` artifacts keyed by
+  :func:`repro.kernels.plan_key`.
 * :mod:`repro.runtime.backends` — ``reference`` / ``vectorized`` /
-  ``sharded`` execution backends producing identical volumes.
+  ``sharded`` execution backends, all running through the kernel layer.
 * :mod:`repro.runtime.scheduler` — frame queue and cine-sequence builders.
 * :mod:`repro.runtime.service` — the :class:`BeamformingService` facade
-  with per-frame latency and aggregate throughput metrics.
+  with per-frame latency, aggregate throughput metrics and batched
+  multi-frame submission.
 """
 
+from ..kernels import BeamformingPlan, Precision, compile_plan, plan_key
 from .backends import (
     BACKEND_NAMES,
     BACKENDS,
-    DelayTables,
     ExecutionBackend,
     ReferenceBackend,
     ShardedBackend,
     ShardedOptions,
     VectorizedBackend,
-    build_tables,
     make_backend,
     tables_key,
 )
-from .cache import CacheStats, DelayTableCache
+from .cache import CacheStats, DelayTableCache, PlanCache
 from .scheduler import (
     FrameRequest,
     FrameResult,
@@ -40,22 +42,25 @@ from .service import BeamformingService, RuntimeStats
 __all__ = [
     "BACKEND_NAMES",
     "BACKENDS",
+    "BeamformingPlan",
     "BeamformingService",
     "CacheStats",
     "DelayTableCache",
-    "DelayTables",
     "ExecutionBackend",
     "FrameRequest",
     "FrameResult",
     "FrameScheduler",
+    "PlanCache",
+    "Precision",
     "ReferenceBackend",
     "RuntimeStats",
     "ShardedBackend",
     "ShardedOptions",
     "VectorizedBackend",
-    "build_tables",
+    "compile_plan",
     "make_backend",
     "moving_point_cine",
+    "plan_key",
     "static_cine",
     "tables_key",
 ]

@@ -1,133 +1,77 @@
-"""Pluggable execution backends for whole-volume beamforming.
+"""Pluggable execution backends over the unified kernel layer.
 
 The paper's hardware argument — that throughput is decided by how delays are
-*produced*, not by the sum itself — has a direct software analogue: the
-per-scanline reference path spends almost all of its time regenerating
-delays and weights, while a batched path that reuses precomputed tensors is
+*produced and consumed*, not by the sum itself — has a direct software
+analogue: the per-scanline reference path spends almost all of its time
+regenerating delays and weights, while a compiled
+:class:`repro.kernels.BeamformingPlan` reuses them for every frame and is
 limited only by the echo-buffer gather.  Three backends make that trade-off
-explicit:
+explicit; all of them execute through :mod:`repro.kernels`, so the math is
+written exactly once:
 
 ``reference``
-    Delegates to the existing per-scanline
-    :class:`repro.beamformer.das.DelayAndSumBeamformer` loop.  Ground truth
-    and baseline for the throughput experiments.
+    Per-scanline loop that regenerates delays and weights every volume and
+    feeds them to the uncompiled :func:`repro.kernels.delay_and_sum` kernel.
+    Ground truth and baseline for the throughput experiments.
 
 ``vectorized``
-    Precomputes the full ``(n_points, n_elements)`` delay and weight tensors
-    once per ``(SystemConfig, architecture)`` pair — optionally through a
-    shared :class:`repro.runtime.cache.DelayTableCache` — and beamforms the
-    whole volume with one batched gather/sum.
+    Compiles the plan once per ``(SystemConfig, architecture, apodization,
+    interpolation, precision)`` — optionally through a shared
+    :class:`repro.runtime.cache.PlanCache` — and beamforms whole volumes
+    (or stacked multi-frame batches) with one batched gather/sum.
 
 ``sharded``
-    The vectorized math applied to scanline blocks dispatched on a thread
-    pool, modelling the paper's parallel delay-generation blocks (Fig. 4).
+    The same plan executed over contiguous point blocks dispatched on a
+    thread pool, modelling the paper's parallel delay-generation blocks
+    (Fig. 4).
 
-All three produce numerically identical volumes; the equivalence is pinned
-by ``tests/test_runtime_backends.py``.
+All three produce numerically identical volumes at ``float64``; under
+``float32`` they match the ``float64`` reference within the pinned
+:data:`repro.kernels.TOLERANCES`.  Both pins live in
+``tests/test_runtime_backends.py`` and ``tests/test_kernels.py``.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import Hashable, Sequence
 
 import numpy as np
 
 from ..acoustics.echo import ChannelData
 from ..beamformer.das import DelayAndSumBeamformer
-from ..beamformer.interpolation import fetch_samples
+from ..kernels import (
+    BeamformingPlan,
+    Precision,
+    compile_plan,
+    delay_and_sum,
+    plan_key,
+    resolve_precision,
+)
+from ..kernels.plan import BATCH_BLOCK_ELEMENTS
 from ..registry import Registry, RegistryError
-from .cache import DelayTableCache
+from .cache import PlanCache
 
 
-@dataclass(frozen=True)
-class DelayTables:
-    """Precomputed per-volume beamforming tensors.
+def tables_key(beamformer: DelayAndSumBeamformer,
+               precision: Precision | str | None = None) -> Hashable:
+    """Stable cache key for a beamformer's compiled tensors.
 
-    Attributes
-    ----------
-    delays:
-        Fractional-sample delays, shape ``(n_points, n_elements)`` with
-        points in scanline-major ``(i_theta, i_phi, i_depth)`` order.
-    weights:
-        Receive apodization weights, same shape and ordering.
-    grid_shape:
-        Focal-grid shape ``(n_theta, n_phi, n_depth)`` used to fold the flat
-        point axis back into a volume.
+    Alias of :func:`repro.kernels.plan_key`; the key covers the physical
+    system digest, the delay architecture (class, design, origin), the
+    apodization settings, the interpolation kind and the execution dtype —
+    so a cache shared across engines can never return tensors built under a
+    different interpolation or precision (the historical ``tables_key``
+    omitted those last two components).
     """
-
-    delays: np.ndarray
-    weights: np.ndarray
-    grid_shape: tuple[int, int, int]
-
-    @property
-    def nbytes(self) -> int:
-        """Total memory footprint of both tensors [bytes]."""
-        return self.delays.nbytes + self.weights.nbytes
-
-
-def tables_key(beamformer: DelayAndSumBeamformer) -> Hashable:
-    """Stable cache key for the delay/weight tensors of a beamformer.
-
-    Combines the physical system digest with the delay architecture (class
-    plus its numerical design and origin) and the apodization settings —
-    everything the tensors depend on.  Frames that share this key can share
-    the tensors.
-    """
-    provider = beamformer.delays
-    origin = getattr(provider, "origin", None)
-    origin_key = tuple(np.asarray(origin, dtype=float).ravel()) \
-        if origin is not None else None
-    design = getattr(provider, "design", None)
-    return (beamformer.system.cache_key(),
-            type(provider).__name__,
-            repr(design),
-            origin_key,
-            repr(beamformer.apodization))
-
-
-def build_tables(beamformer: DelayAndSumBeamformer) -> DelayTables:
-    """Generate the full delay and weight tensors for a beamformer's grid."""
-    grid_shape = beamformer.grid.shape
-    n_elements = beamformer.transducer.element_count
-    delays = beamformer.delays.volume_delays_samples().reshape(-1, n_elements)
-    weights = beamformer.volume_weights().reshape(-1, n_elements)
-    return DelayTables(delays=delays, weights=weights, grid_shape=grid_shape)
+    return plan_key(beamformer, precision)
 
 
 class ExecutionBackend:
-    """Common interface: beamform one frame of channel data into a volume."""
-
-    name: str = "abstract"
-
-    def __init__(self, beamformer: DelayAndSumBeamformer) -> None:
-        self.beamformer = beamformer
-
-    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
-        """Beamformed RF volume, shape ``(n_theta, n_phi, n_depth)``."""
-        raise NotImplementedError
-
-
-class ReferenceBackend(ExecutionBackend):
-    """Per-scanline loop through the classic delay-and-sum path."""
-
-    name = "reference"
-
-    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
-        beamformer = self.beamformer
-        n_theta, n_phi, n_depth = beamformer.grid.shape
-        rf = np.empty((n_theta, n_phi, n_depth))
-        for i_theta in range(n_theta):
-            for i_phi in range(n_phi):
-                rf[i_theta, i_phi] = beamformer.beamform_scanline(
-                    channel_data, i_theta, i_phi)
-        return rf
-
-
-class VectorizedBackend(ExecutionBackend):
-    """Whole-volume batched gather/sum over precomputed delay tensors.
+    """Common interface: beamform frames of channel data into volumes.
 
     Parameters
     ----------
@@ -135,84 +79,171 @@ class VectorizedBackend(ExecutionBackend):
         The configured delay-and-sum beamformer (supplies grid, provider,
         apodization and interpolation settings).
     cache:
-        Optional shared :class:`DelayTableCache`.  Without one the backend
-        still memoises its own tensors for the lifetime of the instance.
+        Optional shared :class:`PlanCache`.  Without one the backend still
+        memoises its own compiled plan for the lifetime of the instance.
+    precision:
+        Execution dtype policy (``float64`` default; see
+        :class:`repro.kernels.Precision`).
     """
 
-    name = "vectorized"
+    name: str = "abstract"
 
     def __init__(self, beamformer: DelayAndSumBeamformer,
-                 cache: DelayTableCache | None = None) -> None:
-        super().__init__(beamformer)
+                 cache: PlanCache | None = None,
+                 precision: Precision | str | None = None) -> None:
+        self.beamformer = beamformer
         self.cache = cache
-        self._key = tables_key(beamformer)
-        self._tables: DelayTables | None = None
+        self.precision = resolve_precision(precision)
+        self._key = plan_key(beamformer, self.precision)
+        self._plan: BeamformingPlan | None = None
 
-    def tables(self) -> DelayTables:
-        """The (possibly cached) delay/weight tensors for this beamformer.
+    def plan(self) -> BeamformingPlan:
+        """The (possibly cached) compiled plan for this backend's engine.
 
         With a cache attached, every frame goes through the cache — the
         hit/miss counters then directly record that repeated frames from the
-        same probe geometry skip delay regeneration.
+        same engine configuration skip plan compilation.
         """
-        builder: Callable[[], DelayTables] = lambda: build_tables(self.beamformer)
         if self.cache is not None:
-            return self.cache.get_or_build(self._key, builder)
-        if self._tables is None:
-            self._tables = builder()
-        return self._tables
-
-    def _sum_rows(self, channel_data: ChannelData, tables: DelayTables,
-                  rows: slice) -> np.ndarray:
-        delays = tables.delays[rows]
-        weights = tables.weights[rows]
-        element_indices = np.broadcast_to(np.arange(delays.shape[1]),
-                                          delays.shape)
-        samples = fetch_samples(channel_data, element_indices, delays,
-                                kind=self.beamformer.interpolation)
-        return np.sum(weights * samples, axis=1)
+            return self.cache.get_or_build(
+                self._key, lambda: compile_plan(self.beamformer,
+                                                self.precision))
+        if self._plan is None:
+            self._plan = compile_plan(self.beamformer, self.precision)
+        return self._plan
 
     def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
-        tables = self.tables()
-        flat = self._sum_rows(channel_data, tables,
-                              slice(0, tables.delays.shape[0]))
-        return flat.reshape(tables.grid_shape)
+        """Beamformed RF volume, shape ``(n_theta, n_phi, n_depth)``."""
+        raise NotImplementedError
+
+    def beamform_batch(self, frames: Sequence[ChannelData]) -> np.ndarray:
+        """Beamform a cine batch; shape ``(n_frames, n_theta, n_phi, n_depth)``.
+
+        The default stacks per-frame results; plan-based backends override
+        this with a genuinely batched gather.
+        """
+        grid_shape = self.beamformer.grid.shape
+        out = np.empty((len(frames), *grid_shape), dtype=self.precision.dtype)
+        for i, frame in enumerate(frames):
+            out[i] = self.beamform_volume(frame)
+        return out
 
 
-class ShardedBackend(VectorizedBackend):
-    """Vectorized math over scanline blocks dispatched on a thread pool.
+class ReferenceBackend(ExecutionBackend):
+    """Per-scanline loop through the classic delay-and-sum path.
+
+    Delays and weights are regenerated for every scanline of every frame
+    and consumed by the *uncompiled* kernel entry point — deliberately no
+    plan, no cache: this is the baseline the compiled backends are measured
+    against (and the oracle they are verified against).
+    """
+
+    name = "reference"
+
+    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
+        beamformer = self.beamformer
+        n_theta, n_phi, n_depth = beamformer.grid.shape
+        rf = np.empty((n_theta, n_phi, n_depth), dtype=self.precision.dtype)
+        # Cast the echo buffer once per volume, not once per scanline —
+        # otherwise the float32 baseline pays a full-buffer copy per
+        # scanline and benchmarks slower than float64.
+        samples = np.asarray(channel_data.samples,
+                             dtype=self.precision.dtype)
+        for i_theta in range(n_theta):
+            for i_phi in range(n_phi):
+                delays = beamformer.delays.scanline_delays_samples(
+                    i_theta, i_phi)
+                rf[i_theta, i_phi] = delay_and_sum(
+                    samples, delays,
+                    beamformer.weights_for_scanline(i_theta, i_phi),
+                    kind=beamformer.interpolation,
+                    dtype=self.precision.dtype)
+        return rf
+
+
+class VectorizedBackend(ExecutionBackend):
+    """Whole-volume batched gather/sum over a compiled plan."""
+
+    name = "vectorized"
+
+    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
+        return self.plan().execute(channel_data)
+
+    def beamform_batch(self, frames: Sequence[ChannelData]) -> np.ndarray:
+        return self.plan().execute_batch(frames)
+
+
+class ShardedBackend(ExecutionBackend):
+    """Plan execution over point blocks dispatched on a thread pool.
 
     The focal grid is split into ``shards`` contiguous point blocks; each
     worker gathers and sums its block independently (NumPy releases the GIL
     inside the heavy kernels).  Per-row arithmetic is identical to the
-    vectorized backend, so the volumes match exactly.
+    vectorized backend — both run :meth:`BeamformingPlan.execute_rows`
+    slices of the same plan — so the volumes match exactly.  Worker
+    exceptions propagate to the caller; a failed shard never hangs the pool.
     """
 
     name = "sharded"
 
     def __init__(self, beamformer: DelayAndSumBeamformer,
-                 cache: DelayTableCache | None = None,
+                 cache: PlanCache | None = None,
+                 precision: Precision | str | None = None,
                  shards: int | None = None,
                  max_workers: int | None = None) -> None:
-        super().__init__(beamformer, cache=cache)
+        super().__init__(beamformer, cache=cache, precision=precision)
         self.shards = shards or min(8, os.cpu_count() or 1)
         self.max_workers = max_workers or min(4, os.cpu_count() or 1)
 
-    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
-        tables = self.tables()
-        n_points = tables.delays.shape[0]
-        out = np.empty(n_points)
-        bounds = np.linspace(0, n_points, self.shards + 1).astype(int)
-        blocks = [slice(int(lo), int(hi))
-                  for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+    def _blocks(self, n_points: int, n_frames: int = 1) -> list[slice]:
+        """Split ``n_points`` into at least ``shards`` non-empty blocks.
 
+        More shards than points simply yields one block per point.  For
+        batched execution the split additionally honours the
+        :data:`repro.kernels.plan.BATCH_BLOCK_ELEMENTS` cache bound — a
+        worker gathering ``n_frames`` frames of a wide block at once would
+        otherwise materialise out-of-cache temporaries and run slower than
+        the per-frame path.
+        """
+        n_blocks = self.shards
+        cap = max(1, BATCH_BLOCK_ELEMENTS
+                  // max(1, n_frames * self.beamformer.transducer.element_count))
+        n_blocks = max(n_blocks, -(-n_points // cap))
+        bounds = np.linspace(0, n_points, n_blocks + 1).astype(int)
+        return [slice(int(lo), int(hi))
+                for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+    def _execute_rows(self, plan: BeamformingPlan, channel_data,
+                      rows: slice) -> np.ndarray:
+        """One worker's unit of work (separate method so tests can fault it)."""
+        return plan.execute_rows(channel_data, rows)
+
+    def _run_sharded(self, plan: BeamformingPlan, samples: np.ndarray,
+                     out: np.ndarray, n_frames: int = 1) -> None:
+        """Fill ``out[..., rows]`` per block on the pool, propagating errors."""
         def work(rows: slice) -> None:
-            out[rows] = self._sum_rows(channel_data, tables, rows)
+            out[..., rows] = self._execute_rows(plan, samples, rows)
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            # list() to surface worker exceptions instead of swallowing them.
-            list(pool.map(work, blocks))
-        return out.reshape(tables.grid_shape)
+            # list() drains the iterator so worker exceptions re-raise here
+            # instead of being swallowed with the discarded futures.
+            list(pool.map(work, self._blocks(plan.n_points, n_frames)))
+
+    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
+        plan = self.plan()
+        out = np.empty(plan.n_points, dtype=plan.dtype)
+        # Coerce once here, not once per shard inside execute_rows.
+        self._run_sharded(plan, plan.coerce_samples(channel_data), out)
+        return out.reshape(plan.grid_shape)
+
+    def beamform_batch(self, frames: Sequence[ChannelData]) -> np.ndarray:
+        plan = self.plan()
+        if len(frames) == 0:
+            return np.empty((0, *plan.grid_shape), dtype=plan.dtype)
+        stacked = np.stack([plan.coerce_samples(f) for f in frames])
+        out = np.empty((len(frames), plan.n_points), dtype=plan.dtype)
+        self._run_sharded(plan, stacked, out, n_frames=len(frames))
+        return out.reshape((len(frames), *plan.grid_shape))
 
 
 @dataclass(frozen=True)
@@ -227,34 +258,39 @@ class ShardedOptions:
 
 
 BACKENDS = Registry("backend")
-"""Registry of execution backends (factory: ``(beamformer, cache, options)``)."""
+"""Registry of execution backends (factory:
+``(beamformer, cache, precision, options)``)."""
 
 
 @BACKENDS.register(
     "reference",
     description="per-scanline classic delay-and-sum loop (ground truth)")
 def _build_reference(beamformer: DelayAndSumBeamformer,
-                     cache: DelayTableCache | None,
+                     cache: PlanCache | None,
+                     precision: Precision | str | None,
                      options: None) -> ReferenceBackend:
-    return ReferenceBackend(beamformer)
+    return ReferenceBackend(beamformer, precision=precision)
 
 
 @BACKENDS.register(
     "vectorized",
-    description="whole-volume batched gather/sum over cached delay tensors")
+    description="whole-volume batched gather/sum over a compiled plan")
 def _build_vectorized(beamformer: DelayAndSumBeamformer,
-                      cache: DelayTableCache | None,
+                      cache: PlanCache | None,
+                      precision: Precision | str | None,
                       options: None) -> VectorizedBackend:
-    return VectorizedBackend(beamformer, cache=cache)
+    return VectorizedBackend(beamformer, cache=cache, precision=precision)
 
 
 @BACKENDS.register(
     "sharded", options=ShardedOptions,
-    description="vectorized math over scanline blocks on a thread pool")
+    description="compiled plan over point blocks on a thread pool")
 def _build_sharded(beamformer: DelayAndSumBeamformer,
-                   cache: DelayTableCache | None,
+                   cache: PlanCache | None,
+                   precision: Precision | str | None,
                    options: ShardedOptions) -> ShardedBackend:
-    return ShardedBackend(beamformer, cache=cache, shards=options.shards,
+    return ShardedBackend(beamformer, cache=cache, precision=precision,
+                          shards=options.shards,
                           max_workers=options.max_workers)
 
 
@@ -263,19 +299,27 @@ BACKEND_NAMES: tuple[str, ...] = BACKENDS.names()
 
 
 def make_backend(name: str, beamformer: DelayAndSumBeamformer,
-                 cache: DelayTableCache | None = None,
+                 cache: PlanCache | None = None,
                  options: object | None = None,
+                 precision: Precision | str | None = None,
                  **kwargs) -> ExecutionBackend:
-    """Instantiate an execution backend by name (registry-driven).
+    """Deprecated shim over ``BACKENDS.create(name, ...)``.
 
-    ``reference`` ignores ``cache``.  Backend options are passed either as
-    an ``options`` dataclass/dict (e.g. :class:`ShardedOptions`) or, for
-    backward compatibility, as bare keyword arguments (``shards=4``).
+    .. deprecated::
+        Call ``BACKENDS.create(name, beamformer, cache, precision,
+        options=options)`` directly; this wrapper (and its bare-keyword
+        options form) will be removed.
     """
+    warnings.warn(
+        "make_backend() is deprecated; use "
+        "repro.runtime.backends.BACKENDS.create(name, beamformer, cache, "
+        "precision, options=...) instead",
+        DeprecationWarning, stacklevel=2)
     if kwargs:
         if options is not None:
             raise RegistryError(
                 "pass backend options either via 'options' or as keyword "
                 "arguments, not both")
         options = kwargs
-    return BACKENDS.create(name, beamformer, cache, options=options)
+    return BACKENDS.create(name, beamformer, cache, precision,
+                           options=options)

@@ -1,15 +1,19 @@
-"""LRU cache for precomputed delay/weight tensors.
+"""LRU cache for compiled beamforming plans.
 
-Generating the full ``(n_points, n_elements)`` delay tensor is by far the
-most expensive part of beamforming a volume in software — exactly the
-bottleneck the paper attacks in hardware.  In a streaming setting the probe
-geometry is fixed across a cine sequence, so the tensor is identical for
-every frame; :class:`DelayTableCache` stores it under a stable composite key
-(:meth:`repro.config.SystemConfig.cache_key` plus the delay architecture and
-apodization) so that only the first frame of a sequence pays the generation
-cost.  The cache is a plain LRU with hit/miss/eviction counters, which the
-runtime's stats (and the regression tests) assert on to prove that repeated
-frames skip regeneration.
+Compiling a :class:`repro.kernels.BeamformingPlan` — generating the full
+``(n_points, n_elements)`` delay and weight tensors and resolving them into
+gather indices — is by far the most expensive part of beamforming a volume
+in software, exactly the bottleneck the paper attacks in hardware.  In a
+streaming setting the probe geometry is fixed across a cine sequence, so the
+plan is identical for every frame; :class:`PlanCache` stores it under
+:func:`repro.kernels.plan_key` (system digest + delay architecture +
+apodization + interpolation + dtype) so that only the first frame of a
+sequence pays the compile cost, and engines differing in any of those
+components can never be served each other's plan.  The cache is a plain LRU
+with hit/miss/eviction counters, which the runtime's stats (and the
+regression tests) assert on to prove that repeated frames skip compilation.
+
+``DelayTableCache`` is the class's historical name, kept as an alias.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ T = TypeVar("T")
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counters describing how a :class:`DelayTableCache` has been used."""
+    """Counters describing how a :class:`PlanCache` has been used."""
 
     hits: int
     misses: int
@@ -38,8 +42,8 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-class DelayTableCache:
-    """A small LRU cache mapping table keys to prebuilt tensors.
+class PlanCache:
+    """A small LRU cache mapping plan keys to compiled plans.
 
     Parameters
     ----------
@@ -91,3 +95,7 @@ class DelayTableCache:
         return CacheStats(hits=self._hits, misses=self._misses,
                           evictions=self._evictions, size=len(self._entries),
                           capacity=self.capacity)
+
+
+DelayTableCache = PlanCache
+"""Backward-compatible alias from before the cache held compiled plans."""

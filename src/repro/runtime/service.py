@@ -1,13 +1,15 @@
 """The streaming beamforming service: frames in, volumes + metrics out.
 
 :class:`BeamformingService` is the facade over the whole runtime subsystem.
-It binds a system configuration to one delay architecture and one execution
-backend, simulates acquisitions when a frame arrives as a phantom, beamforms
-each frame, and keeps per-frame latency plus aggregate throughput counters —
-the software analogue of the paper's volumes-per-second budget (Section
-II-C).  Delay/weight tensors flow through a shared
-:class:`repro.runtime.cache.DelayTableCache`, so a cine sequence pays the
-delay-generation cost exactly once.
+It binds a system configuration to one delay architecture, one execution
+backend and one :class:`repro.kernels.Precision` policy, simulates
+acquisitions when a frame arrives as a phantom, beamforms each frame (or
+batches of frames at once), and keeps per-frame latency plus aggregate
+throughput counters — the software analogue of the paper's
+volumes-per-second budget (Section II-C).  Compiled
+:class:`repro.kernels.BeamformingPlan` artifacts flow through a shared
+:class:`repro.runtime.cache.PlanCache`, so a cine sequence pays the plan
+compilation cost exactly once.
 
 Typical use::
 
@@ -25,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -40,8 +42,9 @@ from ..beamformer.das import ApodizationSettings, DelayAndSumBeamformer
 from ..beamformer.interpolation import InterpolationKind
 from ..config import SystemConfig
 from ..core.tablefree import TableFreeConfig
-from .backends import ExecutionBackend, make_backend
-from .cache import CacheStats, DelayTableCache
+from ..kernels import Precision, resolve_precision
+from .backends import BACKENDS, ExecutionBackend
+from .cache import CacheStats, PlanCache
 from .scheduler import FrameRequest, FrameResult, FrameScheduler
 
 
@@ -50,6 +53,7 @@ class RuntimeStats:
     """Aggregate throughput figures over every frame the service processed."""
 
     backend: str
+    precision: str
     frames: int
     voxels: int
     acquire_seconds: float
@@ -93,8 +97,12 @@ class BeamformingService:
         ``None`` uses the registered defaults.  The historical
         ``tablefree_config`` / ``tablesteer_bits`` keywords are still
         honoured when this is not given.
+    precision:
+        Execution dtype policy (``"float64"`` exact / ``"float32"`` fast;
+        see :class:`repro.kernels.Precision`).  Applies to the beamformer
+        and the backend alike, and is part of the plan cache key.
     cache:
-        Delay-table cache; pass a shared instance to reuse tensors across
+        Compiled-plan cache; pass a shared instance to reuse plans across
         services (e.g. a ``vectorized`` and a ``sharded`` service over the
         same probe).  ``None`` creates a private cache.
     simulator:
@@ -110,15 +118,17 @@ class BeamformingService:
                  backend: str = "vectorized",
                  apodization: ApodizationSettings | None = None,
                  interpolation: InterpolationKind = InterpolationKind.NEAREST,
-                 cache: DelayTableCache | None = None,
+                 cache: PlanCache | None = None,
                  architecture_options: object | None = None,
                  tablefree_config: TableFreeConfig | None = None,
                  tablesteer_bits: int = 18,
                  simulator: EchoSimulator | None = None,
-                 backend_options: object | None = None) -> None:
+                 backend_options: object | None = None,
+                 precision: Precision | str | None = None) -> None:
         self.system = system
         self.architecture = architecture_name(architecture)
-        self.cache = cache if cache is not None else DelayTableCache()
+        self.precision = resolve_precision(precision)
+        self.cache = cache if cache is not None else PlanCache()
         if architecture_options is None:
             architecture_options = legacy_architecture_options(
                 self.architecture, tablefree_config=tablefree_config,
@@ -127,9 +137,9 @@ class BeamformingService:
                                         options=architecture_options)
         self.beamformer = DelayAndSumBeamformer(
             system, provider, apodization=apodization,
-            interpolation=interpolation)
-        self._backend: ExecutionBackend = make_backend(
-            backend, self.beamformer, cache=self.cache,
+            interpolation=interpolation, precision=self.precision)
+        self._backend: ExecutionBackend = BACKENDS.create(
+            backend, self.beamformer, self.cache, self.precision,
             options=backend_options)
         self._simulator = simulator or EchoSimulator.from_config(system)
         # Monotonic id source for auto-assigned frames; unlike the stats
@@ -149,14 +159,9 @@ class BeamformingService:
         return self._backend.name
 
     # ------------------------------------------------------------- frames
-    def submit_frame(self, frame: FrameRequest | ChannelData | Phantom,
-                     noise_std: float = 0.0, seed: int = 0) -> FrameResult:
-        """Beamform one frame and record its latency.
-
-        ``frame`` may be a full :class:`FrameRequest`, raw
-        :class:`ChannelData`, or a :class:`Phantom` (simulated first using
-        ``noise_std``/``seed``).
-        """
+    def _coerce_request(self, frame: FrameRequest | ChannelData | Phantom,
+                        noise_std: float, seed: int) -> FrameRequest:
+        """Wrap a raw payload in a :class:`FrameRequest` with a fresh id."""
         if isinstance(frame, FrameRequest):
             request = frame
         elif isinstance(frame, ChannelData):
@@ -168,42 +173,108 @@ class BeamformingService:
         # Auto-assigned ids continue above the highest id seen, so mixing
         # explicit FrameRequests with raw payloads cannot collide either.
         self._next_frame_id = max(self._next_frame_id, request.frame_id + 1)
+        return request
 
-        acquire_seconds = 0.0
-        channel_data = request.channel_data
-        if channel_data is None:
-            start = time.perf_counter()
-            channel_data = self._simulator.simulate(
-                request.phantom, noise_std=request.noise_std,
-                seed=request.seed)
-            acquire_seconds = time.perf_counter() - start
+    def _acquire(self, request: FrameRequest) -> tuple[ChannelData, float]:
+        """Channel data of one request (simulated when needed) + time spent."""
+        if request.channel_data is not None:
+            return request.channel_data, 0.0
+        start = time.perf_counter()
+        channel_data = self._simulator.simulate(
+            request.phantom, noise_std=request.noise_std, seed=request.seed)
+        return channel_data, time.perf_counter() - start
+
+    def _record(self, result: FrameResult) -> FrameResult:
+        """Fold one frame's figures into the aggregate counters."""
+        self._frames += 1
+        self._voxels += result.voxel_count
+        self._acquire_seconds += result.acquire_seconds
+        self._beamform_seconds += result.beamform_seconds
+        self._latencies.append(result.latency_seconds)
+        return result
+
+    def submit_frame(self, frame: FrameRequest | ChannelData | Phantom,
+                     noise_std: float = 0.0, seed: int = 0) -> FrameResult:
+        """Beamform one frame and record its latency.
+
+        ``frame`` may be a full :class:`FrameRequest`, raw
+        :class:`ChannelData`, or a :class:`Phantom` (simulated first using
+        ``noise_std``/``seed``).
+        """
+        request = self._coerce_request(frame, noise_std, seed)
+        channel_data, acquire_seconds = self._acquire(request)
 
         start = time.perf_counter()
         rf = self._backend.beamform_volume(channel_data)
         beamform_seconds = time.perf_counter() - start
 
-        result = FrameResult(frame_id=request.frame_id, rf=rf,
-                             backend=self._backend.name,
-                             acquire_seconds=acquire_seconds,
-                             beamform_seconds=beamform_seconds)
-        self._frames += 1
-        self._voxels += result.voxel_count
-        self._acquire_seconds += acquire_seconds
-        self._beamform_seconds += beamform_seconds
-        self._latencies.append(result.latency_seconds)
-        return result
+        return self._record(FrameResult(
+            frame_id=request.frame_id, rf=rf, backend=self._backend.name,
+            acquire_seconds=acquire_seconds,
+            beamform_seconds=beamform_seconds))
 
-    def stream(self, frames: Iterable[FrameRequest] | FrameScheduler
-               ) -> Iterator[FrameResult]:
-        """Beamform a sequence of frames lazily, in submission order."""
+    def submit_batch(self,
+                     frames: Sequence[FrameRequest | ChannelData | Phantom],
+                     noise_std: float = 0.0, seed: int = 0
+                     ) -> list[FrameResult]:
+        """Beamform several frames in one batched kernel execution.
+
+        All frames are beamformed by a single
+        :meth:`ExecutionBackend.beamform_batch` call (one stacked gather on
+        the plan-based backends), which amortises per-frame dispatch; the
+        batch's beamform time is attributed evenly across its frames so the
+        aggregate throughput stats stay comparable with per-frame
+        submission.
+        """
+        requests = [self._coerce_request(frame, noise_std, seed)
+                    for frame in frames]
+        if not requests:
+            return []
+        acquired = [self._acquire(request) for request in requests]
+
+        start = time.perf_counter()
+        volumes = self._backend.beamform_batch(
+            [channel_data for channel_data, _ in acquired])
+        per_frame_seconds = (time.perf_counter() - start) / len(requests)
+
+        # copy() decouples each frame's lifetime from the whole batch
+        # buffer — a retained single FrameResult must not pin n_frames
+        # volumes in memory.
+        return [self._record(FrameResult(
+            frame_id=request.frame_id, rf=volumes[i].copy(),
+            backend=self._backend.name, acquire_seconds=acquire_seconds,
+            beamform_seconds=per_frame_seconds))
+            for i, (request, (_, acquire_seconds))
+            in enumerate(zip(requests, acquired))]
+
+    def stream(self, frames: Iterable[FrameRequest] | FrameScheduler,
+               batch_size: int = 1) -> Iterator[FrameResult]:
+        """Beamform a sequence of frames lazily, in submission order.
+
+        With ``batch_size > 1``, frames are grouped and each group runs
+        through :meth:`submit_batch` (results are still yielded one by one,
+        so downstream consumers are agnostic to the batching).
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         source = frames.drain() if isinstance(frames, FrameScheduler) else frames
+        if batch_size == 1:
+            for request in source:
+                yield self.submit_frame(request)
+            return
+        pending: list[FrameRequest] = []
         for request in source:
-            yield self.submit_frame(request)
+            pending.append(request)
+            if len(pending) == batch_size:
+                yield from self.submit_batch(pending)
+                pending = []
+        if pending:
+            yield from self.submit_batch(pending)
 
-    def stream_all(self, frames: Iterable[FrameRequest] | FrameScheduler
-                   ) -> list[FrameResult]:
+    def stream_all(self, frames: Iterable[FrameRequest] | FrameScheduler,
+                   batch_size: int = 1) -> list[FrameResult]:
         """Eager variant of :meth:`stream` returning all results at once."""
-        return list(self.stream(frames))
+        return list(self.stream(frames, batch_size=batch_size))
 
     # -------------------------------------------------------------- stats
     def stats(self) -> RuntimeStats:
@@ -211,6 +282,7 @@ class BeamformingService:
         latencies = np.asarray(self._latencies) if self._latencies else np.zeros(1)
         return RuntimeStats(
             backend=self._backend.name,
+            precision=self.precision.value,
             frames=self._frames,
             voxels=self._voxels,
             acquire_seconds=self._acquire_seconds,

@@ -19,6 +19,7 @@ from repro.api import ARCHITECTURES, EngineSpec, ScanSpec, Session
 from repro.core.bulk import BulkDelayProviderMixin
 from repro.core.exact import ExactDelayEngine
 from repro.geometry.volume import FocalGrid
+from repro.kernels import Precision
 from repro.pipeline.imaging import compare_architectures
 from repro.runtime import BeamformingService, DelayTableCache
 
@@ -74,6 +75,15 @@ class TestSessionConstruction:
         with pytest.raises(ValueError, match="unknown architecture"):
             Session({"architecture": "magic"})
 
+    def test_spec_precision_flows_to_vended_engines(self):
+        session = Session(EngineSpec(system="tiny", precision="float32"))
+        assert session.pipeline().precision is Precision.FLOAT32
+        assert session.service().precision is Precision.FLOAT32
+        # Per-call override wins without touching the spec default.
+        assert session.service(precision="float64").precision \
+            is Precision.FLOAT64
+        assert session.spec.precision is Precision.FLOAT32
+
 
 class TestSessionStreaming:
     def test_stream_scan_spec(self, tiny_session):
@@ -88,12 +98,22 @@ class TestSessionStreaming:
                                        "frames": 2}, backend="vectorized")
         assert len(results) == 2
 
+    def test_batched_stream_matches_per_frame(self, tiny_session):
+        scan = ScanSpec(frames=4)
+        singles = tiny_session.stream(scan, backend="vectorized")
+        batched = tiny_session.stream(scan, batch_size=2,
+                                      backend="vectorized")
+        assert [r.frame_id for r in batched] == [0, 1, 2, 3]
+        for got, want in zip(batched, singles):
+            np.testing.assert_array_equal(got.rf, want.rf)
+
 
 class TestSweep:
     def test_sweep_matches_legacy_compare_architectures(self, tiny,
                                                         centred_target):
-        legacy = compare_architectures(tiny, centred_target,
-                                       architectures=("exact", "tablesteer"))
+        with pytest.warns(DeprecationWarning, match="compare_architectures"):
+            legacy = compare_architectures(
+                tiny, centred_target, architectures=("exact", "tablesteer"))
         session = Session(EngineSpec(system=tiny))
         images = session.sweep(centred_target,
                                architectures=("exact", "tablesteer"))

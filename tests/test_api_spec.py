@@ -21,6 +21,7 @@ from repro.beamformer.interpolation import InterpolationKind
 from repro.config import SystemConfig, tiny_system
 from repro.core.tablefree import TableFreeConfig
 from repro.core.tablesteer import TableSteerConfig
+from repro.kernels import Precision
 from repro.fixedpoint.format import signed
 from repro.geometry.apodization import WindowType
 
@@ -72,6 +73,14 @@ class TestEngineSpecValidation:
         with pytest.raises(ValueError, match="cache_capacity"):
             EngineSpec(cache_capacity=0)
 
+    def test_precision_coerced_and_validated(self):
+        assert EngineSpec().precision is Precision.FLOAT64
+        assert EngineSpec(precision="float32").precision is Precision.FLOAT32
+        assert EngineSpec(precision=Precision.FLOAT32).precision \
+            is Precision.FLOAT32
+        with pytest.raises(ValueError, match="float32"):
+            EngineSpec(precision="float16")
+
     def test_with_updates_revalidates(self):
         spec = EngineSpec()
         assert spec.with_updates(architecture="tablefree").architecture \
@@ -89,7 +98,9 @@ class TestEngineSpecRoundTrip:
                           apodization=ApodizationSettings(
                               window=WindowType.BLACKMAN),
                           interpolation=InterpolationKind.LINEAR,
+                          precision="float32",
                           cache_capacity=2)
+        assert spec.to_dict()["precision"] == "float32"
         rebuilt = EngineSpec.from_dict(spec.to_dict())
         assert rebuilt == spec
 

@@ -106,7 +106,29 @@ class TestCommands:
 
     def test_stream_defaults_to_vectorized(self, capsys):
         assert main(["stream", "--system", "tiny", "--frames", "2"]) == 0
-        assert "backend=vectorized" in capsys.readouterr().out
+        output = capsys.readouterr().out
+        assert "backend=vectorized" in output
+        assert "dtype=float64" in output
+
+    def test_stream_dtype_and_batch_flags(self, capsys):
+        assert main(["stream", "--system", "tiny", "--frames", "4",
+                     "--dtype", "float32", "--batch", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "dtype=float32" in output
+        assert "batch=2" in output
+        assert "frame   3" in output          # all frames still reported
+        assert "1 hits, 1 misses" in output   # one plan lookup per batch
+
+    def test_stream_bad_batch_rejected(self, capsys):
+        assert main(["stream", "--system", "tiny", "--batch", "0"]) == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_spec_precision_override(self, capsys):
+        assert main(["spec", "--system", "tiny",
+                     "--set", "precision=float32"]) == 0
+        from repro.api import EngineSpec
+        spec = EngineSpec.from_json(capsys.readouterr().out)
+        assert spec.precision.value == "float32"
 
 
 class TestSpecWorkflow:

@@ -1,0 +1,248 @@
+"""Tests for repro.kernels: ops, precision policy and compiled plans.
+
+This is the layer every execution path funnels through, so the pins here
+are the strongest in the suite: the compiled plan must reproduce the
+classic per-scanline math bit-for-bit at float64, float32 must stay inside
+the documented tolerance, and batched execution must be frame-for-frame
+identical to per-frame execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.architectures import ARCHITECTURES
+from repro.beamformer.das import DelayAndSumBeamformer
+from repro.beamformer.interpolation import InterpolationKind, fetch_samples
+from repro.kernels import (
+    TOLERANCES,
+    BeamformingPlan,
+    Precision,
+    accumulate,
+    apply_weights,
+    build_gather_index,
+    compile_plan,
+    delay_and_sum,
+    gather_interp,
+    plan_key,
+    resolve_precision,
+)
+
+
+@pytest.fixture(scope="module")
+def exact_beamformer(tiny):
+    return DelayAndSumBeamformer(tiny, ARCHITECTURES.create("exact", tiny))
+
+
+@pytest.fixture(scope="module")
+def plan(exact_beamformer):
+    return compile_plan(exact_beamformer)
+
+
+class TestPrecision:
+    def test_resolve_accepts_many_spellings(self):
+        assert resolve_precision(None) is Precision.FLOAT64
+        assert resolve_precision("float32") is Precision.FLOAT32
+        assert resolve_precision(Precision.FLOAT32) is Precision.FLOAT32
+        assert resolve_precision(np.float32) is Precision.FLOAT32
+        assert resolve_precision(np.dtype("float64")) is Precision.FLOAT64
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError, match="float32"):
+            resolve_precision("float16")
+        with pytest.raises(ValueError, match="precision"):
+            resolve_precision(42)
+
+    def test_dtype_and_tolerance_table(self):
+        assert Precision.FLOAT64.dtype == np.float64
+        assert Precision.FLOAT32.dtype == np.float32
+        assert TOLERANCES[Precision.FLOAT64].atol <= 1e-9
+        assert Precision.FLOAT32.tolerance.rtol > 0
+
+    def test_tolerance_scales_atol_by_peak(self):
+        reference = np.array([0.0, 100.0])
+        # 100x the peak-relative atol on a peak-100 signal: passes.
+        ok = reference + np.array([1e-3, 0.0])
+        Precision.FLOAT32.tolerance.assert_allclose(ok, reference)
+        with pytest.raises(AssertionError):
+            bad = reference + np.array([1.0, 0.0])
+            Precision.FLOAT32.tolerance.assert_allclose(bad, reference)
+
+
+class TestGatherIndex:
+    def test_nearest_matches_legacy_fetch(self, tiny_channel_data, rng):
+        delays = rng.uniform(-5, tiny_channel_data.sample_count + 5,
+                             size=(30, tiny_channel_data.element_count))
+        index = build_gather_index(delays, tiny_channel_data.sample_count,
+                                   InterpolationKind.NEAREST)
+        gathered = gather_interp(tiny_channel_data.samples, index)
+        legacy = fetch_samples(
+            tiny_channel_data,
+            np.broadcast_to(np.arange(delays.shape[1]), delays.shape),
+            delays, kind=InterpolationKind.NEAREST)
+        np.testing.assert_array_equal(gathered, legacy)
+
+    def test_linear_matches_legacy_fetch(self, tiny_channel_data, rng):
+        delays = rng.uniform(-5, tiny_channel_data.sample_count + 5,
+                             size=(30, tiny_channel_data.element_count))
+        index = build_gather_index(delays, tiny_channel_data.sample_count,
+                                   InterpolationKind.LINEAR)
+        gathered = gather_interp(tiny_channel_data.samples, index)
+        legacy = fetch_samples(
+            tiny_channel_data,
+            np.broadcast_to(np.arange(delays.shape[1]), delays.shape),
+            delays, kind=InterpolationKind.LINEAR)
+        np.testing.assert_array_equal(gathered, legacy)
+
+    def test_out_of_range_rows_are_zero(self, tiny_channel_data):
+        n_elements = tiny_channel_data.element_count
+        delays = np.full((4, n_elements), -100.0)
+        delays[2:] = tiny_channel_data.sample_count + 100.0
+        for kind in InterpolationKind:
+            index = build_gather_index(delays,
+                                       tiny_channel_data.sample_count, kind)
+            gathered = gather_interp(tiny_channel_data.samples, index)
+            np.testing.assert_array_equal(gathered, 0.0)
+
+    def test_rows_view_matches_full(self, tiny_channel_data, rng):
+        delays = rng.uniform(0, tiny_channel_data.sample_count,
+                             size=(40, tiny_channel_data.element_count))
+        index = build_gather_index(delays, tiny_channel_data.sample_count)
+        block = index.rows(slice(10, 25))
+        assert block.n_points == 15
+        np.testing.assert_array_equal(
+            gather_interp(tiny_channel_data.samples, block),
+            gather_interp(tiny_channel_data.samples, index)[10:25])
+
+    def test_bad_inputs_rejected(self, tiny_channel_data):
+        with pytest.raises(ValueError, match="n_points, n_elements"):
+            build_gather_index(np.zeros(5), 100)
+        with pytest.raises(ValueError, match="interpolation"):
+            build_gather_index(np.zeros((2, 2)), 100, kind="cubic")
+        index = build_gather_index(
+            np.zeros((2, tiny_channel_data.element_count)),
+            tiny_channel_data.sample_count + 1)
+        with pytest.raises(ValueError, match="sample"):
+            gather_interp(tiny_channel_data.samples, index)
+        with pytest.raises(ValueError, match="samples must be"):
+            gather_interp(np.zeros(7), index)
+
+
+class TestKernelComposition:
+    def test_delay_and_sum_matches_manual_composition(self, tiny_channel_data,
+                                                      rng):
+        n_elements = tiny_channel_data.element_count
+        delays = rng.uniform(0, tiny_channel_data.sample_count,
+                             size=(25, n_elements))
+        weights = rng.uniform(0.0, 1.0, size=(25, n_elements))
+        manual = accumulate(apply_weights(
+            gather_interp(tiny_channel_data.samples,
+                          build_gather_index(
+                              delays, tiny_channel_data.sample_count)),
+            weights))
+        np.testing.assert_array_equal(
+            delay_and_sum(tiny_channel_data.samples, delays, weights), manual)
+
+    def test_apply_weights_keeps_sample_dtype(self, rng):
+        samples = rng.normal(size=(3, 4)).astype(np.float32)
+        weights = rng.uniform(size=(3, 4))   # float64 weights
+        assert apply_weights(samples, weights).dtype == np.float32
+
+    def test_accumulate_sums_element_axis(self, rng):
+        weighted = rng.normal(size=(2, 5, 3))
+        np.testing.assert_array_equal(accumulate(weighted),
+                                      weighted.sum(axis=-1))
+
+
+class TestPlanCompile:
+    def test_plan_shapes_and_metadata(self, tiny, exact_beamformer, plan):
+        n_points = tiny.volume.focal_point_count
+        n_elements = tiny.transducer.element_count
+        assert plan.delays.shape == (n_points, n_elements)
+        assert plan.weights.shape == (n_points, n_elements)
+        assert plan.grid_shape == exact_beamformer.grid.shape
+        assert plan.n_points == n_points and plan.n_elements == n_elements
+        assert plan.precision is Precision.FLOAT64
+        assert plan.dtype == np.float64
+        assert plan.n_samples == tiny.echo_buffer_samples
+        assert plan.nbytes > plan.delays.nbytes + plan.weights.nbytes
+
+    def test_compile_precompiles_gather_index(self, plan):
+        assert plan.gather_index() is plan.gather_index(plan.n_samples)
+
+    def test_foreign_buffer_length_memoised(self, plan):
+        other = plan.gather_index(plan.n_samples + 7)
+        assert other.n_samples == plan.n_samples + 7
+        assert plan.gather_index(plan.n_samples + 7) is other
+
+    def test_float32_plan_casts_weights_only(self, exact_beamformer):
+        plan32 = compile_plan(exact_beamformer, "float32")
+        assert plan32.weights.dtype == np.float32
+        assert plan32.delays.dtype == np.float64   # addressing stays exact
+
+    def test_key_includes_interpolation_and_dtype(self, tiny,
+                                                  exact_beamformer):
+        linear = DelayAndSumBeamformer(
+            tiny, exact_beamformer.delays,
+            interpolation=InterpolationKind.LINEAR)
+        keys = {plan_key(exact_beamformer),
+                plan_key(exact_beamformer, "float32"),
+                plan_key(linear),
+                plan_key(linear, Precision.FLOAT32)}
+        assert len(keys) == 4
+        assert compile_plan(exact_beamformer).key == \
+            plan_key(exact_beamformer)
+
+
+class TestPlanExecution:
+    def test_execute_matches_scanline_loop_exactly(self, exact_beamformer,
+                                                   plan, tiny_channel_data):
+        volume = plan.execute(tiny_channel_data)
+        n_theta, n_phi, _ = plan.grid_shape
+        for i_theta in range(0, n_theta, 3):
+            for i_phi in range(0, n_phi, 3):
+                np.testing.assert_array_equal(
+                    volume[i_theta, i_phi],
+                    exact_beamformer.beamform_scanline(tiny_channel_data,
+                                                       i_theta, i_phi))
+
+    def test_execute_accepts_raw_arrays(self, plan, tiny_channel_data):
+        np.testing.assert_array_equal(plan.execute(tiny_channel_data.samples),
+                                      plan.execute(tiny_channel_data))
+
+    def test_execute_rows_tile_the_volume(self, plan, tiny_channel_data):
+        full = plan.execute(tiny_channel_data).ravel()
+        parts = [plan.execute_rows(tiny_channel_data, slice(lo, lo + 37))
+                 for lo in range(0, plan.n_points, 37)]
+        np.testing.assert_array_equal(np.concatenate(parts), full)
+
+    def test_execute_batch_matches_per_frame(self, tiny, plan,
+                                             tiny_channel_data):
+        from repro.acoustics.echo import EchoSimulator
+        from repro.acoustics.phantom import point_target
+        simulator = EchoSimulator.from_config(tiny)
+        frames = [tiny_channel_data,
+                  simulator.simulate(point_target(depth=0.04), seed=5)]
+        batch = plan.execute_batch(frames)
+        assert batch.shape == (2, *plan.grid_shape)
+        for i, frame in enumerate(frames):
+            np.testing.assert_array_equal(batch[i], plan.execute(frame))
+
+    def test_execute_batch_empty(self, plan):
+        assert plan.execute_batch([]).shape == (0, *plan.grid_shape)
+
+    def test_float32_execution_within_tolerance(self, exact_beamformer,
+                                                plan, tiny_channel_data):
+        plan32 = compile_plan(exact_beamformer, Precision.FLOAT32)
+        reference = plan.execute(tiny_channel_data)
+        fast = plan32.execute(tiny_channel_data)
+        assert fast.dtype == np.float32
+        Precision.FLOAT32.tolerance.assert_allclose(fast, reference)
+        batch = plan32.execute_batch([tiny_channel_data])
+        np.testing.assert_array_equal(batch[0], fast)
+
+    def test_plans_are_shareable_artifacts(self, plan):
+        assert isinstance(plan, BeamformingPlan)
+        with pytest.raises(AttributeError):
+            plan.precision = Precision.FLOAT32   # frozen

@@ -37,19 +37,28 @@ class TestMakeDelayProvider:
     @pytest.mark.parametrize("architecture", ["exact", "tablefree", "tablesteer",
                                               "tablesteer_float"])
     def test_provider_construction(self, system, architecture):
-        provider = make_delay_provider(system, architecture)
+        with pytest.warns(DeprecationWarning, match="make_delay_provider"):
+            provider = make_delay_provider(system, architecture)
         points = np.array([[0.0, 0.0, 0.01]])
         delays = provider.delays_samples(points)
         assert delays.shape == (1, system.transducer.element_count)
 
     def test_enum_and_string_equivalent(self, system):
-        a = make_delay_provider(system, DelayArchitecture.TABLEFREE)
-        b = make_delay_provider(system, "tablefree")
+        with pytest.warns(DeprecationWarning):
+            a = make_delay_provider(system, DelayArchitecture.TABLEFREE)
+            b = make_delay_provider(system, "tablefree")
         assert type(a) is type(b)
 
     def test_unknown_architecture_rejected(self, system):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError), \
+                pytest.warns(DeprecationWarning):
             make_delay_provider(system, "magic")
+
+    def test_registry_path_does_not_warn(self, system, recwarn):
+        from repro.architectures import ARCHITECTURES
+        ARCHITECTURES.create("exact", system)
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
 
 
 class TestImagingPipeline:
@@ -118,6 +127,19 @@ class TestPipelineBackends:
         with pytest.raises(ValueError):
             ImagingPipeline(system, backend="quantum")
 
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_precision_respected_by_every_backend(self, system,
+                                                  centred_target, backend):
+        from repro.kernels import Precision
+        pipeline = ImagingPipeline(system, backend=backend,
+                                   precision="float32")
+        data = pipeline.acquire(centred_target)
+        volume = pipeline.image_volume(data)
+        assert volume.rf.dtype == np.float32
+        exact = ImagingPipeline(system, backend=backend)
+        Precision.FLOAT32.tolerance.assert_allclose(
+            volume.rf, exact.image_volume(data).rf)
+
     def test_shared_objects_are_reused(self, system):
         from repro.acoustics.echo import EchoSimulator
         from repro.geometry.transducer import MatrixTransducer
@@ -169,13 +191,20 @@ class TestRegistryIntegration:
 
 
 class TestCompareArchitectures:
+    def test_shim_emits_deprecation_warning(self, system, centred_target):
+        with pytest.warns(DeprecationWarning, match="compare_architectures"):
+            compare_architectures(system, centred_target,
+                                  architectures=("exact",))
+
     def test_all_requested_architectures_present(self, system, centred_target):
-        images = compare_architectures(system, centred_target,
-                                       architectures=("exact", "tablesteer"))
+        with pytest.warns(DeprecationWarning):
+            images = compare_architectures(system, centred_target,
+                                           architectures=("exact", "tablesteer"))
         assert set(images) == {"exact", "tablesteer"}
 
     def test_images_similar_across_architectures(self, system, centred_target):
-        images = compare_architectures(system, centred_target)
+        with pytest.warns(DeprecationWarning):
+            images = compare_architectures(system, centred_target)
         reference = images["exact"]
         for name, image in images.items():
             assert image.shape == reference.shape

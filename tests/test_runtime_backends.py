@@ -2,8 +2,11 @@
 
 The load-bearing guarantee of the runtime is that execution strategy never
 changes the image: ``vectorized`` and ``sharded`` must reproduce the
-``reference`` per-scanline volume for every delay architecture.  The cache
-tests pin the LRU bookkeeping the throughput claims rest on.
+``reference`` per-scanline volume bit-for-bit at ``float64`` (all three run
+through the same :mod:`repro.kernels` math) and within the pinned tolerance
+at ``float32``.  The cache tests pin the LRU bookkeeping — and the key
+isolation across interpolation/precision — that the throughput claims rest
+on.
 """
 
 from __future__ import annotations
@@ -11,92 +14,183 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.architectures import ARCHITECTURES
 from repro.beamformer.das import DelayAndSumBeamformer
 from repro.beamformer.interpolation import InterpolationKind
-from repro.pipeline.imaging import make_delay_provider
+from repro.kernels import Precision
 from repro.runtime import (
     BACKEND_NAMES,
-    DelayTableCache,
+    BACKENDS,
+    PlanCache,
     ReferenceBackend,
-    build_tables,
+    ShardedBackend,
     make_backend,
     tables_key,
 )
 
-ARCHITECTURES = ("exact", "tablefree", "tablesteer")
+ARCH_NAMES = ("exact", "tablefree", "tablesteer")
 
 
 @pytest.fixture(scope="module")
 def beamformers(tiny):
     """One beamformer per delay architecture, sharing the tiny system."""
-    return {name: DelayAndSumBeamformer(tiny, make_delay_provider(tiny, name))
-            for name in ARCHITECTURES}
+    return {name: DelayAndSumBeamformer(tiny, ARCHITECTURES.create(name, tiny))
+            for name in ARCH_NAMES}
 
 
 class TestBackendEquivalence:
-    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    @pytest.mark.parametrize("architecture", ARCH_NAMES)
     @pytest.mark.parametrize("backend", ["vectorized", "sharded"])
     def test_matches_reference_volume(self, beamformers, tiny_channel_data,
                                       architecture, backend):
         beamformer = beamformers[architecture]
         reference = ReferenceBackend(beamformer).beamform_volume(
             tiny_channel_data)
-        batched = make_backend(backend, beamformer).beamform_volume(
-            tiny_channel_data)
+        batched = BACKENDS.create(backend, beamformer, None, None) \
+            .beamform_volume(tiny_channel_data)
         assert batched.shape == reference.shape
         np.testing.assert_allclose(batched, reference, rtol=0, atol=1e-9)
 
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_float32_within_pinned_tolerance(self, beamformers,
+                                             tiny_channel_data, backend):
+        beamformer = beamformers["tablesteer"]
+        reference = ReferenceBackend(beamformer).beamform_volume(
+            tiny_channel_data)
+        fast = BACKENDS.create(backend, beamformer, None, "float32") \
+            .beamform_volume(tiny_channel_data)
+        assert fast.dtype == np.float32
+        Precision.FLOAT32.tolerance.assert_allclose(fast, reference)
+
     def test_linear_interpolation_also_matches(self, tiny, tiny_channel_data):
         beamformer = DelayAndSumBeamformer(
-            tiny, make_delay_provider(tiny, "exact"),
+            tiny, ARCHITECTURES.create("exact", tiny),
             interpolation=InterpolationKind.LINEAR)
         reference = ReferenceBackend(beamformer).beamform_volume(
             tiny_channel_data)
-        batched = make_backend("vectorized", beamformer).beamform_volume(
-            tiny_channel_data)
+        batched = BACKENDS.create("vectorized", beamformer, None, None) \
+            .beamform_volume(tiny_channel_data)
         np.testing.assert_allclose(batched, reference, rtol=0, atol=1e-9)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_batch_equals_per_frame(self, beamformers, tiny_channel_data,
+                                    backend):
+        """beamform_batch must be frame-for-frame identical to the loop."""
+        beamformer = beamformers["exact"]
+        instance = BACKENDS.create(backend, beamformer, None, None)
+        single = instance.beamform_volume(tiny_channel_data)
+        batch = instance.beamform_batch([tiny_channel_data,
+                                         tiny_channel_data])
+        assert batch.shape == (2, *single.shape)
+        np.testing.assert_array_equal(batch[0], single)
+        np.testing.assert_array_equal(batch[1], single)
 
     def test_unknown_backend_rejected(self, beamformers):
         with pytest.raises(ValueError, match="unknown backend"):
-            make_backend("gpu", beamformers["exact"])
+            BACKENDS.create("gpu", beamformers["exact"], None, None)
 
     def test_backend_registry_names(self):
         assert set(BACKEND_NAMES) == {"reference", "vectorized", "sharded"}
 
-
-class TestVolumeDelayDefault:
-    @pytest.mark.parametrize("architecture", ARCHITECTURES)
-    def test_bulk_tensor_matches_scanlines(self, tiny, beamformers,
-                                           architecture):
-        provider = beamformers[architecture].delays
-        volume = provider.volume_delays_samples()
-        n_theta, n_phi, n_depth = beamformers[architecture].grid.shape
-        assert volume.shape == (n_theta, n_phi, n_depth,
-                                tiny.transducer.element_count)
-        np.testing.assert_allclose(
-            volume[2, 3], provider.scanline_delays_samples(2, 3),
-            rtol=0, atol=1e-9)
+    def test_make_backend_shim_warns_and_delegates(self, beamformers,
+                                                   tiny_channel_data):
+        with pytest.warns(DeprecationWarning, match="make_backend"):
+            backend = make_backend("vectorized", beamformers["exact"])
+        reference = ReferenceBackend(beamformers["exact"]).beamform_volume(
+            tiny_channel_data)
+        np.testing.assert_allclose(backend.beamform_volume(tiny_channel_data),
+                                   reference, rtol=0, atol=1e-9)
 
 
-class TestDelayTables:
-    def test_tables_shapes_and_key_stability(self, tiny, beamformers):
+class TestShardedEdgeCases:
+    def test_single_shard(self, beamformers, tiny_channel_data):
         beamformer = beamformers["exact"]
-        tables = build_tables(beamformer)
-        n_points = tiny.volume.focal_point_count
-        assert tables.delays.shape == (n_points, tiny.transducer.element_count)
-        assert tables.weights.shape == tables.delays.shape
-        assert tables.grid_shape == beamformer.grid.shape
-        assert tables.nbytes == tables.delays.nbytes + tables.weights.nbytes
-        assert tables_key(beamformer) == tables_key(beamformer)
+        one = ShardedBackend(beamformer, shards=1)
+        baseline = BACKENDS.create("vectorized", beamformer, None, None) \
+            .beamform_volume(tiny_channel_data)
+        np.testing.assert_array_equal(one.beamform_volume(tiny_channel_data),
+                                      baseline)
+        assert len(one._blocks(baseline.size)) == 1
 
-    def test_key_distinguishes_architectures(self, beamformers):
+    def test_more_shards_than_points(self, beamformers, tiny_channel_data):
+        beamformer = beamformers["exact"]
+        n_points = int(np.prod(beamformer.grid.shape))
+        over = ShardedBackend(beamformer, shards=n_points * 3, max_workers=2)
+        blocks = over._blocks(n_points)
+        # Every point covered exactly once, no empty blocks dispatched.
+        assert len(blocks) == n_points
+        assert all(block.stop > block.start for block in blocks)
+        baseline = BACKENDS.create("vectorized", beamformer, None, None) \
+            .beamform_volume(tiny_channel_data)
+        np.testing.assert_array_equal(over.beamform_volume(tiny_channel_data),
+                                      baseline)
+
+    def test_worker_exception_propagates(self, beamformers,
+                                         tiny_channel_data, monkeypatch):
+        """A failing shard must raise in the caller, not hang the pool."""
+        backend = ShardedBackend(beamformers["exact"], shards=4,
+                                 max_workers=2)
+
+        def boom(plan, channel_data, rows):
+            raise RuntimeError("shard exploded")
+
+        monkeypatch.setattr(backend, "_execute_rows", boom)
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            backend.beamform_volume(tiny_channel_data)
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            backend.beamform_batch([tiny_channel_data])
+
+
+class TestPlanCacheKeys:
+    def test_key_stability_and_architecture_separation(self, beamformers):
         keys = {tables_key(b) for b in beamformers.values()}
-        assert len(keys) == len(ARCHITECTURES)
+        assert len(keys) == len(ARCH_NAMES)
+        one = beamformers["exact"]
+        assert tables_key(one) == tables_key(one)
+
+    def test_key_distinguishes_interpolation(self, tiny):
+        """Engines differing only in interpolation must never share plans."""
+        provider = ARCHITECTURES.create("exact", tiny)
+        nearest = DelayAndSumBeamformer(tiny, provider)
+        linear = DelayAndSumBeamformer(
+            tiny, provider, interpolation=InterpolationKind.LINEAR)
+        assert tables_key(nearest) != tables_key(linear)
+
+    def test_key_distinguishes_precision(self, beamformers):
+        """Engines differing only in dtype must never share plans."""
+        beamformer = beamformers["exact"]
+        assert tables_key(beamformer, "float64") != \
+            tables_key(beamformer, "float32")
+
+    def test_shared_cache_isolates_interpolation_and_dtype(
+            self, tiny, tiny_channel_data):
+        """One cache, four engine flavours: four distinct plans, no mixups."""
+        provider = ARCHITECTURES.create("exact", tiny)
+        cache = PlanCache(capacity=8)
+        volumes = {}
+        for kind in (InterpolationKind.NEAREST, InterpolationKind.LINEAR):
+            beamformer = DelayAndSumBeamformer(tiny, provider,
+                                               interpolation=kind)
+            for precision in ("float64", "float32"):
+                backend = BACKENDS.create("vectorized", beamformer, cache,
+                                          precision)
+                volumes[(kind, precision)] = backend.beamform_volume(
+                    tiny_channel_data)
+        assert cache.stats.misses == 4        # four distinct plans compiled
+        assert volumes[(InterpolationKind.NEAREST, "float64")].dtype \
+            == np.float64
+        assert volumes[(InterpolationKind.NEAREST, "float32")].dtype \
+            == np.float32
+        # Interpolation actually changed the result (so a shared plan would
+        # have been an observable bug, not a harmless dedup).
+        assert not np.array_equal(
+            volumes[(InterpolationKind.NEAREST, "float64")],
+            volumes[(InterpolationKind.LINEAR, "float64")])
 
 
-class TestDelayTableCache:
+class TestPlanCache:
     def test_hit_and_miss_counting(self):
-        cache = DelayTableCache(capacity=2)
+        cache = PlanCache(capacity=2)
         calls = []
         for _ in range(3):
             cache.get_or_build("a", lambda: calls.append(1) or "va")
@@ -106,7 +200,7 @@ class TestDelayTableCache:
         assert stats.hit_rate == pytest.approx(2 / 3)
 
     def test_lru_eviction_order(self):
-        cache = DelayTableCache(capacity=2)
+        cache = PlanCache(capacity=2)
         cache.get_or_build("a", lambda: "va")
         cache.get_or_build("b", lambda: "vb")
         cache.get_or_build("a", lambda: "va")   # refresh 'a' -> 'b' is LRU
@@ -116,7 +210,7 @@ class TestDelayTableCache:
         assert len(cache) == 2
 
     def test_rebuild_after_eviction(self):
-        cache = DelayTableCache(capacity=1)
+        cache = PlanCache(capacity=1)
         builds = []
         cache.get_or_build("a", lambda: builds.append("a") or 1)
         cache.get_or_build("b", lambda: builds.append("b") or 2)
@@ -124,7 +218,7 @@ class TestDelayTableCache:
         assert builds == ["a", "b", "a"]
 
     def test_clear_keeps_counters(self):
-        cache = DelayTableCache()
+        cache = PlanCache()
         cache.get_or_build("a", lambda: 1)
         cache.get_or_build("a", lambda: 1)
         cache.clear()
@@ -133,16 +227,20 @@ class TestDelayTableCache:
 
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
-            DelayTableCache(capacity=0)
+            PlanCache(capacity=0)
+
+    def test_legacy_alias(self):
+        from repro.runtime import DelayTableCache
+        assert DelayTableCache is PlanCache
 
     def test_shared_cache_serves_both_batched_backends(self, beamformers,
                                                        tiny_channel_data):
         beamformer = beamformers["tablesteer"]
-        cache = DelayTableCache()
-        vectorized = make_backend("vectorized", beamformer, cache=cache)
-        sharded = make_backend("sharded", beamformer, cache=cache)
+        cache = PlanCache()
+        vectorized = BACKENDS.create("vectorized", beamformer, cache, None)
+        sharded = BACKENDS.create("sharded", beamformer, cache, None)
         vectorized.beamform_volume(tiny_channel_data)
         sharded.beamform_volume(tiny_channel_data)
         stats = cache.stats
-        assert stats.misses == 1      # built once by the first backend
+        assert stats.misses == 1      # compiled once by the first backend
         assert stats.hits == 1        # reused by the second

@@ -12,11 +12,13 @@ import numpy as np
 import pytest
 
 from repro.acoustics.phantom import point_target
+from repro.kernels import Precision
 from repro.runtime import (
     BeamformingService,
     DelayTableCache,
     FrameRequest,
     FrameScheduler,
+    PlanCache,
     moving_point_cine,
     static_cine,
 )
@@ -181,3 +183,85 @@ class TestBeamformingService:
     def test_backend_name_exposed(self, tiny):
         service = BeamformingService(tiny, backend="sharded")
         assert service.backend_name == "sharded"
+
+
+class TestPrecisionPolicy:
+    @pytest.mark.parametrize("backend", ["reference", "vectorized", "sharded"])
+    def test_float32_stream_within_tolerance(self, tiny, backend):
+        cine = moving_point_cine(tiny, n_frames=3)
+        exact = BeamformingService(tiny, backend=backend).stream_all(cine)
+        fast = BeamformingService(tiny, backend=backend,
+                                  precision="float32").stream_all(cine)
+        for got, want in zip(fast, exact):
+            assert got.rf.dtype == np.float32
+            Precision.FLOAT32.tolerance.assert_allclose(got.rf, want.rf)
+
+    def test_stats_report_precision(self, tiny, tiny_channel_data):
+        service = BeamformingService(tiny, precision="float32")
+        service.submit_frame(tiny_channel_data)
+        assert service.stats().precision == "float32"
+        assert BeamformingService(tiny).stats().precision == "float64"
+
+    def test_unknown_precision_rejected(self, tiny):
+        with pytest.raises(ValueError, match="precision|float32"):
+            BeamformingService(tiny, precision="float16")
+
+    def test_precisions_never_share_plans(self, tiny, tiny_channel_data):
+        cache = PlanCache()
+        for precision in ("float64", "float32"):
+            service = BeamformingService(tiny, backend="vectorized",
+                                         cache=cache, precision=precision)
+            service.submit_frame(tiny_channel_data)
+            service.submit_frame(tiny_channel_data)
+        assert cache.stats.misses == 2   # one compiled plan per precision
+        assert cache.stats.hits == 2
+
+
+class TestBatchedSubmission:
+    def test_submit_batch_matches_per_frame(self, tiny):
+        cine = moving_point_cine(tiny, n_frames=4)
+        per_frame = BeamformingService(tiny, backend="vectorized")
+        batched = BeamformingService(tiny, backend="vectorized")
+        singles = per_frame.stream_all(cine)
+        results = batched.submit_batch(cine)
+        assert [r.frame_id for r in results] == [r.frame_id for r in singles]
+        for got, want in zip(results, singles):
+            np.testing.assert_array_equal(got.rf, want.rf)
+        stats = batched.stats()
+        assert stats.frames == 4
+        assert stats.beamform_seconds > 0
+
+    def test_stream_with_batch_size_preserves_order(self, tiny):
+        cine = moving_point_cine(tiny, n_frames=5)
+        service = BeamformingService(tiny, backend="vectorized")
+        results = service.stream_all(cine, batch_size=2)  # 2 + 2 + 1 frames
+        assert [r.frame_id for r in results] == [0, 1, 2, 3, 4]
+        assert service.stats().frames == 5
+
+    def test_batched_stream_matches_per_frame_volumes(self, tiny):
+        cine = moving_point_cine(tiny, n_frames=4)
+        per_frame = BeamformingService(tiny, backend="sharded")
+        batched = BeamformingService(tiny, backend="sharded")
+        singles = per_frame.stream_all(cine)
+        results = batched.stream_all(cine, batch_size=4)
+        for got, want in zip(results, singles):
+            np.testing.assert_array_equal(got.rf, want.rf)
+
+    def test_batch_accepts_raw_payloads(self, tiny, tiny_channel_data):
+        service = BeamformingService(tiny, backend="vectorized")
+        results = service.submit_batch(
+            [tiny_channel_data, point_target(depth=0.01)])
+        assert [r.frame_id for r in results] == [0, 1]
+        assert results[0].acquire_seconds == 0.0
+        assert results[1].acquire_seconds > 0
+
+    def test_empty_batch_is_a_noop(self, tiny):
+        service = BeamformingService(tiny, backend="vectorized")
+        assert service.submit_batch([]) == []
+        assert service.stats().frames == 0
+
+    def test_bad_batch_size_rejected(self, tiny, tiny_channel_data):
+        service = BeamformingService(tiny, backend="vectorized")
+        with pytest.raises(ValueError, match="batch_size"):
+            service.stream_all(static_cine(tiny_channel_data, 2),
+                               batch_size=0)
