@@ -110,6 +110,104 @@ def fixed_point_sweep(bit_widths: tuple[int, ...] = (13, 14, 16, 18, 20),
             for bits in bit_widths]
 
 
+@dataclass(frozen=True)
+class KernelFixedPointResult:
+    """Per-width outcome of the E6 sweep run through the kernel layer.
+
+    Where :class:`FixedPointImpactResult` Monte-Carlos random delay
+    triples, this result comes from compiling the real TABLESTEER delay
+    tensors at one representation width into a bit-true
+    :class:`repro.kernels.QuantizedPlan` and comparing its echo-buffer
+    addressing (and the beamformed volume) against the unquantised
+    TABLESTEER plan — the runtime and the experiment share one code path,
+    so they cannot drift apart.
+    """
+
+    total_bits: int
+    sample_count: int
+    affected_fraction: float
+    max_index_error: int
+    mean_abs_index_error: float
+    volume_rms_error: float
+    """RMS difference of the quantized volume, relative to the peak
+    amplitude of the unquantised reference volume."""
+
+    def as_dict(self) -> dict[str, float]:
+        """Result as a plain dictionary."""
+        return {
+            "total_bits": float(self.total_bits),
+            "sample_count": float(self.sample_count),
+            "affected_fraction": self.affected_fraction,
+            "max_index_error": float(self.max_index_error),
+            "mean_abs_index_error": self.mean_abs_index_error,
+            "volume_rms_error": self.volume_rms_error,
+        }
+
+
+def kernel_fixed_point_sweep(system: SystemConfig | None = None,
+                             bit_widths: tuple[int, ...] = (13, 14, 16, 18, 20)
+                             ) -> list[KernelFixedPointResult]:
+    """The E6 bit-width sweep executed through the compiled kernel path.
+
+    For each width the TABLESTEER delay generator is built *at that width*
+    (its fixed-point three-value sum is the very datapath the Monte-Carlo
+    models) and compiled into a :class:`repro.kernels.QuantizedPlan` whose
+    delay format matches the width, so the whole engine — delay generation,
+    echo addressing, weighting and accumulation — is hardware-faithful.
+    The unquantised reference is the floating-point TABLESTEER plan (same
+    algorithmic far-field approximation, no quantisation), which isolates
+    representation error exactly as :func:`fixed_point_impact` does.
+
+    Defaults to the ``tiny`` preset: the trends (affected fraction falling
+    from tens of percent at 13 bits to ~nothing at 20, index errors of at
+    most one sample) are scale-free, and the tiny grid keeps the sweep
+    cheap enough for tests and the E6 experiment to run it routinely.
+    """
+    # Imported here: repro.analysis sits below the kernel/beamformer layers
+    # in some import orders, and the sweep is the only consumer.
+    from ..acoustics.echo import EchoSimulator
+    from ..acoustics.phantom import point_target
+    from ..beamformer.das import DelayAndSumBeamformer
+    from ..config import tiny_system
+    from ..core.tablesteer import TableSteerConfig, TableSteerDelayGenerator
+    from ..geometry.volume import FocalGrid
+    from ..kernels import QuantizationSpec, compile_plan
+
+    system = system or tiny_system()
+    grid = FocalGrid.from_config(system)
+    depth = float(grid.depths[len(grid.depths) // 2])
+    channel_data = EchoSimulator.from_config(system).simulate(
+        point_target(depth=depth))
+
+    float_provider = TableSteerDelayGenerator.from_config(
+        system, TableSteerConfig(total_bits=None))
+    float_plan = compile_plan(DelayAndSumBeamformer(system, float_provider))
+    reference_indices = float_plan.gather_index().indices
+    reference_volume = float_plan.execute(channel_data)
+    peak = float(np.max(np.abs(reference_volume))) or 1.0
+
+    results = []
+    for bits in bit_widths:
+        provider = TableSteerDelayGenerator.from_config(
+            system, TableSteerConfig(total_bits=bits))
+        beamformer = DelayAndSumBeamformer(
+            system, provider,
+            quantization=QuantizationSpec.from_total_bits(bits))
+        plan = compile_plan(beamformer)
+        index_error = plan.gather_index().indices - reference_indices
+        volume = plan.execute(channel_data)
+        rms = float(np.sqrt(np.mean((volume - reference_volume) ** 2)))
+        results.append(KernelFixedPointResult(
+            total_bits=bits,
+            sample_count=int(index_error.size),
+            affected_fraction=float(np.mean(index_error != 0)),
+            max_index_error=int(np.max(np.abs(index_error))),
+            mean_abs_index_error=float(np.mean(np.abs(index_error))),
+            volume_rms_error=rms / peak,
+        ))
+    return results
+
+
 def impact_for_system(system: SystemConfig, total_bits: int,
                       n_samples: int = 200_000,
                       seed: int = 2015) -> FixedPointImpactResult:

@@ -51,6 +51,7 @@ from ..registry import (
     decode_options,
     encode_options,
 )
+from ..kernels import Precision, QuantizationSpec
 from ..runtime.backends import BACKENDS, ShardedOptions
 from .session import Session
 from .specs import (
@@ -69,6 +70,8 @@ __all__ = [
     "BACKENDS",
     "SCENARIOS",
     "EngineSpec",
+    "Precision",
+    "QuantizationSpec",
     "ScanSpec",
     "Session",
     "Registry",

@@ -28,6 +28,12 @@ from .specs import EngineSpec, ScanSpec
 
 __all__ = ["Session"]
 
+_INHERIT = object()
+"""Default sentinel for per-call overrides whose ``None`` spelling is
+meaningful: for ``quantization``, ``None`` explicitly *disables* the
+spec-level quantisation (yielding the float variant), while leaving the
+argument out inherits the spec."""
+
 
 class Session:
     """Engine builder bound to one :class:`EngineSpec`.
@@ -85,14 +91,17 @@ class Session:
                  backend_options: Any = None,
                  cache: PlanCache | None = None,
                  provider: Any = None,
-                 precision: Precision | str | None = None) -> ImagingPipeline:
+                 precision: Precision | str | None = None,
+                 quantization: Any = _INHERIT) -> ImagingPipeline:
         """An :class:`ImagingPipeline` over the shared substrates.
 
-        ``architecture`` / ``backend`` (and their options) and
-        ``precision`` default to the session spec; overriding them swaps
-        the variant while keeping the simulator, transducer, grid and cache
-        shared.  A pre-built ``provider`` skips delay-generator
-        construction entirely.
+        ``architecture`` / ``backend`` (and their options), ``precision``
+        and ``quantization`` default to the session spec; overriding them
+        swaps the variant while keeping the simulator, transducer, grid and
+        cache shared.  Pass ``quantization=None`` to explicitly *disable* a
+        spec-level quantisation (e.g. to compare the float and bit-true
+        variants of one quantized session).  A pre-built ``provider`` skips
+        delay-generator construction entirely.
         """
         architecture, architecture_options, backend, backend_options = \
             self._resolve_variant(architecture, backend,
@@ -107,6 +116,8 @@ class Session:
             backend_options=backend_options,
             precision=precision if precision is not None
             else self.spec.precision,
+            quantization=self.spec.quantization
+            if quantization is _INHERIT else quantization,
             cache=cache if cache is not None else self.cache,
             simulator=self.simulator,
             transducer=self.transducer,
@@ -118,8 +129,8 @@ class Session:
                 architecture_options: Any = None,
                 backend_options: Any = None,
                 cache: PlanCache | None = None,
-                precision: Precision | str | None = None
-                ) -> BeamformingService:
+                precision: Precision | str | None = None,
+                quantization: Any = _INHERIT) -> BeamformingService:
         """A streaming :class:`BeamformingService` over the shared substrates.
 
         Note the service's default backend is the spec's backend — for a
@@ -140,6 +151,8 @@ class Session:
             interpolation=self.spec.interpolation,
             precision=precision if precision is not None
             else self.spec.precision,
+            quantization=self.spec.quantization
+            if quantization is _INHERIT else quantization,
             cache=cache if cache is not None else self.cache,
             simulator=self.simulator)
 

@@ -31,7 +31,7 @@ from ..beamformer.das import ApodizationSettings
 from ..beamformer.interpolation import InterpolationKind
 from ..config import PRESETS, SystemConfig, get_preset
 from ..geometry.volume import FocalGrid
-from ..kernels import Precision, resolve_precision
+from ..kernels import Precision, QuantizationSpec, resolve_precision
 from ..registry import Registry, decode_options, encode_options
 from ..runtime.backends import BACKENDS
 from ..runtime.scheduler import FrameRequest, moving_point_cine
@@ -85,6 +85,12 @@ class EngineSpec:
     """Kernel execution dtype policy (``"float64"`` exact /
     ``"float32"`` fast; name or :class:`repro.kernels.Precision`)."""
 
+    quantization: Any = None
+    """Bit-true fixed-point execution spec
+    (:class:`repro.kernels.QuantizationSpec`, its dict form, a total bit
+    width like ``18``, or a delay Q-format string like ``"U13.5"``);
+    ``None`` keeps the float kernel path."""
+
     cache_capacity: int = 4
     """Capacity of the session's shared compiled-plan LRU cache."""
 
@@ -125,6 +131,15 @@ class EngineSpec:
                            InterpolationKind(self.interpolation))
         object.__setattr__(self, "precision",
                            resolve_precision(self.precision))
+        object.__setattr__(self, "quantization",
+                           QuantizationSpec.coerce(self.quantization))
+        if self.quantization is not None:
+            # Fail at spec validation, not deep inside an engine build —
+            # including a delay format too narrow for the system's echo
+            # buffer, which would otherwise saturate every delay.
+            self.quantization.validate_for(
+                self.precision, self.interpolation,
+                self.resolve_system().echo_buffer_samples)
         if not isinstance(self.cache_capacity, int) or self.cache_capacity < 1:
             raise ValueError("cache_capacity must be a positive integer")
 
@@ -152,6 +167,7 @@ class EngineSpec:
             "apodization": encode_options(self.apodization),
             "interpolation": self.interpolation.value,
             "precision": self.precision.value,
+            "quantization": encode_options(self.quantization),
             "cache_capacity": self.cache_capacity,
         }
 

@@ -11,7 +11,7 @@ depends only on delay accuracy, not on the generation architecture.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from ..geometry.volume import FocalGrid
 from ..kernels.ops import delay_and_sum
 from ..kernels.precision import Precision, resolve_precision
 from .interpolation import InterpolationKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..kernels.quantized import QuantizationSpec
 
 
 @runtime_checkable
@@ -87,6 +90,14 @@ class DelayAndSumBeamformer:
         reproduces the historical behaviour exactly; ``float32`` trades a
         documented tolerance for memory bandwidth.  Delay *generation* is
         always ``float64`` either way.
+    quantization:
+        Optional :class:`repro.kernels.QuantizationSpec` switching the
+        beamformer (and every plan compiled from it) to the bit-true
+        fixed-point datapath of the paper's hardware: delays, samples,
+        weights and the accumulating sum are each quantised to their
+        Q-format.  Requires ``float64`` precision (the fixed-point codes
+        are carried exactly in doubles) and ``NEAREST`` interpolation (the
+        hardware's integer echo addressing).
     """
 
     def __init__(self, system: SystemConfig, delays: DelayProvider,
@@ -94,12 +105,23 @@ class DelayAndSumBeamformer:
                  interpolation: InterpolationKind = InterpolationKind.NEAREST,
                  transducer: MatrixTransducer | None = None,
                  grid: FocalGrid | None = None,
-                 precision: Precision | str | None = None) -> None:
+                 precision: Precision | str | None = None,
+                 quantization: "QuantizationSpec | str | int | None" = None
+                 ) -> None:
+        # Imported here, not at module top: repro.kernels.quantized builds
+        # on repro.kernels.plan, which imports our sibling interpolation
+        # module — a top-level import would deadlock `import repro.kernels`.
+        from ..kernels.quantized import QuantizationSpec
+
         self.system = system
         self.delays = delays
         self.apodization = apodization or ApodizationSettings()
         self.interpolation = interpolation
         self.precision = resolve_precision(precision)
+        self.quantization = QuantizationSpec.coerce(quantization)
+        if self.quantization is not None:
+            self.quantization.validate_for(self.precision, interpolation,
+                                           system.echo_buffer_samples)
         self.transducer = transducer or MatrixTransducer.from_config(system)
         self.grid = grid or FocalGrid.from_config(system)
         self._aperture_weights = aperture_apodization(
@@ -178,6 +200,12 @@ class DelayAndSumBeamformer:
     def _sum_with_delays(self, channel_data: ChannelData,
                          delays_samples: np.ndarray,
                          weights: np.ndarray) -> np.ndarray:
+        if self.quantization is not None:
+            from ..kernels.quantized import quantized_delay_and_sum
+            return quantized_delay_and_sum(channel_data.samples,
+                                           delays_samples, weights,
+                                           self.quantization,
+                                           kind=self.interpolation)
         return delay_and_sum(channel_data.samples, delays_samples, weights,
                              kind=self.interpolation,
                              dtype=self.precision.dtype)

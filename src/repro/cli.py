@@ -83,6 +83,10 @@ def _merged_spec_data(args: argparse.Namespace,
         data["backend"] = default_backend
     if getattr(args, "dtype", None):
         data["precision"] = args.dtype
+    if getattr(args, "qformat", None):
+        # "--qformat 18" (total bits) or "--qformat U13.5" / "S13.4"
+        # (delay Q-format); both resolve through QuantizationSpec.coerce.
+        data["quantization"] = args.qformat
     return apply_overrides(data, getattr(args, "set", None) or [])
 
 
@@ -250,11 +254,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     frames = scan.build_frames(session.system)
+    quantized = f", quantized [{service.quantization.describe()}]" \
+        if service.quantization is not None else ""
     print(f"Streaming {len(frames)} frames on system '{session.system.name}' "
           f"(architecture={service.architecture}, "
           f"backend={service.backend_name}, "
           f"dtype={service.precision.value}, batch={args.batch}, "
-          f"scenario={scan.scenario})")
+          f"scenario={scan.scenario}{quantized})")
     for result in service.stream(frames, batch_size=args.batch):
         print(f"  frame {result.frame_id:3d}: "
               f"acquire {result.acquire_seconds * 1e3:8.2f} ms, "
@@ -312,6 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="delay architecture (see 'list')")
     spec_parser.add_argument("--backend", default=None,
                              help="execution backend (see 'list')")
+    spec_parser.add_argument("--qformat", metavar="SPEC", default=None,
+                             help="bit-true quantized execution: a total "
+                                  "bit width (e.g. 18) or a delay Q-format "
+                                  "like U13.5 / S13.4")
     spec_parser.add_argument("--out", metavar="FILE", default=None,
                              help="write the JSON to FILE instead of stdout")
     spec_parser.set_defaults(handler=_cmd_spec)
@@ -332,6 +342,11 @@ def build_parser() -> argparse.ArgumentParser:
                                default=None,
                                help="kernel execution precision "
                                     "[default: float64 (exact)]")
+    stream_parser.add_argument("--qformat", metavar="SPEC", default=None,
+                               help="bit-true quantized execution: a total "
+                                    "bit width (e.g. 18) or a delay "
+                                    "Q-format like U13.5 / S13.4 "
+                                    "[default: off]")
     stream_parser.add_argument("--batch", type=int, default=1,
                                help="frames per batched kernel execution "
                                     "(default 1 = per-frame)")

@@ -9,14 +9,29 @@ delays are stored as plain 13-bit integers, and fewer than 2 % with the
 
 from __future__ import annotations
 
-from ..analysis.fixedpoint_impact import fixed_point_impact, fixed_point_sweep
-from ..config import SystemConfig, paper_system
+from ..analysis.fixedpoint_impact import (
+    fixed_point_impact,
+    fixed_point_sweep,
+    kernel_fixed_point_sweep,
+)
+from ..config import SystemConfig, paper_system, tiny_system
 
 
 def run(system: SystemConfig | None = None,
         n_samples: int = 1_000_000,
-        seed: int = 2015) -> dict[str, object]:
-    """Monte-Carlo the fixed-point impact at the paper's two design points."""
+        seed: int = 2015,
+        kernel_system: SystemConfig | None = None) -> dict[str, object]:
+    """Monte-Carlo the fixed-point impact at the paper's two design points.
+
+    Alongside the paper's Monte-Carlo over random delay triples, the same
+    bit-width sweep is executed through the bit-true quantized kernel path
+    (:func:`repro.analysis.fixedpoint_impact.kernel_fixed_point_sweep`):
+    real TABLESTEER delay tensors at each width, compiled into a
+    ``QuantizedPlan`` and compared against the unquantised plan.  The
+    kernel sweep runs on a scaled preset (``kernel_system``, default
+    ``tiny``) because it compiles full delay tensors; the error trends are
+    scale-free.
+    """
     system = system or paper_system()
     max_delay = float(system.echo_buffer_samples)
     result_13 = fixed_point_impact(13, n_samples=n_samples,
@@ -24,11 +39,13 @@ def run(system: SystemConfig | None = None,
     result_18 = fixed_point_impact(18, n_samples=n_samples,
                                    max_delay_samples=max_delay, seed=seed)
     sweep = fixed_point_sweep(n_samples=max(50_000, n_samples // 5), seed=seed)
+    kernel_sweep = kernel_fixed_point_sweep(kernel_system or tiny_system())
     return {
         "system": system.name,
         "bits_13": result_13.as_dict(),
         "bits_18": result_18.as_dict(),
         "sweep": [entry.as_dict() for entry in sweep],
+        "kernel_sweep": [entry.as_dict() for entry in kernel_sweep],
         "paper_reference": {
             "affected_fraction_13b": 0.33,
             "affected_fraction_18b": 0.02,
@@ -46,10 +63,16 @@ def main(system: SystemConfig | None = None) -> None:
           f"shifted (max {r13['max_index_error']:.0f})  [paper: ~33%, max 1]")
     print(f"  18-bit (13.5)   : {100 * r18['affected_fraction']:.1f}% of samples "
           f"shifted (max {r18['max_index_error']:.0f})  [paper: <2%, max 1]")
-    print("  sweep:")
+    print("  Monte-Carlo sweep:")
     for entry in result["sweep"]:
         print(f"    {entry['total_bits']:.0f} bits -> "
               f"{100 * entry['affected_fraction']:.2f}% affected")
+    print("  kernel-path sweep (bit-true QuantizedPlan, tiny preset):")
+    for entry in result["kernel_sweep"]:
+        print(f"    {entry['total_bits']:.0f} bits -> "
+              f"{100 * entry['affected_fraction']:.2f}% of gather indices "
+              f"shifted (max {entry['max_index_error']:.0f}), volume RMS "
+              f"{100 * entry['volume_rms_error']:.3f}% of peak")
 
 
 if __name__ == "__main__":

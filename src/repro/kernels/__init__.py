@@ -17,6 +17,11 @@ every entry point at once.
 * :mod:`repro.kernels.precision` — the :class:`Precision` dtype policy
   (``float64`` exact / ``float32`` fast) with pinned equivalence
   tolerances.
+* :mod:`repro.kernels.quantized` — the bit-true fixed-point execution
+  mode: :class:`QuantizationSpec` (per-stage Q-formats + rounding/overflow
+  policy), :class:`QuantizedPlan` and the uncompiled
+  :func:`quantized_delay_and_sum`, modelling the paper's hardware datapath
+  exactly as :mod:`repro.fixedpoint` does.
 """
 
 from .ops import (
@@ -29,20 +34,32 @@ from .ops import (
 )
 from .plan import BeamformingPlan, compile_plan, plan_key, plan_storage_bytes
 from .precision import TOLERANCES, Precision, Tolerance, resolve_precision
+from .quantized import (
+    QuantizationSpec,
+    QuantizedPlan,
+    compile_quantized_plan,
+    parse_qformat,
+    quantized_delay_and_sum,
+)
 
 __all__ = [
     "BeamformingPlan",
     "GatherIndex",
     "Precision",
+    "QuantizationSpec",
+    "QuantizedPlan",
     "TOLERANCES",
     "Tolerance",
     "accumulate",
     "apply_weights",
     "build_gather_index",
     "compile_plan",
+    "compile_quantized_plan",
     "delay_and_sum",
     "gather_interp",
+    "parse_qformat",
     "plan_key",
     "plan_storage_bytes",
+    "quantized_delay_and_sum",
     "resolve_precision",
 ]

@@ -73,18 +73,26 @@ def plan_storage_bytes(n_points: int, n_elements: int,
 
 
 def plan_key(beamformer: "DelayAndSumBeamformer",
-             precision: Precision | str | None = None) -> Hashable:
+             precision: Precision | str | None = None,
+             quantization: object | None = None) -> Hashable:
     """Stable cache key for the compiled plan of a beamformer.
 
     Combines the physical system digest, the delay architecture (class plus
     its numerical design and origin), the apodization settings, the
-    interpolation kind and the execution dtype — everything
-    :func:`compile_plan` bakes into the tensors.  Engines that share this
-    key can share the plan; engines differing in *any* component (notably
-    interpolation or precision, which earlier table keys ignored) can never
-    be served each other's tensors.
+    interpolation kind, the execution dtype and the quantisation spec —
+    everything :func:`compile_plan` bakes into the tensors.  Engines that
+    share this key can share the plan; engines differing in *any* component
+    (notably interpolation, precision or quantisation, which earlier table
+    keys ignored) can never be served each other's tensors.
+
+    ``quantization`` defaults to the beamformer's own ``quantization``
+    attribute (``None`` = float execution), so callers that thread a
+    :class:`repro.kernels.quantized.QuantizationSpec` through the beamformer
+    get distinct keys for free.
     """
     precision = resolve_precision(precision)
+    if quantization is None:
+        quantization = getattr(beamformer, "quantization", None)
     provider = beamformer.delays
     origin = getattr(provider, "origin", None)
     origin_key = tuple(np.asarray(origin, dtype=float).ravel()) \
@@ -96,7 +104,8 @@ def plan_key(beamformer: "DelayAndSumBeamformer",
             origin_key,
             repr(beamformer.apodization),
             beamformer.interpolation.value,
-            precision.value)
+            precision.value,
+            repr(quantization) if quantization is not None else None)
 
 
 @dataclass(frozen=True)
@@ -183,12 +192,24 @@ class BeamformingPlan:
         samples = getattr(channel_data, "samples", channel_data)
         return np.asarray(samples, dtype=self.dtype)
 
+    def _reduce(self, gathered: np.ndarray,
+                weights: np.ndarray) -> np.ndarray:
+        """Weight-and-accumulate stage shared by all three execute paths.
+
+        The float plan multiplies by the apodization weights and sums over
+        the element axis; :class:`repro.kernels.quantized.QuantizedPlan`
+        overrides this hook with the fixed-point product/accumulator
+        rounding stages.  Per focal point the reduction is independent, so
+        any execution path may call it on row slices or stacked batches and
+        stay bit-identical to the whole-volume call.
+        """
+        return accumulate(apply_weights(gathered, weights))
+
     def execute(self, channel_data: "ChannelData | np.ndarray") -> np.ndarray:
         """Beamform one frame into a volume of shape ``grid_shape``."""
         samples = self.coerce_samples(channel_data)
         index = self.gather_index(samples.shape[-1])
-        flat = accumulate(apply_weights(gather_interp(samples, index),
-                                        self.weights))
+        flat = self._reduce(gather_interp(samples, index), self.weights)
         return flat.reshape(self.grid_shape)
 
     def execute_rows(self, channel_data: "ChannelData | np.ndarray",
@@ -200,8 +221,8 @@ class BeamformingPlan:
         """
         samples = self.coerce_samples(channel_data)
         index = self.gather_index(samples.shape[-1]).rows(rows)
-        return accumulate(apply_weights(gather_interp(samples, index),
-                                        self.weights[rows]))
+        return self._reduce(gather_interp(samples, index),
+                            self.weights[rows])
 
     def execute_batch(self, frames: "Sequence[ChannelData | np.ndarray]"
                       ) -> np.ndarray:
@@ -225,15 +246,14 @@ class BeamformingPlan:
         index = self.gather_index(stacked.shape[-1])
         block = max(1, BATCH_BLOCK_ELEMENTS // (len(frames) * self.n_elements))
         if block >= self.n_points:
-            flat = accumulate(apply_weights(gather_interp(stacked, index),
-                                            self.weights))
+            flat = self._reduce(gather_interp(stacked, index), self.weights)
             return flat.reshape((len(frames), *self.grid_shape))
         out = np.empty((len(frames), self.n_points), dtype=self.dtype)
         for lo in range(0, self.n_points, block):
             rows = slice(lo, min(lo + block, self.n_points))
-            out[:, rows] = accumulate(apply_weights(
+            out[:, rows] = self._reduce(
                 gather_interp(stacked, index.rows(rows)),
-                self.weights[rows]))
+                self.weights[rows])
         return out.reshape((len(frames), *self.grid_shape))
 
 
@@ -246,7 +266,15 @@ def compile_plan(beamformer: "DelayAndSumBeamformer",
     for the system's echo-buffer length.  This is the expensive step the
     :class:`repro.runtime.cache.PlanCache` amortises across frames and
     across backends.
+
+    A beamformer built with a ``quantization`` spec is dispatched to
+    :func:`repro.kernels.quantized.compile_quantized_plan` — compiling an
+    unquantised plan under a quantised key would be exactly the
+    cache-poisoning class of bug the key extension exists to prevent.
     """
+    if getattr(beamformer, "quantization", None) is not None:
+        from .quantized import compile_quantized_plan
+        return compile_quantized_plan(beamformer, precision)
     precision = resolve_precision(precision)
     grid_shape = beamformer.grid.shape
     n_elements = beamformer.transducer.element_count

@@ -106,6 +106,10 @@ class ImagingPipeline:
     backend: str = "reference"
     backend_options: object | None = None
     precision: Precision | str | None = None
+    quantization: object | None = None
+    """Optional :class:`repro.kernels.QuantizationSpec` (or bit width /
+    Q-format string / dict spelling) enabling the bit-true fixed-point
+    kernel path for every reconstruction this pipeline performs."""
     cache: "PlanCache | None" = None
     simulator: EchoSimulator | None = None
     transducer: MatrixTransducer | None = None
@@ -115,8 +119,10 @@ class ImagingPipeline:
     (e.g. to share one provider across several per-backend pipelines)."""
 
     def __post_init__(self) -> None:
+        from ..kernels import QuantizationSpec
         self.architecture = architecture_name(self.architecture)
         self.precision = resolve_precision(self.precision)
+        self.quantization = QuantizationSpec.coerce(self.quantization)
         self._simulator = self.simulator or EchoSimulator.from_config(self.system)
         if self.provider is not None:
             self._provider = self.provider
@@ -132,7 +138,7 @@ class ImagingPipeline:
             self.system, self._provider, apodization=self.apodization,
             interpolation=self.interpolation,
             transducer=self.transducer, grid=self.grid,
-            precision=self.precision)
+            precision=self.precision, quantization=self.quantization)
         self._runtime_backend = None
         if self.backend != "reference":
             # Imported lazily: repro.runtime depends on this module.

@@ -17,7 +17,15 @@ II-C/V-B asks of the hardware.
   multi-frame submission.
 """
 
-from ..kernels import BeamformingPlan, Precision, compile_plan, plan_key
+from ..kernels import (
+    BeamformingPlan,
+    Precision,
+    QuantizationSpec,
+    QuantizedPlan,
+    compile_plan,
+    compile_quantized_plan,
+    plan_key,
+)
 from .backends import (
     BACKEND_NAMES,
     BACKENDS,
@@ -52,12 +60,15 @@ __all__ = [
     "FrameScheduler",
     "PlanCache",
     "Precision",
+    "QuantizationSpec",
+    "QuantizedPlan",
     "ReferenceBackend",
     "RuntimeStats",
     "ShardedBackend",
     "ShardedOptions",
     "VectorizedBackend",
     "compile_plan",
+    "compile_quantized_plan",
     "make_backend",
     "moving_point_cine",
     "plan_key",

@@ -49,6 +49,7 @@ from ..kernels import (
     compile_plan,
     delay_and_sum,
     plan_key,
+    quantized_delay_and_sum,
     resolve_precision,
 )
 from ..kernels.plan import BATCH_BLOCK_ELEMENTS
@@ -94,6 +95,13 @@ class ExecutionBackend:
         self.beamformer = beamformer
         self.cache = cache
         self.precision = resolve_precision(precision)
+        quantization = getattr(beamformer, "quantization", None)
+        if quantization is not None:
+            # Every backend (including the plan-less reference loop, whose
+            # output array is allocated in the execution dtype) would
+            # silently truncate the exact fixed-point codes under float32.
+            quantization.validate_for(self.precision,
+                                      beamformer.interpolation)
         self._key = plan_key(beamformer, self.precision)
         self._plan: BeamformingPlan | None = None
 
@@ -142,22 +150,34 @@ class ReferenceBackend(ExecutionBackend):
 
     def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
         beamformer = self.beamformer
+        quantization = getattr(beamformer, "quantization", None)
         n_theta, n_phi, n_depth = beamformer.grid.shape
         rf = np.empty((n_theta, n_phi, n_depth), dtype=self.precision.dtype)
-        # Cast the echo buffer once per volume, not once per scanline —
-        # otherwise the float32 baseline pays a full-buffer copy per
-        # scanline and benchmarks slower than float64.
-        samples = np.asarray(channel_data.samples,
-                             dtype=self.precision.dtype)
+        # Cast (or quantise) the echo buffer once per volume, not once per
+        # scanline — otherwise the float32 baseline pays a full-buffer copy
+        # per scanline and benchmarks slower than float64.  Re-quantising
+        # the pre-quantised buffer inside the scanline kernel is the
+        # identity, so the hoisting is invisible numerically.
+        if quantization is not None:
+            samples = quantization.quantize_samples(
+                np.asarray(channel_data.samples, dtype=np.float64))
+        else:
+            samples = np.asarray(channel_data.samples,
+                                 dtype=self.precision.dtype)
         for i_theta in range(n_theta):
             for i_phi in range(n_phi):
                 delays = beamformer.delays.scanline_delays_samples(
                     i_theta, i_phi)
-                rf[i_theta, i_phi] = delay_and_sum(
-                    samples, delays,
-                    beamformer.weights_for_scanline(i_theta, i_phi),
-                    kind=beamformer.interpolation,
-                    dtype=self.precision.dtype)
+                weights = beamformer.weights_for_scanline(i_theta, i_phi)
+                if quantization is not None:
+                    rf[i_theta, i_phi] = quantized_delay_and_sum(
+                        samples, delays, weights, quantization,
+                        kind=beamformer.interpolation)
+                else:
+                    rf[i_theta, i_phi] = delay_and_sum(
+                        samples, delays, weights,
+                        kind=beamformer.interpolation,
+                        dtype=self.precision.dtype)
         return rf
 
 

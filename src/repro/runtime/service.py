@@ -42,7 +42,7 @@ from ..beamformer.das import ApodizationSettings, DelayAndSumBeamformer
 from ..beamformer.interpolation import InterpolationKind
 from ..config import SystemConfig
 from ..core.tablefree import TableFreeConfig
-from ..kernels import Precision, resolve_precision
+from ..kernels import Precision, QuantizationSpec, resolve_precision
 from .backends import BACKENDS, ExecutionBackend
 from .cache import CacheStats, PlanCache
 from .scheduler import FrameRequest, FrameResult, FrameScheduler
@@ -61,6 +61,9 @@ class RuntimeStats:
     mean_latency_seconds: float
     max_latency_seconds: float
     cache: CacheStats
+    quantization: str | None = None
+    """Datapath description when the service runs the bit-true quantized
+    kernel path (see :meth:`repro.kernels.QuantizationSpec.describe`)."""
 
     @property
     def total_seconds(self) -> float:
@@ -101,6 +104,12 @@ class BeamformingService:
         Execution dtype policy (``"float64"`` exact / ``"float32"`` fast;
         see :class:`repro.kernels.Precision`).  Applies to the beamformer
         and the backend alike, and is part of the plan cache key.
+    quantization:
+        Optional :class:`repro.kernels.QuantizationSpec` (or its dict /
+        total-bit-width / Q-format-string spelling) switching every frame
+        to the bit-true fixed-point datapath.  Part of the plan cache key,
+        so quantized and float engines sharing a cache never exchange
+        plans.  Requires ``float64`` precision.
     cache:
         Compiled-plan cache; pass a shared instance to reuse plans across
         services (e.g. a ``vectorized`` and a ``sharded`` service over the
@@ -124,10 +133,13 @@ class BeamformingService:
                  tablesteer_bits: int = 18,
                  simulator: EchoSimulator | None = None,
                  backend_options: object | None = None,
-                 precision: Precision | str | None = None) -> None:
+                 precision: Precision | str | None = None,
+                 quantization: "QuantizationSpec | str | int | None" = None
+                 ) -> None:
         self.system = system
         self.architecture = architecture_name(architecture)
         self.precision = resolve_precision(precision)
+        self.quantization = QuantizationSpec.coerce(quantization)
         self.cache = cache if cache is not None else PlanCache()
         if architecture_options is None:
             architecture_options = legacy_architecture_options(
@@ -137,7 +149,8 @@ class BeamformingService:
                                         options=architecture_options)
         self.beamformer = DelayAndSumBeamformer(
             system, provider, apodization=apodization,
-            interpolation=interpolation, precision=self.precision)
+            interpolation=interpolation, precision=self.precision,
+            quantization=self.quantization)
         self._backend: ExecutionBackend = BACKENDS.create(
             backend, self.beamformer, self.cache, self.precision,
             options=backend_options)
@@ -290,6 +303,8 @@ class BeamformingService:
             mean_latency_seconds=float(np.mean(latencies)),
             max_latency_seconds=float(np.max(latencies)),
             cache=self.cache.stats,
+            quantization=self.quantization.describe()
+            if self.quantization is not None else None,
         )
 
     def reset_stats(self) -> None:

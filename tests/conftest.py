@@ -22,6 +22,18 @@ from repro.geometry.transducer import MatrixTransducer
 from repro.geometry.volume import FocalGrid
 
 
+def pytest_addoption(parser):
+    """``--regen-golden`` rewrites the checked-in reference volumes.
+
+    Run ``pytest tests/test_golden_volumes.py --regen-golden`` after an
+    *intentional* numeric change, review the resulting diff of
+    ``tests/golden/`` and commit it together with the change that caused
+    it; any unreviewed drift in DAS/kernels/backends fails the suite.
+    """
+    parser.addoption("--regen-golden", action="store_true", default=False,
+                     help="regenerate tests/golden/*.npz reference volumes")
+
+
 @pytest.fixture(scope="session")
 def tiny():
     """The tiny system preset (8x8 elements, 8x8x16 focal points)."""

@@ -104,6 +104,23 @@ class TestEngineSpecRoundTrip:
         rebuilt = EngineSpec.from_dict(spec.to_dict())
         assert rebuilt == spec
 
+    def test_quantization_roundtrip_and_spellings(self):
+        from repro.kernels import QuantizationSpec
+        spec = EngineSpec(system="tiny", quantization=18)
+        assert spec.quantization == QuantizationSpec.from_total_bits(18)
+        assert EngineSpec(system="tiny", quantization="U13.5") == spec
+        payload = json.loads(spec.to_json())
+        assert payload["quantization"]["delay_format"] == {
+            "integer_bits": 13, "fraction_bits": 5, "signed": False}
+        assert EngineSpec.from_json(spec.to_json()) == spec
+
+    def test_quantization_conflicts_rejected_at_validation(self):
+        with pytest.raises(ValueError, match="float64"):
+            EngineSpec(system="tiny", quantization=18, precision="float32")
+        with pytest.raises(ValueError, match="nearest"):
+            EngineSpec(system="tiny", quantization=18,
+                       interpolation="linear")
+
     def test_json_roundtrip_is_pure_json(self):
         spec = EngineSpec(
             system="tiny", architecture="tablefree",

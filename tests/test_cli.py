@@ -130,6 +130,24 @@ class TestCommands:
         spec = EngineSpec.from_json(capsys.readouterr().out)
         assert spec.precision.value == "float32"
 
+    def test_stream_qformat_flag(self, capsys):
+        assert main(["stream", "--system", "tiny", "--frames", "2",
+                     "--qformat", "18"]) == 0
+        output = capsys.readouterr().out
+        assert "quantized [delays U13.5" in output
+        assert "1 hits, 1 misses" in output    # one quantized plan, reused
+
+    def test_stream_bad_qformat_reported(self, capsys):
+        assert main(["stream", "--system", "tiny",
+                     "--qformat", "bogus"]) == 2
+        assert "Q-format" in capsys.readouterr().err
+
+    def test_spec_qformat_resolves_to_quantization_document(self, capsys):
+        assert main(["spec", "--system", "tiny", "--qformat", "U13.5"]) == 0
+        from repro.api import EngineSpec, QuantizationSpec
+        spec = EngineSpec.from_json(capsys.readouterr().out)
+        assert spec.quantization == QuantizationSpec.from_total_bits(18)
+
 
 class TestSpecWorkflow:
     def test_spec_prints_resolved_json(self, capsys):

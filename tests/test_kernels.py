@@ -194,6 +194,17 @@ class TestPlanCompile:
         assert compile_plan(exact_beamformer).key == \
             plan_key(exact_beamformer)
 
+    def test_key_includes_quantization_spec(self, tiny, exact_beamformer):
+        from repro.kernels import QuantizationSpec
+        quantized = DelayAndSumBeamformer(tiny, exact_beamformer.delays,
+                                          quantization=18)
+        assert plan_key(exact_beamformer) != plan_key(quantized)
+        # Explicit spec argument overrides/augments the beamformer's own.
+        assert plan_key(exact_beamformer,
+                        quantization=QuantizationSpec.from_total_bits(18)) \
+            == plan_key(quantized)
+        assert compile_plan(quantized).key == plan_key(quantized)
+
 
 class TestPlanExecution:
     def test_execute_matches_scanline_loop_exactly(self, exact_beamformer,

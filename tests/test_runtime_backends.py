@@ -162,6 +162,47 @@ class TestPlanCacheKeys:
         assert tables_key(beamformer, "float64") != \
             tables_key(beamformer, "float32")
 
+    def test_key_distinguishes_quantization(self, tiny):
+        """Engines differing only in quantisation spec must never share
+        plans (the PR 3 cache-poisoning class of bug, third edition)."""
+        provider = ARCHITECTURES.create("exact", tiny)
+        float_engine = DelayAndSumBeamformer(tiny, provider)
+        q18 = DelayAndSumBeamformer(tiny, provider, quantization=18)
+        q13 = DelayAndSumBeamformer(tiny, provider, quantization=13)
+        keys = {tables_key(float_engine), tables_key(q18), tables_key(q13)}
+        assert len(keys) == 3
+        # The spec's rounding/overflow policy is part of the key too.
+        from repro.fixedpoint.quantize import RoundingMode
+        from repro.kernels import QuantizationSpec
+        nearest_even = DelayAndSumBeamformer(
+            tiny, provider,
+            quantization=QuantizationSpec.from_total_bits(
+                18, rounding=RoundingMode.NEAREST_EVEN))
+        assert tables_key(nearest_even) != tables_key(q18)
+
+    def test_shared_cache_isolates_quantization(self, tiny,
+                                                tiny_channel_data):
+        """One cache, float + two quantized engines: three distinct plans,
+        and the quantized volumes actually differ from the float one."""
+        provider = ARCHITECTURES.create("exact", tiny)
+        cache = PlanCache(capacity=8)
+        volumes = {}
+        for quantization in (None, 18, 13):
+            beamformer = DelayAndSumBeamformer(tiny, provider,
+                                               quantization=quantization)
+            backend = BACKENDS.create("vectorized", beamformer, cache, None)
+            volumes[quantization] = backend.beamform_volume(
+                tiny_channel_data)
+            # A second frame from the same engine must hit, not recompile.
+            backend.beamform_volume(tiny_channel_data)
+        assert cache.stats.misses == 3
+        assert cache.stats.hits == 3
+        assert not np.array_equal(volumes[None], volumes[18])
+        assert not np.array_equal(volumes[18], volumes[13])
+        from repro.kernels import QuantizedPlan
+        cached_types = {type(plan) for plan in cache._entries.values()}
+        assert QuantizedPlan in cached_types
+
     def test_shared_cache_isolates_interpolation_and_dtype(
             self, tiny, tiny_channel_data):
         """One cache, four engine flavours: four distinct plans, no mixups."""
