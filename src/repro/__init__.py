@@ -50,8 +50,10 @@ _API_EXPORTS = frozenset({
     "ARCHITECTURES",
     "BACKENDS",
     "SCENARIOS",
+    "SCHEMES",
     "EngineSpec",
     "ScanSpec",
+    "SweepSpec",
     "Session",
     "Registry",
     "RegistryError",

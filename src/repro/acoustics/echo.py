@@ -67,6 +67,22 @@ class ChannelData:
 
 
 @dataclass(frozen=True)
+class _SphericalTransmit:
+    """Spherical transmit wavefront from a fixed origin.
+
+    The minimal in-package implementation of the transmit protocol used by
+    :meth:`EchoSimulator.simulate_event` (richer events live in
+    :mod:`repro.scenarios.transmit`, which this module must not import).
+    The arithmetic matches the historical ``simulate()`` expression exactly.
+    """
+
+    origin: np.ndarray
+
+    def transmit_distance(self, point: np.ndarray) -> float:
+        return float(np.linalg.norm(point - self.origin))
+
+
+@dataclass(frozen=True)
 class EchoSimulator:
     """Linear single-scattering echo synthesiser."""
 
@@ -91,6 +107,11 @@ class EchoSimulator:
                  seed: int = 0) -> ChannelData:
         """Generate channel data for one insonification of ``phantom``.
 
+        The transmit wavefront is spherical from the simulator's own
+        ``origin`` — the paper's focused baseline.  Other transmit schemes
+        (plane waves, per-element synthetic-aperture firings) go through
+        :meth:`simulate_event`.
+
         Parameters
         ----------
         phantom:
@@ -100,6 +121,24 @@ class EchoSimulator:
             unit-amplitude scatterer at unit spreading (0 disables noise).
         seed:
             RNG seed for the noise.
+        """
+        return self.simulate_event(phantom, _SphericalTransmit(self.origin),
+                                   noise_std=noise_std, seed=seed)
+
+    def simulate_event(self, phantom: Phantom, transmit: object,
+                       noise_std: float = 0.0,
+                       seed: "int | tuple[int, ...]" = 0) -> ChannelData:
+        """Generate channel data for one transmit event of ``phantom``.
+
+        ``transmit`` is any object exposing
+        ``transmit_distance(point) -> float`` metres (e.g. a
+        :class:`repro.scenarios.TransmitEvent`); it replaces the transmit
+        leg of the two-way propagation while the receive legs stay the
+        element geometry.  A spherical transmit at the simulator's origin
+        reproduces :meth:`simulate` bit for bit.  ``seed`` may be an int
+        or an entropy tuple (anything ``numpy.random.default_rng``
+        accepts); multi-firing schemes use ``(seed, firing_index)`` pairs
+        to decorrelate per-firing noise from per-frame seeds.
         """
         acoustic = self.system.acoustic
         fs = acoustic.sampling_frequency
@@ -113,7 +152,7 @@ class EchoSimulator:
 
         positions = self.transducer.positions
         for scatterer, amplitude in zip(phantom.positions, phantom.amplitudes):
-            tx_distance = np.linalg.norm(scatterer - self.origin)
+            tx_distance = transmit.transmit_distance(scatterer)
             rx_distances = np.linalg.norm(positions - scatterer[None, :], axis=1)
             delays = (tx_distance + rx_distances) / c
             center_samples = np.round(delays * fs).astype(np.int64)

@@ -27,6 +27,7 @@ from ..beamformer.das import DelayAndSumBeamformer
 from ..beamformer.drivers import reconstruct_plane
 from ..beamformer.image import (
     contrast_ratio_db,
+    contrast_to_noise_ratio,
     envelope,
     normalized_rms_difference,
     point_spread_metrics,
@@ -40,16 +41,15 @@ from ..architectures import ARCHITECTURES
 
 def _cyst_masks(system: SystemConfig, grid: FocalGrid, cyst_depth: float,
                 cyst_radius: float) -> tuple[np.ndarray, np.ndarray]:
-    """Inside/outside masks for the centre-elevation image plane."""
-    thetas = grid.thetas[:, None]
-    depths = grid.depths[None, :]
-    # Approximate pixel positions in the plane (phi = 0).
-    x = depths * np.sin(thetas)
-    z = depths * np.cos(thetas)
-    distance = np.sqrt(x ** 2 + (z - cyst_depth) ** 2)
-    inside = distance < 0.8 * cyst_radius
-    ring = (distance > 1.5 * cyst_radius) & (distance < 3.0 * cyst_radius)
-    return inside, ring
+    """Inside/outside masks for the centre-elevation image plane.
+
+    Thin wrapper over the shared region geometry in
+    :func:`repro.scenarios.scoring.plane_region_masks`, so the analyses
+    here and the scenario scoring hook can never disagree on what counts
+    as "inside the cyst".
+    """
+    from ..scenarios.scoring import plane_region_masks
+    return plane_region_masks(grid, cyst_depth, cyst_radius)
 
 
 def cyst_contrast_study(system: SystemConfig,
@@ -84,11 +84,7 @@ def cyst_contrast_study(system: SystemConfig,
         if reference_image is None:
             reference_image = image
         contrast = contrast_ratio_db(image, inside, outside)
-        inside_vals = image[inside]
-        outside_vals = image[outside]
-        denom = np.sqrt(np.var(inside_vals) + np.var(outside_vals))
-        cnr = float(abs(np.mean(outside_vals) - np.mean(inside_vals))
-                    / denom) if denom > 0 else float("inf")
+        cnr = contrast_to_noise_ratio(image[inside], image[outside])
         results[name] = {
             "contrast_db": float(contrast),
             "cnr": cnr,

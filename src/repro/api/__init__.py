@@ -53,14 +53,29 @@ from ..registry import (
 )
 from ..kernels import Precision, QuantizationSpec
 from ..runtime.backends import BACKENDS, ShardedOptions
+from ..scenarios import (
+    CystOptions,
+    DivergingOptions,
+    FocusedOptions,
+    MovingPointOptions,
+    MovingScatterersOptions,
+    MultiCystOptions,
+    PlaneWaveOptions,
+    SpeckleOptions,
+    StaticPointOptions,
+    SyntheticApertureOptions,
+    TransmitEvent,
+    TransmitScheme,
+    WireGridOptions,
+    score_volume,
+)
 from .session import Session
 from .specs import (
     SCENARIOS,
+    SCHEMES,
     EngineSpec,
-    MovingPointOptions,
     ScanSpec,
-    SpeckleOptions,
-    StaticPointOptions,
+    SweepSpec,
     apply_overrides,
     parse_assignment,
 )
@@ -69,21 +84,34 @@ __all__ = [
     "ARCHITECTURES",
     "BACKENDS",
     "SCENARIOS",
+    "SCHEMES",
     "EngineSpec",
     "Precision",
     "QuantizationSpec",
     "ScanSpec",
     "Session",
+    "SweepSpec",
     "Registry",
     "RegistryEntry",
     "RegistryError",
     "ShardedOptions",
+    "CystOptions",
+    "DivergingOptions",
+    "FocusedOptions",
     "MovingPointOptions",
-    "StaticPointOptions",
+    "MovingScatterersOptions",
+    "MultiCystOptions",
+    "PlaneWaveOptions",
     "SpeckleOptions",
+    "StaticPointOptions",
+    "SyntheticApertureOptions",
+    "TransmitEvent",
+    "TransmitScheme",
+    "WireGridOptions",
     "apply_overrides",
     "parse_assignment",
     "decode_options",
     "encode_options",
     "legacy_architecture_options",
+    "score_volume",
 ]

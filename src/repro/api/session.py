@@ -24,7 +24,9 @@ from ..pipeline.imaging import ImagingPipeline
 from ..runtime.cache import PlanCache
 from ..runtime.scheduler import FrameResult
 from ..runtime.service import BeamformingService
-from .specs import EngineSpec, ScanSpec
+from ..scenarios import SCENARIOS, TransmitScheme, acquire_firings, \
+    resolve_scheme, score_volume
+from .specs import EngineSpec, ScanSpec, SweepSpec
 
 __all__ = ["Session"]
 
@@ -64,7 +66,14 @@ class Session:
         self.transducer = MatrixTransducer.from_config(self.system)
         self.grid = FocalGrid.from_config(self.system)
         self.simulator = EchoSimulator.from_config(self.system)
+        self.scheme = resolve_scheme(self.system, spec.scheme,
+                                     spec.scheme_options)
         self.cache = PlanCache(capacity=spec.cache_capacity)
+        # A multi-firing scheme needs one plan slot per firing, or every
+        # compounded frame would recompile its whole event bank (per-call
+        # scheme overrides reserve their own slots in
+        # _resolve_scheme_variant).
+        self.cache.reserve(self.scheme.firing_count)
 
     # ------------------------------------------------------------ builders
     def _resolve_variant(self, architecture: str | None, backend: str | None,
@@ -85,6 +94,29 @@ class Session:
             backend_options = self.spec.backend_options
         return architecture, architecture_options, backend, backend_options
 
+    def _resolve_scheme_variant(self, scheme: Any, scheme_options: Any
+                                ) -> "TransmitScheme":
+        """Resolve the per-call scheme override against the session spec.
+
+        Mirrors the architecture/backend resolution: no override reuses
+        the spec's resolved scheme; an options-only override re-derives
+        the spec's scheme *name* with the given options; a different name
+        switches to that scheme's registered defaults unless options are
+        given.  The result is always a resolved
+        :class:`repro.scenarios.TransmitScheme`, and the shared plan
+        cache is grown to its firing count so multi-firing compounding
+        never thrashes its own per-event plans.
+        """
+        if scheme is None:
+            if scheme_options is None:
+                return self.scheme
+            scheme = self.spec.scheme
+        elif scheme == self.spec.scheme and scheme_options is None:
+            return self.scheme
+        resolved = resolve_scheme(self.system, scheme, scheme_options)
+        self.cache.reserve(resolved.firing_count)
+        return resolved
+
     def pipeline(self, architecture: str | None = None,
                  backend: str | None = None,
                  architecture_options: Any = None,
@@ -92,7 +124,9 @@ class Session:
                  cache: PlanCache | None = None,
                  provider: Any = None,
                  precision: Precision | str | None = None,
-                 quantization: Any = _INHERIT) -> ImagingPipeline:
+                 quantization: Any = _INHERIT,
+                 scheme: Any = None,
+                 scheme_options: Any = None) -> ImagingPipeline:
         """An :class:`ImagingPipeline` over the shared substrates.
 
         ``architecture`` / ``backend`` (and their options), ``precision``
@@ -106,6 +140,7 @@ class Session:
         architecture, architecture_options, backend, backend_options = \
             self._resolve_variant(architecture, backend,
                                   architecture_options, backend_options)
+        scheme = self._resolve_scheme_variant(scheme, scheme_options)
         return ImagingPipeline(
             self.system,
             architecture=architecture,
@@ -118,6 +153,7 @@ class Session:
             else self.spec.precision,
             quantization=self.spec.quantization
             if quantization is _INHERIT else quantization,
+            scheme=scheme,
             cache=cache if cache is not None else self.cache,
             simulator=self.simulator,
             transducer=self.transducer,
@@ -130,7 +166,9 @@ class Session:
                 backend_options: Any = None,
                 cache: PlanCache | None = None,
                 precision: Precision | str | None = None,
-                quantization: Any = _INHERIT) -> BeamformingService:
+                quantization: Any = _INHERIT,
+                scheme: Any = None,
+                scheme_options: Any = None) -> BeamformingService:
         """A streaming :class:`BeamformingService` over the shared substrates.
 
         Note the service's default backend is the spec's backend — for a
@@ -141,6 +179,7 @@ class Session:
         architecture, architecture_options, backend, backend_options = \
             self._resolve_variant(architecture, backend,
                                   architecture_options, backend_options)
+        scheme = self._resolve_scheme_variant(scheme, scheme_options)
         return BeamformingService(
             self.system,
             architecture=architecture,
@@ -153,6 +192,7 @@ class Session:
             else self.spec.precision,
             quantization=self.spec.quantization
             if quantization is _INHERIT else quantization,
+            scheme=scheme,
             cache=cache if cache is not None else self.cache,
             simulator=self.simulator)
 
@@ -161,6 +201,20 @@ class Session:
                 seed: int = 0) -> ChannelData:
         """Simulate one insonification with the shared simulator."""
         return self.simulator.simulate(phantom, noise_std=noise_std, seed=seed)
+
+    def acquire_firings(self, phantom: Phantom,
+                        scheme: Any = None, scheme_options: Any = None,
+                        noise_std: float = 0.0,
+                        seed: int = 0) -> list[ChannelData]:
+        """Simulate every firing of a transmit scheme (spec's by default).
+
+        Returns one :class:`ChannelData` per scheme event, acquired with
+        the shared simulator, ready for
+        :meth:`repro.pipeline.ImagingPipeline.compound_volume`.
+        """
+        resolved = self._resolve_scheme_variant(scheme, scheme_options)
+        return acquire_firings(self.simulator, resolved, phantom,
+                               noise_std=noise_std, seed=seed)
 
     def stream(self, scan: ScanSpec | Mapping | None = None,
                batch_size: int = 1,
@@ -182,8 +236,9 @@ class Session:
               architectures: Iterable[str] | None = None,
               backends: Iterable[str] | None = None,
               noise_std: float = 0.0, seed: int = 0,
-              channel_data: ChannelData | None = None
-              ) -> dict[str, np.ndarray] | dict[tuple[str, str], np.ndarray]:
+              channel_data: ChannelData | None = None,
+              spec: SweepSpec | Mapping | str | None = None
+              ) -> dict:
         """Image one phantom under several architecture/backend variants.
 
         The phantom is insonified *once* with the shared simulator (or pass
@@ -198,7 +253,30 @@ class Session:
         ``(architecture, backend)`` pairs to full RF volumes, letting
         equivalence across execution strategies be asserted in the same
         sweep.
+
+        With ``spec`` given (a :class:`repro.api.SweepSpec`, its dict form
+        or its JSON text), the sweep instead runs the declared scenario x
+        scheme x architecture (x backend) grid: each scenario's phantom is
+        built from its registry entry, its firings are acquired once per
+        scheme and shared across every architecture/backend variant, and
+        each cell maps ``(scenario, scheme, architecture[, backend])`` to
+        ``{"volume": rf, "metrics": {...}}`` with the
+        :func:`repro.scenarios.score_volume` figures of merit.
         """
+        if spec is not None:
+            if phantom is not None or channel_data is not None or \
+                    architectures is not None or backends is not None or \
+                    noise_std != 0.0 or seed != 0:
+                raise ValueError(
+                    "spec-driven sweeps take every parameter from the "
+                    "SweepSpec document (scenarios, schemes, "
+                    "architectures, backends, noise_std, seed); do not "
+                    "also pass the per-call sweep arguments")
+            if isinstance(spec, str):
+                spec = SweepSpec.from_json(spec)
+            elif isinstance(spec, Mapping):
+                spec = SweepSpec.from_dict(dict(spec))
+            return self._sweep_grid(spec)
         if architectures is None:
             architectures = (self.spec.architecture,)
         architectures = tuple(architectures)
@@ -225,6 +303,54 @@ class Session:
                 volumes[(name, backend)] = \
                     pipeline.image_volume(channel_data).rf
         return volumes
+
+    def _sweep_grid(self, sweep: SweepSpec) -> dict[tuple, dict]:
+        """Run a :class:`SweepSpec` grid over the shared substrates."""
+        architectures = sweep.architectures or (self.spec.architecture,)
+        backend_list = sweep.backends or (self.spec.backend,)
+        results: dict[tuple, dict] = {}
+        # The grid's whole plan working set is sum(firings) x architectures
+        # (plans are phantom- and backend-independent); reserving it up
+        # front lets later scenarios reuse every plan instead of evicting
+        # and recompiling the previous cell's event bank.
+        firing_total = sum(self._resolve_scheme_variant(s, None).firing_count
+                           for s in sweep.schemes)
+        self.cache.reserve(firing_total * len(architectures))
+        # One delay provider per architecture for the *whole* grid: the
+        # provider is scheme-independent (the per-firing engines wrap it
+        # per event), so rebuilding e.g. a TABLESTEER reference table per
+        # scenario x scheme cell would repeat the most expensive step.
+        providers: dict[str, Any] = {}
+        for scenario in sweep.scenarios:
+            # Grid cells image one representative acquisition: frame 0 of
+            # the scenario's cine (independent of cine length for every
+            # registered scenario, so SweepSpec has no frames knob).
+            scan = ScanSpec(scenario=scenario, frames=1,
+                            noise_std=sweep.noise_std, seed=sweep.seed)
+            request = scan.build_frames(self.system)[0]
+            options = SCENARIOS.get(scenario).make_options(scan.options)
+            for scheme in sweep.schemes:
+                firings = self.acquire_firings(
+                    request.phantom, scheme=scheme,
+                    noise_std=request.noise_std, seed=request.seed)
+                for architecture in architectures:
+                    for backend in backend_list:
+                        pipeline = self.pipeline(
+                            architecture=architecture, backend=backend,
+                            scheme=scheme,
+                            provider=providers.get(architecture))
+                        providers[architecture] = pipeline.delay_provider
+                        volume = pipeline.compound_volume(firings).rf
+                        cell: dict[str, Any] = {"volume": volume}
+                        if sweep.score:
+                            cell["metrics"] = score_volume(
+                                self.system, volume, scenario=scenario,
+                                options=options)
+                        key = (scenario, scheme, architecture)
+                        if sweep.backends is not None:
+                            key = (*key, backend)
+                        results[key] = cell
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         system = self.system.name

@@ -23,23 +23,22 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterable
 
-import numpy as np
-
-from ..acoustics.phantom import point_target, speckle_phantom
 from ..architectures import ARCHITECTURES, architecture_name
 from ..beamformer.das import ApodizationSettings
 from ..beamformer.interpolation import InterpolationKind
 from ..config import PRESETS, SystemConfig, get_preset
-from ..geometry.volume import FocalGrid
 from ..kernels import Precision, QuantizationSpec, resolve_precision
-from ..registry import Registry, decode_options, encode_options
+from ..registry import decode_options, encode_options
 from ..runtime.backends import BACKENDS
-from ..runtime.scheduler import FrameRequest, moving_point_cine
+from ..runtime.scheduler import FrameRequest
+from ..scenarios import SCENARIOS, SCHEMES
 
 __all__ = [
     "EngineSpec",
     "ScanSpec",
+    "SweepSpec",
     "SCENARIOS",
+    "SCHEMES",
     "apply_overrides",
     "parse_assignment",
 ]
@@ -91,8 +90,20 @@ class EngineSpec:
     width like ``18``, or a delay Q-format string like ``"U13.5"``);
     ``None`` keeps the float kernel path."""
 
+    scheme: str = "focused"
+    """Registered transmit-scheme name (see
+    :data:`repro.scenarios.SCHEMES`): how each volume is insonified —
+    ``focused`` (the paper baseline), ``planewave``,
+    ``synthetic_aperture`` or ``diverging``."""
+
+    scheme_options: Any = None
+    """Options dataclass/dict for the scheme (``None`` = defaults)."""
+
     cache_capacity: int = 4
-    """Capacity of the session's shared compiled-plan LRU cache."""
+    """Capacity of the session's shared compiled-plan LRU cache.
+
+    Sessions grow this to the scheme's firing count when needed, so
+    multi-firing compounding never thrashes its own per-event plans."""
 
     def __post_init__(self) -> None:
         system = self.system
@@ -122,6 +133,16 @@ class EngineSpec:
         if self.backend_options is not None:
             object.__setattr__(self, "backend_options",
                                backend_entry.make_options(self.backend_options))
+
+        if not isinstance(self.scheme, str):
+            raise ValueError(
+                "scheme must be a registered scheme name (pre-built "
+                "TransmitScheme objects are accepted by pipelines, not "
+                f"JSON specs), got {type(self.scheme).__name__}")
+        scheme_entry = SCHEMES.get(self.scheme)
+        if self.scheme_options is not None:
+            object.__setattr__(self, "scheme_options",
+                               scheme_entry.make_options(self.scheme_options))
 
         if isinstance(self.apodization, dict):
             object.__setattr__(self, "apodization",
@@ -168,6 +189,8 @@ class EngineSpec:
             "interpolation": self.interpolation.value,
             "precision": self.precision.value,
             "quantization": encode_options(self.quantization),
+            "scheme": self.scheme,
+            "scheme_options": encode_options(self.scheme_options),
             "cache_capacity": self.cache_capacity,
         }
 
@@ -196,80 +219,8 @@ class EngineSpec:
 
 
 # ---------------------------------------------------------- scan scenarios
-SCENARIOS = Registry("scenario")
-"""Registry of cine scan scenarios (factory: ``(system, scan, options)``)."""
-
-
-@dataclass(frozen=True)
-class MovingPointOptions:
-    """Options for the ``moving_point`` scenario."""
-
-    depth_fractions: tuple[float, float] = (0.35, 0.65)
-    """Start/end depth as fractions of the imaging range."""
-
-    theta_fraction: float = 0.0
-    """Azimuth steering of the scanline the target drifts along."""
-
-
-@dataclass(frozen=True)
-class StaticPointOptions:
-    """Options for the ``static_point`` scenario."""
-
-    depth_fraction: float = 0.5
-    """Target depth as a fraction of the imaging range (grid-snapped)."""
-
-    theta_fraction: float = 0.0
-    """Azimuth steering as a fraction of ``theta_max`` (grid-snapped)."""
-
-
-@dataclass(frozen=True)
-class SpeckleOptions:
-    """Options for the ``speckle`` scenario."""
-
-    n_scatterers: int = 2000
-    """Number of diffuse scatterers filling the volume."""
-
-
-@SCENARIOS.register(
-    "moving_point", options=MovingPointOptions,
-    description="point scatterer drifting in depth across the cine")
-def _build_moving_point(system: SystemConfig, scan: "ScanSpec",
-                        options: MovingPointOptions) -> list[FrameRequest]:
-    base = moving_point_cine(system, n_frames=scan.frames,
-                             depth_fractions=tuple(options.depth_fractions),
-                             theta_fraction=options.theta_fraction)
-    return [replace(request, noise_std=scan.noise_std,
-                    seed=request.seed + scan.seed)
-            for request in base]
-
-
-@SCENARIOS.register(
-    "static_point", options=StaticPointOptions,
-    description="the same grid-snapped point target replayed every frame")
-def _build_static_point(system: SystemConfig, scan: "ScanSpec",
-                        options: StaticPointOptions) -> list[FrameRequest]:
-    volume = system.volume
-    grid = FocalGrid.from_config(system)
-    requested = volume.depth_min + options.depth_fraction * volume.depth_span
-    depth = float(grid.depths[np.argmin(np.abs(grid.depths - requested))])
-    theta = float(grid.thetas[np.argmin(
-        np.abs(grid.thetas - options.theta_fraction * volume.theta_max))])
-    phantom = point_target(depth=depth, theta=theta)
-    return [FrameRequest(frame_id=i, phantom=phantom,
-                         noise_std=scan.noise_std, seed=scan.seed)
-            for i in range(scan.frames)]
-
-
-@SCENARIOS.register(
-    "speckle", options=SpeckleOptions,
-    description="diffuse speckle phantom, per-frame noise realisations")
-def _build_speckle(system: SystemConfig, scan: "ScanSpec",
-                   options: SpeckleOptions) -> list[FrameRequest]:
-    phantom = speckle_phantom(system, n_scatterers=options.n_scatterers,
-                              seed=scan.seed)
-    return [FrameRequest(frame_id=i, phantom=phantom,
-                         noise_std=scan.noise_std, seed=scan.seed + i)
-            for i in range(scan.frames)]
+# The SCENARIOS registry and its builders live in repro.scenarios.scan
+# (imported above and re-exported here); new scenarios register there.
 
 
 @dataclass(frozen=True)
@@ -337,6 +288,124 @@ class ScanSpec:
     @classmethod
     def from_json(cls, text: str) -> "ScanSpec":
         """Rebuild a scan spec from its :meth:`to_json` form."""
+        return cls.from_dict(json.loads(text))
+
+
+# ------------------------------------------------------------- sweep spec
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative scenario x scheme x architecture (x backend) grid.
+
+    One JSON document describes a whole comparative study; feed it to
+    :meth:`repro.api.Session.sweep` (``spec=``) to image every cell over
+    the session's shared substrates and score it with the
+    :mod:`repro.scenarios.scoring` hook::
+
+        Session(EngineSpec(system="tiny")).sweep(spec={
+            "scenarios": ["static_point", "cyst"],
+            "schemes": ["focused", "planewave"],
+            "architectures": ["exact", "tablesteer"],
+        })
+
+    Every name is validated eagerly against its registry.
+    """
+
+    scenarios: tuple[str, ...] = ("static_point",)
+    """Registered scan scenarios; the first frame of each cine is imaged."""
+
+    schemes: tuple[str, ...] = ("focused",)
+    """Registered transmit schemes; channel data are acquired once per
+    scenario x scheme and shared by every variant.  Options resolve like
+    every per-call override: a name matching the session spec's scheme
+    keeps the spec's scheme options, other names use their registered
+    defaults."""
+
+    architectures: tuple[str, ...] | None = None
+    """Delay architectures (``None`` = the session spec's only)."""
+
+    backends: tuple[str, ...] | None = None
+    """Execution backends; ``None`` keeps the session spec's backend and
+    leaves the backend out of the result keys."""
+
+    noise_std: float = 0.0
+    """Additive channel-noise standard deviation."""
+
+    seed: int = 0
+    """Base random seed for phantom construction and noise."""
+
+    score: bool = True
+    """Attach the FWHM/CNR/gCNR metric dict to every cell."""
+
+    def __post_init__(self) -> None:
+        for field_name, registry in (("scenarios", SCENARIOS),
+                                     ("schemes", SCHEMES)):
+            names = self._name_tuple(field_name)
+            if not names:
+                raise ValueError(f"{field_name} must not be empty")
+            for name in names:
+                registry.get(name)
+            object.__setattr__(self, field_name, names)
+        for field_name, registry in (("architectures", ARCHITECTURES),
+                                     ("backends", BACKENDS)):
+            if getattr(self, field_name) is not None:
+                names = self._name_tuple(field_name)
+                if not names:
+                    raise ValueError(f"{field_name} must not be empty")
+                for name in names:
+                    registry.get(name)
+                object.__setattr__(self, field_name, names)
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+
+    def _name_tuple(self, field_name: str) -> tuple[str, ...]:
+        """Coerce a name-list field, rejecting a bare string.
+
+        ``{"scenarios": "cyst"}`` in a hand-written document would
+        otherwise iterate character by character and fail with a baffling
+        ``unknown scenario 'c'``.
+        """
+        value = getattr(self, field_name)
+        if isinstance(value, str):
+            raise ValueError(
+                f"{field_name} must be a list of names, not the string "
+                f"{value!r}")
+        return tuple(value)
+
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-safe) form; inverse of :meth:`from_dict`."""
+        return {
+            "scenarios": list(self.scenarios),
+            "schemes": list(self.schemes),
+            "architectures": None if self.architectures is None
+            else list(self.architectures),
+            "backends": None if self.backends is None
+            else list(self.backends),
+            "noise_std": self.noise_std,
+            "seed": self.seed,
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Rebuild a sweep spec from :meth:`to_dict` output."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"sweep spec must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown sweep spec field(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}")
+        return cls(**data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Rebuild a sweep spec from its :meth:`to_json` form."""
         return cls.from_dict(json.loads(text))
 
 

@@ -131,6 +131,51 @@ def contrast_ratio_db(image: np.ndarray, inside_mask: np.ndarray,
     return 20.0 * np.log10(mean_out / mean_in)
 
 
+def contrast_to_noise_ratio(inside: np.ndarray,
+                            outside: np.ndarray) -> float:
+    """CNR between two sample populations of an envelope image.
+
+    ``|mean(outside) - mean(inside)| / sqrt(var(inside) + var(outside))`` —
+    the classic cyst figure of merit.  Invariant under a common positive
+    amplitude scaling of both populations.
+    """
+    inside = np.asarray(inside, dtype=np.float64).ravel()
+    outside = np.asarray(outside, dtype=np.float64).ravel()
+    if inside.size == 0 or outside.size == 0:
+        raise ValueError("both regions must contain at least one sample")
+    denominator = float(np.sqrt(np.var(inside) + np.var(outside)))
+    if denominator == 0.0:
+        return float("inf") if np.mean(inside) != np.mean(outside) else 0.0
+    return float(abs(np.mean(outside) - np.mean(inside)) / denominator)
+
+
+def generalized_cnr(inside: np.ndarray, outside: np.ndarray,
+                    bins: int = 64) -> float:
+    """gCNR between two sample populations: ``1 - OVL`` of their histograms.
+
+    The generalized contrast-to-noise ratio (Rodriguez-Molares et al.) is
+    one minus the overlap of the two amplitude distributions, estimated on
+    a shared ``bins``-bin histogram spanning both populations.  Bounded in
+    ``[0, 1]``; invariant under any common positive amplitude scaling and
+    under permutation of the samples, which makes it immune to the
+    dynamic-range manipulation that inflates plain CNR.
+    """
+    inside = np.asarray(inside, dtype=np.float64).ravel()
+    outside = np.asarray(outside, dtype=np.float64).ravel()
+    if inside.size == 0 or outside.size == 0:
+        raise ValueError("both regions must contain at least one sample")
+    lo = float(min(inside.min(), outside.min()))
+    hi = float(max(inside.max(), outside.max()))
+    if lo == hi:
+        return 0.0
+    edges = np.linspace(lo, hi, bins + 1)
+    p_inside, _ = np.histogram(inside, bins=edges)
+    p_outside, _ = np.histogram(outside, bins=edges)
+    overlap = np.sum(np.minimum(p_inside / inside.size,
+                                p_outside / outside.size))
+    return float(1.0 - overlap)
+
+
 def normalized_rms_difference(reference: np.ndarray, test: np.ndarray) -> float:
     """RMS difference between two images, normalised by the reference RMS.
 

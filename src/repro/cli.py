@@ -87,6 +87,8 @@ def _merged_spec_data(args: argparse.Namespace,
         # "--qformat 18" (total bits) or "--qformat U13.5" / "S13.4"
         # (delay Q-format); both resolve through QuantizationSpec.coerce.
         data["quantization"] = args.qformat
+    if getattr(args, "scheme", None):
+        data["scheme"] = args.scheme
     return apply_overrides(data, getattr(args, "set", None) or [])
 
 
@@ -120,7 +122,7 @@ def _add_spec_arguments(parser: argparse.ArgumentParser,
 
 # ----------------------------------------------------------------- commands
 def _cmd_list(_args: argparse.Namespace) -> int:
-    from .api import ARCHITECTURES, BACKENDS, SCENARIOS
+    from .api import ARCHITECTURES, BACKENDS, SCENARIOS, SCHEMES
 
     print("Available experiments:")
     for key in sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])):
@@ -130,6 +132,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         print(f"  {name}")
     for title, registry in (("architectures", ARCHITECTURES),
                             ("backends", BACKENDS),
+                            ("transmit schemes", SCHEMES),
                             ("scan scenarios", SCENARIOS)):
         print(f"Registered {title}:")
         for name, entry in registry.items():
@@ -260,6 +263,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
           f"(architecture={service.architecture}, "
           f"backend={service.backend_name}, "
           f"dtype={service.precision.value}, batch={args.batch}, "
+          f"scheme={service.scheme.describe()}, "
           f"scenario={scan.scenario}{quantized})")
     for result in service.stream(frames, batch_size=args.batch):
         print(f"  frame {result.frame_id:3d}: "
@@ -322,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="bit-true quantized execution: a total "
                                   "bit width (e.g. 18) or a delay Q-format "
                                   "like U13.5 / S13.4")
+    spec_parser.add_argument("--scheme", default=None,
+                             help="transmit scheme (see 'list') "
+                                  "[default: focused]")
     spec_parser.add_argument("--out", metavar="FILE", default=None,
                              help="write the JSON to FILE instead of stdout")
     spec_parser.set_defaults(handler=_cmd_spec)
@@ -334,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument("--backend", default=None,
                                help="execution backend (see 'list') "
                                     "[default: vectorized]")
+    stream_parser.add_argument("--scheme", default=None,
+                               help="transmit scheme (see 'list'); "
+                                    "multi-firing schemes compound one "
+                                    "volume per frame [default: focused]")
     stream_parser.add_argument("--scenario", default="moving_point",
                                help="scan scenario (see 'list')")
     stream_parser.add_argument("--frames", type=int, default=8,

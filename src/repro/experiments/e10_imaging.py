@@ -97,8 +97,39 @@ def run(system: SystemConfig | None = None,
     }
 
 
+def scheme_quality_sweep(system: SystemConfig | None = None,
+                         scenarios: tuple[str, ...] = ("static_point",
+                                                       "cyst"),
+                         schemes: tuple[str, ...] = ("focused", "planewave",
+                                                     "synthetic_aperture"),
+                         architectures: tuple[str, ...] = ("exact",
+                                                           "tablesteer"),
+                         bit_widths: tuple[int | None, ...] = (None, 14),
+                         ) -> dict[tuple, dict[str, float]]:
+    """Image quality across scenario x scheme x architecture x bit width.
+
+    One :class:`repro.api.Session` per kernel bit width (``None`` = float
+    datapath) runs the same declarative sweep grid; each cell reports the
+    FWHM/CNR/gCNR scoring-hook figures.  This is the image-level complement
+    of E6's delay-statistics story: it shows where transmit-scheme choice
+    and fixed-point width actually move resolution and contrast.
+    """
+    from ..api import EngineSpec, Session, SweepSpec
+    from ..config import tiny_system
+
+    system = system or tiny_system()
+    sweep = SweepSpec(scenarios=scenarios, schemes=schemes,
+                      architectures=architectures)
+    results: dict[tuple, dict[str, float]] = {}
+    for bits in bit_widths:
+        session = Session(EngineSpec(system=system, quantization=bits))
+        for key, cell in session.sweep(spec=sweep).items():
+            results[(*key, bits)] = cell["metrics"]
+    return results
+
+
 def main(system: SystemConfig | None = None) -> None:
-    """Print the imaging comparison."""
+    """Print the imaging comparison and the scheme-quality sweep."""
     result = run(system=system)
     print(f"Experiment E10: point-target imaging (system: {result['system']})")
     target = result["target"]
@@ -112,6 +143,20 @@ def main(system: SystemConfig | None = None) -> None:
         print(f"  {name:15s}: NRMS vs exact = {comparison['nrms_vs_exact']:.3f}, "
               f"peak shift = ({comparison['peak_shift_theta']}, "
               f"{comparison['peak_shift_depth']}) px")
+
+    # The sweep runs on the tiny preset regardless of `system`: 24 cells of
+    # compounded acquisitions stay interactive there while showing the
+    # same scheme x architecture x bit-width trends.
+    sweep = scheme_quality_sweep()
+    print()
+    print("  Scheme quality sweep (tiny system; NaN = not applicable):")
+    print(f"  {'scenario':14s} {'scheme':20s} {'architecture':12s} "
+          f"{'bits':>5s} {'ax.FWHM':>8s} {'CNR':>6s} {'gCNR':>6s}")
+    for (scenario, scheme, architecture, bits), metrics in sweep.items():
+        print(f"  {scenario:14s} {scheme:20s} {architecture:12s} "
+              f"{'float' if bits is None else bits:>5} "
+              f"{metrics['fwhm_axial']:8.2f} {metrics['cnr']:6.2f} "
+              f"{metrics['gcnr']:6.2f}")
 
 
 if __name__ == "__main__":

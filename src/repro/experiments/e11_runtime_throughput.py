@@ -44,24 +44,36 @@ def run(system: SystemConfig | None = None,
         n_frames: int = 8,
         backends: tuple[str, ...] = DEFAULT_BACKENDS,
         precisions: tuple[str, ...] = DEFAULT_PRECISIONS,
-        batch: int = 4) -> dict[str, object]:
+        batch: int = 4,
+        scheme: str = "focused",
+        scenario: str = "moving_point") -> dict[str, object]:
     """Stream ``n_frames`` cine frames through each backend x dtype variant.
 
     The same pre-simulated channel-data sequence is replayed for every
     variant so the measured differences come from execution strategy and
     precision alone.  Each variant is measured twice: per-frame submission
     and batched submission (``batch`` frames per kernel execution).
+
+    ``scheme`` selects the transmit scheme: a multi-firing scheme (e.g.
+    ``planewave``) streams pre-recorded per-firing sequences, so each
+    frame's beamform time includes the coherent compounding of all its
+    firings — the throughput cost of compounding, isolated from its
+    acquisition cost.  ``scenario`` picks the registered cine scenario.
     """
     spec = EngineSpec(system=system if system is not None else tiny_system(),
-                      architecture=architecture)
+                      architecture=architecture, scheme=scheme)
     session = Session(spec)
     system = session.system
-    scan = ScanSpec(scenario="moving_point", frames=n_frames)
+    scan = ScanSpec(scenario=scenario, frames=n_frames)
     frames = scan.build_frames(system)
 
     # Pre-simulate the acquisitions once; all variants replay the same data.
-    recorded = [session.simulator.simulate(f.phantom, seed=f.seed)
-                for f in frames]
+    if session.scheme.is_trivial():
+        recorded = [session.simulator.simulate(f.phantom, seed=f.seed)
+                    for f in frames]
+    else:
+        recorded = [tuple(session.acquire_firings(f.phantom, seed=f.seed))
+                    for f in frames]
 
     results: dict[str, dict[str, dict[str, float]]] = {}
     for backend in backends:
@@ -110,6 +122,9 @@ def run(system: SystemConfig | None = None,
         "architecture": architecture,
         "n_frames": n_frames,
         "batch": batch,
+        "scheme": scheme,
+        "scenario": scenario,
+        "firings_per_frame": session.scheme.firing_count,
         "voxels_per_frame": system.volume.focal_point_count,
         "backends": results,
         "paper_reference": {
@@ -142,7 +157,9 @@ def main(system: SystemConfig | None = None) -> None:
     result = run(system=system)
     print("Experiment E11: streaming runtime throughput "
           f"(system '{result['system']}', architecture {result['architecture']}, "
-          f"{result['n_frames']} frames, batch={result['batch']})")
+          f"{result['n_frames']} frames, batch={result['batch']}, "
+          f"scheme={result['scheme']} "
+          f"[{result['firings_per_frame']} firing(s)/frame])")
     print(f"  voxels per frame          : {result['voxels_per_frame']}")
     for backend, rows in result["backends"].items():
         for precision, row in rows.items():

@@ -14,6 +14,16 @@ insonifications.  This module models that acquisition structure in software:
 It is the software counterpart of the "multiple precalculated delay tables"
 the paper says TABLESTEER would need for such schemes, and it is what the
 synthetic-aperture example exercises.
+
+.. note::
+   This module predates :mod:`repro.scenarios`, which generalises the idea:
+   a registered :class:`repro.scenarios.TransmitScheme` (plane-wave sets,
+   per-element synthetic-aperture firings, diverging waves) runs through
+   *any* delay architecture and *any* execution backend via the
+   transmit/receive delay split, with per-firing coherent compounding on
+   :meth:`repro.pipeline.ImagingPipeline.compound_volume`.  The
+   :class:`InsonificationPlan` path here stays as the scanline-partitioned,
+   exact-delay formulation of Section V-B's throughput bookkeeping.
 """
 
 from __future__ import annotations

@@ -110,6 +110,15 @@ class ImagingPipeline:
     """Optional :class:`repro.kernels.QuantizationSpec` (or bit width /
     Q-format string / dict spelling) enabling the bit-true fixed-point
     kernel path for every reconstruction this pipeline performs."""
+    scheme: object | str | None = None
+    """Transmit scheme: a registered :data:`repro.scenarios.SCHEMES` name
+    or a pre-built :class:`repro.scenarios.TransmitScheme`; ``None``
+    resolves to the focused single-firing baseline.  Multi-firing schemes
+    are exercised through :meth:`acquire_firings` /
+    :meth:`compound_volume` / :meth:`image_scheme`; the single-acquisition
+    methods below are unaffected."""
+    scheme_options: object | None = None
+    """Options dataclass/dict for a scheme given by name."""
     cache: "PlanCache | None" = None
     simulator: EchoSimulator | None = None
     transducer: MatrixTransducer | None = None
@@ -120,9 +129,13 @@ class ImagingPipeline:
 
     def __post_init__(self) -> None:
         from ..kernels import QuantizationSpec
+        from ..scenarios.transmit import resolve_scheme
         self.architecture = architecture_name(self.architecture)
         self.precision = resolve_precision(self.precision)
         self.quantization = QuantizationSpec.coerce(self.quantization)
+        self.scheme = resolve_scheme(self.system, self.scheme,
+                                     self.scheme_options)
+        self._scheme_engine = None
         self._simulator = self.simulator or EchoSimulator.from_config(self.system)
         if self.provider is not None:
             self._provider = self.provider
@@ -202,6 +215,56 @@ class ImagingPipeline:
         """One-call convenience: acquire a phantom and image the centre plane."""
         channel_data = self.acquire(phantom, noise_std=noise_std, seed=seed)
         return self.image_plane(channel_data, i_phi=i_phi)
+
+    # ----------------------------------------------------------- schemes
+    def _engine(self):
+        """The lazy per-firing compounding engine for this pipeline's scheme."""
+        if self._scheme_engine is None:
+            from ..scenarios.engine import SchemeEngine
+            self._scheme_engine = SchemeEngine(
+                self._beamformer, self.scheme, backend=self.backend,
+                backend_options=self.backend_options, cache=self.cache,
+                precision=self.precision)
+        return self._scheme_engine
+
+    def acquire_firings(self, phantom: Phantom, noise_std: float = 0.0,
+                        seed: int = 0) -> list[ChannelData]:
+        """Simulate every firing of the pipeline's transmit scheme.
+
+        Firing 0 uses ``seed`` directly (the focused baseline is exactly
+        one :meth:`acquire` call); later firings seed their noise RNG
+        with the ``(seed, i)`` entropy pair — see
+        :func:`repro.scenarios.acquire_firings` for why.
+        """
+        from ..scenarios.engine import acquire_firings
+        return acquire_firings(self._simulator, self.scheme, phantom,
+                               noise_std=noise_std, seed=seed)
+
+    def compound_volume(self, firings: "list[ChannelData]"
+                        ) -> BeamformedVolume:
+        """Coherently compound pre-acquired firings into one volume.
+
+        One channel-data frame per scheme event (see
+        :meth:`acquire_firings`); each firing is beamformed with its own
+        transmit-adjusted delays on this pipeline's backend and the
+        per-firing volumes are summed in event order.
+        """
+        rf = self._engine().beamform_volume(firings)
+        return BeamformedVolume(rf=rf, order=self.backend)
+
+    def compound_batch(self, frames: "list[list[ChannelData]]") -> np.ndarray:
+        """Compound a cine batch, shape ``(n_frames, n_theta, n_phi, n_depth)``.
+
+        Each firing index is batched across frames in one stacked kernel
+        execution; bit-identical to per-frame :meth:`compound_volume`.
+        """
+        return self._engine().beamform_batch(frames)
+
+    def image_scheme(self, phantom: Phantom, noise_std: float = 0.0,
+                     seed: int = 0) -> BeamformedVolume:
+        """One-call convenience: acquire all firings and compound them."""
+        return self.compound_volume(self.acquire_firings(
+            phantom, noise_std=noise_std, seed=seed))
 
 
 def compare_architectures(system: SystemConfig, phantom: Phantom,

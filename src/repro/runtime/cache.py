@@ -78,6 +78,16 @@ class PlanCache:
             self._evictions += 1
         return value
 
+    def reserve(self, capacity: int) -> None:
+        """Grow the eviction bound to at least ``capacity`` (never shrink).
+
+        Used by engines whose working set is known up front — e.g. a
+        multi-firing transmit scheme needs one plan slot per firing, or
+        every compounded frame would evict and recompile its own event
+        bank.
+        """
+        self.capacity = max(self.capacity, int(capacity))
+
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
 

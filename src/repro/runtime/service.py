@@ -65,6 +65,10 @@ class RuntimeStats:
     """Datapath description when the service runs the bit-true quantized
     kernel path (see :meth:`repro.kernels.QuantizationSpec.describe`)."""
 
+    scheme: str | None = None
+    """Transmit-scheme summary (``name (n firings)``) when the service
+    compounds a non-trivial scheme; ``None`` for the focused baseline."""
+
     @property
     def total_seconds(self) -> float:
         """Total processing time across acquisition and beamforming."""
@@ -114,6 +118,15 @@ class BeamformingService:
         Compiled-plan cache; pass a shared instance to reuse plans across
         services (e.g. a ``vectorized`` and a ``sharded`` service over the
         same probe).  ``None`` creates a private cache.
+    scheme:
+        Transmit scheme: a registered :data:`repro.scenarios.SCHEMES`
+        name, a pre-built :class:`repro.scenarios.TransmitScheme` or
+        ``None`` (the focused baseline).  Multi-firing schemes simulate
+        one acquisition per event and coherently compound the per-firing
+        volumes; the focused baseline keeps the historical
+        single-acquisition path bit for bit.
+    scheme_options:
+        Options dataclass/dict for a scheme given by name.
     simulator:
         Optional pre-built echo simulator, shared with other services to
         avoid rebuilding the transducer per service.
@@ -134,12 +147,18 @@ class BeamformingService:
                  simulator: EchoSimulator | None = None,
                  backend_options: object | None = None,
                  precision: Precision | str | None = None,
-                 quantization: "QuantizationSpec | str | int | None" = None
+                 quantization: "QuantizationSpec | str | int | None" = None,
+                 scheme: object | str | None = None,
+                 scheme_options: object | None = None
                  ) -> None:
+        # Imported lazily: repro.scenarios builds on this package.
+        from ..scenarios import SchemeEngine, resolve_scheme
+
         self.system = system
         self.architecture = architecture_name(architecture)
         self.precision = resolve_precision(precision)
         self.quantization = QuantizationSpec.coerce(quantization)
+        self.scheme = resolve_scheme(system, scheme, scheme_options)
         self.cache = cache if cache is not None else PlanCache()
         if architecture_options is None:
             architecture_options = legacy_architecture_options(
@@ -154,6 +173,12 @@ class BeamformingService:
         self._backend: ExecutionBackend = BACKENDS.create(
             backend, self.beamformer, self.cache, self.precision,
             options=backend_options)
+        # The trivial focused scheme keeps the historical single-backend
+        # path; anything else compounds per-firing engines.
+        self._scheme_engine = None if self.scheme.is_trivial() else \
+            SchemeEngine(self.beamformer, self.scheme, backend=backend,
+                         backend_options=backend_options, cache=self.cache,
+                         precision=self.precision)
         self._simulator = simulator or EchoSimulator.from_config(system)
         # Monotonic id source for auto-assigned frames; unlike the stats
         # counters it survives reset_stats(), so ids never repeat within
@@ -174,12 +199,28 @@ class BeamformingService:
     # ------------------------------------------------------------- frames
     def _coerce_request(self, frame: FrameRequest | ChannelData | Phantom,
                         noise_std: float, seed: int) -> FrameRequest:
-        """Wrap a raw payload in a :class:`FrameRequest` with a fresh id."""
+        """Wrap a raw payload in a :class:`FrameRequest` with a fresh id.
+
+        Under a multi-firing scheme, pre-recorded frames arrive as a
+        sequence of per-firing :class:`ChannelData` (one per scheme
+        event), carried in the request's ``channel_data`` slot.
+        """
         if isinstance(frame, FrameRequest):
             request = frame
         elif isinstance(frame, ChannelData):
             request = FrameRequest(frame_id=self._next_frame_id,
                                    channel_data=frame)
+        elif isinstance(frame, (tuple, list)):
+            firings = tuple(frame)
+            if not firings or not all(isinstance(firing, ChannelData)
+                                      for firing in firings):
+                # Without this, a malformed sequence would fall into the
+                # phantom branch and die deep in the echo simulator.
+                raise ValueError(
+                    "a per-firing frame must be a non-empty sequence of "
+                    "ChannelData (one per scheme event)")
+            request = FrameRequest(frame_id=self._next_frame_id,
+                                   channel_data=firings)
         else:
             request = FrameRequest(frame_id=self._next_frame_id, phantom=frame,
                                    noise_std=noise_std, seed=seed)
@@ -188,14 +229,55 @@ class BeamformingService:
         self._next_frame_id = max(self._next_frame_id, request.frame_id + 1)
         return request
 
-    def _acquire(self, request: FrameRequest) -> tuple[ChannelData, float]:
-        """Channel data of one request (simulated when needed) + time spent."""
+    def _acquire(self, request: FrameRequest) -> tuple[object, float]:
+        """Beamformable payload of one request + acquisition time spent.
+
+        The payload is one :class:`ChannelData` on the focused baseline,
+        or the per-firing sequence of the active multi-firing scheme.
+        """
         if request.channel_data is not None:
-            return request.channel_data, 0.0
+            payload = request.channel_data
+            if self._scheme_engine is not None:
+                firings = payload if isinstance(payload, (tuple, list)) \
+                    else (payload,)
+                if len(firings) != self._scheme_engine.firing_count:
+                    raise ValueError(
+                        f"scheme {self.scheme.name!r} expects "
+                        f"{self._scheme_engine.firing_count} pre-recorded "
+                        f"firing(s) per frame, got {len(firings)}")
+                return tuple(firings), 0.0
+            if not isinstance(payload, ChannelData):
+                # _coerce_request guarantees a non-empty all-ChannelData
+                # tuple here; a one-firing sequence is a valid frame for
+                # the single-firing baseline.
+                if len(payload) == 1:
+                    return payload[0], 0.0
+                raise ValueError(
+                    f"scheme {self.scheme.name!r} takes one firing per "
+                    f"frame, got {len(payload)} pre-recorded firings")
+            return payload, 0.0
         start = time.perf_counter()
-        channel_data = self._simulator.simulate(
-            request.phantom, noise_std=request.noise_std, seed=request.seed)
-        return channel_data, time.perf_counter() - start
+        if self._scheme_engine is not None:
+            payload = tuple(self._scheme_engine.acquire(
+                self._simulator, request.phantom,
+                noise_std=request.noise_std, seed=request.seed))
+        else:
+            payload = self._simulator.simulate(
+                request.phantom, noise_std=request.noise_std,
+                seed=request.seed)
+        return payload, time.perf_counter() - start
+
+    def _beamform_volume(self, payload: object) -> np.ndarray:
+        """Route one acquired payload to the backend or the scheme engine."""
+        if self._scheme_engine is not None:
+            return self._scheme_engine.beamform_volume(payload)
+        return self._backend.beamform_volume(payload)
+
+    def _beamform_batch(self, payloads: Sequence[object]) -> np.ndarray:
+        """Route one acquired batch to the backend or the scheme engine."""
+        if self._scheme_engine is not None:
+            return self._scheme_engine.beamform_batch(payloads)
+        return self._backend.beamform_batch(payloads)
 
     def _record(self, result: FrameResult) -> FrameResult:
         """Fold one frame's figures into the aggregate counters."""
@@ -215,10 +297,10 @@ class BeamformingService:
         ``noise_std``/``seed``).
         """
         request = self._coerce_request(frame, noise_std, seed)
-        channel_data, acquire_seconds = self._acquire(request)
+        payload, acquire_seconds = self._acquire(request)
 
         start = time.perf_counter()
-        rf = self._backend.beamform_volume(channel_data)
+        rf = self._beamform_volume(payload)
         beamform_seconds = time.perf_counter() - start
 
         return self._record(FrameResult(
@@ -246,8 +328,8 @@ class BeamformingService:
         acquired = [self._acquire(request) for request in requests]
 
         start = time.perf_counter()
-        volumes = self._backend.beamform_batch(
-            [channel_data for channel_data, _ in acquired])
+        volumes = self._beamform_batch(
+            [payload for payload, _ in acquired])
         per_frame_seconds = (time.perf_counter() - start) / len(requests)
 
         # copy() decouples each frame's lifetime from the whole batch
@@ -305,6 +387,8 @@ class BeamformingService:
             cache=self.cache.stats,
             quantization=self.quantization.describe()
             if self.quantization is not None else None,
+            scheme=self.scheme.describe()
+            if self._scheme_engine is not None else None,
         )
 
     def reset_stats(self) -> None:

@@ -1,0 +1,69 @@
+"""repro.scenarios: acquisition schemes, scan scenarios and scoring.
+
+The scenario subsystem answers three questions the lower layers leave
+open — *how is the medium insonified* (:mod:`repro.scenarios.transmit`:
+:class:`TransmitScheme` / :data:`SCHEMES`), *what is imaged*
+(:mod:`repro.scenarios.scan`: :data:`SCENARIOS` cine builders) and *how
+good is the result* (:mod:`repro.scenarios.scoring`: FWHM/CNR/gCNR per
+run).  The glue is the transmit/receive delay split
+(:class:`repro.scenarios.delays.TransmitAdjustedProvider`) and the
+per-firing compounding engine (:class:`repro.scenarios.engine
+.SchemeEngine`), which run every scheme through every registered delay
+architecture and execution backend with no new kernel code.
+
+Layering: this package sits above :mod:`repro.runtime` and below
+:mod:`repro.api` (which re-exports the registries); the pipeline and the
+streaming service import it lazily.
+"""
+
+from .delays import TransmitAdjustedProvider
+from .engine import SchemeEngine, acquire_firings
+from .scan import (
+    SCENARIOS,
+    CystOptions,
+    MovingPointOptions,
+    MovingScatterersOptions,
+    MultiCystOptions,
+    SpeckleOptions,
+    StaticPointOptions,
+    WireGridOptions,
+)
+from .scoring import SCORE_KEYS, SCORERS, register_scorer, score_volume
+from .transmit import (
+    SCHEMES,
+    DivergingOptions,
+    FocusedOptions,
+    PlaneWaveOptions,
+    SyntheticApertureOptions,
+    TransmitEvent,
+    TransmitScheme,
+    Wavefront,
+    resolve_scheme,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "SCHEMES",
+    "SCORE_KEYS",
+    "SCORERS",
+    "CystOptions",
+    "DivergingOptions",
+    "FocusedOptions",
+    "MovingPointOptions",
+    "MovingScatterersOptions",
+    "MultiCystOptions",
+    "PlaneWaveOptions",
+    "SchemeEngine",
+    "SpeckleOptions",
+    "StaticPointOptions",
+    "SyntheticApertureOptions",
+    "TransmitAdjustedProvider",
+    "TransmitEvent",
+    "TransmitScheme",
+    "Wavefront",
+    "WireGridOptions",
+    "acquire_firings",
+    "register_scorer",
+    "resolve_scheme",
+    "score_volume",
+]

@@ -1,0 +1,151 @@
+"""Per-firing execution engines and coherent compounding for a scheme.
+
+A :class:`SchemeEngine` turns one configured
+:class:`repro.beamformer.das.DelayAndSumBeamformer` plus a
+:class:`repro.scenarios.TransmitScheme` into a bank of per-firing
+execution backends: each transmit event gets a
+:class:`repro.scenarios.delays.TransmitAdjustedProvider` (the
+architecture's delays with the transmit leg swapped), its own beamformer
+sharing the transducer/grid/apodization/precision/quantisation of the
+base, and an execution backend resolved through
+:data:`repro.runtime.backends.BACKENDS` — so every scheme runs on every
+backend, per frame or batched, without new kernel code.
+
+Compounding is a plain ordered sum of per-firing volumes.  The summation
+order is the event order of the scheme in both the per-frame and the
+batched path, so the compounded volume is bit-identical across backends
+and batching whenever the per-firing volumes are (which the kernel layer
+pins at ``float64``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..acoustics.echo import ChannelData, EchoSimulator
+from ..acoustics.phantom import Phantom
+from ..beamformer.das import DelayAndSumBeamformer
+from ..runtime.backends import BACKENDS
+from .delays import TransmitAdjustedProvider
+from .transmit import TransmitScheme
+
+
+def acquire_firings(simulator: EchoSimulator, scheme: TransmitScheme,
+                    phantom: Phantom, noise_std: float = 0.0,
+                    seed: int = 0) -> list[ChannelData]:
+    """Simulate one frame of ``phantom`` under every firing of ``scheme``.
+
+    Firing 0 uses ``seed`` directly, so the trivial focused scheme
+    reproduces :meth:`EchoSimulator.simulate` bit for bit (noise
+    included).  Later firings seed their RNG with the ``(seed, index)``
+    entropy pair — **not** ``seed + index``, which would collide with the
+    consecutive per-frame seeds the cine scenarios hand out and inject
+    bit-identical noise into adjacent frames.
+    """
+    return [simulator.simulate_event(phantom, event, noise_std=noise_std,
+                                     seed=seed if index == 0
+                                     else (seed, index))
+            for index, event in enumerate(scheme.events)]
+
+
+class SchemeEngine:
+    """Bank of per-firing backends + coherent compounding for one scheme.
+
+    Parameters
+    ----------
+    beamformer:
+        The configured base beamformer; its delay provider, apodization,
+        interpolation, precision and quantisation are shared by every
+        per-firing engine.
+    scheme:
+        The transmit scheme; one execution backend is built per event.
+    backend:
+        Registered execution-backend name (``reference`` included — the
+        conformance matrix runs every scheme on every backend).
+    cache:
+        Optional shared :class:`repro.runtime.cache.PlanCache`; per-firing
+        plans have distinct keys (the firing is part of the provider
+        design), so a shared cache never mixes firings.
+    """
+
+    def __init__(self, beamformer: DelayAndSumBeamformer,
+                 scheme: TransmitScheme, backend: str = "vectorized",
+                 backend_options: Any = None, cache: Any = None,
+                 precision: Any = None) -> None:
+        self.beamformer = beamformer
+        self.scheme = scheme
+        self.backend_name = backend
+        if cache is not None and hasattr(cache, "reserve"):
+            # One plan slot per firing, or a smaller shared cache would
+            # evict and recompile the whole event bank every frame.
+            cache.reserve(scheme.firing_count)
+        self.backends = []
+        for event in scheme.events:
+            provider = TransmitAdjustedProvider.from_provider(
+                beamformer.delays, event, beamformer.system,
+                grid=beamformer.grid)
+            event_beamformer = DelayAndSumBeamformer(
+                beamformer.system, provider,
+                apodization=beamformer.apodization,
+                interpolation=beamformer.interpolation,
+                transducer=beamformer.transducer, grid=beamformer.grid,
+                precision=beamformer.precision,
+                quantization=beamformer.quantization)
+            self.backends.append(BACKENDS.create(
+                backend, event_beamformer, cache, precision,
+                options=backend_options))
+
+    @property
+    def firing_count(self) -> int:
+        """Number of transmit events (channel-data frames per volume)."""
+        return self.scheme.firing_count
+
+    # ------------------------------------------------------------ acquire
+    def acquire(self, simulator: EchoSimulator, phantom: Phantom,
+                noise_std: float = 0.0, seed: int = 0) -> list[ChannelData]:
+        """Simulate the scheme's firings for one frame (see
+        :func:`acquire_firings`)."""
+        return acquire_firings(simulator, self.scheme, phantom,
+                               noise_std=noise_std, seed=seed)
+
+    def _check_firings(self, firings: Sequence[ChannelData]) -> None:
+        if len(firings) != self.firing_count:
+            raise ValueError(
+                f"scheme {self.scheme.name!r} expects "
+                f"{self.firing_count} firing(s) per frame, got "
+                f"{len(firings)}")
+
+    # ------------------------------------------------------------ execute
+    def beamform_volume(self, firings: Sequence[ChannelData]) -> np.ndarray:
+        """Coherently compound one frame's firings into an RF volume."""
+        self._check_firings(firings)
+        volume = None
+        for backend, firing in zip(self.backends, firings):
+            contribution = backend.beamform_volume(firing)
+            volume = contribution if volume is None else volume + contribution
+        return volume
+
+    def beamform_batch(self, frames: Sequence[Sequence[ChannelData]]
+                       ) -> np.ndarray:
+        """Compound a cine batch, shape ``(n_frames, n_theta, n_phi, n_depth)``.
+
+        Each firing index is batched across frames on its own backend
+        (one stacked gather per event), then the per-event batches are
+        summed in event order — the same per-voxel addition order as
+        :meth:`beamform_volume`, so batching never changes the bits.
+        """
+        if len(frames) == 0:
+            grid_shape = self.beamformer.grid.shape
+            return np.empty((0, *grid_shape),
+                            dtype=self.beamformer.precision.dtype)
+        for firings in frames:
+            self._check_firings(firings)
+        volumes = None
+        for index, backend in enumerate(self.backends):
+            contribution = backend.beamform_batch(
+                [firings[index] for firings in frames])
+            volumes = contribution if volumes is None \
+                else volumes + contribution
+        return volumes

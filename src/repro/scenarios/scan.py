@@ -1,0 +1,241 @@
+"""Registered cine scan scenarios: what the runtime images, frame by frame.
+
+The :data:`SCENARIOS` registry maps a public name to a factory
+``(system, scan, options) -> list[FrameRequest]`` (``scan`` is the
+:class:`repro.api.ScanSpec` — duck-typed here to keep this package below
+:mod:`repro.api` — supplying ``frames`` / ``noise_std`` / ``seed``).  The
+original three entries (``moving_point`` / ``static_point`` / ``speckle``)
+moved here from :mod:`repro.api.specs`; the richer imaging targets
+(anechoic cyst, wire grid, multi-cyst contrast phantom, drifting
+scatterer cloud) give the transmit schemes and the quantized kernels
+realistic images to be judged on via the scoring hook in
+:mod:`repro.scenarios.scoring`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..acoustics.phantom import (
+    Phantom,
+    cyst_phantom,
+    multi_cyst_phantom,
+    point_grid,
+    point_target,
+    speckle_phantom,
+)
+from ..config import SystemConfig
+from ..geometry.coordinates import spherical_to_cartesian
+from ..geometry.volume import FocalGrid
+from ..registry import Registry
+from ..runtime.scheduler import FrameRequest, moving_point_cine
+
+SCENARIOS = Registry("scenario")
+"""Registry of cine scan scenarios (factory: ``(system, scan, options)``)."""
+
+
+# ------------------------------------------------------------------ options
+@dataclass(frozen=True)
+class MovingPointOptions:
+    """Options for the ``moving_point`` scenario."""
+
+    depth_fractions: tuple[float, float] = (0.35, 0.65)
+    """Start/end depth as fractions of the imaging range."""
+
+    theta_fraction: float = 0.0
+    """Azimuth steering of the scanline the target drifts along."""
+
+
+@dataclass(frozen=True)
+class StaticPointOptions:
+    """Options for the ``static_point`` scenario."""
+
+    depth_fraction: float = 0.5
+    """Target depth as a fraction of the imaging range (grid-snapped)."""
+
+    theta_fraction: float = 0.0
+    """Azimuth steering as a fraction of ``theta_max`` (grid-snapped)."""
+
+
+@dataclass(frozen=True)
+class SpeckleOptions:
+    """Options for the ``speckle`` scenario."""
+
+    n_scatterers: int = 2000
+    """Number of diffuse scatterers filling the volume."""
+
+
+@dataclass(frozen=True)
+class CystOptions:
+    """Options for the ``cyst`` scenario."""
+
+    n_scatterers: int = 1500
+    """Speckle scatterers in the background."""
+
+    depth_fraction: float = 0.55
+    """Cyst depth as a fraction of the imaging range."""
+
+    radius_fraction: float = 0.12
+    """Cyst radius as a fraction of the imaging range."""
+
+
+@dataclass(frozen=True)
+class WireGridOptions:
+    """Options for the ``wire_grid`` scenario."""
+
+    n_depths: int = 3
+    """Number of wire depths across the imaging range."""
+
+    n_thetas: int = 3
+    """Number of wire azimuth positions (centred, including broadside)."""
+
+
+@dataclass(frozen=True)
+class MultiCystOptions:
+    """Options for the ``multi_cyst`` scenario."""
+
+    n_scatterers: int = 2000
+    """Speckle scatterers in the background."""
+
+    contrasts: tuple[float, ...] = (0.0, 0.25, 4.0)
+    """Amplitude scale of each contrast region (0 = anechoic)."""
+
+    radius_fraction: float = 0.06
+    """Region radius as a fraction of the imaging range (clamped by
+    :func:`repro.acoustics.phantom.multi_cyst_layout` so regions never
+    overlap)."""
+
+
+@dataclass(frozen=True)
+class MovingScatterersOptions:
+    """Options for the ``moving_scatterers`` scenario."""
+
+    n_scatterers: int = 12
+    """Size of the drifting scatterer cloud."""
+
+    drift_fraction: float = 0.2
+    """Total axial drift over the cine, as a fraction of the range."""
+
+
+# ---------------------------------------------------------------- factories
+@SCENARIOS.register(
+    "moving_point", options=MovingPointOptions,
+    description="point scatterer drifting in depth across the cine")
+def _build_moving_point(system: SystemConfig, scan,
+                        options: MovingPointOptions) -> list[FrameRequest]:
+    base = moving_point_cine(system, n_frames=scan.frames,
+                             depth_fractions=tuple(options.depth_fractions),
+                             theta_fraction=options.theta_fraction)
+    return [replace(request, noise_std=scan.noise_std,
+                    seed=request.seed + scan.seed)
+            for request in base]
+
+
+@SCENARIOS.register(
+    "static_point", options=StaticPointOptions,
+    description="the same grid-snapped point target replayed every frame")
+def _build_static_point(system: SystemConfig, scan,
+                        options: StaticPointOptions) -> list[FrameRequest]:
+    volume = system.volume
+    grid = FocalGrid.from_config(system)
+    requested = volume.depth_min + options.depth_fraction * volume.depth_span
+    depth = float(grid.depths[np.argmin(np.abs(grid.depths - requested))])
+    theta = float(grid.thetas[np.argmin(
+        np.abs(grid.thetas - options.theta_fraction * volume.theta_max))])
+    phantom = point_target(depth=depth, theta=theta)
+    return [FrameRequest(frame_id=i, phantom=phantom,
+                         noise_std=scan.noise_std, seed=scan.seed)
+            for i in range(scan.frames)]
+
+
+@SCENARIOS.register(
+    "speckle", options=SpeckleOptions,
+    description="diffuse speckle phantom, per-frame noise realisations")
+def _build_speckle(system: SystemConfig, scan,
+                   options: SpeckleOptions) -> list[FrameRequest]:
+    phantom = speckle_phantom(system, n_scatterers=options.n_scatterers,
+                              seed=scan.seed)
+    return [FrameRequest(frame_id=i, phantom=phantom,
+                         noise_std=scan.noise_std, seed=scan.seed + i)
+            for i in range(scan.frames)]
+
+
+@SCENARIOS.register(
+    "cyst", options=CystOptions,
+    description="anechoic cyst in speckle (contrast/CNR/gCNR target)")
+def _build_cyst(system: SystemConfig, scan,
+                options: CystOptions) -> list[FrameRequest]:
+    volume = system.volume
+    phantom = cyst_phantom(
+        system,
+        cyst_depth=volume.depth_min + options.depth_fraction
+        * volume.depth_span,
+        cyst_radius=options.radius_fraction * volume.depth_span,
+        n_scatterers=options.n_scatterers, seed=scan.seed + 99)
+    return [FrameRequest(frame_id=i, phantom=phantom,
+                         noise_std=scan.noise_std, seed=scan.seed + i)
+            for i in range(scan.frames)]
+
+
+@SCENARIOS.register(
+    "wire_grid", options=WireGridOptions,
+    description="grid of wire targets in one plane (resolution target)")
+def _build_wire_grid(system: SystemConfig, scan,
+                     options: WireGridOptions) -> list[FrameRequest]:
+    volume = system.volume
+    depths = np.linspace(volume.depth_min + 0.15 * volume.depth_span,
+                         volume.depth_max - 0.15 * volume.depth_span,
+                         options.n_depths)
+    thetas = (np.linspace(-0.6, 0.6, options.n_thetas) * volume.theta_max
+              if options.n_thetas > 1 else np.array([0.0]))
+    phantom = point_grid(system, depths=depths, thetas=thetas,
+                         phis=np.array([0.0]))
+    return [FrameRequest(frame_id=i, phantom=phantom,
+                         noise_std=scan.noise_std, seed=scan.seed + i)
+            for i in range(scan.frames)]
+
+
+@SCENARIOS.register(
+    "multi_cyst", options=MultiCystOptions,
+    description="speckle with anechoic/hypo/hyperechoic contrast regions")
+def _build_multi_cyst(system: SystemConfig, scan,
+                      options: MultiCystOptions) -> list[FrameRequest]:
+    phantom = multi_cyst_phantom(
+        system, contrasts=tuple(options.contrasts),
+        radius_fraction=options.radius_fraction,
+        n_scatterers=options.n_scatterers, seed=scan.seed + 7)
+    return [FrameRequest(frame_id=i, phantom=phantom,
+                         noise_std=scan.noise_std, seed=scan.seed + i)
+            for i in range(scan.frames)]
+
+
+@SCENARIOS.register(
+    "moving_scatterers", options=MovingScatterersOptions,
+    description="scatterer cloud drifting in depth (streaming sequence)")
+def _build_moving_scatterers(system: SystemConfig, scan,
+                             options: MovingScatterersOptions
+                             ) -> list[FrameRequest]:
+    volume = system.volume
+    rng = np.random.default_rng(scan.seed + 2024)
+    thetas = rng.uniform(-0.5 * volume.theta_max, 0.5 * volume.theta_max,
+                         options.n_scatterers)
+    phis = rng.uniform(-0.5 * volume.phi_max, 0.5 * volume.phi_max,
+                       options.n_scatterers)
+    depths = rng.uniform(volume.depth_min + 0.2 * volume.depth_span,
+                         volume.depth_min + 0.6 * volume.depth_span,
+                         options.n_scatterers)
+    amplitudes = np.abs(rng.normal(1.0, 0.25, options.n_scatterers))
+    drift = options.drift_fraction * volume.depth_span
+    requests = []
+    for i in range(scan.frames):
+        fraction = i / (scan.frames - 1) if scan.frames > 1 else 0.0
+        positions = spherical_to_cartesian(thetas, phis,
+                                           depths + fraction * drift)
+        phantom = Phantom(positions=positions, amplitudes=amplitudes,
+                          name=f"moving_scatterers[{i}]")
+        requests.append(FrameRequest(frame_id=i, phantom=phantom,
+                                     noise_std=scan.noise_std,
+                                     seed=scan.seed + i))
+    return requests

@@ -1,0 +1,165 @@
+"""Per-run image-quality scoring for registered scan scenarios.
+
+Every cell of a scenario x scheme x architecture sweep produces an RF
+volume; this module turns it into a small, fixed dictionary of figures of
+merit — FWHM (axial/lateral), CNR, gCNR and region contrast — so
+experiments E10/E11 and :meth:`repro.api.Session.sweep` can compare image
+quality across the grid with one uniform schema.
+
+Scorers are registered per scenario name in :data:`SCORERS` (point-like
+scenarios measure the PSF, cyst-like scenarios measure contrast inside
+vs around their registered region); unknown scenarios fall back to the
+point scorer.  Keys absent from a scorer's result are filled with NaN, so
+:func:`score_volume` always returns every key in :data:`SCORE_KEYS`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from ..beamformer.image import (
+    contrast_ratio_db,
+    contrast_to_noise_ratio,
+    envelope,
+    generalized_cnr,
+    point_spread_metrics,
+)
+from ..config import SystemConfig
+from ..geometry.volume import FocalGrid
+
+SCORE_KEYS: tuple[str, ...] = ("fwhm_axial", "fwhm_lateral", "cnr", "gcnr",
+                               "contrast_db", "peak_value")
+"""Every key :func:`score_volume` reports (missing figures become NaN)."""
+
+Scorer = Callable[[SystemConfig, np.ndarray, Any], Dict[str, float]]
+
+SCORERS: dict[str, Scorer] = {}
+"""Scenario name -> scorer; extend alongside ``SCENARIOS`` registrations."""
+
+
+def register_scorer(*names: str) -> Callable[[Scorer], Scorer]:
+    """Decorator attaching a scorer to one or more scenario names."""
+    def decorator(scorer: Scorer) -> Scorer:
+        for name in names:
+            SCORERS[name] = scorer
+        return scorer
+    return decorator
+
+
+def center_plane_envelope(volume: np.ndarray) -> np.ndarray:
+    """Envelope of the centre-elevation ``(theta, depth)`` plane."""
+    volume = np.asarray(volume, dtype=np.float64)
+    if volume.ndim != 3:
+        raise ValueError("expected an RF volume of shape "
+                         "(n_theta, n_phi, n_depth)")
+    return envelope(volume[:, volume.shape[1] // 2, :], axis=1)
+
+
+def plane_region_masks(grid: FocalGrid, center_depth: float, radius: float,
+                       center_theta: float = 0.0
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Inside/ring masks of a spherical region on the centre plane.
+
+    Absolute units [m]; the single definition of the cyst-region geometry
+    (:func:`repro.analysis.image_quality.cyst_contrast_study` and the
+    scoring hook share it).  The ring spans 1.5-3x the region radius —
+    far enough out to be clean background, close enough to share
+    depth-dependent gain; ``inside`` keeps a 0.8x margin off the rim.
+    """
+    thetas = grid.thetas[:, None]
+    depths = grid.depths[None, :]
+    x = depths * np.sin(thetas)
+    z = depths * np.cos(thetas)
+    cx = center_depth * np.sin(center_theta)
+    cz = center_depth * np.cos(center_theta)
+    distance = np.sqrt((x - cx) ** 2 + (z - cz) ** 2)
+    inside = distance < 0.8 * radius
+    ring = (distance > 1.5 * radius) & (distance < 3.0 * radius)
+    return inside, ring
+
+
+def region_masks(system: SystemConfig, depth_fraction: float,
+                 radius_fraction: float, theta_fraction: float = 0.0
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Fractional-coordinate wrapper of :func:`plane_region_masks`."""
+    volume = system.volume
+    return plane_region_masks(
+        FocalGrid.from_config(system),
+        center_depth=volume.depth_min + depth_fraction * volume.depth_span,
+        radius=radius_fraction * volume.depth_span,
+        center_theta=theta_fraction * volume.theta_max)
+
+
+@register_scorer("static_point", "moving_point", "wire_grid",
+                 "moving_scatterers")
+def score_point_volume(system: SystemConfig, volume: np.ndarray,
+                       options: Any = None) -> dict[str, float]:
+    """PSF figures of merit: FWHM along depth (axial) and azimuth (lateral)."""
+    image = center_plane_envelope(volume)
+    peak_theta, peak_depth = np.unravel_index(np.argmax(image), image.shape)
+    axial = point_spread_metrics(image[peak_theta, :])
+    lateral = point_spread_metrics(image[:, peak_depth])
+    return {
+        "fwhm_axial": axial.fwhm_samples,
+        "fwhm_lateral": lateral.fwhm_samples,
+        "peak_value": float(np.max(image)),
+    }
+
+
+@register_scorer("cyst", "multi_cyst")
+def score_contrast_volume(system: SystemConfig, volume: np.ndarray,
+                          options: Any = None) -> dict[str, float]:
+    """Contrast figures of merit of the scenario's (first) anechoic region."""
+    contrasts = getattr(options, "contrasts", None)
+    radius_fraction = getattr(options, "radius_fraction", 0.12)
+    if contrasts is not None:
+        # multi_cyst spreads its regions in depth; score the first one,
+        # at the position (and overlap-clamped radius) the phantom
+        # builder actually used.
+        from ..acoustics.phantom import multi_cyst_layout
+        depth_fractions, radius_fraction = multi_cyst_layout(
+            len(contrasts), radius_fraction)
+        depth_fraction = float(depth_fractions[0])
+    else:
+        depth_fraction = getattr(options, "depth_fraction", 0.55)
+    inside, ring = region_masks(system, depth_fraction, radius_fraction)
+    image = center_plane_envelope(volume)
+    if not inside.any() or not ring.any():
+        return {"peak_value": float(np.max(image))}
+    return {
+        "cnr": contrast_to_noise_ratio(image[inside], image[ring]),
+        "gcnr": generalized_cnr(image[inside], image[ring]),
+        "contrast_db": contrast_ratio_db(image, inside, ring),
+        "peak_value": float(np.max(image)),
+    }
+
+
+@register_scorer("speckle")
+def score_speckle_volume(system: SystemConfig, volume: np.ndarray,
+                         options: Any = None) -> dict[str, float]:
+    """Speckle has no target: report only the envelope peak."""
+    image = center_plane_envelope(volume)
+    return {"peak_value": float(np.max(image))}
+
+
+def score_volume(system: SystemConfig, volume: np.ndarray,
+                 scenario: str | None = None,
+                 options: Any = None) -> dict[str, float]:
+    """Score one beamformed RF volume for one scenario.
+
+    Dispatches to the scorer registered for ``scenario`` (the point scorer
+    when unknown) and pads the result so every :data:`SCORE_KEYS` entry is
+    present — NaN marks figures the scenario does not define.  With
+    ``options`` omitted, a registered scenario is scored with its
+    registered default options, so the measured region always matches the
+    phantom the scenario actually built.
+    """
+    if options is None and scenario:
+        from .scan import SCENARIOS
+        if scenario in SCENARIOS:
+            options = SCENARIOS.get(scenario).make_options(None)
+    scorer = SCORERS.get(scenario or "", score_point_volume)
+    scores = scorer(system, volume, options)
+    return {key: float(scores.get(key, float("nan"))) for key in SCORE_KEYS}

@@ -22,6 +22,15 @@ from repro.geometry.transducer import MatrixTransducer
 from repro.geometry.volume import FocalGrid
 
 
+def pytest_configure(config):
+    """Register the custom markers (no pytest.ini in this repo)."""
+    config.addinivalue_line(
+        "markers",
+        "conformance: cross-layer backend x batching x scheme conformance "
+        "matrix (run alone with '-m conformance', excluded from the fast "
+        "CI job with '-m \"not conformance\"')")
+
+
 def pytest_addoption(parser):
     """``--regen-golden`` rewrites the checked-in reference volumes.
 

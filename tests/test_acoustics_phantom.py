@@ -8,6 +8,7 @@ import pytest
 from repro.acoustics.phantom import (
     Phantom,
     cyst_phantom,
+    multi_cyst_phantom,
     point_grid,
     point_target,
     speckle_phantom,
@@ -119,3 +120,80 @@ class TestCystPhantom:
         phantom = cyst_phantom(small)
         assert phantom.scatterer_count > 0
         assert phantom.name == "cyst"
+
+
+class TestFiniteValidation:
+    """Regression: NaN/inf scatterers used to propagate silently into the
+    echo simulator, poisoning every trace they touched; construction must
+    reject them (which also covers merged_with and every factory)."""
+
+    def test_nan_position_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Phantom(positions=np.array([[0.0, np.nan, 0.03]]),
+                    amplitudes=np.array([1.0]))
+
+    def test_inf_position_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Phantom(positions=np.array([[np.inf, 0.0, 0.03]]),
+                    amplitudes=np.array([1.0]))
+
+    def test_nan_amplitude_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Phantom(positions=np.array([[0.0, 0.0, 0.03]]),
+                    amplitudes=np.array([np.nan]))
+
+    def test_merged_with_cannot_introduce_nan(self):
+        clean = point_target(depth=0.03)
+        with pytest.raises(ValueError, match="finite"):
+            clean.merged_with(Phantom(
+                positions=np.array([[0.0, 0.0, np.nan]]),
+                amplitudes=np.array([1.0])))
+
+    def test_point_target_at_nan_depth_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            point_target(depth=float("nan"))
+
+    def test_finite_phantoms_still_construct(self, small):
+        assert speckle_phantom(small, n_scatterers=10).scatterer_count == 10
+
+
+class TestMultiCystPhantom:
+    def test_anechoic_region_is_silent(self, small):
+        phantom = multi_cyst_phantom(small, contrasts=(0.0,),
+                                     n_scatterers=2000, seed=3)
+        volume = small.volume
+        depth = volume.depth_min + 0.5 * volume.depth_span
+        radius = 0.06 * volume.depth_span
+        center = np.array([0.0, 0.0, depth])
+        distance = np.linalg.norm(phantom.positions - center, axis=1)
+        assert np.all(phantom.amplitudes[distance < radius] == 0.0)
+        assert np.any(phantom.amplitudes[distance > radius] != 0.0)
+
+    def test_regions_and_scoring_rings_never_overlap(self):
+        # Regression: the original azimuthal spread put adjacent regions
+        # closer than 2 radii on every shipped preset.
+        from repro.acoustics.phantom import multi_cyst_layout
+        for count in range(2, 7):
+            fractions, radius = multi_cyst_layout(count)
+            # Fractions are centrality-ordered (scored region first);
+            # overlap is about the sorted spacing.
+            spacing = float(np.min(np.diff(np.sort(fractions))))
+            # Scoring ring outer edge (3r) stays short of the
+            # neighbouring region's rim (spacing - r).
+            assert 3 * radius < spacing - radius
+            # The scored region sits at the most central position.
+            assert abs(fractions[0] - 0.5) == \
+                float(np.min(np.abs(fractions - 0.5)))
+
+    def test_hyperechoic_region_is_amplified(self, small):
+        base = speckle_phantom(small, n_scatterers=2000, seed=7)
+        phantom = multi_cyst_phantom(small, contrasts=(4.0,),
+                                     n_scatterers=2000, seed=7)
+        changed = phantom.amplitudes != base.amplitudes
+        assert changed.any()
+        np.testing.assert_allclose(phantom.amplitudes[changed],
+                                   4.0 * base.amplitudes[changed])
+
+    def test_empty_contrasts_rejected(self, small):
+        with pytest.raises(ValueError):
+            multi_cyst_phantom(small, contrasts=())

@@ -1,0 +1,154 @@
+"""Cross-layer conformance matrix: backend x batching x scheme x precision.
+
+One suite that pins **every execution path** against the reference oracle
+for **every registered transmit scheme**:
+
+* ``float64`` volumes must be *bit-identical* across the three execution
+  backends and both batching modes, for every scheme — the compounding
+  layer adds per-firing volumes in a fixed event order, so any divergence
+  localises to a kernel/backend/batching change;
+* ``float32`` volumes must match the ``float64`` oracle within the pinned
+  :data:`repro.kernels.TOLERANCES`;
+* quantized (18-bit) volumes must be bit-identical across backends and
+  batching against the quantized reference oracle, and sit within a
+  documented coarse tolerance of the float oracle.
+
+The suite is marked ``conformance`` so CI runs it as its own matrix job
+(``pytest -m conformance``) while the fast unit job deselects it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import EngineSpec, ScanSpec, Session
+from repro.kernels import TOLERANCES, Precision
+
+pytestmark = pytest.mark.conformance
+
+#: scheme name -> options keeping the tiny-system matrix fast.
+SCHEMES_UNDER_TEST = {
+    "focused": None,
+    "planewave": {"n_angles": 3},
+    "synthetic_aperture": {"every": 16},
+    "diverging": {"count": 2},
+}
+
+BACKENDS_UNDER_TEST = ("reference", "vectorized", "sharded")
+BATCH_MODES = ("per_frame", "batched")
+
+#: Quantized-vs-float coarse equivalence: the 18-bit datapath rounds
+#: samples/weights/delays, so the compounded volume may move by a few
+#: percent of peak — but never more (same pin philosophy as TOLERANCES).
+QUANTIZED_VS_FLOAT_ATOL = 0.05
+
+
+@pytest.fixture(scope="module")
+def matrix(tiny):
+    """Per-scheme shared substrates: session, firings and oracles.
+
+    The channel data are acquired once per scheme; every backend/batching
+    cell beamforms the identical firings, so differences can only come
+    from execution strategy.
+    """
+    cells = {}
+    for scheme, options in SCHEMES_UNDER_TEST.items():
+        spec = EngineSpec(system="tiny", architecture="tablesteer",
+                          architecture_options={"total_bits": 18},
+                          scheme=scheme, scheme_options=options)
+        session = Session(spec)
+        frame = ScanSpec(scenario="static_point",
+                         frames=1).build_frames(session.system)[0]
+        firings = session.acquire_firings(frame.phantom)
+        oracle = session.pipeline(backend="reference") \
+            .compound_volume(firings).rf
+        oracle_quantized = session.pipeline(
+            backend="reference", quantization=18).compound_volume(firings).rf
+        cells[scheme] = (session, firings, oracle, oracle_quantized)
+    return cells
+
+
+def _volume(session, firings, backend, batch_mode, **pipeline_kwargs):
+    pipeline = session.pipeline(backend=backend, **pipeline_kwargs)
+    if batch_mode == "per_frame":
+        return pipeline.compound_volume(firings).rf
+    batch = pipeline.compound_batch([firings, firings])
+    np.testing.assert_array_equal(batch[0], batch[1])
+    return batch[0]
+
+
+@pytest.mark.parametrize("batch_mode", BATCH_MODES)
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_float64_bit_identical(matrix, scheme, backend, batch_mode):
+    """Every backend and batching mode reproduces the oracle bit for bit."""
+    session, firings, oracle, _ = matrix[scheme]
+    volume = _volume(session, firings, backend, batch_mode)
+    assert volume.dtype == np.float64
+    np.testing.assert_array_equal(volume, oracle)
+
+
+@pytest.mark.parametrize("batch_mode", BATCH_MODES)
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_float32_within_pinned_tolerance(matrix, scheme, backend, batch_mode):
+    """float32 execution stays inside the pinned TOLERANCES table."""
+    session, firings, oracle, _ = matrix[scheme]
+    volume = _volume(session, firings, backend, batch_mode,
+                     precision="float32")
+    assert volume.dtype == np.float32
+    TOLERANCES[Precision.FLOAT32].assert_allclose(volume, oracle)
+
+
+@pytest.mark.parametrize("batch_mode", BATCH_MODES)
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_quantized_bit_identical_and_near_float(matrix, scheme, backend,
+                                                batch_mode):
+    """The 18-bit datapath is bit-true across execution paths and lands
+    within the documented coarse envelope of the float oracle."""
+    session, firings, oracle, oracle_quantized = matrix[scheme]
+    volume = _volume(session, firings, backend, batch_mode, quantization=18)
+    np.testing.assert_array_equal(volume, oracle_quantized)
+    peak = float(np.max(np.abs(oracle))) or 1.0
+    assert np.max(np.abs(volume - oracle)) <= QUANTIZED_VS_FLOAT_ATOL * peak
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_service_stream_matches_pipeline(matrix, scheme):
+    """The streaming service (per-frame and batched) reproduces the same
+    compounded bits as the pipeline path."""
+    session, firings, oracle, _ = matrix[scheme]
+    per_frame = session.service(backend="vectorized") \
+        .submit_frame(tuple(firings) if len(firings) > 1 else firings[0])
+    np.testing.assert_array_equal(per_frame.rf, oracle)
+    batched = session.service(backend="vectorized").submit_batch(
+        [tuple(firings) if len(firings) > 1 else firings[0]] * 2)
+    np.testing.assert_array_equal(batched[0].rf, oracle)
+    np.testing.assert_array_equal(batched[1].rf, oracle)
+
+
+def test_sweep_grid_covers_matrix_from_json(tiny):
+    """Acceptance: Session.sweep() runs a scenario x scheme x architecture
+    grid from a single JSON spec, scored per cell."""
+    session = Session(EngineSpec(system="tiny"))
+    spec_json = """{
+        "scenarios": ["static_point"],
+        "schemes": ["focused", "planewave"],
+        "architectures": ["exact", "tablesteer"],
+        "backends": ["reference", "vectorized"]
+    }"""
+    grid = session.sweep(spec=spec_json)
+    assert len(grid) == 1 * 2 * 2 * 2
+    for (scenario, scheme, architecture, backend), cell in grid.items():
+        assert cell["volume"].shape == session.grid.shape
+        assert "metrics" in cell
+    # Per (scenario, scheme, architecture), the backends are bit-identical.
+    for scheme in ("focused", "planewave"):
+        for architecture in ("exact", "tablesteer"):
+            np.testing.assert_array_equal(
+                grid[("static_point", scheme, architecture, "reference")]
+                ["volume"],
+                grid[("static_point", scheme, architecture, "vectorized")]
+                ["volume"])

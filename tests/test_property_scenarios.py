@@ -1,0 +1,177 @@
+"""Property tests for the scenario subsystem: compounding, delay split,
+metric invariances.
+
+Three families, each a law the implementation must obey for *any* input:
+
+* **Compounding linearity** — the compounded volume equals the ordered sum
+  of the per-firing volumes, each beamformed by a single-event scheme.
+* **Transmit/receive delay split** — the focused event leaves every
+  architecture's delays bit-identical, and a plane-wave event over the
+  exact architecture equals the independently computed
+  ``tx_plane + rx`` decomposition.
+* **Metric invariances** — FWHM, CNR and gCNR are invariant under common
+  positive amplitude scaling (exactly so for power-of-two scales, which
+  move histogram bin edges without re-rounding) and gCNR under any
+  permutation of the samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tiny_system
+from repro.acoustics.echo import EchoSimulator
+from repro.acoustics.phantom import point_target
+from repro.architectures import ARCHITECTURES
+from repro.beamformer.das import DelayAndSumBeamformer
+from repro.beamformer.image import (
+    contrast_to_noise_ratio,
+    generalized_cnr,
+    point_spread_metrics,
+)
+from repro.core.exact import receive_delay
+from repro.geometry.volume import FocalGrid
+from repro.scenarios import (
+    SCHEMES,
+    SchemeEngine,
+    TransmitAdjustedProvider,
+    TransmitEvent,
+    TransmitScheme,
+    acquire_firings,
+)
+
+TINY = tiny_system()
+GRID = FocalGrid.from_config(TINY)
+SIMULATOR = EchoSimulator.from_config(TINY)
+EXACT = ARCHITECTURES.create("exact", TINY)
+
+_samples = st.lists(st.floats(min_value=1e-6, max_value=1e6,
+                              allow_nan=False), min_size=4, max_size=40)
+
+
+# ------------------------------------------------------- compounding
+@settings(max_examples=6, deadline=None)
+@given(scheme_name=st.sampled_from(["planewave", "diverging"]),
+       count=st.integers(min_value=2, max_value=3),
+       depth_index=st.integers(min_value=4, max_value=12))
+def test_compound_equals_sum_of_per_firing_volumes(scheme_name, count,
+                                                   depth_index):
+    """Sum of single-firing volumes == compounded volume, bit for bit."""
+    options = {"n_angles": count} if scheme_name == "planewave" \
+        else {"count": count}
+    scheme = SCHEMES.create(scheme_name, TINY, options=options)
+    phantom = point_target(depth=float(GRID.depths[depth_index]))
+    firings = acquire_firings(SIMULATOR, scheme, phantom)
+    beamformer = DelayAndSumBeamformer(TINY, EXACT)
+    compounded = SchemeEngine(beamformer, scheme,
+                              backend="vectorized").beamform_volume(firings)
+
+    total = None
+    for event, firing in zip(scheme.events, firings):
+        single = TransmitScheme(name=f"single[{event.label}]",
+                                events=(event,))
+        volume = SchemeEngine(beamformer, single, backend="vectorized") \
+            .beamform_volume([firing])
+        total = volume if total is None else total + volume
+    np.testing.assert_array_equal(compounded, total)
+
+
+# ------------------------------------------------------- delay split
+@settings(max_examples=10, deadline=None)
+@given(architecture=st.sampled_from(["exact", "tablefree", "tablesteer"]),
+       i_theta=st.integers(min_value=0, max_value=7),
+       i_phi=st.integers(min_value=0, max_value=7))
+def test_focused_split_is_bit_identical_to_base(architecture, i_theta,
+                                                i_phi):
+    """Swapping in the canonical focused transmit changes nothing."""
+    base = ARCHITECTURES.create(architecture, TINY)
+    wrapped = TransmitAdjustedProvider.from_provider(
+        base, TransmitEvent.focused(), TINY, grid=GRID)
+    np.testing.assert_array_equal(
+        wrapped.scanline_delays_samples(i_theta, i_phi),
+        base.scanline_delays_samples(i_theta, i_phi))
+    points = GRID.scanline_points(i_theta, i_phi)
+    np.testing.assert_array_equal(wrapped.delays_samples(points),
+                                  base.delays_samples(points))
+
+
+@settings(max_examples=10, deadline=None)
+@given(theta_fraction=st.floats(min_value=-0.8, max_value=0.8),
+       i_theta=st.integers(min_value=0, max_value=7),
+       i_phi=st.integers(min_value=0, max_value=7))
+def test_plane_wave_split_matches_tx_plus_rx(theta_fraction, i_theta, i_phi):
+    """Plane-wave delays over the exact architecture decompose exactly into
+    the plane-wave transmit leg plus the geometric receive leg."""
+    event = TransmitEvent.plane_wave(
+        theta_fraction * TINY.volume.theta_max)
+    wrapped = TransmitAdjustedProvider.from_provider(EXACT, event, TINY,
+                                                     grid=GRID)
+    points = GRID.scanline_points(i_theta, i_phi)
+    fs = TINY.acoustic.sampling_frequency
+    c = TINY.acoustic.speed_of_sound
+    expected = (event.transmit_delays_seconds(points, c)[:, None]
+                + receive_delay(points, EXACT.transducer.positions, c)) * fs
+    np.testing.assert_allclose(wrapped.delays_samples(points), expected,
+                               rtol=0, atol=1e-9)
+
+
+# -------------------------------------------------- metric invariances
+@settings(max_examples=40, deadline=None)
+@given(inside=_samples, outside=_samples,
+       exponent=st.integers(min_value=-8, max_value=8))
+def test_gcnr_invariant_under_power_of_two_scaling(inside, outside,
+                                                   exponent):
+    scale = 2.0 ** exponent
+    inside, outside = np.asarray(inside), np.asarray(outside)
+    assert generalized_cnr(inside * scale, outside * scale) == \
+        pytest.approx(generalized_cnr(inside, outside), abs=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(inside=_samples, outside=_samples, seed=st.integers(0, 2 ** 16))
+def test_gcnr_invariant_under_permutation(inside, outside, seed):
+    rng = np.random.default_rng(seed)
+    inside, outside = np.asarray(inside), np.asarray(outside)
+    assert generalized_cnr(rng.permutation(inside),
+                           rng.permutation(outside)) == \
+        generalized_cnr(inside, outside)
+
+
+@settings(max_examples=40, deadline=None)
+@given(inside=_samples, outside=_samples,
+       scale=st.floats(min_value=1e-3, max_value=1e3))
+def test_cnr_invariant_under_amplitude_scaling(inside, outside, scale):
+    inside, outside = np.asarray(inside), np.asarray(outside)
+    reference = contrast_to_noise_ratio(inside, outside)
+    scaled = contrast_to_noise_ratio(inside * scale, outside * scale)
+    if np.isfinite(reference):
+        assert scaled == pytest.approx(reference, rel=1e-9, abs=1e-12)
+    else:
+        assert scaled == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(profile=st.lists(
+    # 0 is a legitimate sample; nonzero amplitudes stay far from the
+    # subnormal range where halving the peak underflows to 0.
+    st.one_of(st.just(0.0), st.floats(min_value=1e-6, max_value=1e6)),
+    min_size=3, max_size=64),
+    exponent=st.integers(min_value=-8, max_value=8))
+def test_fwhm_invariant_under_power_of_two_scaling(profile, exponent):
+    profile = np.asarray(profile)
+    scale = 2.0 ** exponent
+    assert point_spread_metrics(profile * scale).fwhm_samples == \
+        point_spread_metrics(profile).fwhm_samples
+
+
+def test_gcnr_bounds_and_separation():
+    """Disjoint populations reach gCNR 1; identical ones reach 0."""
+    rng = np.random.default_rng(0)
+    low = rng.uniform(0.0, 1.0, 500)
+    high = rng.uniform(5.0, 6.0, 500)
+    assert generalized_cnr(low, high) == pytest.approx(1.0)
+    assert generalized_cnr(low, low) == pytest.approx(0.0, abs=1e-12)
+    assert 0.0 <= generalized_cnr(low, low + 0.5) <= 1.0
