@@ -20,6 +20,8 @@ from ..acoustics.phantom import Phantom
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
 from ..kernels import Precision
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import Tracer, get_default_tracer
 from ..pipeline.imaging import ImagingPipeline
 from ..runtime.cache import PlanCache
 from ..runtime.scheduler import FrameResult
@@ -68,7 +70,13 @@ class Session:
         self.simulator = EchoSimulator.from_config(self.system)
         self.scheme = resolve_scheme(self.system, spec.scheme,
                                      spec.scheme_options)
-        self.cache = PlanCache(capacity=spec.cache_capacity)
+        # spec.trace=True records a live span tree on this session;
+        # otherwise the session inherits the process default tracer (a
+        # no-op unless e.g. the CLI's --trace installed one).
+        self.tracer = Tracer() if spec.trace else get_default_tracer()
+        self.metrics = MetricsRegistry()
+        self.cache = PlanCache(capacity=spec.cache_capacity,
+                               metrics=self.metrics)
         # A multi-firing scheme needs one plan slot per firing, or every
         # compounded frame would recompile its whole event bank (per-call
         # scheme overrides reserve their own slots in
@@ -158,7 +166,8 @@ class Session:
             simulator=self.simulator,
             transducer=self.transducer,
             grid=self.grid,
-            provider=provider)
+            provider=provider,
+            tracer=self.tracer)
 
     def service(self, architecture: str | None = None,
                 backend: str | None = None,
@@ -194,13 +203,16 @@ class Session:
             if quantization is _INHERIT else quantization,
             scheme=scheme,
             cache=cache if cache is not None else self.cache,
-            simulator=self.simulator)
+            simulator=self.simulator,
+            tracer=self.tracer)
 
     # ------------------------------------------------------------- running
     def acquire(self, phantom: Phantom, noise_std: float = 0.0,
                 seed: int = 0) -> ChannelData:
         """Simulate one insonification with the shared simulator."""
-        return self.simulator.simulate(phantom, noise_std=noise_std, seed=seed)
+        with self.tracer.span("simulate"):
+            return self.simulator.simulate(phantom, noise_std=noise_std,
+                                           seed=seed)
 
     def acquire_firings(self, phantom: Phantom,
                         scheme: Any = None, scheme_options: Any = None,
@@ -286,28 +298,47 @@ class Session:
             channel_data = self.acquire(phantom, noise_std=noise_std,
                                         seed=seed)
         if backends is None:
-            return {name: self.pipeline(architecture=name)
-                    .image_plane(channel_data)
-                    for name in architectures}
+            with self.tracer.span("sweep", cells=len(architectures)):
+                images = {}
+                for name in architectures:
+                    with self.tracer.span("cell", architecture=name):
+                        images[name] = self.pipeline(architecture=name) \
+                            .image_plane(channel_data)
+                return images
         backends = tuple(backends)
         volumes: dict[tuple[str, str], np.ndarray] = {}
-        for name in architectures:
-            # One delay provider per architecture, shared across backends
-            # (rebuilding e.g. the TABLESTEER reference table per backend
-            # would triple the most expensive step for identical inputs).
-            provider = None
-            for backend in backends:
-                pipeline = self.pipeline(architecture=name, backend=backend,
-                                         provider=provider)
-                provider = pipeline.delay_provider
-                volumes[(name, backend)] = \
-                    pipeline.image_volume(channel_data).rf
+        with self.tracer.span("sweep",
+                              cells=len(architectures) * len(backends)):
+            for name in architectures:
+                # One delay provider per architecture, shared across
+                # backends (rebuilding e.g. the TABLESTEER reference table
+                # per backend would triple the most expensive step for
+                # identical inputs).
+                provider = None
+                for backend in backends:
+                    with self.tracer.span("cell", architecture=name,
+                                          backend=backend):
+                        pipeline = self.pipeline(architecture=name,
+                                                 backend=backend,
+                                                 provider=provider)
+                        provider = pipeline.delay_provider
+                        volumes[(name, backend)] = \
+                            pipeline.image_volume(channel_data).rf
         return volumes
 
     def _sweep_grid(self, sweep: SweepSpec) -> dict[tuple, dict]:
         """Run a :class:`SweepSpec` grid over the shared substrates."""
         architectures = sweep.architectures or (self.spec.architecture,)
         backend_list = sweep.backends or (self.spec.backend,)
+        with self.tracer.span("sweep",
+                              cells=len(sweep.scenarios) * len(sweep.schemes)
+                              * len(architectures) * len(backend_list)):
+            return self._run_sweep_grid(sweep, architectures, backend_list)
+
+    def _run_sweep_grid(self, sweep: SweepSpec,
+                        architectures: tuple[str, ...],
+                        backend_list: tuple[str, ...]) -> dict[tuple, dict]:
+        """The grid body of :meth:`_sweep_grid` (under its ``sweep`` span)."""
         results: dict[tuple, dict] = {}
         # The grid's whole plan working set is sum(firings) x architectures
         # (plans are phantom- and backend-independent); reserving it up
@@ -335,17 +366,21 @@ class Session:
                     noise_std=request.noise_std, seed=request.seed)
                 for architecture in architectures:
                     for backend in backend_list:
-                        pipeline = self.pipeline(
-                            architecture=architecture, backend=backend,
-                            scheme=scheme,
-                            provider=providers.get(architecture))
-                        providers[architecture] = pipeline.delay_provider
-                        volume = pipeline.compound_volume(firings).rf
-                        cell: dict[str, Any] = {"volume": volume}
-                        if sweep.score:
-                            cell["metrics"] = score_volume(
-                                self.system, volume, scenario=scenario,
-                                options=options)
+                        with self.tracer.span("cell", scenario=scenario,
+                                              scheme=scheme,
+                                              architecture=architecture,
+                                              backend=backend):
+                            pipeline = self.pipeline(
+                                architecture=architecture, backend=backend,
+                                scheme=scheme,
+                                provider=providers.get(architecture))
+                            providers[architecture] = pipeline.delay_provider
+                            volume = pipeline.compound_volume(firings).rf
+                            cell: dict[str, Any] = {"volume": volume}
+                            if sweep.score:
+                                cell["metrics"] = score_volume(
+                                    self.system, volume, scenario=scenario,
+                                    options=options)
                         key = (scenario, scheme, architecture)
                         if sweep.backends is not None:
                             key = (*key, backend)

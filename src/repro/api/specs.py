@@ -105,6 +105,16 @@ class EngineSpec:
     Sessions grow this to the scheme's firing count when needed, so
     multi-firing compounding never thrashes its own per-event plans."""
 
+    trace: bool = False
+    """Record a span trace of every session operation.
+
+    ``True`` makes the session construct a live
+    :class:`repro.observability.Tracer` (instead of inheriting the process
+    default, normally a no-op) and thread it through its services,
+    pipelines and sweeps; read the result back via ``Session.tracer`` or
+    the CLI's ``--trace`` / ``--trace-out`` flags.  Tracing is
+    observation-only — traced volumes are bit-identical to untraced."""
+
     def __post_init__(self) -> None:
         system = self.system
         if isinstance(system, dict):
@@ -163,6 +173,8 @@ class EngineSpec:
                 self.resolve_system().echo_buffer_samples)
         if not isinstance(self.cache_capacity, int) or self.cache_capacity < 1:
             raise ValueError("cache_capacity must be a positive integer")
+        if not isinstance(self.trace, bool):
+            raise ValueError("trace must be a boolean")
 
     # ------------------------------------------------------------ building
     def resolve_system(self) -> SystemConfig:
@@ -192,6 +204,7 @@ class EngineSpec:
             "scheme": self.scheme,
             "scheme_options": encode_options(self.scheme_options),
             "cache_capacity": self.cache_capacity,
+            "trace": self.trace,
         }
 
     @classmethod

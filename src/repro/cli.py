@@ -171,7 +171,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"{key}: {_EXPERIMENT_TITLES.get(key, '')}")
         print("=" * 72)
         start = time.perf_counter()
-        module.main(system=system)
+        if getattr(args, "trace", False):
+            # Experiments build their sessions/services internally, so the
+            # tracer is installed as the process default; every layer that
+            # takes tracer=None picks it up.
+            from .observability import Tracer, render_span_summary, use_tracer
+            tracer = Tracer()
+            with use_tracer(tracer):
+                module.main(system=system)
+            print(f"Span summary ({key}):")
+            print(render_span_summary(tracer))
+        else:
+            module.main(system=system)
         elapsed = time.perf_counter() - start
         print(f"[{key} finished in {elapsed:.1f} s]")
         print()
@@ -240,6 +251,12 @@ def _cmd_spec(args: argparse.Namespace) -> int:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .api import ScanSpec, Session
+    from .observability import (
+        render_runtime_stats,
+        render_span_tree,
+        write_metrics,
+        write_trace,
+    )
 
     if args.frames < 1:
         print("--frames must be at least 1", file=sys.stderr)
@@ -247,9 +264,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.batch < 1:
         print("--batch must be at least 1", file=sys.stderr)
         return 2
+    tracing = args.trace or args.trace_out is not None
     try:
         spec = _resolve_engine_spec(args, default_system="small",
                                     default_backend="vectorized")
+        if tracing:
+            spec = spec.with_updates(trace=True)
         session = Session(spec)
         scan = ScanSpec(scenario=args.scenario, frames=args.frames)
         service = session.service()
@@ -269,14 +289,21 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(f"  frame {result.frame_id:3d}: "
               f"acquire {result.acquire_seconds * 1e3:8.2f} ms, "
               f"beamform {result.beamform_seconds * 1e3:8.2f} ms")
-    stats = service.stats()
     print("Aggregate:")
-    print(f"  frames                   : {stats.frames}")
-    print(f"  volume rate              : {stats.frames_per_second:.2f} frames/s")
-    print(f"  voxel rate               : {stats.voxels_per_second:.3e} voxels/s")
-    print(f"  mean latency             : {stats.mean_latency_seconds * 1e3:.2f} ms")
-    print(f"  delay-table cache        : {stats.cache.hits} hits, "
-          f"{stats.cache.misses} misses, {stats.cache.evictions} evictions")
+    print(render_runtime_stats(service.stats()))
+    if args.trace:
+        print("Trace:")
+        print(render_span_tree(session.tracer))
+    try:
+        if args.trace_out is not None:
+            write_trace(args.trace_out, session.tracer)
+            print(f"wrote trace to {args.trace_out}")
+        if args.metrics_out is not None:
+            write_metrics(args.metrics_out, service.export_metrics())
+            print(f"wrote metrics to {args.metrics_out}")
+    except OSError as exc:
+        print(f"cannot write observability output: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -303,6 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
                "but not used by 'run'")
     run_parser.add_argument("experiment", help="experiment id (E1..E11) or 'all'")
     _add_spec_arguments(run_parser, default_system="per-experiment")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="install a process-wide tracer for the "
+                                 "experiment and print its span summary")
     run_parser.set_defaults(handler=_cmd_run, architecture=None, backend=None)
 
     table_parser = subparsers.add_parser("table2", help="print the Table II model")
@@ -361,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument("--batch", type=int, default=1,
                                help="frames per batched kernel execution "
                                     "(default 1 = per-frame)")
+    stream_parser.add_argument("--trace", action="store_true",
+                               help="record a span trace and print the "
+                                    "per-stage tree after streaming")
+    stream_parser.add_argument("--trace-out", metavar="FILE", default=None,
+                               help="write the span trace as JSON lines "
+                                    "(implies tracing)")
+    stream_parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                               help="write a Prometheus-style metrics "
+                                    "snapshot of the run")
     stream_parser.set_defaults(handler=_cmd_stream)
     return parser
 

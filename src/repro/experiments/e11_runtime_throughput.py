@@ -18,12 +18,17 @@ the batched multi-frame path — so three effects are visible side by side:
   dispatch across frames.
 
 Reported per (backend, dtype): sustained frames/s and voxels/s per-frame
-and batched, mean per-frame latency, speedup over the ``reference`` /
-``float64`` per-scanline path, and the cache hit/miss counters proving that
-repeated frames skip plan compilation.  ``write_bench_json`` serialises the
-whole table to ``BENCH_runtime.json`` so CI can track the throughput
-trajectory per PR (``python -m repro.experiments.e11_runtime_throughput
---json BENCH_runtime.json``).
+and batched, mean and p50/p95/p99 per-frame latency, speedup over the
+``reference`` / ``float64`` per-scanline path, and the cache hit/miss
+counters proving that repeated frames skip plan compilation.  Every figure
+is read off the :mod:`repro.observability` metrics instruments backing
+:meth:`repro.runtime.BeamformingService.stats`.  ``write_bench_json``
+serialises the whole table to ``BENCH_runtime.json``; the committed copy at
+the repo root (measured on the ``small`` preset) is the baseline
+:mod:`repro.observability.benchgate` gates fresh CI runs against
+(``python -m repro.experiments.e11_runtime_throughput --json
+BENCH_fresh.json --system small`` then ``python -m
+repro.observability.benchgate BENCH_runtime.json BENCH_fresh.json``).
 """
 
 from __future__ import annotations
@@ -97,6 +102,9 @@ def run(system: SystemConfig | None = None,
                 "frames_per_second": stats.frames_per_second,
                 "voxels_per_second": stats.voxels_per_second,
                 "mean_latency_seconds": stats.mean_latency_seconds,
+                "latency_p50_seconds": stats.p50_latency_seconds,
+                "latency_p95_seconds": stats.p95_latency_seconds,
+                "latency_p99_seconds": stats.p99_latency_seconds,
                 "cache_hits": stats.cache.hits,
                 "cache_misses": stats.cache.misses,
                 "batched_frames_per_second": batched_stats.frames_per_second,
@@ -178,14 +186,20 @@ def main(system: SystemConfig | None = None) -> None:
 if __name__ == "__main__":
     import argparse
 
+    from ..config import PRESETS, get_preset
+
     parser = argparse.ArgumentParser(
         description="E11 streaming runtime throughput")
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="write the result table to FILE "
                              "(e.g. BENCH_runtime.json)")
+    parser.add_argument("--system", choices=sorted(PRESETS), default=None,
+                        help="system preset to measure on [default: tiny]; "
+                             "the committed baseline uses 'small'")
     args = parser.parse_args()
+    chosen = get_preset(args.system) if args.system else None
     if args.json:
-        result = write_bench_json(args.json)
+        result = write_bench_json(args.json, system=chosen)
         print(f"wrote {args.json}")
         rows = result["backends"]
         for backend, by_precision in rows.items():
@@ -194,4 +208,4 @@ if __name__ == "__main__":
                       f"{row['frames_per_second']:8.2f} frames/s "
                       f"(batched {row['batched_frames_per_second']:8.2f})")
     else:
-        main()
+        main(system=chosen)

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Hashable, Sequence
 import numpy as np
 
 from ..beamformer.interpolation import InterpolationKind
+from ..observability.tracing import NULL_TRACER, resolve_tracer
 from .ops import GatherIndex, accumulate, apply_weights, build_gather_index, \
     gather_interp
 from .precision import Precision, resolve_precision
@@ -192,8 +193,8 @@ class BeamformingPlan:
         samples = getattr(channel_data, "samples", channel_data)
         return np.asarray(samples, dtype=self.dtype)
 
-    def _reduce(self, gathered: np.ndarray,
-                weights: np.ndarray) -> np.ndarray:
+    def _reduce(self, gathered: np.ndarray, weights: np.ndarray,
+                tracer=NULL_TRACER) -> np.ndarray:
         """Weight-and-accumulate stage shared by all three execute paths.
 
         The float plan multiplies by the apodization weights and sums over
@@ -201,31 +202,51 @@ class BeamformingPlan:
         overrides this hook with the fixed-point product/accumulator
         rounding stages.  Per focal point the reduction is independent, so
         any execution path may call it on row slices or stacked batches and
-        stay bit-identical to the whole-volume call.
+        stay bit-identical to the whole-volume call.  ``tracer`` times the
+        ``weights`` and ``accumulate`` stages; timing never touches the
+        arithmetic, so traced and untraced reductions are bit-identical.
         """
-        return accumulate(apply_weights(gathered, weights))
+        with tracer.span("weights"):
+            weighted = apply_weights(gathered, weights)
+        with tracer.span("accumulate"):
+            return accumulate(weighted)
 
-    def execute(self, channel_data: "ChannelData | np.ndarray") -> np.ndarray:
-        """Beamform one frame into a volume of shape ``grid_shape``."""
+    def execute(self, channel_data: "ChannelData | np.ndarray",
+                tracer=None) -> np.ndarray:
+        """Beamform one frame into a volume of shape ``grid_shape``.
+
+        ``tracer`` (default: the process default tracer, normally a no-op)
+        records ``gather`` / ``weights`` / ``accumulate`` spans with wall
+        time and gathered byte counts.
+        """
+        tracer = resolve_tracer(tracer)
         samples = self.coerce_samples(channel_data)
         index = self.gather_index(samples.shape[-1])
-        flat = self._reduce(gather_interp(samples, index), self.weights)
+        with tracer.span("gather") as span:
+            gathered = gather_interp(samples, index)
+            span.set(bytes=int(gathered.nbytes))
+        flat = self._reduce(gathered, self.weights, tracer)
         return flat.reshape(self.grid_shape)
 
     def execute_rows(self, channel_data: "ChannelData | np.ndarray",
-                     rows: slice) -> np.ndarray:
+                     rows: slice, tracer=None) -> np.ndarray:
         """Beamform one contiguous point block; returns the flat rows.
 
         The unit of work of the sharded backend: index and weights are
         row-sliced views, so concurrent workers share the compiled tensors.
+        Spans opened here land on the calling thread's stack — under the
+        sharded backend's pool each worker contributes its own roots.
         """
+        tracer = resolve_tracer(tracer)
         samples = self.coerce_samples(channel_data)
         index = self.gather_index(samples.shape[-1]).rows(rows)
-        return self._reduce(gather_interp(samples, index),
-                            self.weights[rows])
+        with tracer.span("gather") as span:
+            gathered = gather_interp(samples, index)
+            span.set(bytes=int(gathered.nbytes))
+        return self._reduce(gathered, self.weights[rows], tracer)
 
-    def execute_batch(self, frames: "Sequence[ChannelData | np.ndarray]"
-                      ) -> np.ndarray:
+    def execute_batch(self, frames: "Sequence[ChannelData | np.ndarray]",
+                      tracer=None) -> np.ndarray:
         """Beamform a cine batch at once; shape ``(n_frames, *grid_shape)``.
 
         All frames are stacked into one ``(n_frames, n_elements, n_samples)``
@@ -240,20 +261,25 @@ class BeamformingPlan:
         gather.  Frames must share one buffer length (always true for one
         acquisition system).
         """
+        tracer = resolve_tracer(tracer)
         if len(frames) == 0:
             return np.empty((0, *self.grid_shape), dtype=self.dtype)
         stacked = np.stack([self.coerce_samples(frame) for frame in frames])
         index = self.gather_index(stacked.shape[-1])
         block = max(1, BATCH_BLOCK_ELEMENTS // (len(frames) * self.n_elements))
         if block >= self.n_points:
-            flat = self._reduce(gather_interp(stacked, index), self.weights)
+            with tracer.span("gather") as span:
+                gathered = gather_interp(stacked, index)
+                span.set(bytes=int(gathered.nbytes))
+            flat = self._reduce(gathered, self.weights, tracer)
             return flat.reshape((len(frames), *self.grid_shape))
         out = np.empty((len(frames), self.n_points), dtype=self.dtype)
         for lo in range(0, self.n_points, block):
             rows = slice(lo, min(lo + block, self.n_points))
-            out[:, rows] = self._reduce(
-                gather_interp(stacked, index.rows(rows)),
-                self.weights[rows])
+            with tracer.span("gather") as span:
+                gathered = gather_interp(stacked, index.rows(rows))
+                span.set(bytes=int(gathered.nbytes))
+            out[:, rows] = self._reduce(gathered, self.weights[rows], tracer)
         return out.reshape((len(frames), *self.grid_shape))
 
 

@@ -48,6 +48,7 @@ import numpy as np
 
 from ..fixedpoint.format import QFormat, signed, tablesteer_formats, unsigned
 from ..fixedpoint.quantize import OverflowMode, RoundingMode, quantize
+from ..observability.tracing import NULL_TRACER
 from .ops import accumulate, apply_weights, build_gather_index, gather_interp
 from .plan import BeamformingPlan, plan_key
 from .precision import Precision, Tolerance, resolve_precision
@@ -291,8 +292,8 @@ class QuantizedPlan(BeamformingPlan):
         return self.spec.quantize_samples(
             np.asarray(samples, dtype=np.float64))
 
-    def _reduce(self, gathered: np.ndarray,
-                weights: np.ndarray) -> np.ndarray:
+    def _reduce(self, gathered: np.ndarray, weights: np.ndarray,
+                tracer=NULL_TRACER) -> np.ndarray:
         """The fixed-point weight-and-accumulate stage (Eq. 1 in Q-format).
 
         The product of a quantised sample and a quantised weight is exact in
@@ -300,11 +301,17 @@ class QuantizedPlan(BeamformingPlan):
         hardware rounding stage per element) and summed.  The sum of
         ``n_elements`` accumulator-format values is again exact in float64,
         so the only inexact steps are the explicit quantisations — which is
-        precisely the hardware's arithmetic.
+        precisely the hardware's arithmetic.  The ``weights`` span covers
+        the product/rounding stage, ``accumulate`` the sum plus its final
+        saturation — same taxonomy as the float plan, so traces compare
+        across datapaths.
         """
         spec = self.spec
-        products = spec.quantize_accumulator(apply_weights(gathered, weights))
-        return spec.quantize_accumulator(accumulate(products))
+        with tracer.span("weights"):
+            products = spec.quantize_accumulator(
+                apply_weights(gathered, weights))
+        with tracer.span("accumulate"):
+            return spec.quantize_accumulator(accumulate(products))
 
 
 def compile_quantized_plan(beamformer: "DelayAndSumBeamformer",

@@ -1,0 +1,143 @@
+"""Perf-regression gate over committed ``BENCH_runtime.json`` baselines.
+
+ROADMAP item 5's missing half: E11 writes a throughput table per run, but
+until a baseline is *committed* the perf trajectory resets every CI run.
+This module compares a fresh E11 result against the repo's committed
+``BENCH_runtime.json`` and flags any ``vectorized`` row whose voxels/s
+dropped by more than the threshold (default 20%, per-frame and batched).
+
+Wall-clock throughput is a property of the machine as much as of the
+code, so the gate is two-mode, mirroring
+``benchmarks/test_bench_runtime.py``:
+
+* ``REPRO_BENCH_STRICT`` set (any value but ``0``/empty) — regressions
+  **fail** (exit code 1): for dedicated perf runners and local checks.
+* unset — regressions **warn** (exit code 0) but still print the full
+  ratio table, so an oversubscribed CI runner never blocks a merge while
+  the trajectory stays visible in the log.
+
+Usage::
+
+    python -m repro.experiments.e11_runtime_throughput \
+        --json BENCH_fresh.json --system small
+    python -m repro.observability.benchgate BENCH_runtime.json BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["DEFAULT_THRESHOLD", "GATED_BACKENDS", "GATED_METRICS",
+           "compare_benchmarks", "main"]
+
+DEFAULT_THRESHOLD = 0.20
+"""Maximum tolerated fractional drop in a gated throughput figure."""
+
+GATED_BACKENDS = ("vectorized",)
+"""Backends whose throughput is gated (the compiled-plan hot path)."""
+
+GATED_METRICS = ("voxels_per_second", "batched_voxels_per_second")
+"""Per-row figures compared between baseline and fresh run."""
+
+
+def compare_benchmarks(baseline: dict, fresh: dict,
+                       threshold: float = DEFAULT_THRESHOLD
+                       ) -> tuple[list[str], list[str]]:
+    """Compare two E11 result tables; returns ``(report, regressions)``.
+
+    ``report`` holds one human line per compared figure (ratio included);
+    ``regressions`` holds the subset whose fresh value fell below
+    ``(1 - threshold) x baseline``.  Rows present in only one table are
+    reported but never gated (a new backend must not fail the gate the PR
+    that introduces it).  A baseline/fresh *system* mismatch raises — the
+    figures would not be comparable at all.
+    """
+    if not 0 < threshold < 1:
+        raise ValueError("threshold must be a fraction in (0, 1)")
+    if baseline.get("system") != fresh.get("system"):
+        raise ValueError(
+            f"benchmark system mismatch: baseline ran on "
+            f"{baseline.get('system')!r}, fresh run on "
+            f"{fresh.get('system')!r}; regenerate one side")
+    report: list[str] = []
+    regressions: list[str] = []
+    baseline_rows = baseline.get("backends", {})
+    fresh_rows = fresh.get("backends", {})
+    for backend in GATED_BACKENDS:
+        base_by_precision = baseline_rows.get(backend, {})
+        fresh_by_precision = fresh_rows.get(backend, {})
+        for precision in base_by_precision:
+            if precision not in fresh_by_precision:
+                report.append(f"  {backend}/{precision}: missing from the "
+                              "fresh run (not gated)")
+                continue
+            for metric in GATED_METRICS:
+                base = base_by_precision[precision].get(metric)
+                new = fresh_by_precision[precision].get(metric)
+                if not base or new is None:
+                    continue
+                ratio = new / base
+                line = (f"  {backend}/{precision} {metric}: "
+                        f"{new:.3e} vs baseline {base:.3e} "
+                        f"({ratio:.2f}x)")
+                report.append(line)
+                if new < (1.0 - threshold) * base:
+                    regressions.append(
+                        f"{backend}/{precision} {metric} dropped "
+                        f"{100 * (1 - ratio):.0f}% "
+                        f"(> {100 * threshold:.0f}% threshold)")
+    return report, regressions
+
+
+def _load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read benchmark file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"benchmark file {path!r} is not valid JSON: {exc}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; see the module docstring for the CI wiring."""
+    parser = argparse.ArgumentParser(
+        description="compare a fresh E11 run against the committed "
+                    "BENCH_runtime.json baseline")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="maximum tolerated fractional drop "
+                             "(default 0.20)")
+    args = parser.parse_args(argv)
+    strict = os.environ.get("REPRO_BENCH_STRICT", "") not in ("", "0")
+    baseline, fresh = _load(args.baseline), _load(args.fresh)
+    try:
+        report, regressions = compare_benchmarks(baseline, fresh,
+                                                 threshold=args.threshold)
+    except ValueError as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 2
+    mode = "strict (REPRO_BENCH_STRICT)" if strict else "warn-only"
+    print(f"Bench regression gate [{mode}] — "
+          f"system {fresh.get('system')!r}, "
+          f"threshold {100 * args.threshold:.0f}%:")
+    for line in report:
+        print(line)
+    if not report:
+        print("  (no comparable rows)")
+    if regressions:
+        for regression in regressions:
+            print(f"{'FAIL' if strict else 'WARN'}: {regression}",
+                  file=sys.stderr if strict else sys.stdout)
+        return 1 if strict else 0
+    print("  no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from ..core.tablefree import TableFreeConfig
 from ..geometry.transducer import MatrixTransducer
 from ..geometry.volume import FocalGrid
 from ..kernels import Precision, resolve_precision
+from ..observability.tracing import resolve_tracer
 
 
 class DelayArchitecture(str, Enum):
@@ -126,12 +127,17 @@ class ImagingPipeline:
     provider: DelayProvider | None = None
     """Pre-built delay provider; skips registry construction when given
     (e.g. to share one provider across several per-backend pipelines)."""
+    tracer: object | None = None
+    """Optional :class:`repro.observability.Tracer`; spans cover acoustic
+    ``simulate``, the runtime backend's ``compile``/``execute`` stages and
+    scheme ``compound``.  ``None`` resolves to the process default."""
 
     def __post_init__(self) -> None:
         from ..kernels import QuantizationSpec
         from ..scenarios.transmit import resolve_scheme
         self.architecture = architecture_name(self.architecture)
         self.precision = resolve_precision(self.precision)
+        self.tracer = resolve_tracer(self.tracer)
         self.quantization = QuantizationSpec.coerce(self.quantization)
         self.scheme = resolve_scheme(self.system, self.scheme,
                                      self.scheme_options)
@@ -159,6 +165,7 @@ class ImagingPipeline:
             self._runtime_backend = BACKENDS.create(
                 self.backend, self._beamformer, self.cache, self.precision,
                 options=self.backend_options)
+            self._runtime_backend.tracer = self.tracer
 
     @property
     def delay_provider(self) -> DelayProvider:
@@ -174,7 +181,9 @@ class ImagingPipeline:
     def acquire(self, phantom: Phantom, noise_std: float = 0.0,
                 seed: int = 0) -> ChannelData:
         """Simulate one insonification of ``phantom``."""
-        return self._simulator.simulate(phantom, noise_std=noise_std, seed=seed)
+        with self.tracer.span("simulate"):
+            return self._simulator.simulate(phantom, noise_std=noise_std,
+                                            seed=seed)
 
     # ---------------------------------------------------------- reconstruct
     def image_plane(self, channel_data: ChannelData,
@@ -224,7 +233,7 @@ class ImagingPipeline:
             self._scheme_engine = SchemeEngine(
                 self._beamformer, self.scheme, backend=self.backend,
                 backend_options=self.backend_options, cache=self.cache,
-                precision=self.precision)
+                precision=self.precision, tracer=self.tracer)
         return self._scheme_engine
 
     def acquire_firings(self, phantom: Phantom, noise_std: float = 0.0,

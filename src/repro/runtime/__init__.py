@@ -15,6 +15,11 @@ II-C/V-B asks of the hardware.
 * :mod:`repro.runtime.service` — the :class:`BeamformingService` facade
   with per-frame latency, aggregate throughput metrics and batched
   multi-frame submission.
+
+Observability: every layer here accepts a
+:class:`repro.observability.Tracer` (``compile``/``execute``/``gather``/…
+spans) and keeps its counters as :class:`repro.observability.MetricsRegistry`
+instruments — see :mod:`repro.observability` and ``docs/observability.md``.
 """
 
 from ..kernels import (

@@ -53,6 +53,7 @@ from ..kernels import (
     resolve_precision,
 )
 from ..kernels.plan import BATCH_BLOCK_ELEMENTS
+from ..observability.tracing import resolve_tracer
 from ..registry import Registry, RegistryError
 from .cache import PlanCache
 
@@ -91,10 +92,14 @@ class ExecutionBackend:
 
     def __init__(self, beamformer: DelayAndSumBeamformer,
                  cache: PlanCache | None = None,
-                 precision: Precision | str | None = None) -> None:
+                 precision: Precision | str | None = None,
+                 tracer=None) -> None:
         self.beamformer = beamformer
         self.cache = cache
         self.precision = resolve_precision(precision)
+        # Mutable on purpose: the service/pipeline layers build backends
+        # through the BACKENDS registry and attach their tracer afterwards.
+        self.tracer = resolve_tracer(tracer)
         quantization = getattr(beamformer, "quantization", None)
         if quantization is not None:
             # Every backend (including the plan-less reference loop, whose
@@ -105,19 +110,27 @@ class ExecutionBackend:
         self._key = plan_key(beamformer, self.precision)
         self._plan: BeamformingPlan | None = None
 
+    def _compile(self) -> BeamformingPlan:
+        """Compile this backend's plan under a ``compile`` span."""
+        with self.tracer.span("compile") as span:
+            plan = compile_plan(self.beamformer, self.precision)
+            span.set(bytes=int(plan.nbytes), points=plan.n_points,
+                     elements=plan.n_elements)
+        return plan
+
     def plan(self) -> BeamformingPlan:
         """The (possibly cached) compiled plan for this backend's engine.
 
         With a cache attached, every frame goes through the cache — the
         hit/miss counters then directly record that repeated frames from the
-        same engine configuration skip plan compilation.
+        same engine configuration skip plan compilation.  The ``compile``
+        span is opened only when a plan is actually built, so a trace shows
+        the compile cost exactly once per cache miss.
         """
         if self.cache is not None:
-            return self.cache.get_or_build(
-                self._key, lambda: compile_plan(self.beamformer,
-                                                self.precision))
+            return self.cache.get_or_build(self._key, self._compile)
         if self._plan is None:
-            self._plan = compile_plan(self.beamformer, self.precision)
+            self._plan = self._compile()
         return self._plan
 
     def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
@@ -164,20 +177,21 @@ class ReferenceBackend(ExecutionBackend):
         else:
             samples = np.asarray(channel_data.samples,
                                  dtype=self.precision.dtype)
-        for i_theta in range(n_theta):
-            for i_phi in range(n_phi):
-                delays = beamformer.delays.scanline_delays_samples(
-                    i_theta, i_phi)
-                weights = beamformer.weights_for_scanline(i_theta, i_phi)
-                if quantization is not None:
-                    rf[i_theta, i_phi] = quantized_delay_and_sum(
-                        samples, delays, weights, quantization,
-                        kind=beamformer.interpolation)
-                else:
-                    rf[i_theta, i_phi] = delay_and_sum(
-                        samples, delays, weights,
-                        kind=beamformer.interpolation,
-                        dtype=self.precision.dtype)
+        with self.tracer.span("execute", scanlines=n_theta * n_phi):
+            for i_theta in range(n_theta):
+                for i_phi in range(n_phi):
+                    delays = beamformer.delays.scanline_delays_samples(
+                        i_theta, i_phi)
+                    weights = beamformer.weights_for_scanline(i_theta, i_phi)
+                    if quantization is not None:
+                        rf[i_theta, i_phi] = quantized_delay_and_sum(
+                            samples, delays, weights, quantization,
+                            kind=beamformer.interpolation)
+                    else:
+                        rf[i_theta, i_phi] = delay_and_sum(
+                            samples, delays, weights,
+                            kind=beamformer.interpolation,
+                            dtype=self.precision.dtype)
         return rf
 
 
@@ -187,10 +201,14 @@ class VectorizedBackend(ExecutionBackend):
     name = "vectorized"
 
     def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
-        return self.plan().execute(channel_data)
+        plan = self.plan()
+        with self.tracer.span("execute"):
+            return plan.execute(channel_data, tracer=self.tracer)
 
     def beamform_batch(self, frames: Sequence[ChannelData]) -> np.ndarray:
-        return self.plan().execute_batch(frames)
+        plan = self.plan()
+        with self.tracer.span("execute", frames=len(frames)):
+            return plan.execute_batch(frames, tracer=self.tracer)
 
 
 class ShardedBackend(ExecutionBackend):
@@ -235,8 +253,13 @@ class ShardedBackend(ExecutionBackend):
 
     def _execute_rows(self, plan: BeamformingPlan, channel_data,
                       rows: slice) -> np.ndarray:
-        """One worker's unit of work (separate method so tests can fault it)."""
-        return plan.execute_rows(channel_data, rows)
+        """One worker's unit of work (separate method so tests can fault it).
+
+        Workers run on pool threads, so their gather/weights/accumulate
+        spans land on per-thread stacks and surface as additional tracer
+        roots rather than children of the backend's ``execute`` span.
+        """
+        return plan.execute_rows(channel_data, rows, tracer=self.tracer)
 
     def _run_sharded(self, plan: BeamformingPlan, samples: np.ndarray,
                      out: np.ndarray, n_frames: int = 1) -> None:
@@ -244,10 +267,13 @@ class ShardedBackend(ExecutionBackend):
         def work(rows: slice) -> None:
             out[..., rows] = self._execute_rows(plan, samples, rows)
 
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            # list() drains the iterator so worker exceptions re-raise here
-            # instead of being swallowed with the discarded futures.
-            list(pool.map(work, self._blocks(plan.n_points, n_frames)))
+        blocks = self._blocks(plan.n_points, n_frames)
+        with self.tracer.span("execute", shards=len(blocks),
+                              workers=self.max_workers):
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                # list() drains the iterator so worker exceptions re-raise
+                # here instead of being swallowed with the discarded futures.
+                list(pool.map(work, blocks))
 
     def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
         plan = self.plan()

@@ -10,8 +10,12 @@ plan is identical for every frame; :class:`PlanCache` stores it under
 apodization + interpolation + dtype) so that only the first frame of a
 sequence pays the compile cost, and engines differing in any of those
 components can never be served each other's plan.  The cache is a plain LRU
-with hit/miss/eviction counters, which the runtime's stats (and the
-regression tests) assert on to prove that repeated frames skip compilation.
+whose hit/miss/eviction counters are
+:class:`repro.observability.Counter` instruments of a
+:class:`repro.observability.MetricsRegistry` — the runtime's stats (and the
+regression tests) assert on them to prove that repeated frames skip
+compilation, and the same instruments export as a Prometheus-style snapshot
+without a second bookkeeping path.
 
 ``DelayTableCache`` is the class's historical name, kept as an alias.
 """
@@ -21,6 +25,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, TypeVar
+
+from ..observability.metrics import MetricsRegistry
 
 T = TypeVar("T")
 
@@ -52,30 +58,41 @@ class PlanCache:
         evicted when a new key is inserted into a full cache.  Each entry for
         a paper-scale system can be hundreds of megabytes, so the default is
         deliberately small.
+    metrics:
+        Optional :class:`repro.observability.MetricsRegistry` the cache
+        registers its ``plan_cache_*`` counters in — pass the owning
+        service's/session's registry to co-locate the cache series with the
+        rest of its metrics.  Without one the cache keeps a private
+        registry, so :attr:`stats` always works.
     """
 
-    def __init__(self, capacity: int = 4) -> None:
+    def __init__(self, capacity: int = 4,
+                 metrics: MetricsRegistry | None = None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter(
+            "plan_cache_hits_total", "plan-cache lookups served from cache")
+        self._misses = self.metrics.counter(
+            "plan_cache_misses_total", "plan-cache lookups that compiled")
+        self._evictions = self.metrics.counter(
+            "plan_cache_evictions_total", "plans evicted by the LRU bound")
 
     # ------------------------------------------------------------- lookups
     def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
         """Return the cached value for ``key``, building (and storing) it on miss."""
         if key in self._entries:
-            self._hits += 1
+            self._hits.inc()
             self._entries.move_to_end(key)
             return self._entries[key]  # type: ignore[return-value]
-        self._misses += 1
+        self._misses.inc()
         value = builder()
         self._entries[key] = value
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self._evictions += 1
+            self._evictions.inc()
         return value
 
     def reserve(self, capacity: int) -> None:
@@ -102,8 +119,10 @@ class PlanCache:
     @property
     def stats(self) -> CacheStats:
         """Snapshot of the usage counters."""
-        return CacheStats(hits=self._hits, misses=self._misses,
-                          evictions=self._evictions, size=len(self._entries),
+        return CacheStats(hits=int(self._hits.value),
+                          misses=int(self._misses.value),
+                          evictions=int(self._evictions.value),
+                          size=len(self._entries),
                           capacity=self.capacity)
 
 

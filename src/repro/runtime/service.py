@@ -43,6 +43,8 @@ from ..beamformer.interpolation import InterpolationKind
 from ..config import SystemConfig
 from ..core.tablefree import TableFreeConfig
 from ..kernels import Precision, QuantizationSpec, resolve_precision
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracing import resolve_tracer
 from .backends import BACKENDS, ExecutionBackend
 from .cache import CacheStats, PlanCache
 from .scheduler import FrameRequest, FrameResult, FrameScheduler
@@ -68,6 +70,16 @@ class RuntimeStats:
     scheme: str | None = None
     """Transmit-scheme summary (``name (n firings)``) when the service
     compounds a non-trivial scheme; ``None`` for the focused baseline."""
+
+    p50_latency_seconds: float = 0.0
+    """Median per-frame latency (0.0 before any frame was processed)."""
+
+    p95_latency_seconds: float = 0.0
+    """95th-percentile per-frame latency (0.0 before any frame)."""
+
+    p99_latency_seconds: float = 0.0
+    """99th-percentile per-frame latency — the tail figure a real-time
+    volume-rate budget is actually constrained by (0.0 before any frame)."""
 
     @property
     def total_seconds(self) -> float:
@@ -133,6 +145,17 @@ class BeamformingService:
     backend_options:
         Extra keyword arguments for the backend constructor (``shards``,
         ``max_workers`` for ``sharded``).
+    tracer:
+        Optional :class:`repro.observability.Tracer`; opens ``frame`` /
+        ``simulate`` / ``beamform`` spans (nesting the backend's
+        ``compile``/``execute``/``gather``/… spans) around every frame.
+        ``None`` resolves to the process default — normally the free
+        :data:`repro.observability.NULL_TRACER`.
+    metrics:
+        Optional :class:`repro.observability.MetricsRegistry` the service
+        registers its instruments in (frame/voxel counters, the latency
+        histogram).  ``None`` creates a private registry; see
+        :meth:`export_metrics` for the exported view.
     """
 
     def __init__(self, system: SystemConfig,
@@ -149,7 +172,9 @@ class BeamformingService:
                  precision: Precision | str | None = None,
                  quantization: "QuantizationSpec | str | int | None" = None,
                  scheme: object | str | None = None,
-                 scheme_options: object | None = None
+                 scheme_options: object | None = None,
+                 tracer=None,
+                 metrics: MetricsRegistry | None = None
                  ) -> None:
         # Imported lazily: repro.scenarios builds on this package.
         from ..scenarios import SchemeEngine, resolve_scheme
@@ -159,7 +184,13 @@ class BeamformingService:
         self.precision = resolve_precision(precision)
         self.quantization = QuantizationSpec.coerce(quantization)
         self.scheme = resolve_scheme(system, scheme, scheme_options)
-        self.cache = cache if cache is not None else PlanCache()
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # A private cache registers its counters alongside the service's
+        # instruments; a shared cache keeps its own registry (its counters
+        # span several services) and is merged in export_metrics().
+        self.cache = cache if cache is not None \
+            else PlanCache(metrics=self.metrics)
         if architecture_options is None:
             architecture_options = legacy_architecture_options(
                 self.architecture, tablefree_config=tablefree_config,
@@ -173,22 +204,31 @@ class BeamformingService:
         self._backend: ExecutionBackend = BACKENDS.create(
             backend, self.beamformer, self.cache, self.precision,
             options=backend_options)
+        self._backend.tracer = self.tracer
         # The trivial focused scheme keeps the historical single-backend
         # path; anything else compounds per-firing engines.
         self._scheme_engine = None if self.scheme.is_trivial() else \
             SchemeEngine(self.beamformer, self.scheme, backend=backend,
                          backend_options=backend_options, cache=self.cache,
-                         precision=self.precision)
+                         precision=self.precision, tracer=self.tracer)
         self._simulator = simulator or EchoSimulator.from_config(system)
         # Monotonic id source for auto-assigned frames; unlike the stats
         # counters it survives reset_stats(), so ids never repeat within
         # one service lifetime.
         self._next_frame_id = 0
-        self._frames = 0
-        self._voxels = 0
-        self._acquire_seconds = 0.0
-        self._beamform_seconds = 0.0
-        self._latencies: list[float] = []
+        self._frames = self.metrics.counter(
+            "service_frames_total", "frames beamformed by this service")
+        self._voxels = self.metrics.counter(
+            "service_voxels_total", "voxels reconstructed by this service")
+        self._acquire_seconds = self.metrics.counter(
+            "service_acquire_seconds_total",
+            "wall seconds spent simulating acquisitions")
+        self._beamform_seconds = self.metrics.counter(
+            "service_beamform_seconds_total",
+            "wall seconds spent beamforming frames")
+        self._latency = self.metrics.histogram(
+            "service_latency_seconds",
+            "per-frame latency (acquire + beamform) in seconds")
 
     # ------------------------------------------------------------ identity
     @property
@@ -257,14 +297,15 @@ class BeamformingService:
                     f"frame, got {len(payload)} pre-recorded firings")
             return payload, 0.0
         start = time.perf_counter()
-        if self._scheme_engine is not None:
-            payload = tuple(self._scheme_engine.acquire(
-                self._simulator, request.phantom,
-                noise_std=request.noise_std, seed=request.seed))
-        else:
-            payload = self._simulator.simulate(
-                request.phantom, noise_std=request.noise_std,
-                seed=request.seed)
+        with self.tracer.span("simulate"):
+            if self._scheme_engine is not None:
+                payload = tuple(self._scheme_engine.acquire(
+                    self._simulator, request.phantom,
+                    noise_std=request.noise_std, seed=request.seed))
+            else:
+                payload = self._simulator.simulate(
+                    request.phantom, noise_std=request.noise_std,
+                    seed=request.seed)
         return payload, time.perf_counter() - start
 
     def _beamform_volume(self, payload: object) -> np.ndarray:
@@ -280,12 +321,12 @@ class BeamformingService:
         return self._backend.beamform_batch(payloads)
 
     def _record(self, result: FrameResult) -> FrameResult:
-        """Fold one frame's figures into the aggregate counters."""
-        self._frames += 1
-        self._voxels += result.voxel_count
-        self._acquire_seconds += result.acquire_seconds
-        self._beamform_seconds += result.beamform_seconds
-        self._latencies.append(result.latency_seconds)
+        """Fold one frame's figures into the aggregate instruments."""
+        self._frames.inc()
+        self._voxels.inc(result.voxel_count)
+        self._acquire_seconds.inc(result.acquire_seconds)
+        self._beamform_seconds.inc(result.beamform_seconds)
+        self._latency.observe(result.latency_seconds)
         return result
 
     def submit_frame(self, frame: FrameRequest | ChannelData | Phantom,
@@ -297,11 +338,13 @@ class BeamformingService:
         ``noise_std``/``seed``).
         """
         request = self._coerce_request(frame, noise_std, seed)
-        payload, acquire_seconds = self._acquire(request)
+        with self.tracer.span("frame", frame_id=request.frame_id):
+            payload, acquire_seconds = self._acquire(request)
 
-        start = time.perf_counter()
-        rf = self._beamform_volume(payload)
-        beamform_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            with self.tracer.span("beamform"):
+                rf = self._beamform_volume(payload)
+            beamform_seconds = time.perf_counter() - start
 
         return self._record(FrameResult(
             frame_id=request.frame_id, rf=rf, backend=self._backend.name,
@@ -325,12 +368,14 @@ class BeamformingService:
                     for frame in frames]
         if not requests:
             return []
-        acquired = [self._acquire(request) for request in requests]
+        with self.tracer.span("batch", frames=len(requests)):
+            acquired = [self._acquire(request) for request in requests]
 
-        start = time.perf_counter()
-        volumes = self._beamform_batch(
-            [payload for payload, _ in acquired])
-        per_frame_seconds = (time.perf_counter() - start) / len(requests)
+            start = time.perf_counter()
+            with self.tracer.span("beamform"):
+                volumes = self._beamform_batch(
+                    [payload for payload, _ in acquired])
+            per_frame_seconds = (time.perf_counter() - start) / len(requests)
 
         # copy() decouples each frame's lifetime from the whole batch
         # buffer — a retained single FrameResult must not pin n_frames
@@ -373,33 +418,66 @@ class BeamformingService:
 
     # -------------------------------------------------------------- stats
     def stats(self) -> RuntimeStats:
-        """Aggregate metrics over every frame processed so far."""
-        latencies = np.asarray(self._latencies) if self._latencies else np.zeros(1)
+        """Aggregate metrics over every frame processed so far.
+
+        Every figure comes straight off the metrics instruments; the
+        latency histogram reports 0.0 for mean/max/percentiles on a fresh
+        or freshly reset service (no observations yet), so ``stats()`` is
+        always safe to call.
+        """
+        latency = self._latency
         return RuntimeStats(
             backend=self._backend.name,
             precision=self.precision.value,
-            frames=self._frames,
-            voxels=self._voxels,
-            acquire_seconds=self._acquire_seconds,
-            beamform_seconds=self._beamform_seconds,
-            mean_latency_seconds=float(np.mean(latencies)),
-            max_latency_seconds=float(np.max(latencies)),
+            frames=int(self._frames.value),
+            voxels=int(self._voxels.value),
+            acquire_seconds=self._acquire_seconds.value,
+            beamform_seconds=self._beamform_seconds.value,
+            mean_latency_seconds=latency.mean,
+            max_latency_seconds=latency.max,
             cache=self.cache.stats,
             quantization=self.quantization.describe()
             if self.quantization is not None else None,
             scheme=self.scheme.describe()
             if self._scheme_engine is not None else None,
+            p50_latency_seconds=latency.percentile(50),
+            p95_latency_seconds=latency.percentile(95),
+            p99_latency_seconds=latency.percentile(99),
         )
 
-    def reset_stats(self) -> None:
-        """Zero the stats counters (the delay-table cache is kept).
+    def export_metrics(self) -> MetricsRegistry:
+        """The service's complete exportable metric state.
 
-        Auto-assigned frame ids are *not* reset: they come from a separate
+        A fresh registry adopting (by reference) the service's own
+        instruments, the plan cache's counters (already co-located when the
+        cache is private, merged in when it is shared), and derived
+        ``service_frames_per_second`` / ``service_voxels_per_second``
+        gauges — the payload behind the CLI's ``--metrics-out``.
+        """
+        exported = MetricsRegistry()
+        exported.merge(self.metrics)
+        exported.merge(self.cache.metrics)
+        stats = self.stats()
+        exported.gauge(
+            "service_frames_per_second",
+            "sustained volume rate over beamforming time"
+        ).set(stats.frames_per_second)
+        exported.gauge(
+            "service_voxels_per_second",
+            "sustained reconstruction rate over beamforming time"
+        ).set(stats.voxels_per_second)
+        return exported
+
+    def reset_stats(self) -> None:
+        """Zero the stats instruments (the plan cache is kept).
+
+        Only the service's own instruments are reset — a plan cache's
+        counters describe the cache (which survives the reset), and on a
+        shared cache they belong to other services too.  Auto-assigned
+        frame ids are *not* reset either: they come from a separate
         monotonic counter, so frames submitted after a reset never reuse
         ids of frames submitted before it.
         """
-        self._frames = 0
-        self._voxels = 0
-        self._acquire_seconds = 0.0
-        self._beamform_seconds = 0.0
-        self._latencies = []
+        for instrument in (self._frames, self._voxels, self._acquire_seconds,
+                           self._beamform_seconds, self._latency):
+            instrument.reset()

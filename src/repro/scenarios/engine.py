@@ -27,6 +27,7 @@ import numpy as np
 from ..acoustics.echo import ChannelData, EchoSimulator
 from ..acoustics.phantom import Phantom
 from ..beamformer.das import DelayAndSumBeamformer
+from ..observability.tracing import resolve_tracer
 from ..runtime.backends import BACKENDS
 from .delays import TransmitAdjustedProvider
 from .transmit import TransmitScheme
@@ -68,15 +69,21 @@ class SchemeEngine:
         Optional shared :class:`repro.runtime.cache.PlanCache`; per-firing
         plans have distinct keys (the firing is part of the provider
         design), so a shared cache never mixes firings.
+    tracer:
+        Optional :class:`repro.observability.Tracer`, shared with every
+        per-firing backend; compounding opens a ``compound`` span whose
+        children are the per-firing ``compile``/``execute`` spans.
+        ``None`` resolves to the process default (normally a no-op).
     """
 
     def __init__(self, beamformer: DelayAndSumBeamformer,
                  scheme: TransmitScheme, backend: str = "vectorized",
                  backend_options: Any = None, cache: Any = None,
-                 precision: Any = None) -> None:
+                 precision: Any = None, tracer: Any = None) -> None:
         self.beamformer = beamformer
         self.scheme = scheme
         self.backend_name = backend
+        self.tracer = resolve_tracer(tracer)
         if cache is not None and hasattr(cache, "reserve"):
             # One plan slot per firing, or a smaller shared cache would
             # evict and recompile the whole event bank every frame.
@@ -93,9 +100,11 @@ class SchemeEngine:
                 transducer=beamformer.transducer, grid=beamformer.grid,
                 precision=beamformer.precision,
                 quantization=beamformer.quantization)
-            self.backends.append(BACKENDS.create(
+            event_backend = BACKENDS.create(
                 backend, event_beamformer, cache, precision,
-                options=backend_options))
+                options=backend_options)
+            event_backend.tracer = self.tracer
+            self.backends.append(event_backend)
 
     @property
     def firing_count(self) -> int:
@@ -122,9 +131,11 @@ class SchemeEngine:
         """Coherently compound one frame's firings into an RF volume."""
         self._check_firings(firings)
         volume = None
-        for backend, firing in zip(self.backends, firings):
-            contribution = backend.beamform_volume(firing)
-            volume = contribution if volume is None else volume + contribution
+        with self.tracer.span("compound", firings=self.firing_count):
+            for backend, firing in zip(self.backends, firings):
+                contribution = backend.beamform_volume(firing)
+                volume = contribution if volume is None \
+                    else volume + contribution
         return volume
 
     def beamform_batch(self, frames: Sequence[Sequence[ChannelData]]
@@ -143,9 +154,11 @@ class SchemeEngine:
         for firings in frames:
             self._check_firings(firings)
         volumes = None
-        for index, backend in enumerate(self.backends):
-            contribution = backend.beamform_batch(
-                [firings[index] for firings in frames])
-            volumes = contribution if volumes is None \
-                else volumes + contribution
+        with self.tracer.span("compound", firings=self.firing_count,
+                              frames=len(frames)):
+            for index, backend in enumerate(self.backends):
+                contribution = backend.beamform_batch(
+                    [firings[index] for firings in frames])
+                volumes = contribution if volumes is None \
+                    else volumes + contribution
         return volumes
