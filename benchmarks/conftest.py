@@ -12,6 +12,14 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_configure(config):
+    """Register the benchmark-local markers (no pytest.ini in this repo)."""
+    config.addinivalue_line(
+        "markers",
+        "soak: multi-session server soak benchmark (wall-clock heavy; "
+        "run alone with '-m soak' or exclude with '-m \"not soak\"')")
+
+
 @pytest.fixture()
 def report(capsys):
     """Return a printer that is visible even under pytest output capture."""

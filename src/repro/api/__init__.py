@@ -69,6 +69,7 @@ from ..scenarios import (
     WireGridOptions,
     score_volume,
 )
+from ..server.spec import BackpressurePolicy, ServerSpec
 from .session import Session
 from .specs import (
     SCENARIOS,
@@ -85,7 +86,9 @@ __all__ = [
     "BACKENDS",
     "SCENARIOS",
     "SCHEMES",
+    "BackpressurePolicy",
     "EngineSpec",
+    "ServerSpec",
     "Precision",
     "QuantizationSpec",
     "ScanSpec",

@@ -82,6 +82,32 @@ class Session:
         # scheme overrides reserve their own slots in
         # _resolve_scheme_variant).
         self.cache.reserve(self.scheme.firing_count)
+        # Everything closeable the session vends (pipelines, services,
+        # servers) is remembered so close() can release the worker pools
+        # the session caused to exist.
+        self._owned: list[Any] = []
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release every pipeline/service/server this session vended.
+
+        Worker pools shut down; the shared simulator, grid and plan cache
+        stay (they hold no threads).  Idempotent, and the session remains
+        usable — later builders simply register anew.  The session is a
+        context manager::
+
+            with Session(spec) as session:
+                session.stream(ScanSpec(frames=4))
+        """
+        owned, self._owned = self._owned, []
+        for obj in reversed(owned):
+            obj.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------ builders
     def _resolve_variant(self, architecture: str | None, backend: str | None,
@@ -149,7 +175,7 @@ class Session:
             self._resolve_variant(architecture, backend,
                                   architecture_options, backend_options)
         scheme = self._resolve_scheme_variant(scheme, scheme_options)
-        return ImagingPipeline(
+        pipeline = ImagingPipeline(
             self.system,
             architecture=architecture,
             architecture_options=architecture_options,
@@ -168,6 +194,8 @@ class Session:
             grid=self.grid,
             provider=provider,
             tracer=self.tracer)
+        self._owned.append(pipeline)
+        return pipeline
 
     def service(self, architecture: str | None = None,
                 backend: str | None = None,
@@ -189,7 +217,7 @@ class Session:
             self._resolve_variant(architecture, backend,
                                   architecture_options, backend_options)
         scheme = self._resolve_scheme_variant(scheme, scheme_options)
-        return BeamformingService(
+        service = BeamformingService(
             self.system,
             architecture=architecture,
             architecture_options=architecture_options,
@@ -205,6 +233,50 @@ class Session:
             cache=cache if cache is not None else self.cache,
             simulator=self.simulator,
             tracer=self.tracer)
+        self._owned.append(service)
+        return service
+
+    def server(self, spec: "ServerSpec | Mapping | None" = None,
+               workers: int | None = None,
+               queue_capacity: int | None = None,
+               policy: Any = None) -> "BeamformingServer":
+        """A multi-session :class:`repro.server.BeamformingServer` whose
+        default engine is this session's spec.
+
+        The server shares the session's plan cache (all its sessions
+        compile through it), simulator, tracer and metrics registry.  Pass
+        a full :class:`repro.server.ServerSpec` to control everything, or
+        just the common knobs; a spec's ``engine`` must be left at the
+        default — the session's own spec is the engine.  The server is
+        tracked by :meth:`close` like any other vended engine.
+        """
+        from ..server import BeamformingServer, ServerSpec
+
+        if spec is None:
+            spec = ServerSpec(engine=self.spec)
+        else:
+            if isinstance(spec, Mapping):
+                spec = ServerSpec.from_dict(dict(spec))
+            if spec.engine != EngineSpec():
+                raise ValueError(
+                    "Session.server() binds the session's own spec as the "
+                    "server engine; leave the ServerSpec's engine at its "
+                    "default (or build a BeamformingServer directly)")
+            spec = spec.with_updates(engine=self.spec)
+        changes: dict[str, Any] = {}
+        if workers is not None:
+            changes["workers"] = workers
+        if queue_capacity is not None:
+            changes["queue_capacity"] = queue_capacity
+        if policy is not None:
+            changes["policy"] = policy
+        if changes:
+            spec = spec.with_updates(**changes)
+        server = BeamformingServer(spec, cache=self.cache,
+                                   tracer=self.tracer, metrics=self.metrics,
+                                   simulator=self.simulator)
+        self._owned.append(server)
+        return server
 
     # ------------------------------------------------------------- running
     def acquire(self, phantom: Phantom, noise_std: float = 0.0,
@@ -241,8 +313,14 @@ class Session:
         elif isinstance(scan, Mapping):
             scan = ScanSpec.from_dict(dict(scan))
         service = self.service(**service_overrides)
-        return service.stream_all(scan.build_frames(self.system),
-                                  batch_size=batch_size)
+        try:
+            return service.stream_all(scan.build_frames(self.system),
+                                      batch_size=batch_size)
+        finally:
+            # The service was built for this one call; release its worker
+            # pool now instead of holding it until the session closes.
+            service.close()
+            self._owned.remove(service)
 
     def sweep(self, phantom: Phantom | None = None,
               architectures: Iterable[str] | None = None,

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli specs                # print the Table I system spec
     python -m repro.cli spec                 # print an EngineSpec as JSON
     python -m repro.cli stream               # stream a cine through the runtime
+    python -m repro.cli serve                # multiplex sessions via the server
 
 The ``run``, ``spec`` and ``stream`` commands all speak the declarative
 :mod:`repro.api` surface: ``--spec file.json`` loads an
@@ -307,6 +308,92 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api import ScanSpec, apply_overrides
+    from .observability import write_metrics
+    from .server import BeamformingServer, ServerSpec
+
+    if args.sessions < 1:
+        print("--sessions must be at least 1", file=sys.stderr)
+        return 2
+    if args.frames < 1:
+        print("--frames must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        data: dict = {}
+        if args.spec:
+            try:
+                data = json.loads(Path(args.spec).read_text())
+            except OSError as exc:
+                raise ValueError(
+                    f"cannot read spec file {args.spec!r}: {exc}") from None
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"spec file {args.spec!r} is not valid "
+                                 f"JSON: {exc}") from None
+        # Engine-level flags land inside the nested engine document.
+        for key, value in (("system", args.system),
+                           ("architecture", args.architecture),
+                           ("backend", args.backend),
+                           ("scheme", args.scheme)):
+            if value:
+                data.setdefault("engine", {})[key] = value
+        data.setdefault("engine", {}).setdefault("system", "small")
+        data.setdefault("engine", {}).setdefault("backend", "vectorized")
+        for key, value in (("workers", args.workers),
+                           ("queue_capacity", args.queue_capacity),
+                           ("policy", args.policy)):
+            if value is not None:
+                data[key] = value
+        data = apply_overrides(data, args.set or [])
+        spec = ServerSpec.from_dict(data)
+        scan = ScanSpec(scenario=args.scenario, frames=args.frames)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.check:
+        print(spec.to_json())
+        return 0
+    with BeamformingServer(spec) as server:
+        system = spec.engine.resolve_system()
+        frames = scan.build_frames(system)
+        print(f"Serving {args.sessions} sessions x {len(frames)} frames on "
+              f"system '{system.name}' (workers={server.workers}, "
+              f"queue={spec.queue_capacity}, policy={spec.policy.value}, "
+              f"backend={spec.engine.backend}, scenario={scan.scenario})")
+        handles = [server.open_session() for _ in range(args.sessions)]
+        start = time.perf_counter()
+        tickets = [(handle, [handle.submit(frame) for frame in frames])
+                   for handle in handles]
+        for handle, session_tickets in tickets:
+            for ticket in session_tickets:
+                try:
+                    ticket.result()
+                except Exception as exc:  # dropped frames stay visible
+                    print(f"  {handle.session_id} frame "
+                          f"{ticket.frame_id}: {exc}")
+        server.drain()
+        elapsed = time.perf_counter() - start
+        stats = server.stats()
+        for session in stats.sessions:
+            print(f"  session {session.session_id}: "
+                  f"{session.frames} frames, {session.drops} drops, "
+                  f"p50 {session.p50_latency_seconds * 1e3:7.2f} ms, "
+                  f"p99 {session.p99_latency_seconds * 1e3:7.2f} ms")
+        rate = stats.voxels / elapsed if elapsed else 0.0
+        print(f"Aggregate: {stats.frames} frames, {stats.drops} drops in "
+              f"{elapsed:.2f} s — {rate:.3e} voxels/s "
+              f"(p99 {stats.p99_latency_seconds * 1e3:.2f} ms)")
+        try:
+            if args.metrics_out is not None:
+                write_metrics(args.metrics_out, server.export_metrics())
+                print(f"wrote metrics to {args.metrics_out}")
+        except OSError as exc:
+            print(f"cannot write observability output: {exc}",
+                  file=sys.stderr)
+            return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser.
 
@@ -401,6 +488,53 @@ def build_parser() -> argparse.ArgumentParser:
                                help="write a Prometheus-style metrics "
                                     "snapshot of the run")
     stream_parser.set_defaults(handler=_cmd_stream)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="multiplex concurrent cine sessions through the "
+                      "multi-stream beamforming server")
+    serve_parser.add_argument("--spec", metavar="FILE",
+                              help="ServerSpec JSON document to start from")
+    serve_parser.add_argument("--system", default=None,
+                              help="system preset for the default engine "
+                                   f"({', '.join(sorted(PRESETS))}) "
+                                   "[default: small]")
+    serve_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                              help="dotted ServerSpec override, e.g. "
+                                   "--set engine.backend=sharded or "
+                                   "--set queue_capacity=4 (repeatable)")
+    serve_parser.add_argument("--architecture", default=None,
+                              help="delay architecture for the default "
+                                   "engine (see 'list')")
+    serve_parser.add_argument("--backend", default=None,
+                              help="execution backend for the default "
+                                   "engine (see 'list') "
+                                   "[default: vectorized]")
+    serve_parser.add_argument("--scheme", default=None,
+                              help="transmit scheme for the default engine "
+                                   "(see 'list') [default: focused]")
+    serve_parser.add_argument("--scenario", default="moving_point",
+                              help="scan scenario every session streams "
+                                   "(see 'list')")
+    serve_parser.add_argument("--sessions", type=int, default=4,
+                              help="concurrent sessions (default 4)")
+    serve_parser.add_argument("--frames", type=int, default=4,
+                              help="frames per session (default 4)")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="worker threads [default: auto]")
+    serve_parser.add_argument("--queue-capacity", type=int, default=None,
+                              help="per-session queue bound [default: 8]")
+    serve_parser.add_argument("--policy", default=None,
+                              help="backpressure policy: block, "
+                                   "drop_oldest or drop_latest "
+                                   "[default: block]")
+    serve_parser.add_argument("--check", action="store_true",
+                              help="validate and print the resolved "
+                                   "ServerSpec JSON, then exit without "
+                                   "serving")
+    serve_parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                              help="write a Prometheus-style metrics "
+                                   "snapshot of the run")
+    serve_parser.set_defaults(handler=_cmd_serve)
     return parser
 
 

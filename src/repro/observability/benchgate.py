@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Sequence
 
 __all__ = ["DEFAULT_THRESHOLD", "GATED_BACKENDS", "GATED_METRICS",
-           "compare_benchmarks", "main"]
+           "SOAK_METRICS", "compare_benchmarks", "main"]
 
 DEFAULT_THRESHOLD = 0.20
 """Maximum tolerated fractional drop in a gated throughput figure."""
@@ -43,6 +43,10 @@ GATED_BACKENDS = ("vectorized",)
 
 GATED_METRICS = ("voxels_per_second", "batched_voxels_per_second")
 """Per-row figures compared between baseline and fresh run."""
+
+SOAK_METRICS = ("voxels_per_second",)
+"""Figures gated per ``server_soak`` row (rows are keyed by their
+sessions x workers shape, so only like-configured soaks compare)."""
 
 
 def compare_benchmarks(baseline: dict, fresh: dict,
@@ -91,6 +95,31 @@ def compare_benchmarks(baseline: dict, fresh: dict,
                         f"{backend}/{precision} {metric} dropped "
                         f"{100 * (1 - ratio):.0f}% "
                         f"(> {100 * threshold:.0f}% threshold)")
+    # Multi-session server soak rows (repro.server.soak): compared only
+    # between runs of the same sessions x workers shape — the row key
+    # encodes it — so a CI smoke soak never gates against the committed
+    # full-size baseline.
+    base_soak = baseline.get("server_soak", {})
+    fresh_soak = fresh.get("server_soak", {})
+    for key in base_soak:
+        if key not in fresh_soak:
+            report.append(f"  server_soak/{key}: missing from the fresh "
+                          "run (not gated)")
+            continue
+        for metric in SOAK_METRICS:
+            base = base_soak[key].get(metric)
+            new = fresh_soak[key].get(metric)
+            if not base or new is None:
+                continue
+            ratio = new / base
+            report.append(f"  server_soak/{key} {metric}: "
+                          f"{new:.3e} vs baseline {base:.3e} "
+                          f"({ratio:.2f}x)")
+            if new < (1.0 - threshold) * base:
+                regressions.append(
+                    f"server_soak/{key} {metric} dropped "
+                    f"{100 * (1 - ratio):.0f}% "
+                    f"(> {100 * threshold:.0f}% threshold)")
     return report, regressions
 
 

@@ -167,6 +167,29 @@ class ImagingPipeline:
                 options=self.backend_options)
             self._runtime_backend.tracer = self.tracer
 
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the execution backend(s) this pipeline constructed.
+
+        Shuts the ``sharded`` backend's worker pool down and closes the
+        lazily built scheme engine's per-firing backends; shared caches are
+        untouched.  Idempotent, and the pipeline stays usable (pools
+        rebuild lazily).  The pipeline is a context manager::
+
+            with ImagingPipeline(system, backend="sharded") as pipeline:
+                pipeline.image_volume(channel_data)
+        """
+        if self._runtime_backend is not None:
+            self._runtime_backend.close()
+        if self._scheme_engine is not None:
+            self._scheme_engine.close()
+
+    def __enter__(self) -> "ImagingPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     @property
     def delay_provider(self) -> DelayProvider:
         """The underlying delay generator."""

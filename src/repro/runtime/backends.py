@@ -110,6 +110,23 @@ class ExecutionBackend:
         self._key = plan_key(beamformer, self.precision)
         self._plan: BeamformingPlan | None = None
 
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release pooled resources; idempotent, safe on every backend.
+
+        The base backends hold no pools, so this only drops the privately
+        memoised plan (a shared cache's entries belong to the cache); the
+        ``sharded`` backend additionally shuts its worker pool down.  A
+        closed backend may be used again — pools are rebuilt lazily.
+        """
+        self._plan = None
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def _compile(self) -> BeamformingPlan:
         """Compile this backend's plan under a ``compile`` span."""
         with self.tracer.span("compile") as span:
@@ -220,6 +237,13 @@ class ShardedBackend(ExecutionBackend):
     vectorized backend — both run :meth:`BeamformingPlan.execute_rows`
     slices of the same plan — so the volumes match exactly.  Worker
     exceptions propagate to the caller; a failed shard never hangs the pool.
+
+    The thread pool is created lazily on the first volume and *reused for
+    every later one* (spinning a pool up per frame cost more than a tiny
+    frame's beamforming, and the historical per-call pool leaked worker
+    threads when a frame errored mid-map).  It is released by
+    :meth:`close` — the backend is a context manager — and as a backstop by
+    garbage collection.
     """
 
     name = "sharded"
@@ -232,6 +256,32 @@ class ShardedBackend(ExecutionBackend):
         super().__init__(beamformer, cache=cache, precision=precision)
         self.shards = shards or min(8, os.cpu_count() or 1)
         self.max_workers = max_workers or min(4, os.cpu_count() or 1)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The persistent worker pool, created on first use."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-sharded")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (and drop the memoised plan).
+
+        Idempotent; a later :meth:`beamform_volume` simply rebuilds the
+        pool.  ``wait=True`` so no worker still holds a slice of a caller's
+        output array when this returns.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        super().close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
 
     def _blocks(self, n_points: int, n_frames: int = 1) -> list[slice]:
         """Split ``n_points`` into at least ``shards`` non-empty blocks.
@@ -270,10 +320,9 @@ class ShardedBackend(ExecutionBackend):
         blocks = self._blocks(plan.n_points, n_frames)
         with self.tracer.span("execute", shards=len(blocks),
                               workers=self.max_workers):
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                # list() drains the iterator so worker exceptions re-raise
-                # here instead of being swallowed with the discarded futures.
-                list(pool.map(work, blocks))
+            # list() drains the iterator so worker exceptions re-raise
+            # here instead of being swallowed with the discarded futures.
+            list(self._executor().map(work, blocks))
 
     def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
         plan = self.plan()

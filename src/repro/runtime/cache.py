@@ -22,6 +22,7 @@ without a second bookkeeping path.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, TypeVar
@@ -71,6 +72,12 @@ class PlanCache:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.capacity = capacity
+        # One cache is shared by every session of a BeamformingServer, whose
+        # worker threads look plans up concurrently — all entry/counter
+        # mutation happens under this lock.  Compilation runs under it too:
+        # serialising two identical misses into one compile is cheaper than
+        # compiling the same plan twice on both threads.
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._hits = self.metrics.counter(
@@ -82,18 +89,24 @@ class PlanCache:
 
     # ------------------------------------------------------------- lookups
     def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
-        """Return the cached value for ``key``, building (and storing) it on miss."""
-        if key in self._entries:
-            self._hits.inc()
-            self._entries.move_to_end(key)
-            return self._entries[key]  # type: ignore[return-value]
-        self._misses.inc()
-        value = builder()
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions.inc()
-        return value
+        """Return the cached value for ``key``, building (and storing) it on miss.
+
+        Thread-safe: concurrent callers asking for the same missing key
+        block until the first caller's ``builder()`` finishes and then all
+        receive the one built value (one miss, n-1 hits).
+        """
+        with self._lock:
+            if key in self._entries:
+                self._hits.inc()
+                self._entries.move_to_end(key)
+                return self._entries[key]  # type: ignore[return-value]
+            self._misses.inc()
+            value = builder()
+            self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions.inc()
+            return value
 
     def reserve(self, capacity: int) -> None:
         """Grow the eviction bound to at least ``capacity`` (never shrink).
@@ -103,18 +116,22 @@ class PlanCache:
         every compounded frame would evict and recompile its own event
         bank.
         """
-        self.capacity = max(self.capacity, int(capacity))
+        with self._lock:
+            self.capacity = max(self.capacity, int(capacity))
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------ lifecycle
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def stats(self) -> CacheStats:

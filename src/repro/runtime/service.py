@@ -236,6 +236,30 @@ class BeamformingService:
         """Name of the active execution backend."""
         return self._backend.name
 
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the execution backend(s) this service constructed.
+
+        Shuts worker pools down (the ``sharded`` backend, and every
+        per-firing backend of a multi-firing scheme engine) and drops
+        privately memoised plans; a shared :class:`PlanCache` is left
+        untouched — its plans belong to whoever owns the cache.  Idempotent,
+        and the service remains usable afterwards (pools rebuild lazily),
+        so ``close()`` is always safe.  The service is a context manager::
+
+            with BeamformingService(system, backend="sharded") as service:
+                service.submit_frame(frame)
+        """
+        self._backend.close()
+        if self._scheme_engine is not None:
+            self._scheme_engine.close()
+
+    def __enter__(self) -> "BeamformingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # ------------------------------------------------------------- frames
     def _coerce_request(self, frame: FrameRequest | ChannelData | Phantom,
                         noise_std: float, seed: int) -> FrameRequest:

@@ -119,6 +119,24 @@ class SchemeEngine:
         return acquire_firings(simulator, self.scheme, phantom,
                                noise_std=noise_std, seed=seed)
 
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close every per-firing backend (idempotent).
+
+        Frees the ``sharded`` backends' worker pools; the facades that
+        build a :class:`SchemeEngine` (service, pipeline) forward their
+        own ``close()`` here so a multi-firing engine never leaks one pool
+        per transmit event.
+        """
+        for backend in self.backends:
+            backend.close()
+
+    def __enter__(self) -> "SchemeEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
     def _check_firings(self, firings: Sequence[ChannelData]) -> None:
         if len(firings) != self.firing_count:
             raise ValueError(

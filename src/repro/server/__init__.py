@@ -1,0 +1,38 @@
+"""Multi-stream beamforming server subsystem.
+
+Everything needed to serve many concurrent probe sessions from one
+process: the :class:`BeamformingServer` (async session multiplexing over
+a worker pool), :class:`ServerSpec` (the JSON-round-trippable deployment
+document), :class:`SharedFrameRing` (zero-copy shared-memory frame
+transport), and the backpressure vocabulary
+(:class:`BackpressurePolicy`, :class:`FrameDropped`).  See
+``docs/server.md`` for the architecture walk-through and
+:mod:`repro.server.soak` for the multi-session throughput benchmark.
+"""
+
+from .ring import RingExhausted, SharedFrameRing, SlotLease
+from .server import (
+    BeamformingServer,
+    FrameDropped,
+    FrameTicket,
+    ServerClosed,
+    ServerStats,
+    SessionHandle,
+    SessionStats,
+)
+from .spec import BackpressurePolicy, ServerSpec
+
+__all__ = [
+    "BackpressurePolicy",
+    "BeamformingServer",
+    "FrameDropped",
+    "FrameTicket",
+    "RingExhausted",
+    "ServerClosed",
+    "ServerSpec",
+    "ServerStats",
+    "SessionHandle",
+    "SessionStats",
+    "SharedFrameRing",
+    "SlotLease",
+]

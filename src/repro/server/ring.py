@@ -1,0 +1,258 @@
+"""Zero-copy frame transport: shared-memory ring buffers.
+
+The paper's hardware streams echo samples through BRAM line buffers sized
+to the delay window; the server's software analogue is a
+:class:`SharedFrameRing` — a fixed number of frame-shaped slots carved out
+of one :class:`multiprocessing.shared_memory.SharedMemory` segment.  A
+producer acquires a slot, writes its RF samples directly into the mapped
+memory, and submits the *slot* to the server; the beamforming worker reads
+the same physical pages through a NumPy view, so a frame is written once
+and never copied on its way into the kernels.  Because the segment is
+OS-shared, the producer does not have to live in the server process: an
+acquisition process spawned through
+:func:`repro.runtime.mp.spawn_context` can attach by name
+(:meth:`SharedFrameRing.attach`) and feed the ring across the process
+boundary — pinned bit-identical in ``tests/test_mp.py``.
+
+Slot accounting (which slots are free, which are in flight) lives in the
+*creating* process: the server owns the ring's lifecycle, producers only
+ever write into slots the server leased out.  Attached rings are views
+without accounting authority.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = ["RingExhausted", "SharedFrameRing", "SlotLease"]
+
+
+class RingExhausted(RuntimeError):
+    """Raised when no slot becomes free within the acquire timeout."""
+
+
+class SlotLease:
+    """One leased slot of a :class:`SharedFrameRing`.
+
+    ``array`` is a writable NumPy view straight into the shared segment —
+    filling it *is* the frame transport.  Release the lease (or let the
+    server release it when the frame completes) to return the slot to the
+    free list.  Usable as a context manager for producer-side code that
+    fills and hands the data off synchronously.
+    """
+
+    __slots__ = ("ring", "index", "_released")
+
+    def __init__(self, ring: "SharedFrameRing", index: int) -> None:
+        self.ring = ring
+        self.index = index
+        self._released = False
+
+    @property
+    def array(self) -> np.ndarray:
+        """Writable frame-shaped view into the shared segment."""
+        if self._released:
+            raise RuntimeError(f"slot {self.index} was already released")
+        return self.ring.view(self.index)
+
+    def release(self) -> None:
+        """Return the slot to the ring's free list (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.ring._release(self.index)
+
+    def __enter__(self) -> "SlotLease":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self._released else "held"
+        return f"SlotLease(index={self.index}, {state})"
+
+
+def _unregister_from_resource_tracker(name: str) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    Before Python 3.13 every ``SharedMemory(name=...)`` attach registers
+    the segment with the attaching process's resource tracker, which then
+    unlinks it when the attacher exits — destroying a segment the creator
+    still owns.  Attach-side rings therefore unregister themselves; the
+    creator remains the one owner of the segment's lifetime.
+    """
+    try:  # pragma: no cover - interpreter-version dependent
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedFrameRing:
+    """A fixed pool of frame slots in one shared-memory segment.
+
+    Parameters
+    ----------
+    shape:
+        Per-frame array shape — for channel data,
+        ``(n_elements, n_samples)``.
+    slots:
+        Number of frames the ring holds at once; bounds how many frames a
+        producer can have in flight (acquire blocks, or raises after
+        ``timeout``, when all slots are leased — the transport-level
+        backpressure underneath the server's queue policies).
+    dtype:
+        Frame sample dtype (``float64`` default, matching the exact
+        kernel path).
+    name:
+        Optional explicit segment name (auto-generated when ``None``).
+    """
+
+    def __init__(self, shape: tuple[int, ...], slots: int = 4,
+                 dtype: Any = np.float64, name: str | None = None) -> None:
+        if slots < 1:
+            raise ValueError("a ring needs at least one slot")
+        self.shape = tuple(int(n) for n in shape)
+        if not self.shape or any(n < 1 for n in self.shape):
+            raise ValueError(f"invalid frame shape {shape!r}")
+        self.slots = int(slots)
+        self.dtype = np.dtype(dtype)
+        self.frame_bytes = int(np.prod(self.shape)) * self.dtype.itemsize
+        self._owns_segment = True
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.slots * self.frame_bytes, name=name)
+        self._lock = threading.Condition()
+        self._free = list(range(self.slots - 1, -1, -1))
+        self._closed = False
+
+    # ------------------------------------------------------------ attaching
+    @classmethod
+    def attach(cls, descriptor: dict) -> "SharedFrameRing":
+        """Open an existing ring from its :meth:`descriptor` (any process).
+
+        The attached ring maps the same physical pages but has *no slot
+        accounting*: ``acquire`` is refused; only :meth:`view` (for slots
+        leased by the creator) is meaningful.  Closing an attached ring
+        unmaps it without destroying the segment.
+        """
+        ring = cls.__new__(cls)
+        ring.shape = tuple(int(n) for n in descriptor["shape"])
+        ring.slots = int(descriptor["slots"])
+        ring.dtype = np.dtype(descriptor["dtype"])
+        ring.frame_bytes = int(np.prod(ring.shape)) * ring.dtype.itemsize
+        ring._owns_segment = False
+        ring._shm = shared_memory.SharedMemory(name=descriptor["name"])
+        _unregister_from_resource_tracker(descriptor["name"])
+        ring._lock = threading.Condition()
+        ring._free = []
+        ring._closed = False
+        return ring
+
+    def descriptor(self) -> dict:
+        """JSON-safe handle another process can :meth:`attach` with."""
+        return {"name": self._shm.name, "slots": self.slots,
+                "shape": list(self.shape), "dtype": self.dtype.str}
+
+    # ------------------------------------------------------------- slotting
+    def view(self, index: int) -> np.ndarray:
+        """Frame-shaped NumPy view of slot ``index`` (no copy, writable)."""
+        if self._closed:
+            raise RuntimeError("ring is closed")
+        if not 0 <= index < self.slots:
+            raise IndexError(f"slot {index} out of range 0..{self.slots - 1}")
+        start = index * self.frame_bytes
+        return np.ndarray(self.shape, dtype=self.dtype,
+                          buffer=self._shm.buf[start:start + self.frame_bytes])
+
+    def acquire(self, timeout: float | None = None) -> SlotLease:
+        """Lease a free slot, blocking up to ``timeout`` seconds.
+
+        Raises :class:`RingExhausted` when every slot stays in flight for
+        the whole timeout — the caller is producing faster than the server
+        retires frames and must back off (or size the ring larger).
+        """
+        if not self._owns_segment:
+            raise RuntimeError(
+                "attached rings cannot lease slots; only the creating "
+                "process owns the free list")
+        with self._lock:
+            if not self._free and not self._lock.wait_for(
+                    lambda: bool(self._free) or self._closed,
+                    timeout=timeout):
+                raise RingExhausted(
+                    f"no free slot in {self.slots}-slot ring after "
+                    f"{timeout} s (all frames still in flight)")
+            if self._closed:
+                raise RuntimeError("ring is closed")
+            return SlotLease(self, self._free.pop())
+
+    def _release(self, index: int) -> None:
+        with self._lock:
+            if not self._closed and index not in self._free:
+                self._free.append(index)
+                self._lock.notify()
+
+    @property
+    def free_slots(self) -> int:
+        """Number of slots currently available to :meth:`acquire`."""
+        with self._lock:
+            return len(self._free)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Unmap the segment; the creator additionally destroys it.
+
+        Idempotent.  Any still-live :meth:`view` arrays become invalid, so
+        the server only closes a session's ring after its last frame
+        retired.
+        """
+        if self._closed:
+            return
+        with self._lock:
+            self._closed = True
+            self._free = []
+            self._lock.notify_all()
+        self._shm.close()
+        if self._owns_segment:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedFrameRing":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SharedFrameRing(name={self._shm.name!r}, "
+                f"slots={self.slots}, shape={self.shape}, "
+                f"dtype={self.dtype.name})")
+
+
+# ----------------------------------------------------- cross-process demo
+def seeded_frame(shape: tuple[int, ...], dtype: Any, seed: int) -> np.ndarray:
+    """Deterministic frame payload for cross-process transport checks."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(tuple(shape)).astype(np.dtype(dtype))
+
+
+def fill_slot_from_seed(descriptor: dict, index: int, seed: int) -> None:
+    """Child-process entry point: attach and fill one slot with
+    :func:`seeded_frame`.
+
+    Module-level (picklable by reference) so it can be the target of a
+    process from :func:`repro.runtime.mp.spawn_context` — the regression
+    test spawns it and asserts the parent reads the identical bits back
+    through the shared segment.
+    """
+    ring = SharedFrameRing.attach(descriptor)
+    try:
+        ring.view(index)[:] = seeded_frame(ring.shape, ring.dtype, seed)
+    finally:
+        ring.close()

@@ -1,0 +1,171 @@
+"""Declarative, JSON-round-trippable server configuration.
+
+A :class:`ServerSpec` is to :class:`repro.server.BeamformingServer` what
+:class:`repro.api.EngineSpec` is to a single engine: one frozen, validated
+document describing the whole multi-session deployment — the default
+per-session engine (a nested ``EngineSpec``), the worker-pool width, the
+per-session queue bound and its backpressure policy, and the
+shared-memory ring sizing.  Ship the JSON, rebuild the identical server
+anywhere with ``BeamformingServer.from_spec(ServerSpec.from_json(text))``
+or ``repro serve --spec server.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields, replace
+from enum import Enum
+from typing import Any, Mapping
+
+from ..api.specs import EngineSpec
+
+__all__ = ["BackpressurePolicy", "ServerSpec"]
+
+
+class BackpressurePolicy(str, Enum):
+    """What a full per-session queue does to the next submission.
+
+    ``BLOCK``
+        The submitting caller waits for a slot — lossless, the default,
+        and the only policy under which server output covers every
+        submitted frame (the conformance row runs with this).
+    ``DROP_OLDEST``
+        The oldest *queued* frame is evicted to admit the new one; its
+        ticket resolves with :class:`repro.server.FrameDropped`.  Keeps
+        the queue fresh — a live imaging display wants the newest frames.
+    ``DROP_LATEST``
+        The new submission itself is refused (its ticket resolves with
+        :class:`repro.server.FrameDropped` immediately); queued frames are
+        never disturbed, so in-flight ordering is exactly preserved.
+
+    Every drop increments the session's and the server's drop counters —
+    loss is always visible in ``export_metrics()``.
+    """
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop_oldest"
+    DROP_LATEST = "drop_latest"
+
+
+def resolve_policy(policy: "BackpressurePolicy | str | None"
+                   ) -> BackpressurePolicy:
+    """Coerce a policy name (or ``None`` -> ``BLOCK``) to the enum."""
+    if policy is None:
+        return BackpressurePolicy.BLOCK
+    try:
+        return BackpressurePolicy(policy)
+    except ValueError:
+        names = ", ".join(p.value for p in BackpressurePolicy)
+        raise ValueError(
+            f"unknown backpressure policy {policy!r}; "
+            f"available: {names}") from None
+
+
+def default_workers() -> int:
+    """Worker-pool width when the spec leaves ``workers`` at ``None``."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Declarative description of one multi-session beamforming server."""
+
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    """Default per-session engine (nested :class:`repro.api.EngineSpec`;
+    dict form accepted).  Sessions opened without their own spec use it
+    verbatim, and sessions on the same system share its simulator."""
+
+    workers: int | None = None
+    """Beamforming worker threads multiplexing the sessions
+    (``None`` = auto: ``min(4, cpu_count)``)."""
+
+    queue_capacity: int = 8
+    """Bound of each session's pending-frame queue (the backpressure
+    horizon)."""
+
+    policy: BackpressurePolicy = BackpressurePolicy.BLOCK
+    """Default backpressure policy for a full session queue (name or
+    enum; per-session override via ``open_session(policy=...)``)."""
+
+    ring_slots: int | None = None
+    """Shared-memory frame slots per session ring (``None`` = auto:
+    ``queue_capacity + workers`` so a full queue plus every in-flight
+    frame fit without copying)."""
+
+    max_sessions: int | None = None
+    """Refuse ``open_session`` beyond this many live sessions
+    (``None`` = unbounded)."""
+
+    def __post_init__(self) -> None:
+        engine = self.engine
+        if isinstance(engine, Mapping):
+            engine = EngineSpec.from_dict(dict(engine))
+        elif not isinstance(engine, EngineSpec):
+            raise ValueError(
+                "engine must be an EngineSpec or its dict form, got "
+                f"{type(engine).__name__}")
+        object.__setattr__(self, "engine", engine)
+        object.__setattr__(self, "policy", resolve_policy(self.policy))
+        if self.workers is not None and (
+                not isinstance(self.workers, int) or self.workers < 1):
+            raise ValueError("workers must be a positive integer or null")
+        if not isinstance(self.queue_capacity, int) or self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be a positive integer")
+        if self.ring_slots is not None and (
+                not isinstance(self.ring_slots, int) or self.ring_slots < 1):
+            raise ValueError("ring_slots must be a positive integer or null")
+        if self.max_sessions is not None and (
+                not isinstance(self.max_sessions, int)
+                or self.max_sessions < 1):
+            raise ValueError("max_sessions must be a positive integer or null")
+
+    # ------------------------------------------------------------ resolving
+    def resolve_workers(self) -> int:
+        """Concrete worker-pool width."""
+        return self.workers if self.workers is not None else default_workers()
+
+    def resolve_ring_slots(self) -> int:
+        """Concrete per-session ring size."""
+        if self.ring_slots is not None:
+            return self.ring_slots
+        return self.queue_capacity + self.resolve_workers()
+
+    def with_updates(self, **changes: Any) -> "ServerSpec":
+        """A copy with the given fields replaced (and re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-safe) form; inverse of :meth:`from_dict`."""
+        return {
+            "engine": self.engine.to_dict(),
+            "workers": self.workers,
+            "queue_capacity": self.queue_capacity,
+            "policy": self.policy.value,
+            "ring_slots": self.ring_slots,
+            "max_sessions": self.max_sessions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServerSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys raise)."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"server spec must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown server spec field(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}")
+        return cls(**data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServerSpec":
+        """Rebuild a spec from its :meth:`to_json` form."""
+        return cls.from_dict(json.loads(text))

@@ -29,6 +29,10 @@ def pytest_configure(config):
         "conformance: cross-layer backend x batching x scheme conformance "
         "matrix (run alone with '-m conformance', excluded from the fast "
         "CI job with '-m \"not conformance\"')")
+    config.addinivalue_line(
+        "markers",
+        "soak: multi-session server soak benchmark (wall-clock heavy; "
+        "run alone with '-m soak' or exclude with '-m \"not soak\"')")
 
 
 def pytest_addoption(parser):

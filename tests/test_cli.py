@@ -205,3 +205,85 @@ class TestSpecWorkflow:
     def test_run_rejects_invalid_override(self, capsys):
         assert main(["run", "E1", "--set", "backend=warp"]) == 2
         assert "unknown backend" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Every bad input exits non-zero with a message naming the problem."""
+
+    def test_malformed_spec_json_reported(self, tmp_path, capsys):
+        bad = tmp_path / "engine.json"
+        bad.write_text("{not json")
+        assert main(["stream", "--spec", str(bad)]) == 2
+        assert "is not valid JSON" in capsys.readouterr().err
+
+    def test_conflicting_set_overrides_reported(self, capsys):
+        # Descending into a scalar with a dotted path would silently
+        # clobber the first override; it must fail loudly instead.
+        assert main(["spec", "--set", "system=tiny",
+                     "--set", "system.depth_max=0.1"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot apply override" in err and "not a mapping" in err
+
+    def test_unknown_scheme_rejected_with_registry_listing(self, capsys):
+        assert main(["stream", "--system", "tiny",
+                     "--scheme", "quadruple"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scheme 'quadruple'" in err
+        assert "planewave" in err
+
+
+class TestServeCommand:
+    def test_serve_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "backpressure" in capsys.readouterr().out
+
+    def test_serve_check_prints_resolved_spec(self, capsys):
+        assert main(["serve", "--check", "--system", "tiny",
+                     "--policy", "drop_oldest",
+                     "--set", "queue_capacity=3"]) == 0
+        out = capsys.readouterr().out
+        assert '"policy": "drop_oldest"' in out
+        assert '"queue_capacity": 3' in out
+        assert '"system": "tiny"' in out
+
+    def test_serve_runs_sessions_and_reports(self, capsys):
+        assert main(["serve", "--system", "tiny", "--sessions", "2",
+                     "--frames", "2", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Serving 2 sessions x 2 frames" in out
+        assert "session s0" in out and "session s1" in out
+        assert "voxels/s" in out
+
+    def test_serve_writes_metrics(self, tmp_path, capsys):
+        out_file = tmp_path / "serve.prom"
+        assert main(["serve", "--system", "tiny", "--sessions", "1",
+                     "--frames", "1", "--metrics-out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "server_frames_total" in text
+        assert 'quantile="0.99"' in text
+
+    def test_serve_unknown_backend_rejected(self, capsys):
+        assert main(["serve", "--check", "--backend", "gpu"]) == 2
+        assert "unknown backend 'gpu'" in capsys.readouterr().err
+
+    def test_serve_unknown_policy_rejected(self, capsys):
+        assert main(["serve", "--check", "--policy", "newest"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown backpressure policy" in err
+        assert "drop_oldest" in err
+
+    def test_serve_malformed_spec_json_reported(self, tmp_path, capsys):
+        bad = tmp_path / "server.json"
+        bad.write_text("{broken")
+        assert main(["serve", "--check", "--spec", str(bad)]) == 2
+        assert "is not valid JSON" in capsys.readouterr().err
+
+    def test_serve_unknown_spec_field_rejected(self, capsys):
+        assert main(["serve", "--check", "--set", "worker_count=4"]) == 2
+        assert "unknown server spec field" in capsys.readouterr().err
+
+    def test_serve_bad_session_count_rejected(self, capsys):
+        assert main(["serve", "--sessions", "0"]) == 2
+        assert "--sessions" in capsys.readouterr().err

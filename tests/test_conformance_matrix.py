@@ -129,6 +129,28 @@ def test_service_stream_matches_pipeline(matrix, scheme):
     np.testing.assert_array_equal(batched[1].rf, oracle)
 
 
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_server_matches_pipeline_under_concurrent_load(matrix, scheme):
+    """The multi-stream server adds queueing and transport, never
+    arithmetic: with drops disabled (lossless ``block`` policy), every
+    frame served to every concurrent session is bit-identical to the
+    pipeline oracle."""
+    session, firings, oracle, _ = matrix[scheme]
+    payload = tuple(firings) if len(firings) > 1 else firings[0]
+    server = session.server(workers=2)  # block policy: lossless
+    try:
+        handles = [server.open_session() for _ in range(4)]
+        tickets = [handle.submit(payload)
+                   for _ in range(2) for handle in handles]
+        for ticket in tickets:
+            volume = ticket.result(timeout=120).rf
+            assert volume.dtype == np.float64
+            np.testing.assert_array_equal(volume, oracle)
+        assert server.stats().drops == 0
+    finally:
+        server.close()
+
+
 def test_sweep_grid_covers_matrix_from_json(tiny):
     """Acceptance: Session.sweep() runs a scenario x scheme x architecture
     grid from a single JSON spec, scored per cell."""

@@ -1,0 +1,92 @@
+"""Multiprocessing start-method pinning and cross-process frame transport.
+
+``repro.runtime.mp`` is the one place the repo chooses a multiprocessing
+start method (``spawn`` — the only method that is safe with threads and
+behaves identically across platforms).  These tests pin the choice, pin
+the "one place" rule with a source scan, and prove the shared-memory ring
+actually carries frames bit-identically across a spawned process
+boundary.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime.mp import START_METHOD, spawn_context
+from repro.server.ring import SharedFrameRing, fill_slot_from_seed, seeded_frame
+
+SRC_ROOT = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def test_start_method_is_spawn():
+    assert START_METHOD == "spawn"
+    assert spawn_context().get_start_method() == "spawn"
+
+
+def test_spawn_context_is_fresh_each_call():
+    # get_context returns the interpreter's singleton context per method;
+    # the accessor must not cache anything of its own.
+    assert spawn_context() is spawn_context()
+
+
+def test_no_stray_multiprocessing_usage_in_src():
+    """Only repro.runtime.mp may choose a start method or spawn processes.
+
+    Everything else must go through :func:`repro.runtime.mp.spawn_context`
+    (process creation) or use ``multiprocessing.shared_memory`` (which is
+    start-method agnostic).  A stray ``get_context``/``set_start_method``
+    or direct ``multiprocessing.Process`` elsewhere silently reintroduces
+    platform-dependent fork semantics.
+    """
+    stray_patterns = re.compile(
+        r"multiprocessing\.Process\(|set_start_method\(|get_context\(")
+    offenders = []
+    for path in SRC_ROOT.rglob("*.py"):
+        if path.name == "mp.py" and path.parent.name == "runtime":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if stray_patterns.search(line):
+                offenders.append(f"{path.relative_to(SRC_ROOT)}:{lineno}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "multiprocessing usage outside repro/runtime/mp.py:\n"
+        + "\n".join(offenders))
+
+
+def test_ring_round_trips_bits_across_spawned_process():
+    """A frame written by a spawned producer reads back bit-identical."""
+    shape, seed = (4, 64), 20150309
+    ring = SharedFrameRing(shape, slots=2)
+    try:
+        lease = ring.acquire()
+        process = spawn_context().Process(
+            target=fill_slot_from_seed,
+            args=(ring.descriptor(), lease.index, seed))
+        process.start()
+        process.join(timeout=60)
+        assert process.exitcode == 0
+        expected = seeded_frame(shape, np.float64, seed)
+        np.testing.assert_array_equal(lease.array, expected)
+        lease.release()
+    finally:
+        ring.close()
+
+
+def test_attached_ring_cannot_lease():
+    ring = SharedFrameRing((2, 8), slots=1)
+    try:
+        attached = SharedFrameRing.attach(ring.descriptor())
+        try:
+            with pytest.raises(RuntimeError, match="attached"):
+                attached.acquire()
+        finally:
+            attached.close()
+        # The creator's segment survives an attached close.
+        ring.view(0)[:] = 1.0
+        assert float(ring.view(0)[0, 0]) == 1.0
+    finally:
+        ring.close()
