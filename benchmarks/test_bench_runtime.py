@@ -2,7 +2,8 @@
 
 The software counterpart of the E9 hardware throughput rows: an 8-frame
 cine sequence is streamed through the ``reference``, ``vectorized`` and
-``sharded`` backends under both kernel precisions, per-frame and batched.
+``sharded`` backends (plus ``compiled`` on numba hosts) under both kernel
+precisions, per-frame and batched.
 The compiled-plan backends amortise delay generation through the
 :class:`PlanCache`, so — like the paper's table-streaming architecture —
 they must beat the regenerate-per-scanline reference path; and the fast
@@ -116,6 +117,79 @@ def test_bench_float32_batched_beats_float64_per_frame(report):
               "ordering reported, not asserted]"))
     assert_faster(fast, exact,
                   "float32 batched must beat float64 per-frame on 'small'")
+
+
+def test_bench_compiled_beats_vectorized(report):
+    """The fused numba backend must beat the NumPy vectorized path.
+
+    Measured on the ``small`` system (16k points x 256 elements) with
+    warmed plans (JIT cost excluded — it is compile time, amortised by the
+    PlanCache).  The fused kernel does no ``(n_points, n_elements)``
+    temporaries and parallelises over voxel blocks, so the win should be
+    large: >= 10x is asserted under ``REPRO_BENCH_STRICT`` (dedicated perf
+    runner), and a loose >= 2x sanity bound always — if fusion plus
+    threading cannot double NumPy's throughput, the backend is
+    misconfigured, not merely on a noisy neighbour.
+    """
+    pytest.importorskip("numba")
+    from repro.config import small_system
+
+    system = small_system()
+    grid_mid_depth = system.volume.depth_min + 0.5 * system.volume.depth_span
+    data = EchoSimulator.from_config(system).simulate(
+        point_target(depth=grid_mid_depth))
+    cine = static_cine(data, 8)
+
+    def best_fps(backend: str, batch_size: int) -> float:
+        service = BeamformingService(system, architecture="tablefree",
+                                     backend=backend, cache=PlanCache())
+        service.submit_frame(data)   # plan compile + JIT outside the clock
+        best = 0.0
+        for _ in range(3):
+            service.reset_stats()
+            service.stream_all(cine, batch_size=batch_size)
+            best = max(best, service.stats().frames_per_second)
+        return best
+
+    per_frame = {b: best_fps(b, batch_size=1)
+                 for b in ("vectorized", "compiled")}
+    batched = {b: best_fps(b, batch_size=8)
+               for b in ("vectorized", "compiled")}
+    report(f"E11 (runtime): small-system compiled vs vectorized — "
+           f"per-frame {per_frame['compiled']:8.2f} vs "
+           f"{per_frame['vectorized']:8.2f} frames/s "
+           f"({per_frame['compiled'] / per_frame['vectorized']:.2f}x), "
+           f"batched {batched['compiled']:8.2f} vs "
+           f"{batched['vectorized']:8.2f} frames/s "
+           f"({batched['compiled'] / batched['vectorized']:.2f}x)"
+           + ("" if BENCH_STRICT else "   [REPRO_BENCH_STRICT unset: "
+              "10x bound reported, not asserted]"))
+    # Unconditional sanity bound: fused + threaded must at least double
+    # the NumPy path even on a loaded runner.
+    assert per_frame["compiled"] >= 2 * per_frame["vectorized"], \
+        "compiled must be >= 2x vectorized per-frame on 'small'"
+    assert batched["compiled"] >= 2 * batched["vectorized"], \
+        "compiled must be >= 2x vectorized batched on 'small'"
+    if BENCH_STRICT:
+        assert per_frame["compiled"] >= 10 * per_frame["vectorized"], \
+            "compiled must be >= 10x vectorized per-frame on 'small'"
+        assert batched["compiled"] >= 10 * batched["vectorized"], \
+            "compiled must be >= 10x vectorized batched on 'small'"
+
+
+def test_bench_compiled_frame(benchmark):
+    """Micro-benchmark: one cached-plan fused frame (steady state)."""
+    pytest.importorskip("numba")
+    system = tiny_system()
+    service = BeamformingService(system, architecture="tablefree",
+                                 backend="compiled", cache=PlanCache())
+    grid_mid_depth = system.volume.depth_min + 0.5 * system.volume.depth_span
+    data = EchoSimulator.from_config(system).simulate(
+        point_target(depth=grid_mid_depth))
+    service.submit_frame(data)  # warm the plan cache (includes JIT)
+    result = benchmark(lambda: service.submit_frame(data))
+    assert result.rf.shape == (system.volume.n_theta, system.volume.n_phi,
+                               system.volume.n_depth)
 
 
 def test_bench_vectorized_frame(benchmark):

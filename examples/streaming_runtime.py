@@ -6,8 +6,10 @@ scaled-down ``tiny`` preset:
 1. describe the engine once as an :class:`repro.api.EngineSpec` (and show
    that the description round-trips through JSON);
 2. describe the acquisition as a :class:`repro.api.ScanSpec` cine;
-3. stream it through the ``reference``, ``vectorized`` and ``sharded``
-   execution backends vended by one shared :class:`repro.api.Session`;
+3. stream it through every registered execution backend (``reference``,
+   ``vectorized``, ``sharded`` — and ``compiled`` where the optional numba
+   JIT is installed; without it the backend reports itself unavailable and
+   the example skips it) vended by one shared :class:`repro.api.Session`;
 4. report per-backend volume rate, voxel rate and plan-cache behaviour —
    only the first frame of each plan-based backend pays the compile cost,
    every later frame reuses the cached :class:`BeamformingPlan`;
@@ -26,7 +28,7 @@ import numpy as np
 
 from repro.api import BACKENDS, EngineSpec, ScanSpec, Session
 from repro.kernels import Precision
-from repro.runtime import PlanCache
+from repro.runtime import BackendUnavailable, PlanCache
 
 N_FRAMES = 8
 
@@ -46,7 +48,11 @@ def main() -> None:
     for backend in BACKENDS.names():
         # Each backend gets a private cache so its hit/miss counters are
         # directly comparable (cross-backend sharing is shown in the tests).
-        service = session.service(backend=backend, cache=PlanCache())
+        try:
+            service = session.service(backend=backend, cache=PlanCache())
+        except BackendUnavailable as exc:
+            print(f"  {backend:<10s}: skipped ({exc})")
+            continue
         results = service.stream_all(scan.build_frames(session.system))
         peak_tracks[backend] = [
             np.unravel_index(int(np.argmax(np.abs(r.rf))), r.rf.shape)

@@ -38,16 +38,30 @@ from pathlib import Path
 
 from ..api import EngineSpec, ScanSpec, Session
 from ..config import SystemConfig, tiny_system
+from ..kernels import numba_available
 from ..runtime import PlanCache
 
 DEFAULT_BACKENDS = ("reference", "vectorized", "sharded")
 DEFAULT_PRECISIONS = ("float64", "float32")
 
 
+def default_backends() -> tuple[str, ...]:
+    """The backends E11 sweeps on this host.
+
+    Always the three NumPy backends; ``compiled`` joins the sweep when the
+    optional numba package is importable, so the same invocation produces
+    the extended table on the numba CI leg and the classic one everywhere
+    else.
+    """
+    if numba_available():
+        return DEFAULT_BACKENDS + ("compiled",)
+    return DEFAULT_BACKENDS
+
+
 def run(system: SystemConfig | None = None,
         architecture: str = "tablesteer",
         n_frames: int = 8,
-        backends: tuple[str, ...] = DEFAULT_BACKENDS,
+        backends: tuple[str, ...] | None = None,
         precisions: tuple[str, ...] = DEFAULT_PRECISIONS,
         batch: int = 4,
         scheme: str = "focused",
@@ -64,7 +78,12 @@ def run(system: SystemConfig | None = None,
     frame's beamform time includes the coherent compounding of all its
     firings — the throughput cost of compounding, isolated from its
     acquisition cost.  ``scenario`` picks the registered cine scenario.
+
+    ``backends=None`` resolves to :func:`default_backends` — the NumPy
+    trio plus ``compiled`` when numba is installed.
     """
+    if backends is None:
+        backends = default_backends()
     spec = EngineSpec(system=system if system is not None else tiny_system(),
                       architecture=architecture, scheme=scheme)
     session = Session(spec)
@@ -149,15 +168,34 @@ def run(system: SystemConfig | None = None,
 def write_bench_json(path: str | Path,
                      system: SystemConfig | None = None,
                      **run_kwargs) -> dict[str, object]:
-    """Run the sweep and write the frames/s / voxels/s table to ``path``.
+    """Run the sweep and merge the frames/s / voxels/s table into ``path``.
 
     This is the CI hook: the written ``BENCH_runtime.json`` records the
-    per-PR throughput trajectory per backend x dtype.
+    per-PR throughput trajectory per backend x dtype.  When ``path``
+    already holds a comparable document (same ``system`` preset), the new
+    per-backend rows are merged *into* it — a ``compiled``-only sweep on
+    the numba CI leg extends the committed NumPy table instead of erasing
+    it, and foreign sections (``server_soak``) survive.  A different
+    system resets the file wholesale: rows from different presets are not
+    comparable and must never cohabit.
     """
     result = run(system=system, **run_kwargs)
-    Path(path).write_text(
-        json.dumps(result, indent=2, sort_keys=True, allow_nan=False) + "\n")
-    return result
+    path = Path(path)
+    document: dict[str, object] = result
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict) \
+                and existing.get("system") == result["system"]:
+            merged_backends = dict(existing.get("backends", {}))
+            merged_backends.update(result["backends"])
+            document = {**existing, **result, "backends": merged_backends}
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True, allow_nan=False)
+        + "\n")
+    return document
 
 
 def main(system: SystemConfig | None = None) -> None:

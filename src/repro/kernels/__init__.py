@@ -22,8 +22,21 @@ every entry point at once.
   policy), :class:`QuantizedPlan` and the uncompiled
   :func:`quantized_delay_and_sum`, modelling the paper's hardware datapath
   exactly as :mod:`repro.fixedpoint` does.
+* :mod:`repro.kernels.compiled` — the fused Numba-jitted datapath:
+  :class:`CompiledPlan` executes the same plan tensors in a single
+  gather/weight/accumulate pass per focal point, ``prange``-parallel over
+  voxel blocks.  Optional: importable (and introspectable) without numba,
+  but building a plan raises :class:`BackendUnavailable` unless numba is
+  installed.
 """
 
+from .compiled import (
+    BackendUnavailable,
+    CompiledOptions,
+    CompiledPlan,
+    compile_compiled_plan,
+    numba_available,
+)
 from .ops import (
     GatherIndex,
     accumulate,
@@ -43,7 +56,10 @@ from .quantized import (
 )
 
 __all__ = [
+    "BackendUnavailable",
     "BeamformingPlan",
+    "CompiledOptions",
+    "CompiledPlan",
     "GatherIndex",
     "Precision",
     "QuantizationSpec",
@@ -53,10 +69,12 @@ __all__ = [
     "accumulate",
     "apply_weights",
     "build_gather_index",
+    "compile_compiled_plan",
     "compile_plan",
     "compile_quantized_plan",
     "delay_and_sum",
     "gather_interp",
+    "numba_available",
     "parse_qformat",
     "plan_key",
     "plan_storage_bytes",

@@ -75,7 +75,8 @@ def plan_storage_bytes(n_points: int, n_elements: int,
 
 def plan_key(beamformer: "DelayAndSumBeamformer",
              precision: Precision | str | None = None,
-             quantization: object | None = None) -> Hashable:
+             quantization: object | None = None, *,
+             variant: Hashable = None) -> Hashable:
     """Stable cache key for the compiled plan of a beamformer.
 
     Combines the physical system digest, the delay architecture (class plus
@@ -90,6 +91,14 @@ def plan_key(beamformer: "DelayAndSumBeamformer",
     attribute (``None`` = float execution), so callers that thread a
     :class:`repro.kernels.quantized.QuantizationSpec` through the beamformer
     get distinct keys for free.
+
+    ``variant`` names a plan *implementation* beyond the NumPy default —
+    e.g. ``("compiled", fastmath)`` from
+    :meth:`repro.kernels.compiled.CompiledOptions.variant`.  Variant plans
+    carry execution state of their own (jitted kernel sets, relaxed-math
+    flags), so a shared :class:`repro.runtime.cache.PlanCache` must never
+    hand a NumPy plan to a variant backend or vice versa; ``None`` (the
+    NumPy plan) keeps the historical key shape.
     """
     precision = resolve_precision(precision)
     if quantization is None:
@@ -99,14 +108,17 @@ def plan_key(beamformer: "DelayAndSumBeamformer",
     origin_key = tuple(np.asarray(origin, dtype=float).ravel()) \
         if origin is not None else None
     design = getattr(provider, "design", None)
-    return (beamformer.system.cache_key(),
-            type(provider).__name__,
-            repr(design),
-            origin_key,
-            repr(beamformer.apodization),
-            beamformer.interpolation.value,
-            precision.value,
-            repr(quantization) if quantization is not None else None)
+    key = (beamformer.system.cache_key(),
+           type(provider).__name__,
+           repr(design),
+           origin_key,
+           repr(beamformer.apodization),
+           beamformer.interpolation.value,
+           precision.value,
+           repr(quantization) if quantization is not None else None)
+    if variant is not None:
+        key = key + (variant,)
+    return key
 
 
 @dataclass(frozen=True)
@@ -194,7 +206,8 @@ class BeamformingPlan:
         return np.asarray(samples, dtype=self.dtype)
 
     def _reduce(self, gathered: np.ndarray, weights: np.ndarray,
-                tracer=NULL_TRACER) -> np.ndarray:
+                tracer=NULL_TRACER, *, reuse_gathered: bool = False
+                ) -> np.ndarray:
         """Weight-and-accumulate stage shared by all three execute paths.
 
         The float plan multiplies by the apodization weights and sums over
@@ -205,9 +218,22 @@ class BeamformingPlan:
         stay bit-identical to the whole-volume call.  ``tracer`` times the
         ``weights`` and ``accumulate`` stages; timing never touches the
         arithmetic, so traced and untraced reductions are bit-identical.
+
+        ``reuse_gathered`` lets the caller declare that ``gathered`` is a
+        private buffer (every plan execute path freshly allocates it in
+        :func:`repro.kernels.ops.gather_interp`): the weight multiply then
+        writes in place instead of allocating a second
+        ``(..., n_points, n_elements)`` array — same multiply, same bits,
+        roughly a third less peak memory per frame.  Callers passing a
+        buffer they still need must leave it ``False``.
         """
         with tracer.span("weights"):
-            weighted = apply_weights(gathered, weights)
+            if reuse_gathered:
+                weighted = np.multiply(
+                    weights.astype(gathered.dtype, copy=False), gathered,
+                    out=gathered)
+            else:
+                weighted = apply_weights(gathered, weights)
         with tracer.span("accumulate"):
             return accumulate(weighted)
 
@@ -225,7 +251,8 @@ class BeamformingPlan:
         with tracer.span("gather") as span:
             gathered = gather_interp(samples, index)
             span.set(bytes=int(gathered.nbytes))
-        flat = self._reduce(gathered, self.weights, tracer)
+        flat = self._reduce(gathered, self.weights, tracer,
+                            reuse_gathered=True)
         return flat.reshape(self.grid_shape)
 
     def execute_rows(self, channel_data: "ChannelData | np.ndarray",
@@ -243,7 +270,8 @@ class BeamformingPlan:
         with tracer.span("gather") as span:
             gathered = gather_interp(samples, index)
             span.set(bytes=int(gathered.nbytes))
-        return self._reduce(gathered, self.weights[rows], tracer)
+        return self._reduce(gathered, self.weights[rows], tracer,
+                            reuse_gathered=True)
 
     def execute_batch(self, frames: "Sequence[ChannelData | np.ndarray]",
                       tracer=None) -> np.ndarray:
@@ -271,7 +299,8 @@ class BeamformingPlan:
             with tracer.span("gather") as span:
                 gathered = gather_interp(stacked, index)
                 span.set(bytes=int(gathered.nbytes))
-            flat = self._reduce(gathered, self.weights, tracer)
+            flat = self._reduce(gathered, self.weights, tracer,
+                                reuse_gathered=True)
             return flat.reshape((len(frames), *self.grid_shape))
         out = np.empty((len(frames), self.n_points), dtype=self.dtype)
         for lo in range(0, self.n_points, block):
@@ -279,12 +308,15 @@ class BeamformingPlan:
             with tracer.span("gather") as span:
                 gathered = gather_interp(stacked, index.rows(rows))
                 span.set(bytes=int(gathered.nbytes))
-            out[:, rows] = self._reduce(gathered, self.weights[rows], tracer)
+            out[:, rows] = self._reduce(gathered, self.weights[rows], tracer,
+                                        reuse_gathered=True)
         return out.reshape((len(frames), *self.grid_shape))
 
 
 def compile_plan(beamformer: "DelayAndSumBeamformer",
-                 precision: Precision | str | None = None) -> BeamformingPlan:
+                 precision: Precision | str | None = None, *,
+                 variant: str | None = None,
+                 options: object | None = None) -> BeamformingPlan:
     """Compile the beamforming plan for a configured beamformer.
 
     Generates the full delay tensor through the provider's bulk path, the
@@ -297,10 +329,28 @@ def compile_plan(beamformer: "DelayAndSumBeamformer",
     :func:`repro.kernels.quantized.compile_quantized_plan` — compiling an
     unquantised plan under a quantised key would be exactly the
     cache-poisoning class of bug the key extension exists to prevent.
+
+    ``variant`` selects an alternative plan implementation over the same
+    tensors: ``"compiled"`` dispatches to
+    :func:`repro.kernels.compiled.compile_compiled_plan` (fused Numba
+    kernels; ``options`` is its :class:`~repro.kernels.compiled.CompiledOptions`),
+    raising :class:`repro.kernels.compiled.BackendUnavailable` when numba is
+    not importable.  The default ``None`` is the NumPy plan.
     """
     if getattr(beamformer, "quantization", None) is not None:
+        if variant is not None:
+            raise ValueError(
+                f"plan variant {variant!r} does not support quantized "
+                "execution; quantized engines compile to the NumPy "
+                "QuantizedPlan only")
         from .quantized import compile_quantized_plan
         return compile_quantized_plan(beamformer, precision)
+    if variant is not None:
+        if variant != "compiled":
+            raise ValueError(f"unknown plan variant {variant!r}; "
+                             "available: compiled")
+        from .compiled import compile_compiled_plan
+        return compile_compiled_plan(beamformer, precision, options)
     precision = resolve_precision(precision)
     grid_shape = beamformer.grid.shape
     n_elements = beamformer.transducer.element_count

@@ -293,7 +293,8 @@ class QuantizedPlan(BeamformingPlan):
             np.asarray(samples, dtype=np.float64))
 
     def _reduce(self, gathered: np.ndarray, weights: np.ndarray,
-                tracer=NULL_TRACER) -> np.ndarray:
+                tracer=NULL_TRACER, *, reuse_gathered: bool = False
+                ) -> np.ndarray:
         """The fixed-point weight-and-accumulate stage (Eq. 1 in Q-format).
 
         The product of a quantised sample and a quantised weight is exact in
@@ -305,11 +306,21 @@ class QuantizedPlan(BeamformingPlan):
         the product/rounding stage, ``accumulate`` the sum plus its final
         saturation — same taxonomy as the float plan, so traces compare
         across datapaths.
+
+        ``reuse_gathered`` has the same meaning as on the float plan (the
+        execute paths pass a private buffer); here the accumulator rounding
+        allocates its own output either way, so the flag only spares the
+        weight-product temporary.
         """
         spec = self.spec
         with tracer.span("weights"):
-            products = spec.quantize_accumulator(
-                apply_weights(gathered, weights))
+            if reuse_gathered:
+                weighted = np.multiply(
+                    weights.astype(gathered.dtype, copy=False), gathered,
+                    out=gathered)
+            else:
+                weighted = apply_weights(gathered, weights)
+            products = spec.quantize_accumulator(weighted)
         with tracer.span("accumulate"):
             return spec.quantize_accumulator(accumulate(products))
 

@@ -10,7 +10,9 @@ II-C/V-B asks of the hardware.
   :class:`repro.kernels.BeamformingPlan` artifacts keyed by
   :func:`repro.kernels.plan_key`.
 * :mod:`repro.runtime.backends` — ``reference`` / ``vectorized`` /
-  ``sharded`` execution backends, all running through the kernel layer.
+  ``sharded`` / ``compiled`` execution backends, all running through the
+  kernel layer (``compiled`` needs the optional numba package and raises
+  :class:`repro.kernels.BackendUnavailable` at build time without it).
 * :mod:`repro.runtime.scheduler` — frame queue and cine-sequence builders.
 * :mod:`repro.runtime.service` — the :class:`BeamformingService` facade
   with per-frame latency, aggregate throughput metrics and batched
@@ -23,6 +25,7 @@ instruments — see :mod:`repro.observability` and ``docs/observability.md``.
 """
 
 from ..kernels import (
+    BackendUnavailable,
     BeamformingPlan,
     Precision,
     QuantizationSpec,
@@ -34,6 +37,8 @@ from ..kernels import (
 from .backends import (
     BACKEND_NAMES,
     BACKENDS,
+    CompiledBackend,
+    CompiledOptions,
     ExecutionBackend,
     ReferenceBackend,
     ShardedBackend,
@@ -55,9 +60,12 @@ from .service import BeamformingService, RuntimeStats
 __all__ = [
     "BACKEND_NAMES",
     "BACKENDS",
+    "BackendUnavailable",
     "BeamformingPlan",
     "BeamformingService",
     "CacheStats",
+    "CompiledBackend",
+    "CompiledOptions",
     "DelayTableCache",
     "ExecutionBackend",
     "FrameRequest",

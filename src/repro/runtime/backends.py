@@ -52,6 +52,12 @@ from ..kernels import (
     quantized_delay_and_sum,
     resolve_precision,
 )
+from ..kernels.compiled import (
+    BackendUnavailable as BackendUnavailable,  # re-exported for callers
+    CompiledOptions,
+    numba_available,
+    require_numba,
+)
 from ..kernels.plan import BATCH_BLOCK_ELEMENTS
 from ..observability.tracing import resolve_tracer
 from ..registry import Registry, RegistryError
@@ -127,10 +133,19 @@ class ExecutionBackend:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def _compile_plan(self) -> BeamformingPlan:
+        """Build the plan object — the hook plan-variant backends override.
+
+        Runs inside the ``compile`` span opened by :meth:`_compile`, so
+        whatever a variant's compilation costs (for ``compiled``: the Numba
+        JIT warm-up) is attributed to compile time in traces.
+        """
+        return compile_plan(self.beamformer, self.precision)
+
     def _compile(self) -> BeamformingPlan:
         """Compile this backend's plan under a ``compile`` span."""
         with self.tracer.span("compile") as span:
-            plan = compile_plan(self.beamformer, self.precision)
+            plan = self._compile_plan()
             span.set(bytes=int(plan.nbytes), points=plan.n_points,
                      elements=plan.n_elements)
         return plan
@@ -352,6 +367,65 @@ class ShardedOptions:
     """Thread-pool size used to dispatch the blocks."""
 
 
+class CompiledBackend(ExecutionBackend):
+    """Fused Numba-jitted gather/weight/sum over parallel voxel blocks.
+
+    Executes a :class:`repro.kernels.compiled.CompiledPlan` — the same
+    delay/weight/index tensors as the NumPy plan, consumed by a single
+    fused pass per focal point with no intermediate
+    ``(n_points, n_elements)`` arrays, ``prange``-parallel over voxel
+    blocks.  Float64 volumes match the NumPy backends within the pinned
+    summation-order tolerance (:data:`repro.kernels.TOLERANCES`
+    ``float64`` row); see ``docs/kernels.md`` for the bit-identity stance.
+
+    Requires the optional ``numba`` package: construction raises
+    :class:`repro.kernels.compiled.BackendUnavailable` without it, and
+    rejects quantized engines explicitly (the bit-true fixed-point
+    datapath stays on the NumPy plan).  JIT warm-up happens inside the
+    backend's ``compile`` span, so traces attribute it to compile time and
+    a shared :class:`PlanCache` amortises it across services.
+    """
+
+    name = "compiled"
+
+    def __init__(self, beamformer: DelayAndSumBeamformer,
+                 cache: PlanCache | None = None,
+                 precision: Precision | str | None = None,
+                 options: CompiledOptions | None = None) -> None:
+        if getattr(beamformer, "quantization", None) is not None:
+            # Checked before the numba gate so the error is about the real
+            # incompatibility even on numba-free hosts.
+            raise ValueError(
+                "the 'compiled' backend does not support quantized "
+                "execution: the bit-true fixed-point rounding stages run "
+                "on the NumPy plan only — use the 'vectorized' or "
+                "'sharded' backend for quantized engines")
+        require_numba()
+        super().__init__(beamformer, cache=cache, precision=precision)
+        self.options = options if options is not None else CompiledOptions()
+        # Variant-extended key: a cache shared with NumPy backends must
+        # never serve this backend a plain BeamformingPlan (or serve a
+        # fastmath plan where strict math was requested).
+        self._key = plan_key(beamformer, self.precision,
+                             variant=self.options.variant())
+
+    def _compile_plan(self) -> BeamformingPlan:
+        return compile_plan(self.beamformer, self.precision,
+                            variant="compiled", options=self.options)
+
+    def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
+        plan = self.plan()
+        with self.tracer.span("execute"):
+            return plan.execute(channel_data, tracer=self.tracer,
+                                options=self.options)
+
+    def beamform_batch(self, frames: Sequence[ChannelData]) -> np.ndarray:
+        plan = self.plan()
+        with self.tracer.span("execute", frames=len(frames)):
+            return plan.execute_batch(frames, tracer=self.tracer,
+                                      options=self.options)
+
+
 BACKENDS = Registry("backend")
 """Registry of execution backends (factory:
 ``(beamformer, cache, precision, options)``)."""
@@ -387,6 +461,20 @@ def _build_sharded(beamformer: DelayAndSumBeamformer,
     return ShardedBackend(beamformer, cache=cache, precision=precision,
                           shards=options.shards,
                           max_workers=options.max_workers)
+
+
+@BACKENDS.register(
+    "compiled", options=CompiledOptions,
+    description="fused numba-jitted gather/weight/sum over parallel voxel "
+                "blocks"
+                + ("" if numba_available()
+                   else " (unavailable: numba is not installed)"))
+def _build_compiled(beamformer: DelayAndSumBeamformer,
+                    cache: PlanCache | None,
+                    precision: Precision | str | None,
+                    options: CompiledOptions) -> CompiledBackend:
+    return CompiledBackend(beamformer, cache=cache, precision=precision,
+                           options=options)
 
 
 BACKEND_NAMES: tuple[str, ...] = BACKENDS.names()

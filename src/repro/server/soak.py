@@ -34,9 +34,20 @@ from .spec import ServerSpec
 __all__ = ["main", "run_soak", "soak_key"]
 
 
-def soak_key(sessions: int, workers: int) -> str:
-    """Benchmark-row key for one soak configuration."""
-    return f"s{sessions}w{workers}"
+def soak_key(sessions: int, workers: int,
+             backend: str = "vectorized") -> str:
+    """Benchmark-row key for one soak configuration.
+
+    The default ``vectorized`` backend keeps the historical bare
+    ``s{sessions}w{workers}`` spelling (the committed baseline rows), so
+    sweeping other backends — ``--backend compiled`` on the numba CI leg —
+    adds *new* ``s8w2-compiled``-style rows instead of clobbering the
+    gated NumPy ones.
+    """
+    key = f"s{sessions}w{workers}"
+    if backend != "vectorized":
+        key += f"-{backend}"
+    return key
 
 
 def _session_producer(handle: SessionHandle, payload: object,
@@ -97,6 +108,7 @@ def run_soak(sessions: int = 8, frames_per_session: int = 4,
         row = {
             "sessions": sessions,
             "workers": server.workers,
+            "backend": backend,
             "frames_per_session": frames_per_session,
             "frames": frames,
             "drops": stats.drops,
@@ -157,7 +169,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as exc:
         print(f"soak error: {exc}", file=sys.stderr)
         return 2
-    key = soak_key(row["sessions"], row["workers"])
+    key = soak_key(row["sessions"], row["workers"], args.backend)
     print(f"server soak {key}: {row['frames']} frames in "
           f"{row['elapsed_seconds']:.2f}s — "
           f"{row['voxels_per_second']:.3e} voxels/s, "

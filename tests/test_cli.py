@@ -232,6 +232,46 @@ class TestErrorPaths:
         assert "planewave" in err
 
 
+class TestCompiledBackendCli:
+    """CLI surface of the optional numba backend: listed always, selectable
+    only where numba is installed, actionable error everywhere else.  The
+    unavailable paths pin the module flag so they run identically on the
+    numba and numba-free CI legs."""
+
+    def test_list_shows_compiled_backend(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "compiled" in output
+        assert "fused" in output
+
+    def test_list_marks_compiled_unavailability(self, capsys):
+        from repro.kernels import numba_available
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert ("unavailable: numba is not installed" in output) \
+            == (not numba_available())
+
+    def test_stream_compiled_without_numba_exits_2(self, capsys,
+                                                   monkeypatch):
+        monkeypatch.setattr("repro.kernels.compiled.NUMBA_AVAILABLE", False)
+        assert main(["stream", "--system", "tiny", "--backend", "compiled",
+                     "--frames", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "numba" in err
+        assert "pip install numba" in err
+        assert "vectorized" in err      # names a working alternative
+
+    def test_stream_compiled_quantized_exits_2(self, capsys, monkeypatch):
+        # The quantized rejection is a design restriction, so it must not
+        # depend on whether numba happens to be installed.
+        monkeypatch.setattr("repro.kernels.compiled.NUMBA_AVAILABLE", False)
+        assert main(["stream", "--system", "tiny", "--backend", "compiled",
+                     "--set", "quantization=18", "--frames", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "quantized" in err
+        assert "numba" not in err
+
+
 class TestServeCommand:
     def test_serve_help_exits_zero(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

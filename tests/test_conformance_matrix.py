@@ -3,15 +3,22 @@
 One suite that pins **every execution path** against the reference oracle
 for **every registered transmit scheme**:
 
-* ``float64`` volumes must be *bit-identical* across the three execution
-  backends and both batching modes, for every scheme — the compounding
-  layer adds per-firing volumes in a fixed event order, so any divergence
-  localises to a kernel/backend/batching change;
+* ``float64`` volumes must be *bit-identical* across the three NumPy
+  execution backends and both batching modes, for every scheme — the
+  compounding layer adds per-firing volumes in a fixed event order, so any
+  divergence localises to a kernel/backend/batching change;
+* the ``compiled`` backend (numba hosts only) is held to the pinned
+  :data:`repro.kernels.TOLERANCES` ``FLOAT64`` row instead — its fused
+  kernels pin NumPy's scalar pairwise-sum base case, which matches
+  ``np.sum`` bitwise up to 128 elements and differs only in association
+  order beyond (see ``docs/kernels.md``); its per-frame and batched
+  volumes must still be bit-identical to *each other*;
 * ``float32`` volumes must match the ``float64`` oracle within the pinned
   :data:`repro.kernels.TOLERANCES`;
-* quantized (18-bit) volumes must be bit-identical across backends and
-  batching against the quantized reference oracle, and sit within a
-  documented coarse tolerance of the float oracle.
+* quantized (18-bit) volumes must be bit-identical across the NumPy
+  backends and batching against the quantized reference oracle, and sit
+  within a documented coarse tolerance of the float oracle; the
+  ``compiled`` backend must *reject* quantized engines explicitly.
 
 The suite is marked ``conformance`` so CI runs it as its own matrix job
 (``pytest -m conformance``) while the fast unit job deselects it.
@@ -23,7 +30,7 @@ import numpy as np
 import pytest
 
 from repro.api import EngineSpec, ScanSpec, Session
-from repro.kernels import TOLERANCES, Precision
+from repro.kernels import TOLERANCES, Precision, numba_available
 
 pytestmark = pytest.mark.conformance
 
@@ -35,7 +42,12 @@ SCHEMES_UNDER_TEST = {
     "diverging": {"count": 2},
 }
 
-BACKENDS_UNDER_TEST = ("reference", "vectorized", "sharded")
+NUMPY_BACKENDS = ("reference", "vectorized", "sharded")
+requires_numba = pytest.mark.skipif(
+    not numba_available(),
+    reason="numba not installed (compiled backend unavailable)")
+BACKENDS_UNDER_TEST = NUMPY_BACKENDS + (
+    pytest.param("compiled", marks=requires_numba),)
 BATCH_MODES = ("per_frame", "batched")
 
 #: Quantized-vs-float coarse equivalence: the 18-bit datapath rounds
@@ -82,11 +94,29 @@ def _volume(session, firings, backend, batch_mode, **pipeline_kwargs):
 @pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
 @pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
 def test_float64_bit_identical(matrix, scheme, backend, batch_mode):
-    """Every backend and batching mode reproduces the oracle bit for bit."""
+    """Every backend and batching mode reproduces the oracle bit for bit —
+    except ``compiled``, which is held to the pinned FLOAT64 tolerance row
+    (its fused reduction matches np.sum's association order only up to 128
+    elements; the pin is documented in docs/kernels.md)."""
     session, firings, oracle, _ = matrix[scheme]
     volume = _volume(session, firings, backend, batch_mode)
     assert volume.dtype == np.float64
-    np.testing.assert_array_equal(volume, oracle)
+    if backend == "compiled":
+        TOLERANCES[Precision.FLOAT64].assert_allclose(volume, oracle)
+    else:
+        np.testing.assert_array_equal(volume, oracle)
+
+
+@requires_numba
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_compiled_batched_equals_per_frame(matrix, scheme):
+    """The compiled backend's batched path must be bit-identical to its
+    per-frame path (the kernel bodies are textually identical per point),
+    even though both are only tolerance-close to the NumPy oracle."""
+    session, firings, oracle, _ = matrix[scheme]
+    per_frame = _volume(session, firings, "compiled", "per_frame")
+    batched = _volume(session, firings, "compiled", "batched")
+    np.testing.assert_array_equal(per_frame, batched)
 
 
 @pytest.mark.parametrize("batch_mode", BATCH_MODES)
@@ -102,7 +132,7 @@ def test_float32_within_pinned_tolerance(matrix, scheme, backend, batch_mode):
 
 
 @pytest.mark.parametrize("batch_mode", BATCH_MODES)
-@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("backend", NUMPY_BACKENDS)
 @pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
 def test_quantized_bit_identical_and_near_float(matrix, scheme, backend,
                                                 batch_mode):
@@ -113,6 +143,16 @@ def test_quantized_bit_identical_and_near_float(matrix, scheme, backend,
     np.testing.assert_array_equal(volume, oracle_quantized)
     peak = float(np.max(np.abs(oracle))) or 1.0
     assert np.max(np.abs(volume - oracle)) <= QUANTIZED_VS_FLOAT_ATOL * peak
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_compiled_rejects_quantized_engines(matrix, scheme):
+    """The compiled backend refuses quantized execution with a clear error
+    (the bit-true rounding stages run on the NumPy plan only).  Registered
+    name, not numba, gates this — it must hold on numba-free hosts too."""
+    session, _, _, _ = matrix[scheme]
+    with pytest.raises(ValueError, match="quantized"):
+        session.pipeline(backend="compiled", quantization=18)
 
 
 @pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))

@@ -187,7 +187,8 @@ class TestRegistryIntegration:
         )
         from repro.runtime import BACKEND_NAMES, make_backend  # noqa: F401
         assert architecture_name(DelayArchitecture.EXACT) == "exact"
-        assert set(BACKEND_NAMES) == {"reference", "vectorized", "sharded"}
+        assert set(BACKEND_NAMES) == {"reference", "vectorized", "sharded",
+                                      "compiled"}
 
 
 class TestCompareArchitectures:

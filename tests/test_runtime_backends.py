@@ -17,10 +17,11 @@ import pytest
 from repro.architectures import ARCHITECTURES
 from repro.beamformer.das import DelayAndSumBeamformer
 from repro.beamformer.interpolation import InterpolationKind
-from repro.kernels import Precision
+from repro.kernels import CompiledOptions, Precision, numba_available
 from repro.runtime import (
     BACKEND_NAMES,
     BACKENDS,
+    BackendUnavailable,
     PlanCache,
     ReferenceBackend,
     ShardedBackend,
@@ -29,6 +30,17 @@ from repro.runtime import (
 )
 
 ARCH_NAMES = ("exact", "tablefree", "tablesteer")
+
+# The `compiled` backend is registered unconditionally but only buildable
+# with the optional numba package; parameterised equivalence tests mark it
+# skip-with-reason on numba-free hosts (the fallback error path has its own
+# unconditional tests below).
+BUILDABLE_BACKENDS = tuple(
+    pytest.param(name, marks=pytest.mark.skipif(
+        not numba_available(),
+        reason="numba not installed (compiled backend unavailable)"))
+    if name == "compiled" else name
+    for name in BACKEND_NAMES)
 
 
 @pytest.fixture(scope="module")
@@ -51,7 +63,7 @@ class TestBackendEquivalence:
         assert batched.shape == reference.shape
         np.testing.assert_allclose(batched, reference, rtol=0, atol=1e-9)
 
-    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("backend", BUILDABLE_BACKENDS)
     def test_float32_within_pinned_tolerance(self, beamformers,
                                              tiny_channel_data, backend):
         beamformer = beamformers["tablesteer"]
@@ -72,7 +84,7 @@ class TestBackendEquivalence:
             .beamform_volume(tiny_channel_data)
         np.testing.assert_allclose(batched, reference, rtol=0, atol=1e-9)
 
-    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("backend", BUILDABLE_BACKENDS)
     def test_batch_equals_per_frame(self, beamformers, tiny_channel_data,
                                     backend):
         """beamform_batch must be frame-for-frame identical to the loop."""
@@ -90,7 +102,8 @@ class TestBackendEquivalence:
             BACKENDS.create("gpu", beamformers["exact"], None, None)
 
     def test_backend_registry_names(self):
-        assert set(BACKEND_NAMES) == {"reference", "vectorized", "sharded"}
+        assert set(BACKEND_NAMES) == {"reference", "vectorized", "sharded",
+                                      "compiled"}
 
     def test_make_backend_shim_warns_and_delegates(self, beamformers,
                                                    tiny_channel_data):
@@ -100,6 +113,73 @@ class TestBackendEquivalence:
             tiny_channel_data)
         np.testing.assert_allclose(backend.beamform_volume(tiny_channel_data),
                                    reference, rtol=0, atol=1e-9)
+
+
+class TestCompiledBackendFallback:
+    """The no-numba degradation contract (runs on every host: the tests pin
+    availability via the module flag rather than depending on the actual
+    environment)."""
+
+    def test_registry_lists_compiled_unconditionally(self):
+        assert "compiled" in BACKENDS.names()
+        description = dict(BACKENDS.items())["compiled"].description
+        assert "fused" in description
+        if not numba_available():
+            assert "unavailable" in description
+
+    def test_build_without_numba_raises_backend_unavailable(
+            self, beamformers, monkeypatch):
+        monkeypatch.setattr("repro.kernels.compiled.NUMBA_AVAILABLE", False)
+        with pytest.raises(BackendUnavailable, match="numba"):
+            BACKENDS.create("compiled", beamformers["exact"], None, None)
+
+    def test_error_message_is_actionable(self, beamformers, monkeypatch):
+        monkeypatch.setattr("repro.kernels.compiled.NUMBA_AVAILABLE", False)
+        with pytest.raises(BackendUnavailable) as excinfo:
+            BACKENDS.create("compiled", beamformers["exact"], None, None)
+        message = str(excinfo.value)
+        assert "pip install numba" in message
+        assert "vectorized" in message      # names a working alternative
+
+    def test_backend_unavailable_is_a_value_error(self):
+        # The CLI's existing `except ValueError -> exit 2` paths must catch
+        # it without new plumbing.
+        assert issubclass(BackendUnavailable, ValueError)
+
+    def test_quantized_rejected_before_numba_gate(self, tiny, monkeypatch):
+        """The quantized rejection must fire even without numba installed —
+        it is a design restriction, not an environment one."""
+        monkeypatch.setattr("repro.kernels.compiled.NUMBA_AVAILABLE", False)
+        provider = ARCHITECTURES.create("exact", tiny)
+        quantized = DelayAndSumBeamformer(tiny, provider, quantization=18)
+        with pytest.raises(ValueError, match="quantized") as excinfo:
+            BACKENDS.create("compiled", quantized, None, None)
+        assert not isinstance(excinfo.value, BackendUnavailable)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError, match="threads"):
+            CompiledOptions(threads=0)
+        with pytest.raises(ValueError, match="block_size"):
+            CompiledOptions(block_size=0)
+        # Defaults are valid and hashable (used inside plan keys).
+        hash(CompiledOptions())
+
+    def test_plan_key_variant_isolation(self, beamformers):
+        """Compiled plans must never share cache entries with NumPy plans,
+        and fastmath must get its own entry (different float semantics)."""
+        beamformer = beamformers["exact"]
+        numpy_key = tables_key(beamformer)
+        from repro.kernels import plan_key
+        exact_key = plan_key(beamformer, None,
+                             variant=CompiledOptions().variant())
+        fastmath_key = plan_key(
+            beamformer, None, variant=CompiledOptions(fastmath=True).variant())
+        assert len({numpy_key, exact_key, fastmath_key}) == 3
+        # Launch-time knobs (threads, block size) do NOT split the key:
+        # they change scheduling, not the compiled artifact's math.
+        assert plan_key(beamformer, None,
+                        variant=CompiledOptions(threads=2).variant()) \
+            == exact_key
 
 
 class TestShardedEdgeCases:
