@@ -75,8 +75,12 @@ class Session:
         # no-op unless e.g. the CLI's --trace installed one).
         self.tracer = Tracer() if spec.trace else get_default_tracer()
         self.metrics = MetricsRegistry()
+        # A spec-level memory budget byte-bounds the shared cache: every
+        # pipeline/service/server this session vends then streams tiled
+        # plan segments through it instead of overflowing it.
         self.cache = PlanCache(capacity=spec.cache_capacity,
-                               metrics=self.metrics)
+                               metrics=self.metrics,
+                               max_bytes=spec.memory_budget_bytes)
         # A multi-firing scheme needs one plan slot per firing, or every
         # compounded frame would recompile its whole event bank (per-call
         # scheme overrides reserve their own slots in
@@ -160,16 +164,19 @@ class Session:
                  precision: Precision | str | None = None,
                  quantization: Any = _INHERIT,
                  scheme: Any = None,
-                 scheme_options: Any = None) -> ImagingPipeline:
+                 scheme_options: Any = None,
+                 memory_budget_bytes: Any = _INHERIT) -> ImagingPipeline:
         """An :class:`ImagingPipeline` over the shared substrates.
 
-        ``architecture`` / ``backend`` (and their options), ``precision``
-        and ``quantization`` default to the session spec; overriding them
-        swaps the variant while keeping the simulator, transducer, grid and
-        cache shared.  Pass ``quantization=None`` to explicitly *disable* a
-        spec-level quantisation (e.g. to compare the float and bit-true
-        variants of one quantized session).  A pre-built ``provider`` skips
-        delay-generator construction entirely.
+        ``architecture`` / ``backend`` (and their options), ``precision``,
+        ``quantization`` and ``memory_budget_bytes`` default to the session
+        spec; overriding them swaps the variant while keeping the
+        simulator, transducer, grid and cache shared.  Pass
+        ``quantization=None`` to explicitly *disable* a spec-level
+        quantisation (e.g. to compare the float and bit-true variants of
+        one quantized session); likewise ``memory_budget_bytes=None`` lifts
+        a spec-level budget for this one pipeline.  A pre-built
+        ``provider`` skips delay-generator construction entirely.
         """
         architecture, architecture_options, backend, backend_options = \
             self._resolve_variant(architecture, backend,
@@ -193,6 +200,8 @@ class Session:
             transducer=self.transducer,
             grid=self.grid,
             provider=provider,
+            memory_budget_bytes=self.spec.memory_budget_bytes
+            if memory_budget_bytes is _INHERIT else memory_budget_bytes,
             tracer=self.tracer)
         self._owned.append(pipeline)
         return pipeline
@@ -205,7 +214,8 @@ class Session:
                 precision: Precision | str | None = None,
                 quantization: Any = _INHERIT,
                 scheme: Any = None,
-                scheme_options: Any = None) -> BeamformingService:
+                scheme_options: Any = None,
+                memory_budget_bytes: Any = _INHERIT) -> BeamformingService:
         """A streaming :class:`BeamformingService` over the shared substrates.
 
         Note the service's default backend is the spec's backend — for a
@@ -232,6 +242,8 @@ class Session:
             scheme=scheme,
             cache=cache if cache is not None else self.cache,
             simulator=self.simulator,
+            memory_budget_bytes=self.spec.memory_budget_bytes
+            if memory_budget_bytes is _INHERIT else memory_budget_bytes,
             tracer=self.tracer)
         self._owned.append(service)
         return service

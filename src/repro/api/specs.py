@@ -27,7 +27,8 @@ from ..architectures import ARCHITECTURES, architecture_name
 from ..beamformer.das import ApodizationSettings
 from ..beamformer.interpolation import InterpolationKind
 from ..config import PRESETS, SystemConfig, get_preset
-from ..kernels import Precision, QuantizationSpec, resolve_precision
+from ..kernels import Precision, QuantizationSpec, TilePlanner, \
+    parse_memory_budget, resolve_precision
 from ..registry import decode_options, encode_options
 from ..runtime.backends import BACKENDS
 from ..runtime.scheduler import FrameRequest
@@ -115,6 +116,19 @@ class EngineSpec:
     the CLI's ``--trace`` / ``--trace-out`` flags.  Tracing is
     observation-only — traced volumes are bit-identical to untraced."""
 
+    memory_budget_bytes: int | str | None = None
+    """Plan-memory budget for the engine, in bytes (suffixed strings like
+    ``"8G"`` accepted; normalised to an int at validation).
+
+    ``None`` (the default) keeps the historical unbounded behaviour.  With
+    a budget, the session's :class:`repro.runtime.cache.PlanCache` is
+    byte-bounded, and any engine whose whole-grid plan would exceed the
+    budget executes tiled — :class:`repro.kernels.TilePlanner` /
+    :class:`repro.kernels.TiledPlan` stream per-tile segments through the
+    cache, bit-identical to untiled execution (see ``docs/memory.md``).
+    A budget too small to hold even one scanline of the resolved system is
+    rejected here with an actionable error."""
+
     def __post_init__(self) -> None:
         system = self.system
         if isinstance(system, dict):
@@ -175,6 +189,18 @@ class EngineSpec:
             raise ValueError("cache_capacity must be a positive integer")
         if not isinstance(self.trace, bool):
             raise ValueError("trace must be a boolean")
+        if self.memory_budget_bytes is not None:
+            budget = parse_memory_budget(self.memory_budget_bytes)
+            # Plan the tiling eagerly against the resolved system: a budget
+            # too small for one scanline fails at spec load with the
+            # minimum stated, not at first frame.
+            system = self.resolve_system()
+            TilePlanner(
+                (system.volume.n_theta, system.volume.n_phi,
+                 system.volume.n_depth),
+                system.transducer.element_count, budget,
+                precision=self.precision, interpolation=self.interpolation)
+            object.__setattr__(self, "memory_budget_bytes", budget)
 
     # ------------------------------------------------------------ building
     def resolve_system(self) -> SystemConfig:
@@ -205,6 +231,7 @@ class EngineSpec:
             "scheme_options": encode_options(self.scheme_options),
             "cache_capacity": self.cache_capacity,
             "trace": self.trace,
+            "memory_budget_bytes": self.memory_budget_bytes,
         }
 
     @classmethod

@@ -90,6 +90,10 @@ def _merged_spec_data(args: argparse.Namespace,
         data["quantization"] = args.qformat
     if getattr(args, "scheme", None):
         data["scheme"] = args.scheme
+    if getattr(args, "memory_budget", None):
+        # "--memory-budget 512M" / "8G" / plain bytes; parsed and
+        # validated against the system by EngineSpec.
+        data["memory_budget_bytes"] = args.memory_budget
     return apply_overrides(data, getattr(args, "set", None) or [])
 
 
@@ -341,7 +345,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         data.setdefault("engine", {}).setdefault("backend", "vectorized")
         for key, value in (("workers", args.workers),
                            ("queue_capacity", args.queue_capacity),
-                           ("policy", args.policy)):
+                           ("policy", args.policy),
+                           ("session_memory_budget_bytes",
+                            args.memory_budget)):
             if value is not None:
                 data[key] = value
         data = apply_overrides(data, args.set or [])
@@ -446,6 +452,10 @@ def build_parser() -> argparse.ArgumentParser:
     spec_parser.add_argument("--scheme", default=None,
                              help="transmit scheme (see 'list') "
                                   "[default: focused]")
+    spec_parser.add_argument("--memory-budget", metavar="BYTES", default=None,
+                             help="plan-memory budget; plain bytes or a "
+                                  "suffixed size like 512M or 8G "
+                                  "[default: unbounded]")
     spec_parser.add_argument("--out", metavar="FILE", default=None,
                              help="write the JSON to FILE instead of stdout")
     spec_parser.set_defaults(handler=_cmd_spec)
@@ -478,6 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument("--batch", type=int, default=1,
                                help="frames per batched kernel execution "
                                     "(default 1 = per-frame)")
+    stream_parser.add_argument("--memory-budget", metavar="BYTES",
+                               default=None,
+                               help="plan-memory budget; execution tiles "
+                                    "the volume so cached plan segments "
+                                    "never exceed it (e.g. 512K, 8G) "
+                                    "[default: unbounded]")
     stream_parser.add_argument("--trace", action="store_true",
                                help="record a span trace and print the "
                                     "per-stage tree after streaming")
@@ -527,6 +543,12 @@ def build_parser() -> argparse.ArgumentParser:
                               help="backpressure policy: block, "
                                    "drop_oldest or drop_latest "
                                    "[default: block]")
+    serve_parser.add_argument("--memory-budget", metavar="BYTES",
+                              default=None,
+                              help="default per-session plan-memory budget "
+                                   "(e.g. 512K, 8G); sessions whose engine "
+                                   "carries its own budget keep it "
+                                   "[default: unbounded]")
     serve_parser.add_argument("--check", action="store_true",
                               help="validate and print the resolved "
                                    "ServerSpec JSON, then exit without "

@@ -28,6 +28,12 @@ every entry point at once.
   voxel blocks.  Optional: importable (and introspectable) without numba,
   but building a plan raises :class:`BackendUnavailable` unless numba is
   installed.
+* :mod:`repro.kernels.tiling` — memory-budgeted tiled execution:
+  :class:`TilePlanner` splits any grid into budget-sized :class:`Tile`
+  ranges from per-point plan cost, and :class:`TiledPlan` streams per-tile
+  segment plans (NumPy, quantized or compiled) through a byte-budgeted
+  :class:`repro.runtime.cache.PlanCache` — the software analogue of the
+  paper's on-the-fly delay generation (see ``docs/memory.md``).
 """
 
 from .compiled import (
@@ -54,6 +60,7 @@ from .quantized import (
     parse_qformat,
     quantized_delay_and_sum,
 )
+from .tiling import Tile, TiledPlan, TilePlanner, parse_memory_budget
 
 __all__ = [
     "BackendUnavailable",
@@ -65,6 +72,9 @@ __all__ = [
     "QuantizationSpec",
     "QuantizedPlan",
     "TOLERANCES",
+    "Tile",
+    "TilePlanner",
+    "TiledPlan",
     "Tolerance",
     "accumulate",
     "apply_weights",
@@ -75,6 +85,7 @@ __all__ = [
     "delay_and_sum",
     "gather_interp",
     "numba_available",
+    "parse_memory_budget",
     "parse_qformat",
     "plan_key",
     "plan_storage_bytes",

@@ -569,7 +569,8 @@ class CompiledPlan(BeamformingPlan):
 
 def compile_compiled_plan(beamformer: "DelayAndSumBeamformer",
                           precision: Precision | str | None = None,
-                          options: CompiledOptions | None = None
+                          options: CompiledOptions | None = None, *,
+                          tile: "object | None" = None
                           ) -> CompiledPlan:
     """Compile a :class:`CompiledPlan` (tensors + jitted kernels) for an
     engine.
@@ -580,7 +581,9 @@ def compile_compiled_plan(beamformer: "DelayAndSumBeamformer",
     The plan key carries :meth:`CompiledOptions.variant`, so a cache shared
     with NumPy backends can never serve a :class:`CompiledPlan` where a
     NumPy plan is expected (or vice versa), and fastmath plans never
-    masquerade as strict ones.
+    masquerade as strict ones.  ``tile`` compiles the fused segment for one
+    :class:`repro.kernels.tiling.Tile` over the same streamed tensors the
+    NumPy segment would use (the key carries both variant and tile).
     """
     if getattr(beamformer, "quantization", None) is not None:
         raise ValueError(
@@ -591,9 +594,10 @@ def compile_compiled_plan(beamformer: "DelayAndSumBeamformer",
     require_numba()
     options = CompiledOptions() if options is None else options
     precision = resolve_precision(precision)
-    base = compile_plan(beamformer, precision)
+    base = compile_plan(beamformer, precision, tile=tile)
     plan = CompiledPlan(
-        key=plan_key(beamformer, precision, variant=options.variant()),
+        key=plan_key(beamformer, precision, variant=options.variant(),
+                     tile=tile),
         delays=base.delays, weights=base.weights,
         grid_shape=base.grid_shape, precision=base.precision,
         interpolation=base.interpolation, n_samples=base.n_samples,

@@ -76,7 +76,8 @@ def plan_storage_bytes(n_points: int, n_elements: int,
 def plan_key(beamformer: "DelayAndSumBeamformer",
              precision: Precision | str | None = None,
              quantization: object | None = None, *,
-             variant: Hashable = None) -> Hashable:
+             variant: Hashable = None,
+             tile: "object | None" = None) -> Hashable:
     """Stable cache key for the compiled plan of a beamformer.
 
     Combines the physical system digest, the delay architecture (class plus
@@ -99,6 +100,12 @@ def plan_key(beamformer: "DelayAndSumBeamformer",
     flags), so a shared :class:`repro.runtime.cache.PlanCache` must never
     hand a NumPy plan to a variant backend or vice versa; ``None`` (the
     NumPy plan) keeps the historical key shape.
+
+    ``tile`` scopes the key to one :class:`repro.kernels.tiling.Tile` of
+    the focal grid: the tile's flat point range joins the key, so segment
+    plans of the same engine occupy distinct cache slots (the bounded
+    :class:`~repro.runtime.cache.PlanCache` streams them under a byte
+    budget) and can never shadow the whole-grid plan.
     """
     precision = resolve_precision(precision)
     if quantization is None:
@@ -118,7 +125,46 @@ def plan_key(beamformer: "DelayAndSumBeamformer",
            repr(quantization) if quantization is not None else None)
     if variant is not None:
         key = key + (variant,)
+    if tile is not None:
+        key = key + (("tile", int(tile.start), int(tile.stop)),)
     return key
+
+
+def _tile_tensors(beamformer: "DelayAndSumBeamformer", tile
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Delay/weight rows for one tile, generated scanline by scanline.
+
+    The streaming analogue of the bulk ``volume_delays_samples`` /
+    ``volume_weights`` pair: it materialises only the tile's
+    ``(tile.n_points, n_elements)`` rows, never the whole-grid tensors —
+    the entire point of tiled execution is that the full tensors do not
+    fit the memory budget.  Bit-identity is structural: the bulk volume
+    paths assemble their tensors from the very same per-scanline
+    ``scanline_delays_samples`` / ``weights_for_scanline`` calls, so each
+    tile's rows are exact row slices of what an untiled compile would
+    produce.  Both tensors are returned as ``float64``; the caller applies
+    the same dtype/quantisation coercions as the untiled compile.
+    """
+    n_theta, n_phi, n_depth = beamformer.grid.shape
+    n_elements = beamformer.transducer.element_count
+    start, stop = int(tile.start), int(tile.stop)
+    n = stop - start
+    delays = np.empty((n, n_elements), dtype=np.float64)
+    weights = np.empty((n, n_elements), dtype=np.float64)
+    row, filled = start, 0
+    while filled < n:
+        line, depth = divmod(row, n_depth)
+        i_theta, i_phi = divmod(line, n_phi)
+        take = min(n_depth - depth, n - filled)
+        scanline = np.asarray(
+            beamformer.delays.scanline_delays_samples(i_theta, i_phi),
+            dtype=np.float64)
+        delays[filled:filled + take] = scanline[depth:depth + take]
+        weights[filled:filled + take] = \
+            beamformer.weights_for_scanline(i_theta, i_phi)[depth:depth + take]
+        filled += take
+        row += take
+    return delays, weights
 
 
 @dataclass(frozen=True)
@@ -316,7 +362,8 @@ class BeamformingPlan:
 def compile_plan(beamformer: "DelayAndSumBeamformer",
                  precision: Precision | str | None = None, *,
                  variant: str | None = None,
-                 options: object | None = None) -> BeamformingPlan:
+                 options: object | None = None,
+                 tile: "object | None" = None) -> BeamformingPlan:
     """Compile the beamforming plan for a configured beamformer.
 
     Generates the full delay tensor through the provider's bulk path, the
@@ -336,6 +383,15 @@ def compile_plan(beamformer: "DelayAndSumBeamformer",
     kernels; ``options`` is its :class:`~repro.kernels.compiled.CompiledOptions`),
     raising :class:`repro.kernels.compiled.BackendUnavailable` when numba is
     not importable.  The default ``None`` is the NumPy plan.
+
+    ``tile`` compiles a *segment* plan covering only that
+    :class:`repro.kernels.tiling.Tile` of the focal grid: tensors come
+    from the streaming per-scanline path (:func:`_tile_tensors`), the key
+    carries the tile's point range, and ``grid_shape`` degenerates to
+    ``(1, 1, tile.n_points)`` — the segment behaves like a plan for a
+    one-scanline grid of the tile's length.  Segments are what
+    :class:`repro.kernels.tiling.TiledPlan` streams through the bounded
+    cache; their rows are bit-identical slices of the untiled tensors.
     """
     if getattr(beamformer, "quantization", None) is not None:
         if variant is not None:
@@ -344,21 +400,27 @@ def compile_plan(beamformer: "DelayAndSumBeamformer",
                 "execution; quantized engines compile to the NumPy "
                 "QuantizedPlan only")
         from .quantized import compile_quantized_plan
-        return compile_quantized_plan(beamformer, precision)
+        return compile_quantized_plan(beamformer, precision, tile=tile)
     if variant is not None:
         if variant != "compiled":
             raise ValueError(f"unknown plan variant {variant!r}; "
                              "available: compiled")
         from .compiled import compile_compiled_plan
-        return compile_compiled_plan(beamformer, precision, options)
+        return compile_compiled_plan(beamformer, precision, options,
+                                     tile=tile)
     precision = resolve_precision(precision)
-    grid_shape = beamformer.grid.shape
     n_elements = beamformer.transducer.element_count
-    delays = np.asarray(beamformer.delays.volume_delays_samples(),
-                        dtype=np.float64).reshape(-1, n_elements)
-    weights = beamformer.volume_weights().reshape(-1, n_elements) \
-        .astype(precision.dtype)
-    plan = BeamformingPlan(key=plan_key(beamformer, precision),
+    if tile is not None:
+        grid_shape = (1, 1, int(tile.stop) - int(tile.start))
+        delays, weights = _tile_tensors(beamformer, tile)
+        weights = weights.astype(precision.dtype)
+    else:
+        grid_shape = beamformer.grid.shape
+        delays = np.asarray(beamformer.delays.volume_delays_samples(),
+                            dtype=np.float64).reshape(-1, n_elements)
+        weights = beamformer.volume_weights().reshape(-1, n_elements) \
+            .astype(precision.dtype)
+    plan = BeamformingPlan(key=plan_key(beamformer, precision, tile=tile),
                            delays=delays, weights=weights,
                            grid_shape=grid_shape, precision=precision,
                            interpolation=beamformer.interpolation,

@@ -327,7 +327,8 @@ class QuantizedPlan(BeamformingPlan):
 
 def compile_quantized_plan(beamformer: "DelayAndSumBeamformer",
                            precision: Precision | str | None = None,
-                           spec: QuantizationSpec | None = None
+                           spec: QuantizationSpec | None = None, *,
+                           tile: "object | None" = None
                            ) -> QuantizedPlan:
     """Compile the bit-true fixed-point plan for a configured beamformer.
 
@@ -335,6 +336,12 @@ def compile_quantized_plan(beamformer: "DelayAndSumBeamformer",
     Delays and weights are generated through the same bulk provider/weight
     paths as :func:`repro.kernels.plan.compile_plan` and then quantised once
     at compile time; the gather index is built from the quantised delays.
+
+    ``tile`` compiles the segment covering one
+    :class:`repro.kernels.tiling.Tile` only: the tensors come from the
+    streaming per-scanline path and are quantised with the same
+    ``quantize_delays`` / ``quantize_weights`` stages (elementwise, so the
+    segment rows stay bit-true slices of the untiled quantised tensors).
     """
     if spec is None:
         spec = getattr(beamformer, "quantization", None)
@@ -346,15 +353,22 @@ def compile_quantized_plan(beamformer: "DelayAndSumBeamformer",
     # __post_init__ re-checks, but only after the tensors exist).
     spec.validate_for(precision, beamformer.interpolation,
                       beamformer.system.echo_buffer_samples)
-    grid_shape = beamformer.grid.shape
     n_elements = beamformer.transducer.element_count
-    delays = spec.quantize_delays(
-        np.asarray(beamformer.delays.volume_delays_samples(),
-                   dtype=np.float64).reshape(-1, n_elements))
-    weights = spec.quantize_weights(
-        beamformer.volume_weights().reshape(-1, n_elements))
+    if tile is not None:
+        from .plan import _tile_tensors
+        grid_shape = (1, 1, int(tile.stop) - int(tile.start))
+        raw_delays, raw_weights = _tile_tensors(beamformer, tile)
+        delays = spec.quantize_delays(raw_delays)
+        weights = spec.quantize_weights(raw_weights)
+    else:
+        grid_shape = beamformer.grid.shape
+        delays = spec.quantize_delays(
+            np.asarray(beamformer.delays.volume_delays_samples(),
+                       dtype=np.float64).reshape(-1, n_elements))
+        weights = spec.quantize_weights(
+            beamformer.volume_weights().reshape(-1, n_elements))
     plan = QuantizedPlan(
-        key=plan_key(beamformer, precision, quantization=spec),
+        key=plan_key(beamformer, precision, quantization=spec, tile=tile),
         delays=delays, weights=weights, grid_shape=grid_shape,
         precision=precision, interpolation=beamformer.interpolation,
         n_samples=beamformer.system.echo_buffer_samples, spec=spec)

@@ -1,0 +1,437 @@
+"""Memory-budgeted tiled execution: budget -> tiles -> streamed segments.
+
+Experiment E9 puts the paper's storage argument in numbers: a compiled
+whole-grid :class:`~repro.kernels.plan.BeamformingPlan` costs terabytes at
+paper scale — the very reason the DATE'15 architecture generates delays on
+the fly instead of storing them.  This module is the software analogue of
+that choice.  Given a ``memory_budget_bytes`` cap (e.g. ``"8G"``):
+
+* :class:`TilePlanner` splits the flat focal-point axis into contiguous
+  :class:`Tile` ranges whose per-tile plan cost
+  (:func:`~repro.kernels.plan.plan_storage_bytes`) fits the budget,
+  aligned to whole scanlines by default (the minimal unit the per-scanline
+  delay providers stream);
+* :class:`TiledPlan` mirrors the :class:`BeamformingPlan` execute surface
+  but compiles one *segment* plan per tile on demand — via
+  ``compile_plan(..., tile=...)``, whose tensors come from the streaming
+  per-scanline path, never the whole-grid bulk path — and writes each
+  tile's rows into the caller's output array;
+* segments are cached in a byte-budgeted
+  :class:`repro.runtime.cache.PlanCache` (segment-level LRU): the budget is
+  *enforced*, never silently exceeded, and the achieved peak is reported
+  through the cache's ``plan_cache_peak_bytes`` gauge.
+
+Bit-identity with untiled execution is structural, and pinned by the
+conformance matrix and ``tests/test_property_tiling.py``: the bulk volume
+tensors are themselves assembled scanline-by-scanline from the same
+per-scanline calls, every dtype/quantisation coercion is elementwise, and
+every focal point's gather/weight/sum is independent of its neighbours —
+so a tile's rows are exact row slices of the untiled result.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from ..observability.tracing import resolve_tracer
+from .plan import compile_plan, plan_key, plan_storage_bytes
+from .precision import Precision, resolve_precision
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..acoustics.echo import ChannelData
+    from ..beamformer.das import DelayAndSumBeamformer
+    from ..runtime.cache import PlanCache
+
+__all__ = ["Tile", "TilePlanner", "TiledPlan", "parse_memory_budget"]
+
+
+_BUDGET_SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+
+
+def parse_memory_budget(value: int | str) -> int:
+    """Normalise a memory budget to a positive integer byte count.
+
+    Accepts plain integers, decimal strings, and binary-suffixed strings
+    (``"8G"``, ``"512M"``, ``"64K"``, ``"1T"``, case-insensitive, optional
+    trailing ``B`` as in ``"8GB"``; fractions like ``"0.5G"`` work too).
+    Raises :class:`ValueError` for anything non-positive or unparseable —
+    a budget is a hard promise, so a malformed one must fail loudly, never
+    default.
+    """
+    if isinstance(value, bool):
+        raise ValueError("memory budget must be a byte count or a string "
+                         "like '8G', not a bool")
+    if isinstance(value, (int, np.integer)):
+        budget = int(value)
+    elif isinstance(value, str):
+        text = value.strip().upper()
+        if text.endswith("B"):
+            text = text[:-1]
+        scale = 1
+        if text and text[-1] in _BUDGET_SUFFIXES:
+            scale = _BUDGET_SUFFIXES[text[-1]]
+            text = text[:-1]
+        try:
+            budget = int(float(text) * scale)
+        except ValueError:
+            raise ValueError(
+                f"unparseable memory budget {value!r}: expected bytes or a "
+                "suffixed size like '8G', '512M', '64K'") from None
+    else:
+        raise ValueError(f"memory budget must be an int or str, "
+                         f"got {type(value).__name__}")
+    if budget < 1:
+        raise ValueError(f"memory budget must be positive, got {value!r}")
+    return budget
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One contiguous flat-point range of the focal grid.
+
+    ``start``/``stop`` index the scanline-major flattened point axis the
+    plans execute over (``(i_theta, i_phi, i_depth)`` order), so a tile is
+    exactly a row slice of the whole-grid tensors.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def n_points(self) -> int:
+        """Number of focal points covered by this tile."""
+        return self.stop - self.start
+
+    @property
+    def rows(self) -> slice:
+        """The tile's flat-point range as a slice."""
+        return slice(self.start, self.stop)
+
+
+class TilePlanner:
+    """Split a voxel grid into budget-sized tiles from per-point plan cost.
+
+    Parameters
+    ----------
+    grid_shape:
+        Focal-grid shape ``(n_theta, n_phi, n_depth)``.
+    n_elements:
+        Receive-channel count (sets the per-point plan cost).
+    memory_budget_bytes:
+        The plan-memory cap, as bytes or a suffixed string (``"8G"``).
+        Tiles are sized so one segment plan never exceeds it; the
+        byte-budgeted :class:`repro.runtime.cache.PlanCache` then enforces
+        it across however many segments are resident.
+    precision / interpolation:
+        Execution dtype and gather interpolation — both change the
+        per-point cost (see :func:`~repro.kernels.plan.plan_storage_bytes`).
+    granularity:
+        Tile alignment in points.  Defaults to ``n_depth`` — whole
+        scanlines, the minimal unit the per-scanline delay providers
+        stream.  Property tests use ``granularity=1`` (single-voxel tiles)
+        to pin the degenerate partition.
+
+    A budget too small to hold even one granularity unit is rejected with
+    an actionable error (the MWA-pointing stance: fail loudly, never
+    degrade silently).
+    """
+
+    def __init__(self, grid_shape: Sequence[int], n_elements: int,
+                 memory_budget_bytes: int | str, *,
+                 precision: Precision | str | None = None,
+                 interpolation="nearest",
+                 granularity: int | None = None) -> None:
+        self.grid_shape = tuple(int(n) for n in grid_shape)
+        if len(self.grid_shape) != 3 or min(self.grid_shape) < 1:
+            raise ValueError(f"grid_shape must be three positive extents, "
+                             f"got {grid_shape!r}")
+        n_theta, n_phi, n_depth = self.grid_shape
+        self.n_points = n_theta * n_phi * n_depth
+        self.n_elements = int(n_elements)
+        self.memory_budget_bytes = parse_memory_budget(memory_budget_bytes)
+        self.precision = resolve_precision(precision)
+        self.interpolation = interpolation
+        self.granularity = n_depth if granularity is None else int(granularity)
+        if self.granularity < 1:
+            raise ValueError("tile granularity must be at least 1 point")
+        self.bytes_per_point = plan_storage_bytes(
+            1, self.n_elements, self.precision, self.interpolation)
+        unit_bytes = self.bytes_per_point * self.granularity
+        units = self.memory_budget_bytes // unit_bytes
+        if units < 1:
+            unit = "scanline" if granularity is None else \
+                f"{self.granularity}-point tile"
+            raise ValueError(
+                f"memory budget of {self.memory_budget_bytes} bytes cannot "
+                f"hold one {unit}: a single segment plan of "
+                f"{self.granularity} points x {self.n_elements} elements "
+                f"costs {unit_bytes} bytes "
+                f"({self.bytes_per_point} bytes/point at "
+                f"{self.precision.value}); raise the budget to at least "
+                f"{unit_bytes} bytes")
+        self.tile_points = int(min(units * self.granularity, self.n_points))
+        self.n_tiles = math.ceil(self.n_points / self.tile_points)
+
+    # ------------------------------------------------------------ the tiles
+    def tile(self, index: int) -> Tile:
+        """The ``index``-th tile (last one may be short)."""
+        if not 0 <= index < self.n_tiles:
+            raise IndexError(f"tile index {index} out of range "
+                             f"[0, {self.n_tiles})")
+        start = index * self.tile_points
+        return Tile(index=index, start=start,
+                    stop=min(start + self.tile_points, self.n_points))
+
+    def tiles(self) -> tuple[Tile, ...]:
+        """All tiles, in flat-point order — an exact partition of the grid
+        (no overlap, no gap, full coverage; pinned by the property suite)."""
+        return tuple(self.tile(i) for i in range(self.n_tiles))
+
+    def covering(self, rows: slice) -> Iterator[Tile]:
+        """The tiles intersecting a flat-point range (sharded row blocks)."""
+        start, stop, _ = rows.indices(self.n_points)
+        if stop <= start:
+            return
+        first = start // self.tile_points
+        last = (stop - 1) // self.tile_points
+        for index in range(first, last + 1):
+            yield self.tile(index)
+
+    # ------------------------------------------------------------- costing
+    @property
+    def tile_bytes(self) -> int:
+        """Plan cost of one full-size tile segment [bytes] (<= budget)."""
+        return self.tile_points * self.bytes_per_point
+
+    def tile_nbytes(self, tile: Tile) -> int:
+        """Predicted plan cost of one specific tile's segment [bytes]."""
+        return tile.n_points * self.bytes_per_point
+
+    @property
+    def untiled_bytes(self) -> int:
+        """What the whole-grid plan would cost [bytes] — the E9 wall."""
+        return self.n_points * self.bytes_per_point
+
+    @classmethod
+    def for_beamformer(cls, beamformer: "DelayAndSumBeamformer",
+                       memory_budget_bytes: int | str, *,
+                       precision: Precision | str | None = None,
+                       granularity: int | None = None) -> "TilePlanner":
+        """Planner for a configured beamformer's grid/channels/interp."""
+        return cls(beamformer.grid.shape,
+                   beamformer.transducer.element_count,
+                   memory_budget_bytes, precision=precision,
+                   interpolation=beamformer.interpolation,
+                   granularity=granularity)
+
+
+class TiledPlan:
+    """Budget-bounded drop-in for a whole-grid plan: segments on demand.
+
+    Mirrors the :class:`~repro.kernels.plan.BeamformingPlan` execute
+    surface (``execute`` / ``execute_rows`` / ``execute_batch``) so the
+    runtime backends can hold one regardless of tiling.  Each call walks
+    the planner's tiles, fetches the tile's segment plan from the
+    byte-budgeted cache (compiling through the streaming
+    ``compile_plan(..., tile=...)`` path on miss, under a ``compile``
+    span), executes it, and writes the rows into the output array — one
+    ``tile`` tracer span per tile.
+
+    ``variant="compiled"`` streams fused
+    :class:`~repro.kernels.compiled.CompiledPlan` segments instead (keyed
+    by ``options.variant()`` exactly as the untiled compiled path is); a
+    beamformer carrying a ``quantization`` spec streams bit-true
+    :class:`~repro.kernels.quantized.QuantizedPlan` segments automatically.
+    """
+
+    def __init__(self, beamformer: "DelayAndSumBeamformer",
+                 planner: TilePlanner,
+                 precision: Precision | str | None = None, *,
+                 cache: "PlanCache | None" = None,
+                 variant: str | None = None,
+                 options: object | None = None) -> None:
+        self.beamformer = beamformer
+        self.planner = planner
+        self.precision = resolve_precision(precision)
+        self.grid_shape = beamformer.grid.shape
+        self.interpolation = beamformer.interpolation
+        self.n_samples = beamformer.system.echo_buffer_samples
+        self.quantization = getattr(beamformer, "quantization", None)
+        if variant is not None and variant != "compiled":
+            raise ValueError(f"unknown plan variant {variant!r}; "
+                             "available: compiled")
+        self._variant = variant
+        self._options = options
+        if variant == "compiled":
+            from .compiled import CompiledOptions
+            options = CompiledOptions() if options is None else options
+            self._options = options
+            self._key_variant = options.variant()
+        else:
+            self._key_variant = None
+        if cache is None:
+            # Private per-plan cache, bounded by the same budget the tiles
+            # were sized for.  Imported lazily: repro.runtime imports the
+            # kernels package, not the other way round.
+            from ..runtime.cache import PlanCache
+            cache = PlanCache(metrics=None,
+                              max_bytes=planner.memory_budget_bytes)
+        self.cache = cache
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def n_points(self) -> int:
+        """Number of focal points (product of ``grid_shape``)."""
+        return self.planner.n_points
+
+    @property
+    def n_elements(self) -> int:
+        """Number of receive channels."""
+        return self.planner.n_elements
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Execution dtype of the output volumes."""
+        return self.precision.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Per-segment working set [bytes] — the streaming footprint, not
+        the (budget-violating) whole-grid tensor cost."""
+        return self.planner.tile_bytes
+
+    @property
+    def peak_plan_bytes(self) -> int:
+        """Highest resident segment-plan byte count seen so far (from the
+        cache's tracked-bytes high-water mark) — the number E9 reports
+        against the budget."""
+        return int(self.cache.stats.peak_bytes)
+
+    # ------------------------------------------------------------ execution
+    def coerce_samples(self, channel_data: "ChannelData | np.ndarray"
+                       ) -> np.ndarray:
+        """One frame coerced exactly as the segments will re-coerce it.
+
+        Hoists the cast (float) or sample quantisation (fixed-point) out
+        of the per-tile loop; both coercions are idempotent, so the
+        segments' own ``coerce_samples`` passes the result through
+        unchanged and tiled output stays bit-identical to untiled.
+        """
+        samples = getattr(channel_data, "samples", channel_data)
+        if self.quantization is not None:
+            return self.quantization.quantize_samples(
+                np.asarray(samples, dtype=np.float64))
+        return np.asarray(samples, dtype=self.dtype)
+
+    def segment(self, tile: Tile, tracer=None):
+        """The compiled segment plan for one tile (cached; builds on miss)."""
+        tracer = resolve_tracer(tracer)
+        key = plan_key(self.beamformer, self.precision,
+                       variant=self._key_variant, tile=tile)
+
+        def build():
+            with tracer.span("compile") as span:
+                plan = compile_plan(self.beamformer, self.precision,
+                                    variant=self._variant,
+                                    options=self._options, tile=tile)
+                span.set(bytes=int(plan.nbytes), points=tile.n_points,
+                         elements=self.n_elements, tile=tile.index)
+            return plan
+
+        return self.cache.get_or_build(
+            key, build, size_hint=self.planner.tile_nbytes(tile))
+
+    def _segment_kwargs(self, options) -> dict:
+        if self._variant == "compiled":
+            return {"options": self._options if options is None else options}
+        return {}
+
+    def execute(self, channel_data: "ChannelData | np.ndarray",
+                tracer=None, options=None,
+                out: np.ndarray | None = None) -> np.ndarray:
+        """Beamform one frame tile by tile; shape ``grid_shape``.
+
+        ``out`` (optional) receives the volume in place — it must match
+        ``grid_shape`` and the execution dtype.  Each tile runs under a
+        ``tile`` span carrying its index, point count and segment bytes.
+        """
+        tracer = resolve_tracer(tracer)
+        samples = self.coerce_samples(channel_data)
+        if out is None:
+            out = np.empty(self.grid_shape, dtype=self.dtype)
+        elif out.shape != self.grid_shape or out.dtype != self.dtype:
+            raise ValueError(
+                f"out must be shape {self.grid_shape} dtype {self.dtype}, "
+                f"got shape {out.shape} dtype {out.dtype}")
+        elif not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous (tile rows are "
+                             "written through a flat view)")
+        flat = out.reshape(-1)
+        kwargs = self._segment_kwargs(options)
+        for tile in self.planner.tiles():
+            with tracer.span("tile", index=tile.index,
+                             tiles=self.planner.n_tiles,
+                             points=tile.n_points) as span:
+                segment = self.segment(tile, tracer)
+                span.set(bytes=int(segment.nbytes))
+                flat[tile.start:tile.stop] = segment.execute_rows(
+                    samples, slice(0, tile.n_points), tracer=tracer, **kwargs)
+        return out
+
+    def execute_rows(self, channel_data: "ChannelData | np.ndarray",
+                     rows: slice, tracer=None, options=None) -> np.ndarray:
+        """Beamform one contiguous flat-point block; returns the flat rows.
+
+        The sharded backend's unit of work: global rows are mapped onto
+        the tiles they intersect, each segment executing only its local
+        sub-range — so shard boundaries and tile boundaries compose.  Like
+        the untiled plan, stacked multi-frame sample buffers are accepted
+        (the sharded batched path passes one); leading dims carry through.
+        """
+        tracer = resolve_tracer(tracer)
+        samples = self.coerce_samples(channel_data)
+        start, stop, _ = rows.indices(self.n_points)
+        out = np.empty((*samples.shape[:-2], max(stop - start, 0)),
+                       dtype=self.dtype)
+        kwargs = self._segment_kwargs(options)
+        for tile in self.planner.covering(slice(start, stop)):
+            lo, hi = max(start, tile.start), min(stop, tile.stop)
+            with tracer.span("tile", index=tile.index,
+                             points=hi - lo) as span:
+                segment = self.segment(tile, tracer)
+                span.set(bytes=int(segment.nbytes))
+                out[..., lo - start:hi - start] = segment.execute_rows(
+                    samples, slice(lo - tile.start, hi - tile.start),
+                    tracer=tracer, **kwargs)
+        return out
+
+    def execute_batch(self, frames: "Sequence[ChannelData | np.ndarray]",
+                      tracer=None, options=None) -> np.ndarray:
+        """Beamform a cine batch tile by tile; ``(n_frames, *grid_shape)``.
+
+        Frames are coerced once and every tile's segment executes the full
+        batch before moving on — the segment (the expensive artifact) is
+        amortised across frames, exactly the access order the LRU favours.
+        """
+        tracer = resolve_tracer(tracer)
+        if len(frames) == 0:
+            return np.empty((0, *self.grid_shape), dtype=self.dtype)
+        coerced = [self.coerce_samples(frame) for frame in frames]
+        out = np.empty((len(frames), self.n_points), dtype=self.dtype)
+        kwargs = self._segment_kwargs(options)
+        for tile in self.planner.tiles():
+            with tracer.span("tile", index=tile.index,
+                             tiles=self.planner.n_tiles,
+                             points=tile.n_points) as span:
+                segment = self.segment(tile, tracer)
+                span.set(bytes=int(segment.nbytes))
+                block = segment.execute_batch(coerced, tracer=tracer,
+                                              **kwargs)
+                out[:, tile.start:tile.stop] = \
+                    block.reshape(len(frames), tile.n_points)
+        return out.reshape((len(frames), *self.grid_shape))

@@ -127,6 +127,13 @@ class ImagingPipeline:
     provider: DelayProvider | None = None
     """Pre-built delay provider; skips registry construction when given
     (e.g. to share one provider across several per-backend pipelines)."""
+    memory_budget_bytes: int | str | None = None
+    """Plan-memory budget for every backend this pipeline builds (bytes or
+    a suffixed string like ``"8G"``).  Grids whose whole-grid plan would
+    exceed it execute tiled (:class:`repro.kernels.TiledPlan`),
+    bit-identical to untiled; budgets too small for one scanline are
+    rejected at construction.  ``None`` = unbounded (historical
+    behaviour)."""
     tracer: object | None = None
     """Optional :class:`repro.observability.Tracer`; spans cover acoustic
     ``simulate``, the runtime backend's ``compile``/``execute`` stages and
@@ -166,6 +173,19 @@ class ImagingPipeline:
                 self.backend, self._beamformer, self.cache, self.precision,
                 options=self.backend_options)
             self._runtime_backend.tracer = self.tracer
+            if self.memory_budget_bytes is not None:
+                self._runtime_backend.set_memory_budget(
+                    self.memory_budget_bytes)
+        elif self.memory_budget_bytes is not None:
+            # The reference drivers stream one scanline at a time and never
+            # compile a plan, so any scanline-feasible budget holds; still
+            # validate it (and normalise to an int) so an impossible budget
+            # fails here exactly as it does on the plan-based backends.
+            from ..kernels.tiling import TilePlanner, parse_memory_budget
+            budget = parse_memory_budget(self.memory_budget_bytes)
+            TilePlanner.for_beamformer(self._beamformer, budget,
+                                       precision=self.precision)
+            self.memory_budget_bytes = budget
 
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -256,7 +276,8 @@ class ImagingPipeline:
             self._scheme_engine = SchemeEngine(
                 self._beamformer, self.scheme, backend=self.backend,
                 backend_options=self.backend_options, cache=self.cache,
-                precision=self.precision, tracer=self.tracer)
+                precision=self.precision, tracer=self.tracer,
+                memory_budget_bytes=self.memory_budget_bytes)
         return self._scheme_engine
 
     def acquire_firings(self, phantom: Phantom, noise_std: float = 0.0,

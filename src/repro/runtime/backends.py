@@ -115,6 +115,9 @@ class ExecutionBackend:
                                       beamformer.interpolation)
         self._key = plan_key(beamformer, self.precision)
         self._plan: BeamformingPlan | None = None
+        self.memory_budget_bytes: int | None = None
+        self._planner = None
+        self._tiled = None
 
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -126,6 +129,46 @@ class ExecutionBackend:
         closed backend may be used again — pools are rebuilt lazily.
         """
         self._plan = None
+        self._tiled = None
+
+    # -------------------------------------------------------- memory budget
+    def set_memory_budget(self, memory_budget_bytes: int | str | None
+                          ) -> None:
+        """Cap this backend's plan memory; ``None`` removes the cap.
+
+        Builds the :class:`repro.kernels.tiling.TilePlanner` for the
+        engine's grid/channels/precision immediately — a budget too small
+        to hold one scanline is rejected right here with an actionable
+        :class:`ValueError`, not at first frame.  When the planner needs
+        more than one tile, :meth:`plan` hands out a streaming
+        :class:`repro.kernels.tiling.TiledPlan` instead of the whole-grid
+        plan; a budget large enough for the whole grid keeps the untiled
+        fast path.  A shared :class:`PlanCache` is tightened to the same
+        byte bound so resident plans can never exceed it either.
+
+        The ``reference`` backend inherits the same validation but needs no
+        tiling: its per-scanline loop already streams one scanline of
+        delays at a time (the budget floor).
+        """
+        if memory_budget_bytes is None:
+            self.memory_budget_bytes = None
+            self._planner = None
+            self._tiled = None
+            return
+        from ..kernels.tiling import TilePlanner, parse_memory_budget
+        budget = parse_memory_budget(memory_budget_bytes)
+        self._planner = TilePlanner.for_beamformer(
+            self.beamformer, budget, precision=self.precision)
+        self.memory_budget_bytes = budget
+        self._tiled = None
+        if self.cache is not None:
+            self.cache.limit_bytes(budget)
+
+    def _build_tiled(self, planner):
+        """Build the tiled streaming plan — variant backends override."""
+        from ..kernels.tiling import TiledPlan
+        return TiledPlan(self.beamformer, planner, self.precision,
+                         cache=self.cache)
 
     def __enter__(self) -> "ExecutionBackend":
         return self
@@ -158,7 +201,18 @@ class ExecutionBackend:
         same engine configuration skip plan compilation.  The ``compile``
         span is opened only when a plan is actually built, so a trace shows
         the compile cost exactly once per cache miss.
+
+        Under a memory budget that the whole-grid plan would violate
+        (:meth:`set_memory_budget`), a :class:`~repro.kernels.tiling.TiledPlan`
+        is returned instead — same execute surface, segments streamed
+        through the byte-budgeted cache.  The shell is memoised privately
+        (only its segments live in the shared cache; caching the shell too
+        would double-count the bytes).
         """
+        if self._planner is not None and self._planner.n_tiles > 1:
+            if self._tiled is None:
+                self._tiled = self._build_tiled(self._planner)
+            return self._tiled
         if self.cache is not None:
             return self.cache.get_or_build(self._key, self._compile)
         if self._plan is None:
@@ -412,6 +466,12 @@ class CompiledBackend(ExecutionBackend):
     def _compile_plan(self) -> BeamformingPlan:
         return compile_plan(self.beamformer, self.precision,
                             variant="compiled", options=self.options)
+
+    def _build_tiled(self, planner):
+        from ..kernels.tiling import TiledPlan
+        return TiledPlan(self.beamformer, planner, self.precision,
+                         cache=self.cache, variant="compiled",
+                         options=self.options)
 
     def beamform_volume(self, channel_data: ChannelData) -> np.ndarray:
         plan = self.plan()

@@ -41,6 +41,9 @@ class CacheStats:
     evictions: int
     size: int
     capacity: int
+    bytes: int = 0
+    peak_bytes: int = 0
+    max_bytes: int | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -65,13 +68,32 @@ class PlanCache:
         service's/session's registry to co-locate the cache series with the
         rest of its metrics.  Without one the cache keeps a private
         registry, so :attr:`stats` always works.
+    max_bytes:
+        Optional plan-memory budget in bytes (or a suffixed string like
+        ``"8G"``, parsed by
+        :func:`repro.kernels.tiling.parse_memory_budget`).  When set, the
+        byte budget **replaces** the entry-count bound: the cache evicts
+        least-recently-used entries by their tracked ``nbytes`` until the
+        budget holds — a count bound of 4 would thrash a tiled sweep whose
+        segments are deliberately sized to the budget.  On a miss with a
+        ``size_hint`` the eviction happens *before* the builder runs, so
+        resident plan bytes plus the segment being built never exceed the
+        budget mid-sweep.  Tracked/peak bytes export as the
+        ``plan_cache_bytes`` / ``plan_cache_peak_bytes`` gauges (peak is
+        the number E9 reports against the budget); bytes are tracked even
+        without a budget, so the gauges are always meaningful.
     """
 
     def __init__(self, capacity: int = 4,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 max_bytes: int | str | None = None) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
         self.capacity = capacity
+        if max_bytes is not None:
+            from ..kernels.tiling import parse_memory_budget
+            max_bytes = parse_memory_budget(max_bytes)
+        self.max_bytes = max_bytes
         # One cache is shared by every session of a BeamformingServer, whose
         # worker threads look plans up concurrently — all entry/counter
         # mutation happens under this lock.  Compilation runs under it too:
@@ -86,14 +108,41 @@ class PlanCache:
             "plan_cache_misses_total", "plan-cache lookups that compiled")
         self._evictions = self.metrics.counter(
             "plan_cache_evictions_total", "plans evicted by the LRU bound")
+        self._bytes = 0
+        self._peak_bytes = 0
+        self._bytes_gauge = self.metrics.gauge(
+            "plan_cache_bytes", "tracked bytes of resident cached plans")
+        self._peak_gauge = self.metrics.gauge(
+            "plan_cache_peak_bytes",
+            "high-water mark of resident cached plan bytes")
 
     # ------------------------------------------------------------- lookups
-    def get_or_build(self, key: Hashable, builder: Callable[[], T]) -> T:
+    @staticmethod
+    def _entry_bytes(value: object) -> int:
+        """Tracked size of one entry (plans expose ``nbytes``; 0 otherwise)."""
+        return int(getattr(value, "nbytes", 0) or 0)
+
+    def _evict_oldest(self) -> None:
+        """Drop the least-recently-used entry (caller holds the lock)."""
+        _, value = self._entries.popitem(last=False)
+        self._bytes -= self._entry_bytes(value)
+        self._evictions.inc()
+        self._bytes_gauge.set(self._bytes)
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], T], *,
+                     size_hint: int | None = None) -> T:
         """Return the cached value for ``key``, building (and storing) it on miss.
 
         Thread-safe: concurrent callers asking for the same missing key
         block until the first caller's ``builder()`` finishes and then all
         receive the one built value (one miss, n-1 hits).
+
+        ``size_hint`` is the predicted byte size of the value about to be
+        built (segment callers pass the exact
+        :func:`repro.kernels.plan.plan_storage_bytes` prediction).  Under a
+        byte budget the cache pre-evicts LRU entries until the hint fits
+        *before* invoking the builder, so the budget holds even while the
+        new plan is being materialised.
         """
         with self._lock:
             if key in self._entries:
@@ -101,12 +150,36 @@ class PlanCache:
                 self._entries.move_to_end(key)
                 return self._entries[key]  # type: ignore[return-value]
             self._misses.inc()
+            if self.max_bytes is not None and size_hint is not None:
+                while self._entries and \
+                        self._bytes + int(size_hint) > self.max_bytes:
+                    self._evict_oldest()
             value = builder()
             self._entries[key] = value
-            if len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self._evictions.inc()
+            self._bytes += self._entry_bytes(value)
+            if self.max_bytes is not None:
+                # The byte budget replaces the count bound; never evict the
+                # entry just inserted (it is in use by the caller).
+                while self._bytes > self.max_bytes and len(self._entries) > 1:
+                    self._evict_oldest()
+            elif len(self._entries) > self.capacity:
+                self._evict_oldest()
+            self._peak_bytes = max(self._peak_bytes, self._bytes)
+            self._bytes_gauge.set(self._bytes)
+            self._peak_gauge.set(self._peak_bytes)
             return value
+
+    def limit_bytes(self, max_bytes: int | str) -> None:
+        """Impose (or tighten) the byte budget; never loosens an existing
+        one.  Evicts immediately if the current contents already overflow
+        the new bound."""
+        from ..kernels.tiling import parse_memory_budget
+        budget = parse_memory_budget(max_bytes)
+        with self._lock:
+            self.max_bytes = budget if self.max_bytes is None \
+                else min(self.max_bytes, budget)
+            while self._bytes > self.max_bytes and len(self._entries) > 1:
+                self._evict_oldest()
 
     def reserve(self, capacity: int) -> None:
         """Grow the eviction bound to at least ``capacity`` (never shrink).
@@ -129,9 +202,11 @@ class PlanCache:
 
     # ------------------------------------------------------------ lifecycle
     def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
+        """Drop all entries (counters and the byte high-water mark are kept)."""
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
+            self._bytes_gauge.set(0)
 
     @property
     def stats(self) -> CacheStats:
@@ -140,7 +215,10 @@ class PlanCache:
                           misses=int(self._misses.value),
                           evictions=int(self._evictions.value),
                           size=len(self._entries),
-                          capacity=self.capacity)
+                          capacity=self.capacity,
+                          bytes=int(self._bytes),
+                          peak_bytes=int(self._peak_bytes),
+                          max_bytes=self.max_bytes)
 
 
 DelayTableCache = PlanCache

@@ -174,7 +174,8 @@ class BeamformingService:
                  scheme: object | str | None = None,
                  scheme_options: object | None = None,
                  tracer=None,
-                 metrics: MetricsRegistry | None = None
+                 metrics: MetricsRegistry | None = None,
+                 memory_budget_bytes: int | str | None = None
                  ) -> None:
         # Imported lazily: repro.scenarios builds on this package.
         from ..scenarios import SchemeEngine, resolve_scheme
@@ -205,12 +206,18 @@ class BeamformingService:
             backend, self.beamformer, self.cache, self.precision,
             options=backend_options)
         self._backend.tracer = self.tracer
+        self.memory_budget_bytes = memory_budget_bytes
+        if memory_budget_bytes is not None:
+            # Tile the service's backend(s) under the budget; also
+            # byte-bounds the (possibly shared) plan cache.
+            self._backend.set_memory_budget(memory_budget_bytes)
         # The trivial focused scheme keeps the historical single-backend
         # path; anything else compounds per-firing engines.
         self._scheme_engine = None if self.scheme.is_trivial() else \
             SchemeEngine(self.beamformer, self.scheme, backend=backend,
                          backend_options=backend_options, cache=self.cache,
-                         precision=self.precision, tracer=self.tracer)
+                         precision=self.precision, tracer=self.tracer,
+                         memory_budget_bytes=memory_budget_bytes)
         self._simulator = simulator or EchoSimulator.from_config(system)
         # Monotonic id source for auto-assigned frames; unlike the stats
         # counters it survives reset_stats(), so ids never repeat within

@@ -74,12 +74,18 @@ class SchemeEngine:
         per-firing backend; compounding opens a ``compound`` span whose
         children are the per-firing ``compile``/``execute`` spans.
         ``None`` resolves to the process default (normally a no-op).
+    memory_budget_bytes:
+        Optional plan-memory budget applied to every per-firing backend
+        (see :meth:`repro.runtime.backends.ExecutionBackend.set_memory_budget`);
+        a shared cache is byte-bounded once and the per-firing segment
+        plans stream through it.
     """
 
     def __init__(self, beamformer: DelayAndSumBeamformer,
                  scheme: TransmitScheme, backend: str = "vectorized",
                  backend_options: Any = None, cache: Any = None,
-                 precision: Any = None, tracer: Any = None) -> None:
+                 precision: Any = None, tracer: Any = None,
+                 memory_budget_bytes: int | str | None = None) -> None:
         self.beamformer = beamformer
         self.scheme = scheme
         self.backend_name = backend
@@ -104,6 +110,8 @@ class SchemeEngine:
                 backend, event_beamformer, cache, precision,
                 options=backend_options)
             event_backend.tracer = self.tracer
+            if memory_budget_bytes is not None:
+                event_backend.set_memory_budget(memory_budget_bytes)
             self.backends.append(event_backend)
 
     @property

@@ -380,7 +380,8 @@ class BeamformingServer:
             # Accept an EngineSpec document where a ServerSpec is expected:
             # a mapping without server keys is treated as the engine.
             server_fields = {"engine", "workers", "queue_capacity", "policy",
-                             "ring_slots", "max_sessions"}
+                             "ring_slots", "max_sessions",
+                             "session_memory_budget_bytes"}
             if not server_fields & set(data):
                 spec = ServerSpec(engine=EngineSpec.from_dict(data))
             else:
@@ -478,6 +479,12 @@ class BeamformingServer:
 
     def _build_service(self, engine: EngineSpec) -> BeamformingService:
         """One session's engine, sharing the server cache and simulator."""
+        if self.spec.session_memory_budget_bytes is not None \
+                and engine.memory_budget_bytes is None:
+            # Server-wide per-session default; an engine carrying its own
+            # budget (even a larger one) keeps it.
+            engine = engine.with_updates(
+                memory_budget_bytes=self.spec.session_memory_budget_bytes)
         system = engine.resolve_system()
         simulator = self._simulators.get(system.cache_key())
         if simulator is None:
@@ -497,7 +504,8 @@ class BeamformingServer:
             scheme_options=engine.scheme_options,
             cache=self.cache,
             simulator=simulator,
-            tracer=self.tracer)
+            tracer=self.tracer,
+            memory_budget_bytes=engine.memory_budget_bytes)
 
     def _sampling_frequency(self, state: _SessionState) -> float:
         return state.service.system.acoustic.sampling_frequency

@@ -97,6 +97,12 @@ class ServerSpec:
     """Refuse ``open_session`` beyond this many live sessions
     (``None`` = unbounded)."""
 
+    session_memory_budget_bytes: int | str | None = None
+    """Default plan-memory budget per session, in bytes (suffixed strings
+    like ``"8G"`` accepted).  Applied to any session engine that does not
+    carry its own ``memory_budget_bytes``: its plans then execute tiled
+    under the cap (see ``docs/memory.md``).  ``None`` = unbounded."""
+
     def __post_init__(self) -> None:
         engine = self.engine
         if isinstance(engine, Mapping):
@@ -119,6 +125,15 @@ class ServerSpec:
                 not isinstance(self.max_sessions, int)
                 or self.max_sessions < 1):
             raise ValueError("max_sessions must be a positive integer or null")
+        if self.session_memory_budget_bytes is not None:
+            from ..kernels.tiling import parse_memory_budget
+            object.__setattr__(self, "session_memory_budget_bytes",
+                               parse_memory_budget(
+                                   self.session_memory_budget_bytes))
+            # Must be feasible for the default engine's system (per-session
+            # engines re-validate against their own system on open).
+            self.engine.with_updates(
+                memory_budget_bytes=self.session_memory_budget_bytes)
 
     # ------------------------------------------------------------ resolving
     def resolve_workers(self) -> int:
@@ -145,6 +160,7 @@ class ServerSpec:
             "policy": self.policy.value,
             "ring_slots": self.ring_slots,
             "max_sessions": self.max_sessions,
+            "session_memory_budget_bytes": self.session_memory_budget_bytes,
         }
 
     @classmethod

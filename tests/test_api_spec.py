@@ -146,6 +146,33 @@ class TestEngineSpecRoundTrip:
         with pytest.raises(ValueError, match="unknown engine spec field"):
             EngineSpec.from_dict({"architcture": "exact"})
 
+    def test_memory_budget_roundtrip_and_spellings(self):
+        spec = EngineSpec(system="tiny", memory_budget_bytes="64K")
+        assert spec.memory_budget_bytes == 65536   # normalised to int bytes
+        assert EngineSpec(system="tiny", memory_budget_bytes=65536) == spec
+        payload = json.loads(spec.to_json())
+        assert payload["memory_budget_bytes"] == 65536
+        assert EngineSpec.from_json(spec.to_json()) == spec
+        # Default stays None and serialises as null.
+        assert EngineSpec(system="tiny").memory_budget_bytes is None
+        assert json.loads(EngineSpec(system="tiny").to_json())
+        assert EngineSpec.from_json(
+            EngineSpec(system="tiny").to_json()).memory_budget_bytes is None
+
+    def test_memory_budget_too_small_rejected_actionably(self):
+        # tiny: one scanline is 16 points x 64 elements x 25 B = 25600 B.
+        with pytest.raises(ValueError, match="raise the budget to at least "
+                                             "25600 bytes"):
+            EngineSpec(system="tiny", memory_budget_bytes=100)
+        with pytest.raises(ValueError, match="scanline"):
+            EngineSpec(system="tiny").with_updates(memory_budget_bytes="1K")
+
+    def test_memory_budget_garbage_rejected(self):
+        with pytest.raises(ValueError, match="memory budget"):
+            EngineSpec(system="tiny", memory_budget_bytes="lots")
+        with pytest.raises(ValueError, match="positive"):
+            EngineSpec(system="tiny", memory_budget_bytes=-1)
+
 
 class TestScanSpec:
     def test_roundtrip(self):

@@ -148,6 +148,45 @@ class TestCommands:
         spec = EngineSpec.from_json(capsys.readouterr().out)
         assert spec.quantization == QuantizationSpec.from_total_bits(18)
 
+    def test_stream_memory_budget_runs_tiled(self, capsys):
+        # A quarter-plan budget forces 4 tiles; the segment LRU shows up
+        # as evictions in the cache summary and the stream still succeeds.
+        assert main(["stream", "--system", "tiny", "--frames", "2",
+                     "--memory-budget", "400K"]) == 0
+        output = capsys.readouterr().out
+        assert "volume rate" in output
+        assert "evictions" in output
+
+    def test_spec_memory_budget_normalised_to_bytes(self, capsys):
+        assert main(["spec", "--system", "tiny",
+                     "--memory-budget", "64K"]) == 0
+        from repro.api import EngineSpec
+        spec = EngineSpec.from_json(capsys.readouterr().out)
+        assert spec.memory_budget_bytes == 65536
+
+    def test_stream_too_small_memory_budget_exits_2(self, capsys):
+        assert main(["stream", "--system", "tiny", "--frames", "1",
+                     "--memory-budget", "10"]) == 2
+        err = capsys.readouterr().err
+        assert "raise the budget to at least 25600 bytes" in err
+
+    def test_stream_garbage_memory_budget_exits_2(self, capsys):
+        assert main(["stream", "--system", "tiny",
+                     "--memory-budget", "lots"]) == 2
+        assert "memory budget" in capsys.readouterr().err
+
+    def test_serve_check_memory_budget(self, capsys):
+        assert main(["serve", "--check", "--system", "tiny",
+                     "--memory-budget", "1M"]) == 0
+        from repro.server import ServerSpec
+        spec = ServerSpec.from_json(capsys.readouterr().out)
+        assert spec.session_memory_budget_bytes == 1 << 20
+
+    def test_serve_too_small_memory_budget_exits_2(self, capsys):
+        assert main(["serve", "--check", "--system", "tiny",
+                     "--memory-budget", "10"]) == 2
+        assert "raise the budget" in capsys.readouterr().err
+
 
 class TestSpecWorkflow:
     def test_spec_prints_resolved_json(self, capsys):

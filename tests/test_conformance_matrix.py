@@ -30,7 +30,13 @@ import numpy as np
 import pytest
 
 from repro.api import EngineSpec, ScanSpec, Session
-from repro.kernels import TOLERANCES, Precision, numba_available
+from repro.kernels import (
+    TOLERANCES,
+    Precision,
+    numba_available,
+    plan_storage_bytes,
+)
+from repro.runtime.cache import PlanCache
 
 pytestmark = pytest.mark.conformance
 
@@ -54,6 +60,10 @@ BATCH_MODES = ("per_frame", "batched")
 #: samples/weights/delays, so the compounded volume may move by a few
 #: percent of peak — but never more (same pin philosophy as TOLERANCES).
 QUANTIZED_VS_FLOAT_ATOL = 0.05
+
+#: A quarter of the tiny system's untiled plan — forces every tiled cell
+#: to stream the sweep through four budget-sized segments.
+TILE_BUDGET = plan_storage_bytes(8 * 8 * 16, 64, "float64") // 4
 
 
 @pytest.fixture(scope="module")
@@ -189,6 +199,81 @@ def test_server_matches_pipeline_under_concurrent_load(matrix, scheme):
         assert server.stats().drops == 0
     finally:
         server.close()
+
+
+# -------------------------------------------------------- tiled execution
+@pytest.mark.parametrize("batch_mode", BATCH_MODES)
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_tiled_float64_bit_identical(matrix, scheme, backend, batch_mode):
+    """Memory-budgeted tiled execution never changes the bits: every
+    backend and batching mode under a four-tile budget reproduces its own
+    untiled volume exactly (the NumPy backends therefore also reproduce
+    the reference oracle), and the resident segment bytes never exceed
+    the budget."""
+    session, firings, oracle, _ = matrix[scheme]
+    cache = PlanCache()  # private: keeps the byte bound out of the module cache
+    volume = _volume(session, firings, backend, batch_mode,
+                     memory_budget_bytes=TILE_BUDGET, cache=cache)
+    assert volume.dtype == np.float64
+    if backend == "compiled":
+        # compiled is tolerance-close to the NumPy oracle, but its tiled
+        # sweep must still be bit-identical to its own untiled sweep.
+        untiled = _volume(session, firings, "compiled", batch_mode)
+        np.testing.assert_array_equal(volume, untiled)
+        TOLERANCES[Precision.FLOAT64].assert_allclose(volume, oracle)
+    else:
+        np.testing.assert_array_equal(volume, oracle)
+    if backend != "reference":  # reference validates the budget, never tiles
+        assert 0 < cache.stats.peak_bytes <= TILE_BUDGET
+
+
+@pytest.mark.parametrize("batch_mode", BATCH_MODES)
+@pytest.mark.parametrize("backend", NUMPY_BACKENDS)
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_tiled_quantized_bit_identical(matrix, scheme, backend, batch_mode):
+    """The bit-true 18-bit datapath survives tiling unchanged: quantized
+    tiled volumes equal the quantized reference oracle bit for bit."""
+    session, firings, _, oracle_quantized = matrix[scheme]
+    volume = _volume(session, firings, backend, batch_mode, quantization=18,
+                     memory_budget_bytes=TILE_BUDGET, cache=PlanCache())
+    np.testing.assert_array_equal(volume, oracle_quantized)
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_tiled_service_stream_matches_pipeline(matrix, scheme):
+    """The streaming service under a memory budget reproduces the untiled
+    pipeline oracle bit for bit."""
+    session, firings, oracle, _ = matrix[scheme]
+    payload = tuple(firings) if len(firings) > 1 else firings[0]
+    service = session.service(backend="vectorized",
+                              memory_budget_bytes=TILE_BUDGET,
+                              cache=PlanCache())
+    result = service.submit_frame(payload)
+    np.testing.assert_array_equal(result.rf, oracle)
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES_UNDER_TEST))
+def test_tiled_server_matches_pipeline(matrix, scheme):
+    """A server whose sessions run under a per-session memory budget
+    serves volumes bit-identical to the untiled pipeline oracle, with the
+    session cache's peak resident plan bytes inside the budget."""
+    _, firings, oracle, _ = matrix[scheme]
+    payload = tuple(firings) if len(firings) > 1 else firings[0]
+    spec = EngineSpec(system="tiny", architecture="tablesteer",
+                      architecture_options={"total_bits": 18},
+                      backend="vectorized", scheme=scheme,
+                      scheme_options=SCHEMES_UNDER_TEST[scheme],
+                      memory_budget_bytes=TILE_BUDGET)
+    with Session(spec) as tiled_session:
+        server = tiled_session.server(workers=2)
+        handles = [server.open_session() for _ in range(2)]
+        tickets = [handle.submit(payload) for handle in handles]
+        for ticket in tickets:
+            np.testing.assert_array_equal(ticket.result(timeout=120).rf,
+                                          oracle)
+        assert server.stats().drops == 0
+        assert 0 < tiled_session.cache.stats.peak_bytes <= TILE_BUDGET
 
 
 def test_sweep_grid_covers_matrix_from_json(tiny):

@@ -365,3 +365,120 @@ class TestPlanCache:
         stats = cache.stats
         assert stats.misses == 1      # compiled once by the first backend
         assert stats.hits == 1        # reused by the second
+
+
+class _Sized:
+    """A fake plan exposing just the ``nbytes`` the cache tracks."""
+
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+
+
+class TestPlanCacheByteBudget:
+    def test_bytes_tracked_without_a_budget(self):
+        cache = PlanCache()
+        cache.get_or_build("a", lambda: _Sized(100))
+        cache.get_or_build("b", lambda: _Sized(50))
+        stats = cache.stats
+        assert stats.bytes == 150 and stats.peak_bytes == 150
+        assert stats.max_bytes is None
+
+    def test_unsized_values_count_as_zero(self):
+        cache = PlanCache()
+        cache.get_or_build("a", lambda: "not a plan")
+        assert cache.stats.bytes == 0
+
+    def test_byte_eviction_in_lru_order(self):
+        cache = PlanCache(max_bytes=300)
+        cache.get_or_build("a", lambda: _Sized(100))
+        cache.get_or_build("b", lambda: _Sized(100))
+        cache.get_or_build("a", lambda: _Sized(100))  # refresh: 'b' is LRU
+        cache.get_or_build("c", lambda: _Sized(150))  # 350 > 300: evict 'b'
+        assert "a" in cache and "c" in cache and "b" not in cache
+        stats = cache.stats
+        assert stats.bytes == 250 and stats.evictions == 1
+
+    def test_byte_budget_replaces_count_bound(self):
+        # Four segments of 100 B fit an 800 B budget even though the
+        # default entry capacity is 4: a fifth still fits, no eviction.
+        cache = PlanCache(capacity=2, max_bytes=800)
+        for key in "abcde":
+            cache.get_or_build(key, lambda: _Sized(100))
+        assert len(cache) == 5
+        assert cache.stats.evictions == 0
+
+    def test_size_hint_evicts_before_builder_runs(self):
+        # The budget must hold even *while* the new segment is being
+        # built: with a hint, resident bytes drop below budget-minus-hint
+        # before the builder is invoked.
+        cache = PlanCache(max_bytes=250)
+        cache.get_or_build("a", lambda: _Sized(100))
+        cache.get_or_build("b", lambda: _Sized(100))
+        resident_at_build = []
+
+        def build():
+            resident_at_build.append(cache.stats.bytes)
+            return _Sized(100)
+
+        cache.get_or_build("c", build, size_hint=100)
+        assert resident_at_build == [100]           # 'a' evicted pre-build
+        assert cache.stats.bytes == 200 <= 250
+
+    def test_budget_never_exceeded_across_a_sweep(self):
+        # A tiled sweep: many equally-sized segments streamed through a
+        # budget sized for two of them.  At no observable point do the
+        # resident bytes exceed the budget.
+        cache = PlanCache(max_bytes=200)
+        for index in range(10):
+            cache.get_or_build(index, lambda: _Sized(100), size_hint=100)
+            assert cache.stats.bytes <= 200
+        stats = cache.stats
+        assert stats.peak_bytes == 200
+        assert stats.evictions == 8
+        assert len(cache) == 2
+
+    def test_sole_oversized_entry_is_kept(self):
+        # An entry larger than the whole budget is never evicted while it
+        # is the only one — the caller holds it — but the overshoot is
+        # visible in peak_bytes.
+        cache = PlanCache(max_bytes=100)
+        cache.get_or_build("big", lambda: _Sized(500))
+        assert "big" in cache
+        assert cache.stats.peak_bytes == 500
+
+    def test_limit_bytes_tightens_never_loosens(self):
+        cache = PlanCache(max_bytes=400)
+        cache.get_or_build("a", lambda: _Sized(100))
+        cache.get_or_build("b", lambda: _Sized(100))
+        cache.limit_bytes(150)            # tightens: evicts down to 'b'
+        assert cache.max_bytes == 150
+        assert "a" not in cache and "b" in cache
+        cache.limit_bytes(1000)           # looser bound is ignored
+        assert cache.max_bytes == 150
+
+    def test_limit_bytes_accepts_suffixed_strings(self):
+        cache = PlanCache()
+        cache.limit_bytes("64K")
+        assert cache.max_bytes == 64 * 1024
+        assert PlanCache(max_bytes="1M").max_bytes == 1 << 20
+
+    def test_clear_resets_bytes_keeps_peak(self):
+        cache = PlanCache(max_bytes=400)
+        cache.get_or_build("a", lambda: _Sized(300))
+        cache.clear()
+        stats = cache.stats
+        assert stats.bytes == 0 and stats.peak_bytes == 300
+
+    def test_gauges_export_via_prometheus(self):
+        from repro.observability import MetricsRegistry
+        from repro.observability.export import render_prometheus
+
+        metrics = MetricsRegistry()
+        cache = PlanCache(metrics=metrics, max_bytes=250)
+        cache.get_or_build("a", lambda: _Sized(100), size_hint=100)
+        cache.get_or_build("b", lambda: _Sized(100), size_hint=100)
+        cache.get_or_build("c", lambda: _Sized(100), size_hint=100)
+        text = render_prometheus(metrics)
+        assert "plan_cache_bytes 200" in text
+        assert "plan_cache_peak_bytes 200" in text
+        assert "plan_cache_evictions_total 1" in text

@@ -104,6 +104,31 @@ class TestServerSpec:
         assert spec.resolve_ring_slots() == 8
         assert spec.with_updates(ring_slots=2).resolve_ring_slots() == 2
 
+    def test_session_memory_budget_roundtrip(self):
+        spec = ServerSpec(engine=TINY, session_memory_budget_bytes="1M")
+        assert spec.session_memory_budget_bytes == 1 << 20  # normalised
+        assert ServerSpec.from_json(spec.to_json()) == spec
+        assert ServerSpec(engine=TINY).session_memory_budget_bytes is None
+
+    def test_session_memory_budget_too_small_rejected(self):
+        # Validated eagerly against the default engine's system, with the
+        # minimum viable budget in the message.
+        with pytest.raises(ValueError, match="raise the budget"):
+            ServerSpec(engine=TINY, session_memory_budget_bytes=10)
+
+    def test_session_memory_budget_applied_to_default_sessions(self):
+        spec = ServerSpec(engine=TINY, workers=1,
+                          session_memory_budget_bytes="400K")
+        with BeamformingServer(spec) as server:
+            handle = server.open_session()
+            state = server._sessions[handle.session_id]
+            assert state.service.memory_budget_bytes == 400 * 1024
+            # An engine carrying its own budget keeps it.
+            own = server.open_session(
+                spec=TINY.with_updates(memory_budget_bytes="800K"))
+            own_state = server._sessions[own.session_id]
+            assert own_state.service.memory_budget_bytes == 800 * 1024
+
 
 # ----------------------------------------------------------- multiplexing
 class TestMultiplexing:
