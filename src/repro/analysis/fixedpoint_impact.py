@@ -145,7 +145,9 @@ class KernelFixedPointResult:
 
 
 def kernel_fixed_point_sweep(system: SystemConfig | None = None,
-                             bit_widths: tuple[int, ...] = (13, 14, 16, 18, 20)
+                             bit_widths: tuple[int, ...] = (13, 14, 16, 18,
+                                                            20),
+                             store: "object | str | None" = None
                              ) -> list[KernelFixedPointResult]:
     """The E6 bit-width sweep executed through the compiled kernel path.
 
@@ -162,6 +164,11 @@ def kernel_fixed_point_sweep(system: SystemConfig | None = None,
     from tens of percent at 13 bits to ~nothing at 20, index errors of at
     most one sample) are scale-free, and the tiny grid keeps the sweep
     cheap enough for tests and the E6 experiment to run it routinely.
+
+    ``store`` (a :class:`repro.sweep.SweepStore` or a directory path)
+    opts into content-addressed reuse: each width's result is keyed on
+    the system digest + width, so reruns — and other experiments sharing
+    the store — skip the compile entirely and read the metrics back.
     """
     # Imported here: repro.analysis sits below the kernel/beamformer layers
     # in some import orders, and the sweep is the only consumer.
@@ -174,6 +181,34 @@ def kernel_fixed_point_sweep(system: SystemConfig | None = None,
     from ..kernels import QuantizationSpec, compile_plan
 
     system = system or tiny_system()
+    cell_keys: dict[int, str] = {}
+    if store is not None:
+        from ..sweep import SweepStore, cell_key
+        from ..sweep.hashing import CELL_SPEC_FORMAT
+        if not isinstance(store, SweepStore):
+            store = SweepStore(store)
+        # Kernel cells have no scenario/scheme grid; their identity is the
+        # physics digest + representation width (plus the format stamp, so
+        # a schema change invalidates instead of mis-serving).
+        cell_keys = {bits: cell_key({"format": CELL_SPEC_FORMAT,
+                                     "kind": "e6_kernel_fixed_point",
+                                     "system": system.cache_key(),
+                                     "total_bits": bits})
+                     for bits in bit_widths}
+        if all(cell_keys[bits] in store for bits in bit_widths):
+            results = []
+            for bits in bit_widths:
+                metrics = store.read(cell_keys[bits])["metrics"]
+                results.append(KernelFixedPointResult(
+                    total_bits=int(metrics["total_bits"]),
+                    sample_count=int(metrics["sample_count"]),
+                    affected_fraction=metrics["affected_fraction"],
+                    max_index_error=int(metrics["max_index_error"]),
+                    mean_abs_index_error=metrics["mean_abs_index_error"],
+                    volume_rms_error=metrics["volume_rms_error"],
+                ))
+            return results
+
     grid = FocalGrid.from_config(system)
     depth = float(grid.depths[len(grid.depths) // 2])
     channel_data = EchoSimulator.from_config(system).simulate(
@@ -197,14 +232,19 @@ def kernel_fixed_point_sweep(system: SystemConfig | None = None,
         index_error = plan.gather_index().indices - reference_indices
         volume = plan.execute(channel_data)
         rms = float(np.sqrt(np.mean((volume - reference_volume) ** 2)))
-        results.append(KernelFixedPointResult(
+        result = KernelFixedPointResult(
             total_bits=bits,
             sample_count=int(index_error.size),
             affected_fraction=float(np.mean(index_error != 0)),
             max_index_error=int(np.max(np.abs(index_error))),
             mean_abs_index_error=float(np.mean(np.abs(index_error))),
             volume_rms_error=rms / peak,
-        ))
+        )
+        if cell_keys:
+            store.write(cell_keys[bits], None, result.as_dict(),
+                        {"kind": "e6_kernel_fixed_point",
+                         "system": system.cache_key(), "total_bits": bits})
+        results.append(result)
     return results
 
 

@@ -70,6 +70,7 @@ from ..scenarios import (
     score_volume,
 )
 from ..server.spec import BackpressurePolicy, ServerSpec
+from ..sweep.spec import SweepRunSpec
 from .session import Session
 from .specs import (
     SCENARIOS,
@@ -93,6 +94,7 @@ __all__ = [
     "QuantizationSpec",
     "ScanSpec",
     "Session",
+    "SweepRunSpec",
     "SweepSpec",
     "Registry",
     "RegistryEntry",

@@ -26,8 +26,7 @@ from ..pipeline.imaging import ImagingPipeline
 from ..runtime.cache import PlanCache
 from ..runtime.scheduler import FrameResult
 from ..runtime.service import BeamformingService
-from ..scenarios import SCENARIOS, TransmitScheme, acquire_firings, \
-    resolve_scheme, score_volume
+from ..scenarios import TransmitScheme, acquire_firings, resolve_scheme
 from .specs import EngineSpec, ScanSpec, SweepSpec
 
 __all__ = ["Session"]
@@ -106,6 +105,21 @@ class Session:
         owned, self._owned = self._owned, []
         for obj in reversed(owned):
             obj.close()
+
+    def _release(self, engine: Any) -> None:
+        """Close one vended engine *now* and stop tracking it.
+
+        The counterpart of the ``self._owned.append`` in every builder,
+        for engines built for a single call (a stream's service, a sweep
+        cell's pipeline): their worker pools are released immediately
+        instead of accumulating until session close.  Tolerates an engine
+        already dropped by :meth:`close`.
+        """
+        engine.close()
+        try:
+            self._owned.remove(engine)
+        except ValueError:
+            pass
 
     def __enter__(self) -> "Session":
         return self
@@ -331,8 +345,7 @@ class Session:
         finally:
             # The service was built for this one call; release its worker
             # pool now instead of holding it until the session closes.
-            service.close()
-            self._owned.remove(service)
+            self._release(service)
 
     def sweep(self, phantom: Phantom | None = None,
               architectures: Iterable[str] | None = None,
@@ -392,8 +405,14 @@ class Session:
                 images = {}
                 for name in architectures:
                     with self.tracer.span("cell", architecture=name):
-                        images[name] = self.pipeline(architecture=name) \
-                            .image_plane(channel_data)
+                        pipeline = self.pipeline(architecture=name)
+                        try:
+                            images[name] = pipeline.image_plane(channel_data)
+                        finally:
+                            # Built for this one cell — release its backend
+                            # now rather than holding every cell's engine
+                            # until session close.
+                            self._release(pipeline)
                 return images
         backends = tuple(backends)
         volumes: dict[tuple[str, str], np.ndarray] = {}
@@ -412,70 +431,25 @@ class Session:
                                                  backend=backend,
                                                  provider=provider)
                         provider = pipeline.delay_provider
-                        volumes[(name, backend)] = \
-                            pipeline.image_volume(channel_data).rf
+                        try:
+                            volumes[(name, backend)] = \
+                                pipeline.image_volume(channel_data).rf
+                        finally:
+                            self._release(pipeline)
         return volumes
 
     def _sweep_grid(self, sweep: SweepSpec) -> dict[tuple, dict]:
-        """Run a :class:`SweepSpec` grid over the shared substrates."""
-        architectures = sweep.architectures or (self.spec.architecture,)
-        backend_list = sweep.backends or (self.spec.backend,)
-        with self.tracer.span("sweep",
-                              cells=len(sweep.scenarios) * len(sweep.schemes)
-                              * len(architectures) * len(backend_list)):
-            return self._run_sweep_grid(sweep, architectures, backend_list)
+        """Run a :class:`SweepSpec` grid over the shared substrates.
 
-    def _run_sweep_grid(self, sweep: SweepSpec,
-                        architectures: tuple[str, ...],
-                        backend_list: tuple[str, ...]) -> dict[tuple, dict]:
-        """The grid body of :meth:`_sweep_grid` (under its ``sweep`` span)."""
-        results: dict[tuple, dict] = {}
-        # The grid's whole plan working set is sum(firings) x architectures
-        # (plans are phantom- and backend-independent); reserving it up
-        # front lets later scenarios reuse every plan instead of evicting
-        # and recompiling the previous cell's event bank.
-        firing_total = sum(self._resolve_scheme_variant(s, None).firing_count
-                           for s in sweep.schemes)
-        self.cache.reserve(firing_total * len(architectures))
-        # One delay provider per architecture for the *whole* grid: the
-        # provider is scheme-independent (the per-firing engines wrap it
-        # per event), so rebuilding e.g. a TABLESTEER reference table per
-        # scenario x scheme cell would repeat the most expensive step.
-        providers: dict[str, Any] = {}
-        for scenario in sweep.scenarios:
-            # Grid cells image one representative acquisition: frame 0 of
-            # the scenario's cine (independent of cine length for every
-            # registered scenario, so SweepSpec has no frames knob).
-            scan = ScanSpec(scenario=scenario, frames=1,
-                            noise_std=sweep.noise_std, seed=sweep.seed)
-            request = scan.build_frames(self.system)[0]
-            options = SCENARIOS.get(scenario).make_options(scan.options)
-            for scheme in sweep.schemes:
-                firings = self.acquire_firings(
-                    request.phantom, scheme=scheme,
-                    noise_std=request.noise_std, seed=request.seed)
-                for architecture in architectures:
-                    for backend in backend_list:
-                        with self.tracer.span("cell", scenario=scenario,
-                                              scheme=scheme,
-                                              architecture=architecture,
-                                              backend=backend):
-                            pipeline = self.pipeline(
-                                architecture=architecture, backend=backend,
-                                scheme=scheme,
-                                provider=providers.get(architecture))
-                            providers[architecture] = pipeline.delay_provider
-                            volume = pipeline.compound_volume(firings).rf
-                            cell: dict[str, Any] = {"volume": volume}
-                            if sweep.score:
-                                cell["metrics"] = score_volume(
-                                    self.system, volume, scenario=scenario,
-                                    options=options)
-                        key = (scenario, scheme, architecture)
-                        if sweep.backends is not None:
-                            key = (*key, backend)
-                        results[key] = cell
-        return results
+        Delegates to :class:`repro.sweep.SweepExecutor` (without a store:
+        pure in-process execution, same shared-firings/shared-provider
+        grid walk this method historically inlined).  Store-backed,
+        resumable and parallel runs build the executor directly — the
+        in-process path is the same code, so both are bit-identical by
+        construction.
+        """
+        from ..sweep.executor import SweepExecutor
+        return SweepExecutor(self).run(sweep)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         system = self.system.name

@@ -397,6 +397,23 @@ class SweepSpec:
         if self.noise_std < 0:
             raise ValueError("noise_std must be non-negative")
 
+    def resolve_grid(self, default_architecture: str, default_backend: str
+                     ) -> tuple[tuple[str, ...], tuple[str, ...], bool]:
+        """Concrete ``(architectures, backends, keyed_by_backend)`` axes.
+
+        ``None`` axes fall back to the session spec's single
+        architecture/backend; the returned flag says whether result keys
+        carry the backend component (they do exactly when the spec named
+        backends explicitly).  One resolution shared by
+        :meth:`repro.api.Session.sweep` and
+        :class:`repro.sweep.SweepExecutor`, so in-process and
+        store-backed runs always agree on the grid — and on the cell
+        keys.
+        """
+        architectures = self.architectures or (default_architecture,)
+        backends = self.backends or (default_backend,)
+        return architectures, backends, self.backends is not None
+
     def _name_tuple(self, field_name: str) -> tuple[str, ...]:
         """Coerce a name-list field, rejecting a bare string.
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli spec                 # print an EngineSpec as JSON
     python -m repro.cli stream               # stream a cine through the runtime
     python -m repro.cli serve                # multiplex sessions via the server
+    python -m repro.cli sweep                # resumable scored grid sweeps
 
 The ``run``, ``spec`` and ``stream`` commands all speak the declarative
 :mod:`repro.api` surface: ``--spec file.json`` loads an
@@ -400,6 +401,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .api import Session, apply_overrides
+    from .observability import render_span_tree, write_metrics, write_trace
+    from .sweep import SweepExecutor, SweepRunSpec
+
+    try:
+        data: dict = {}
+        if args.spec:
+            try:
+                data = json.loads(Path(args.spec).read_text())
+            except OSError as exc:
+                raise ValueError(
+                    f"cannot read spec file {args.spec!r}: {exc}") from None
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"spec file {args.spec!r} is not valid "
+                                 f"JSON: {exc}") from None
+        # Engine-level flags land inside the nested engine document.
+        for key, value in (("system", args.system),
+                           ("architecture", args.architecture),
+                           ("backend", args.backend),
+                           ("scheme", args.scheme)):
+            if value:
+                data.setdefault("engine", {})[key] = value
+        data.setdefault("engine", {}).setdefault("system", "small")
+        data.setdefault("engine", {}).setdefault("backend", "vectorized")
+        if args.store is not None:
+            data["store"] = args.store
+        if args.workers is not None:
+            data["workers"] = args.workers
+        if args.resume is not None:
+            data["resume"] = args.resume
+        if args.overwrite:
+            data["overwrite"] = True
+        data = apply_overrides(data, args.set or [])
+        spec = SweepRunSpec.from_dict(data)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.check:
+        print(spec.to_json())
+        return 0
+    tracing = args.trace or args.trace_out is not None
+    engine = spec.engine.with_updates(trace=True) if tracing else spec.engine
+    with Session(engine) as session:
+        executor = SweepExecutor(session, store=spec.store,
+                                 workers=spec.workers, resume=spec.resume,
+                                 overwrite=spec.overwrite)
+        sweep = spec.sweep
+        architectures, backends, _ = sweep.resolve_grid(
+            engine.architecture, engine.backend)
+        cells = (len(sweep.scenarios) * len(sweep.schemes)
+                 * len(architectures) * len(backends))
+        store_text = spec.store if spec.store else "none (in-memory)"
+        print(f"Sweeping {cells} cells on system "
+              f"'{session.system.name}' "
+              f"({len(sweep.scenarios)} scenarios x "
+              f"{len(sweep.schemes)} schemes x "
+              f"{len(architectures)} architectures x "
+              f"{len(backends)} backends; store={store_text}, "
+              f"workers={spec.workers}, resume={spec.resume}, "
+              f"overwrite={spec.overwrite})")
+        start = time.perf_counter()
+        try:
+            results = executor.run(sweep)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        for key, cell in results.items():
+            status = executor.statuses.get(key, "computed")
+            label = " x ".join(key)
+            metrics = cell.get("metrics")
+            detail = ""
+            if metrics:
+                detail = (f"  fwhm_lat {metrics['fwhm_lateral']:8.3e}  "
+                          f"cnr {metrics['cnr']:7.3f}")
+            print(f"  [{status:8s}] {label}{detail}")
+        print(f"Summary: {len(results)} cells — "
+              f"{executor.completed:.0f} computed, "
+              f"{executor.cached:.0f} cached, "
+              f"{executor.failed:.0f} failed in {elapsed:.2f} s")
+        if args.trace:
+            print("Trace:")
+            print(render_span_tree(session.tracer))
+        try:
+            if args.trace_out is not None:
+                write_trace(args.trace_out, session.tracer)
+                print(f"wrote trace to {args.trace_out}")
+            if args.metrics_out is not None:
+                write_metrics(args.metrics_out, session.metrics)
+                print(f"wrote metrics to {args.metrics_out}")
+        except OSError as exc:
+            print(f"cannot write observability output: {exc}",
+                  file=sys.stderr)
+            return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser.
 
@@ -557,6 +656,60 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write a Prometheus-style metrics "
                                    "snapshot of the run")
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a scored scenario x scheme x architecture grid "
+                      "through the resumable content-addressed executor")
+    sweep_parser.add_argument("--spec", metavar="FILE",
+                              help="SweepRunSpec JSON document to start from")
+    sweep_parser.add_argument("--system", default=None,
+                              help="system preset for the engine "
+                                   f"({', '.join(sorted(PRESETS))}) "
+                                   "[default: small]")
+    sweep_parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                              help="dotted SweepRunSpec override, e.g. "
+                                   "--set sweep.scenarios='[\"cyst\"]' or "
+                                   "--set engine.quantization=18 "
+                                   "(repeatable)")
+    sweep_parser.add_argument("--architecture", default=None,
+                              help="delay architecture for the engine (see "
+                                   "'list'); grid axes come from "
+                                   "sweep.architectures")
+    sweep_parser.add_argument("--backend", default=None,
+                              help="execution backend for the engine (see "
+                                   "'list') [default: vectorized]")
+    sweep_parser.add_argument("--scheme", default=None,
+                              help="engine transmit scheme; grid axes come "
+                                   "from sweep.schemes [default: focused]")
+    sweep_parser.add_argument("--store", metavar="DIR", default=None,
+                              help="content-addressed result store; "
+                                   "completed cells are skipped on rerun "
+                                   "[default: in-memory only]")
+    sweep_parser.add_argument("--workers", type=int, default=None,
+                              help="parallel cell-dispatch processes "
+                                   "(requires --store) [default: 1]")
+    sweep_parser.add_argument("--resume", default=None,
+                              action=argparse.BooleanOptionalAction,
+                              help="serve store-completed cells instead of "
+                                   "recomputing them [default: on]")
+    sweep_parser.add_argument("--overwrite", action="store_true",
+                              help="recompute and refresh every cell even "
+                                   "when the store already holds it")
+    sweep_parser.add_argument("--check", action="store_true",
+                              help="validate and print the resolved "
+                                   "SweepRunSpec JSON, then exit without "
+                                   "sweeping")
+    sweep_parser.add_argument("--trace", action="store_true",
+                              help="record a span trace and print the "
+                                   "per-cell tree after the sweep")
+    sweep_parser.add_argument("--trace-out", metavar="FILE", default=None,
+                              help="write the span trace as JSON lines "
+                                   "(implies tracing)")
+    sweep_parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                              help="write a Prometheus-style metrics "
+                                   "snapshot of the run (includes the "
+                                   "sweep_cells_* counters)")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
     return parser
 
 

@@ -9,6 +9,8 @@ delays are stored as plain 13-bit integers, and fewer than 2 % with the
 
 from __future__ import annotations
 
+import os
+
 from ..analysis.fixedpoint_impact import (
     fixed_point_impact,
     fixed_point_sweep,
@@ -20,7 +22,8 @@ from ..config import SystemConfig, paper_system, tiny_system
 def run(system: SystemConfig | None = None,
         n_samples: int = 1_000_000,
         seed: int = 2015,
-        kernel_system: SystemConfig | None = None) -> dict[str, object]:
+        kernel_system: SystemConfig | None = None,
+        store: str | None = None) -> dict[str, object]:
     """Monte-Carlo the fixed-point impact at the paper's two design points.
 
     Alongside the paper's Monte-Carlo over random delay triples, the same
@@ -30,7 +33,8 @@ def run(system: SystemConfig | None = None,
     ``QuantizedPlan`` and compared against the unquantised plan.  The
     kernel sweep runs on a scaled preset (``kernel_system``, default
     ``tiny``) because it compiles full delay tensors; the error trends are
-    scale-free.
+    scale-free.  ``store`` (a :class:`repro.sweep.SweepStore` directory)
+    opts the kernel sweep into content-addressed reuse across runs.
     """
     system = system or paper_system()
     max_delay = float(system.echo_buffer_samples)
@@ -39,7 +43,8 @@ def run(system: SystemConfig | None = None,
     result_18 = fixed_point_impact(18, n_samples=n_samples,
                                    max_delay_samples=max_delay, seed=seed)
     sweep = fixed_point_sweep(n_samples=max(50_000, n_samples // 5), seed=seed)
-    kernel_sweep = kernel_fixed_point_sweep(kernel_system or tiny_system())
+    kernel_sweep = kernel_fixed_point_sweep(kernel_system or tiny_system(),
+                                            store=store)
     return {
         "system": system.name,
         "bits_13": result_13.as_dict(),
@@ -55,8 +60,13 @@ def run(system: SystemConfig | None = None,
 
 
 def main(system: SystemConfig | None = None) -> None:
-    """Print the fixed-point impact results."""
-    result = run(system=system, n_samples=1_000_000)
+    """Print the fixed-point impact results.
+
+    Setting ``REPRO_SWEEP_STORE`` routes the kernel-path sweep through the
+    content-addressed store, so reruns skip the per-width plan compiles.
+    """
+    store = os.environ.get("REPRO_SWEEP_STORE") or None
+    result = run(system=system, n_samples=1_000_000, store=store)
     print("Experiment E6: fixed-point impact on delay selection")
     r13, r18 = result["bits_13"], result["bits_18"]
     print(f"  13-bit integers : {100 * r13['affected_fraction']:.1f}% of samples "

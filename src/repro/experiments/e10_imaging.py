@@ -11,6 +11,8 @@ normalised RMS difference).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..acoustics.echo import EchoSimulator
@@ -105,6 +107,7 @@ def scheme_quality_sweep(system: SystemConfig | None = None,
                          architectures: tuple[str, ...] = ("exact",
                                                            "tablesteer"),
                          bit_widths: tuple[int | None, ...] = (None, 14),
+                         store: "object | str | None" = None,
                          ) -> dict[tuple, dict[str, float]]:
     """Image quality across scenario x scheme x architecture x bit width.
 
@@ -113,6 +116,13 @@ def scheme_quality_sweep(system: SystemConfig | None = None,
     FWHM/CNR/gCNR scoring-hook figures.  This is the image-level complement
     of E6's delay-statistics story: it shows where transmit-scheme choice
     and fixed-point width actually move resolution and contrast.
+
+    ``store`` (a :class:`repro.sweep.SweepStore` or a directory path) opts
+    into content-addressed reuse: each width's grid runs through a
+    :class:`repro.sweep.SweepExecutor`, so cells already completed by an
+    earlier run — or by a ``repro sweep`` invocation sharing the store —
+    are read back instead of recomputed (quantisation is part of the cell
+    key, so widths never collide).
     """
     from ..api import EngineSpec, Session, SweepSpec
     from ..config import tiny_system
@@ -122,9 +132,14 @@ def scheme_quality_sweep(system: SystemConfig | None = None,
                       architectures=architectures)
     results: dict[tuple, dict[str, float]] = {}
     for bits in bit_widths:
-        session = Session(EngineSpec(system=system, quantization=bits))
-        for key, cell in session.sweep(spec=sweep).items():
-            results[(*key, bits)] = cell["metrics"]
+        with Session(EngineSpec(system=system, quantization=bits)) as session:
+            if store is None:
+                grid = session.sweep(spec=sweep)
+            else:
+                from ..sweep import SweepExecutor
+                grid = SweepExecutor(session, store=store).run(sweep)
+            for key, cell in grid.items():
+                results[(*key, bits)] = cell["metrics"]
     return results
 
 
@@ -146,8 +161,13 @@ def main(system: SystemConfig | None = None) -> None:
 
     # The sweep runs on the tiny preset regardless of `system`: 24 cells of
     # compounded acquisitions stay interactive there while showing the
-    # same scheme x architecture x bit-width trends.
-    sweep = scheme_quality_sweep()
+    # same scheme x architecture x bit-width trends.  REPRO_SWEEP_STORE
+    # opts into the content-addressed store: reruns (and `repro sweep`
+    # invocations sharing the directory) skip completed cells.
+    store = os.environ.get("REPRO_SWEEP_STORE") or None
+    if store:
+        print(f"\n  [sweep store: {store}]")
+    sweep = scheme_quality_sweep(store=store)
     print()
     print("  Scheme quality sweep (tiny system; NaN = not applicable):")
     print(f"  {'scenario':14s} {'scheme':20s} {'architecture':12s} "

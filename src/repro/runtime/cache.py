@@ -23,6 +23,7 @@ without a second bookkeeping path.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, TypeVar
@@ -181,16 +182,50 @@ class PlanCache:
             while self._bytes > self.max_bytes and len(self._entries) > 1:
                 self._evict_oldest()
 
-    def reserve(self, capacity: int) -> None:
+    def reserve(self, capacity: int, *, nbytes: int | None = None) -> None:
         """Grow the eviction bound to at least ``capacity`` (never shrink).
 
         Used by engines whose working set is known up front — e.g. a
         multi-firing transmit scheme needs one plan slot per firing, or
         every compounded frame would evict and recompile its own event
         bank.
+
+        Under a byte budget (``max_bytes`` set) the entry-count bound is
+        inactive, so a count-only reservation cannot actually be honoured:
+        the LRU evicts by bytes regardless of how many slots were reserved.
+        Callers that know their working set's size pass ``nbytes`` (e.g.
+        ``plan_storage_bytes(...) * slots``); a reservation whose bytes fit
+        the budget is then genuinely safe (nothing inside the budget is
+        ever evicted) and stays silent.  A reservation that *exceeds* the
+        budget — or states no byte figure while asking for growth — emits a
+        :class:`RuntimeWarning` instead of silently doing nothing, so
+        budget-limited sweeps learn up front that their plan working set
+        may thrash through segment recompiles.  The budget itself is never
+        loosened: it is the user's hard memory cap.
         """
         with self._lock:
-            self.capacity = max(self.capacity, int(capacity))
+            capacity = int(capacity)
+            grows = capacity > self.capacity
+            self.capacity = max(self.capacity, capacity)
+            if self.max_bytes is None:
+                return
+            if nbytes is not None:
+                if int(nbytes) > self.max_bytes:
+                    warnings.warn(
+                        f"plan-cache reservation of {capacity} slots "
+                        f"(~{int(nbytes)} bytes) exceeds the "
+                        f"{self.max_bytes}-byte budget; the byte budget "
+                        "replaces the entry-count bound, so the working set "
+                        "may thrash through segment recompiles",
+                        RuntimeWarning, stacklevel=2)
+            elif grows:
+                warnings.warn(
+                    f"plan-cache reservation of {capacity} slots cannot be "
+                    f"honoured under the {self.max_bytes}-byte budget (the "
+                    "byte budget replaces the entry-count bound); pass "
+                    "nbytes= to state the working-set size, or expect "
+                    "segment recompiles",
+                    RuntimeWarning, stacklevel=2)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
@@ -210,15 +245,23 @@ class PlanCache:
 
     @property
     def stats(self) -> CacheStats:
-        """Snapshot of the usage counters."""
-        return CacheStats(hits=int(self._hits.value),
-                          misses=int(self._misses.value),
-                          evictions=int(self._evictions.value),
-                          size=len(self._entries),
-                          capacity=self.capacity,
-                          bytes=int(self._bytes),
-                          peak_bytes=int(self._peak_bytes),
-                          max_bytes=self.max_bytes)
+        """Consistent snapshot of the usage counters.
+
+        Taken under the cache lock: concurrent server workers mutate
+        ``size``/``bytes``/``peak_bytes`` together inside
+        :meth:`get_or_build`, so an unlocked read could observe a torn
+        combination (e.g. the new entry counted in ``size`` but not yet in
+        ``bytes``).
+        """
+        with self._lock:
+            return CacheStats(hits=int(self._hits.value),
+                              misses=int(self._misses.value),
+                              evictions=int(self._evictions.value),
+                              size=len(self._entries),
+                              capacity=self.capacity,
+                              bytes=int(self._bytes),
+                              peak_bytes=int(self._peak_bytes),
+                              max_bytes=self.max_bytes)
 
 
 DelayTableCache = PlanCache

@@ -1,0 +1,326 @@
+"""The resumable sweep executor: grid -> cells -> artifacts.
+
+:class:`SweepExecutor` runs a :class:`repro.api.SweepSpec` grid over one
+:class:`repro.api.Session`, optionally backed by a
+:class:`repro.sweep.SweepStore`.  Execution is cell-oriented:
+
+1. The grid is expanded into cells and each cell's content-addressed key
+   is computed from its fully-resolved spec
+   (:func:`repro.sweep.hashing.resolved_cell_spec`).
+2. With a store and ``resume=True``, cells whose key is already complete
+   in the store are *skipped* — their artifacts are read back instead
+   (``sweep_cells_cached_total``).  ``overwrite=True`` forces recompute.
+3. Pending cells execute either in-process (``workers=1``, sharing
+   firings per scenario x scheme and one delay provider per architecture,
+   exactly like the historical ``Session._run_sweep_grid``) or across
+   ``repro.runtime.mp`` spawn workers (``workers>1``), each worker
+   handling whole (scenario, scheme, architecture) groups so the
+   firings/provider sharing — and therefore bit-identity with serial
+   execution — is preserved inside every group.
+4. Results always come back in grid order as the same
+   ``{(scenario, scheme, architecture[, backend]): {"volume", "metrics"}}``
+   mapping ``Session.sweep`` has always produced; cached, serial and
+   parallel cells are indistinguishable (bit-identical float64, pinned by
+   the conformance suite).
+
+Per-cell engines are released immediately after use via
+``Session._release`` — the executor is also the fix for the historical
+sweep leak where every grid cell's pipeline (and its backend worker
+pools) stayed alive in ``Session._owned`` until session close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from ..api.specs import ScanSpec, SweepSpec
+from ..kernels.plan import plan_storage_bytes
+from ..scenarios import SCENARIOS, score_volume
+from .hashing import cell_key, resolved_cell_spec
+from .store import SweepStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.session import Session
+
+__all__ = ["SweepExecutor", "acquire_cell_inputs", "execute_cell"]
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One grid point, with its result key and (optional) store key."""
+
+    scenario: str
+    scheme: str
+    architecture: str
+    backend: str
+    result_key: tuple
+    store_key: str | None = None
+
+
+def acquire_cell_inputs(session: "Session", sweep: SweepSpec,
+                        scenario: str, scheme: str) -> tuple[list, Any]:
+    """Firings + scoring options shared by every cell of one
+    scenario x scheme group.
+
+    Grid cells image one representative acquisition: frame 0 of the
+    scenario's cine, built from the registry with the sweep's noise/seed.
+    Acquisition is deterministic in (phantom, noise_std, seed), which is
+    what lets a worker process re-acquire the identical firings a serial
+    run would have shared in memory.
+    """
+    scan = ScanSpec(scenario=scenario, frames=1,
+                    noise_std=sweep.noise_std, seed=sweep.seed)
+    request = scan.build_frames(session.system)[0]
+    options = SCENARIOS.get(scenario).make_options(scan.options)
+    firings = session.acquire_firings(request.phantom, scheme=scheme,
+                                      noise_std=request.noise_std,
+                                      seed=request.seed)
+    return firings, options
+
+
+def execute_cell(session: "Session", sweep: SweepSpec, scenario: str,
+                 scheme: str, architecture: str, backend: str,
+                 firings: list, options: Any,
+                 provider: Any = None) -> tuple[dict, Any]:
+    """Compute one grid cell; returns ``(cell_dict, delay_provider)``.
+
+    The pipeline is vended from the session, used for one compound, and
+    released immediately (closed and dropped from ``Session._owned``) so
+    sweeps of any size retain no per-cell engines.  The delay provider is
+    returned for reuse — it is scheme- and backend-independent, and
+    rebuilding e.g. a TABLESTEER reference table per cell would repeat
+    the most expensive step of the sweep.
+    """
+    pipeline = session.pipeline(architecture=architecture, backend=backend,
+                                scheme=scheme, provider=provider)
+    provider = pipeline.delay_provider
+    try:
+        volume = pipeline.compound_volume(firings).rf
+    finally:
+        session._release(pipeline)
+    cell: dict[str, Any] = {"volume": volume}
+    if sweep.score:
+        cell["metrics"] = score_volume(session.system, volume,
+                                       scenario=scenario, options=options)
+    return cell, provider
+
+
+class SweepExecutor:
+    """Run sweep grids over one session, with store-backed resume.
+
+    Parameters
+    ----------
+    session:
+        The :class:`repro.api.Session` providing substrates and the spec
+        that resolves ``None`` grid axes.
+    store:
+        A :class:`SweepStore`, a path to create one at, or ``None`` for
+        purely in-memory execution (no artifacts, no resume).
+    workers:
+        Parallel spawn-process dispatch width; ``> 1`` requires a store.
+    resume / overwrite:
+        The reuse policy, as on :class:`repro.sweep.SweepRunSpec`.
+    """
+
+    def __init__(self, session: "Session", *,
+                 store: "SweepStore | str | None" = None,
+                 workers: int = 1, resume: bool = True,
+                 overwrite: bool = False) -> None:
+        self.session = session
+        if store is not None and not isinstance(store, SweepStore):
+            store = SweepStore(store)
+        self.store = store
+        if workers < 1:
+            raise ValueError("workers must be a positive integer")
+        if workers > 1 and store is None:
+            raise ValueError(
+                "parallel dispatch (workers > 1) requires a store: worker "
+                "processes return their results through the store's "
+                "artifacts")
+        self.workers = workers
+        self.resume = resume
+        self.overwrite = overwrite
+        metrics = session.metrics
+        self._completed = metrics.counter(
+            "sweep_cells_completed_total", "sweep cells computed this run")
+        self._cached = metrics.counter(
+            "sweep_cells_cached_total",
+            "sweep cells served from the content-addressed store")
+        self._failed = metrics.counter(
+            "sweep_cells_failed_total", "sweep cells that raised")
+        #: per-result-key execution outcome of the last :meth:`run` —
+        #: ``"computed"`` or ``"cached"`` (the CLI prints it per cell).
+        self.statuses: dict[tuple, str] = {}
+
+    # ------------------------------------------------------------ counters
+    @property
+    def completed(self) -> int:
+        """Cells computed across this executor's runs."""
+        return int(self._completed.value)
+
+    @property
+    def cached(self) -> int:
+        """Cells served from the store across this executor's runs."""
+        return int(self._cached.value)
+
+    @property
+    def failed(self) -> int:
+        """Cells that raised across this executor's runs."""
+        return int(self._failed.value)
+
+    # ------------------------------------------------------------- running
+    def run(self, sweep: SweepSpec | None = None) -> dict[tuple, dict]:
+        """Execute the grid; returns the ``Session.sweep`` result mapping."""
+        session = self.session
+        if sweep is None:
+            sweep = SweepSpec()
+        architectures, backends, keyed = sweep.resolve_grid(
+            session.spec.architecture, session.spec.backend)
+        cells = []
+        for scenario in sweep.scenarios:
+            for scheme in sweep.schemes:
+                for architecture in architectures:
+                    for backend in backends:
+                        result_key = (scenario, scheme, architecture)
+                        if keyed:
+                            result_key = (*result_key, backend)
+                        store_key = None
+                        if self.store is not None:
+                            store_key = cell_key(resolved_cell_spec(
+                                session.spec, sweep, scenario, scheme,
+                                architecture, backend))
+                        cells.append(_Cell(scenario, scheme, architecture,
+                                           backend, result_key, store_key))
+        with session.tracer.span("sweep", cells=len(cells),
+                                 workers=self.workers,
+                                 store=self.store is not None):
+            return self._run_cells(sweep, cells, architectures)
+
+    def _run_cells(self, sweep: SweepSpec, cells: list[_Cell],
+                   architectures: tuple[str, ...]) -> dict[tuple, dict]:
+        session = self.session
+        # The grid's whole plan working set is sum(firings) x architectures
+        # (plans are phantom- and backend-independent); reserving it up
+        # front lets later scenarios reuse every plan instead of evicting
+        # and recompiling the previous cell's event bank.  Under a byte
+        # budget the count cannot be honoured, so the working-set byte
+        # figure rides along and PlanCache.reserve warns when it exceeds
+        # the budget (possible segment thrash) instead of staying silent.
+        firing_total = sum(
+            session._resolve_scheme_variant(s, None).firing_count
+            for s in sweep.schemes)
+        slots = firing_total * len(architectures)
+        per_plan = plan_storage_bytes(
+            session.grid.point_count, session.transducer.element_count,
+            session.spec.precision, session.spec.interpolation)
+        session.cache.reserve(slots, nbytes=per_plan * slots)
+
+        cached = set()
+        if self.store is not None and not self.overwrite and self.resume:
+            cached = {cell for cell in cells if cell.store_key in self.store}
+        pending = [cell for cell in cells if cell not in cached]
+        computed: dict[tuple, dict] = {}
+        if pending:
+            if self.workers > 1:
+                self._run_parallel(sweep, pending)
+            else:
+                self._run_serial(sweep, pending, computed)
+
+        results: dict[tuple, dict] = {}
+        self.statuses = {}
+        for cell in cells:
+            if cell.result_key in computed:
+                results[cell.result_key] = computed[cell.result_key]
+                self.statuses[cell.result_key] = "computed"
+            else:
+                # Cached up front, or computed by a worker process: either
+                # way the artifact is the result.
+                with session.tracer.span("cell", scenario=cell.scenario,
+                                         scheme=cell.scheme,
+                                         architecture=cell.architecture,
+                                         backend=cell.backend,
+                                         cached=cell in cached):
+                    results[cell.result_key] = self.store.read(cell.store_key)
+                if cell in cached:
+                    self._cached.inc()
+                    self.statuses[cell.result_key] = "cached"
+                else:
+                    self.statuses[cell.result_key] = "computed"
+        return results
+
+    # -------------------------------------------------------------- serial
+    def _run_serial(self, sweep: SweepSpec, pending: list[_Cell],
+                    computed: dict[tuple, dict]) -> None:
+        session = self.session
+        # One delay provider per architecture for the *whole* grid: the
+        # provider is scheme-independent (the per-firing engines wrap it
+        # per event), so rebuilding it per scenario x scheme cell would
+        # repeat the most expensive step.
+        providers: dict[str, Any] = {}
+        groups: dict[tuple[str, str], list[_Cell]] = {}
+        for cell in pending:
+            groups.setdefault((cell.scenario, cell.scheme), []).append(cell)
+        for (scenario, scheme), group in groups.items():
+            firings, options = acquire_cell_inputs(session, sweep,
+                                                   scenario, scheme)
+            for cell in group:
+                with session.tracer.span("cell", scenario=cell.scenario,
+                                         scheme=cell.scheme,
+                                         architecture=cell.architecture,
+                                         backend=cell.backend, cached=False):
+                    try:
+                        result, provider = execute_cell(
+                            session, sweep, cell.scenario, cell.scheme,
+                            cell.architecture, cell.backend, firings,
+                            options, providers.get(cell.architecture))
+                    except BaseException:
+                        self._failed.inc()
+                        raise
+                    providers[cell.architecture] = provider
+                if self.store is not None:
+                    self.store.write(
+                        cell.store_key, result["volume"],
+                        result.get("metrics"),
+                        resolved_cell_spec(session.spec, sweep,
+                                           cell.scenario, cell.scheme,
+                                           cell.architecture, cell.backend))
+                computed[cell.result_key] = result
+                self._completed.inc()
+
+    # ------------------------------------------------------------ parallel
+    def _run_parallel(self, sweep: SweepSpec, pending: list[_Cell]) -> None:
+        """Dispatch pending cells to spawn workers, results via the store.
+
+        Work units are whole (scenario, scheme, architecture) groups: each
+        worker acquires the group's firings once and shares one delay
+        provider across its backends — the same sharing a serial run does
+        inside the group, so worker output is bit-identical to serial
+        (acquisition and provider construction are deterministic).
+        """
+        from ..runtime.mp import spawn_context
+        from .worker import run_cell_group
+
+        session = self.session
+        engine_json = session.spec.to_json(indent=None)
+        sweep_json = sweep.to_json(indent=None)
+        groups: dict[tuple[str, str, str], list[str]] = {}
+        for cell in pending:
+            groups.setdefault(
+                (cell.scenario, cell.scheme, cell.architecture),
+                []).append(cell.backend)
+        jobs = [(engine_json, sweep_json, str(self.store.root),
+                 scenario, scheme, architecture, backends)
+                for (scenario, scheme, architecture), backends
+                in groups.items()]
+        ctx = spawn_context()
+        pool = ctx.Pool(processes=min(self.workers, len(jobs)))
+        try:
+            for keys_done in pool.imap_unordered(run_cell_group, jobs):
+                self._completed.inc(len(keys_done))
+        except BaseException:
+            self._failed.inc()
+            raise
+        finally:
+            pool.terminate()
+            pool.join()

@@ -1,0 +1,120 @@
+"""Declarative spec for one persistent/resumable sweep run.
+
+A :class:`SweepRunSpec` bundles *what to sweep* (an
+:class:`repro.api.EngineSpec` + :class:`repro.api.SweepSpec`, both
+accepted in dict/JSON form) with *how to run it*: the content-addressed
+store directory, the worker count and the resume/overwrite policy.  Like
+every other spec in the repo it is frozen, eagerly validated and
+JSON-round-trippable, so a whole study — grid, engine and execution
+policy — ships as one document for ``repro sweep --spec``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from ..api.specs import EngineSpec, SweepSpec
+
+__all__ = ["SweepRunSpec"]
+
+
+@dataclass(frozen=True)
+class SweepRunSpec:
+    """Everything needed to execute (or resume) one sweep run."""
+
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    """Session engine the grid runs over (dict form accepted)."""
+
+    sweep: SweepSpec = field(default_factory=SweepSpec)
+    """The scenario x scheme x architecture (x backend) grid itself."""
+
+    store: str | None = None
+    """Content-addressed result store directory (``None`` = in-memory
+    only: no artifacts, no resume — every run recomputes)."""
+
+    workers: int = 1
+    """Parallel cell-dispatch processes (``repro.runtime.mp`` spawn
+    children).  ``1`` executes in-process; ``> 1`` requires a store —
+    the artifacts are how workers hand results back."""
+
+    resume: bool = True
+    """Serve cells already completed in the store instead of recomputing
+    them (the point of content addressing).  Ignored without a store."""
+
+    overwrite: bool = False
+    """Recompute and refresh every cell even when the store already holds
+    it; takes precedence over ``resume``."""
+
+    def __post_init__(self) -> None:
+        engine = self.engine
+        if isinstance(engine, Mapping):
+            engine = EngineSpec.from_dict(dict(engine))
+        elif not isinstance(engine, EngineSpec):
+            raise ValueError(
+                "engine must be an EngineSpec or its dict form, "
+                f"got {type(engine).__name__}")
+        object.__setattr__(self, "engine", engine)
+        sweep = self.sweep
+        if isinstance(sweep, Mapping):
+            sweep = SweepSpec.from_dict(dict(sweep))
+        elif not isinstance(sweep, SweepSpec):
+            raise ValueError(
+                "sweep must be a SweepSpec or its dict form, "
+                f"got {type(sweep).__name__}")
+        object.__setattr__(self, "sweep", sweep)
+        if self.store is not None and not isinstance(self.store, str):
+            raise ValueError(
+                f"store must be a path string, got {type(self.store).__name__}")
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) \
+                or self.workers < 1:
+            raise ValueError("workers must be a positive integer")
+        if self.workers > 1 and self.store is None:
+            raise ValueError(
+                "parallel dispatch (workers > 1) requires a store: worker "
+                "processes return their results through the store's "
+                "artifacts")
+        for name in ("resume", "overwrite"):
+            if not isinstance(getattr(self, name), bool):
+                raise ValueError(f"{name} must be a boolean")
+
+    def with_updates(self, **changes: Any) -> "SweepRunSpec":
+        """A copy with the given fields replaced (and re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-safe) form; inverse of :meth:`from_dict`."""
+        return {
+            "engine": self.engine.to_dict(),
+            "sweep": self.sweep.to_dict(),
+            "store": self.store,
+            "workers": self.workers,
+            "resume": self.resume,
+            "overwrite": self.overwrite,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepRunSpec":
+        """Rebuild a run spec from :meth:`to_dict` output (unknown keys raise)."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"sweep run spec must be a mapping, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown sweep run spec field(s): "
+                f"{', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}")
+        return cls(**data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepRunSpec":
+        """Rebuild a run spec from its :meth:`to_json` form."""
+        return cls.from_dict(json.loads(text))

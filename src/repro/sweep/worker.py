@@ -1,0 +1,63 @@
+"""Spawn-worker entry point for parallel sweep cell dispatch.
+
+:func:`run_cell_group` is the picklable function
+:meth:`repro.sweep.SweepExecutor._run_parallel` maps over a
+``repro.runtime.mp`` spawn pool.  Each job is one whole
+(scenario, scheme, architecture) group of the grid: the worker rebuilds
+the session from the engine spec's JSON (specs are the portability
+boundary — exactly what they exist for), re-acquires the group's firings
+once, shares one delay provider across the group's backends, computes
+every cell and writes its artifact into the shared
+:class:`repro.sweep.SweepStore`.  The *keys* travel back through the
+pool; the *results* travel through the store — no volume ever crosses
+the pickle boundary.
+
+Bit-identity with serial execution holds because every step is
+deterministic in the specs: the phantom is built from the scenario
+registry, acquisition from (phantom, noise_std, seed), and delay
+providers from the architecture options — so a worker's recomputed
+firings and provider are bit-identical to the ones a serial run shares
+in memory.  The conformance suite pins this.
+"""
+
+from __future__ import annotations
+
+from ..api.specs import EngineSpec, SweepSpec
+from .executor import acquire_cell_inputs, execute_cell
+from .hashing import cell_key, resolved_cell_spec
+from .store import SweepStore
+
+__all__ = ["run_cell_group"]
+
+
+def run_cell_group(job: tuple) -> list[str]:
+    """Compute one (scenario, scheme, architecture) group; returns the keys.
+
+    ``job`` is ``(engine_json, sweep_json, store_root, scenario, scheme,
+    architecture, backends)`` — plain strings and tuples only, so the
+    payload pickles under the spawn start method without importing
+    anything session-shaped in the parent's address space.
+    """
+    (engine_json, sweep_json, store_root,
+     scenario, scheme, architecture, backends) = job
+    from ..api.session import Session
+
+    engine = EngineSpec.from_json(engine_json)
+    sweep = SweepSpec.from_json(sweep_json)
+    store = SweepStore(store_root)
+    written: list[str] = []
+    with Session(engine) as session:
+        firings, options = acquire_cell_inputs(session, sweep,
+                                               scenario, scheme)
+        provider = None
+        for backend in backends:
+            result, provider = execute_cell(
+                session, sweep, scenario, scheme, architecture, backend,
+                firings, options, provider)
+            spec_echo = resolved_cell_spec(engine, sweep, scenario, scheme,
+                                           architecture, backend)
+            key = cell_key(spec_echo)
+            store.write(key, result["volume"], result.get("metrics"),
+                        spec_echo)
+            written.append(key)
+    return written
